@@ -1,0 +1,128 @@
+// Command topogen inspects the embedded MEC access-network topologies and
+// generates random ones.
+//
+// Usage:
+//
+//	topogen -list                         # embedded topology inventory
+//	topogen -name nsfnet                  # stats for one topology
+//	topogen -random ba -nodes 40 -m 2     # Barabási–Albert graph stats
+//	topogen -random er -nodes 30 -p 0.1
+//	topogen -random waxman -nodes 30 -alpha 0.8 -beta 0.5
+//	topogen -name geant -sites 6          # degree-ranked cloudlet sites
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+
+	"revnf/internal/topology"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "topogen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("topogen", flag.ContinueOnError)
+	var (
+		list     = fs.Bool("list", false, "list embedded topologies")
+		name     = fs.String("name", "", "embedded topology to inspect")
+		random   = fs.String("random", "", "generate: er|ba|waxman")
+		nodes    = fs.Int("nodes", 30, "node count for generators")
+		m        = fs.Int("m", 2, "attachments per node (ba)")
+		p        = fs.Float64("p", 0.1, "edge probability (er)")
+		alpha    = fs.Float64("alpha", 0.8, "waxman alpha")
+		beta     = fs.Float64("beta", 0.5, "waxman beta")
+		seed     = fs.Int64("seed", 1, "generator seed")
+		sites    = fs.Int("sites", 0, "print k degree-ranked cloudlet sites")
+		export   = fs.String("export", "", "write the selected graph as JSON to this file")
+		imported = fs.String("import", "", "load a custom topology JSON instead of -name/-random")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		fmt.Fprintf(out, "%-10s %6s %6s\n", "name", "nodes", "edges")
+		for _, n := range topology.Names() {
+			g, err := topology.Load(n)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "%-10s %6d %6d\n", n, g.Nodes(), g.EdgeCount())
+		}
+		return nil
+	}
+
+	var g *topology.Graph
+	var err error
+	switch {
+	case *imported != "":
+		f, err := os.Open(*imported)
+		if err != nil {
+			return fmt.Errorf("open topology: %w", err)
+		}
+		g, err = topology.LoadJSON(f)
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+	case *random != "":
+		rng := rand.New(rand.NewSource(*seed))
+		switch *random {
+		case "er":
+			g, err = topology.ErdosRenyi(*nodes, *p, rng)
+		case "ba":
+			g, err = topology.BarabasiAlbert(*nodes, *m, rng)
+		case "waxman":
+			g, err = topology.Waxman(*nodes, *alpha, *beta, rng)
+		default:
+			return fmt.Errorf("unknown -random %q (want er|ba|waxman)", *random)
+		}
+	case *name != "":
+		g, err = topology.Load(*name)
+	default:
+		return fmt.Errorf("nothing to do: pass -list, -name, or -random")
+	}
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "name:      %s\n", g.Name())
+	fmt.Fprintf(out, "nodes:     %d\n", g.Nodes())
+	fmt.Fprintf(out, "edges:     %d\n", g.EdgeCount())
+	fmt.Fprintf(out, "connected: %v\n", g.Connected())
+	if d, err := g.Diameter(); err == nil {
+		fmt.Fprintf(out, "diameter:  %.1f ms\n", d)
+	}
+	if *sites > 0 {
+		ids, err := topology.PlaceCloudletsByDegree(g, *sites)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "cloudlet sites (degree-ranked): %v\n", ids)
+	}
+	if *export != "" {
+		f, err := os.Create(*export)
+		if err != nil {
+			return fmt.Errorf("create export: %w", err)
+		}
+		err = g.Save(f)
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "exported to %s\n", *export)
+	}
+	return nil
+}

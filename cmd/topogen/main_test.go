@@ -1,0 +1,88 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-list"}, &sb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{"abilene", "nsfnet", "geant", "aarnet", "att-na"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("list missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunNamed(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-name", "nsfnet", "-sites", "4"}, &sb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{"nodes:     14", "edges:     21", "connected: true", "cloudlet sites"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunGenerators(t *testing.T) {
+	for _, kind := range []string{"er", "ba", "waxman"} {
+		t.Run(kind, func(t *testing.T) {
+			var sb strings.Builder
+			if err := run([]string{"-random", kind, "-nodes", "20", "-seed", "3"}, &sb); err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if !strings.Contains(sb.String(), "nodes:     20") {
+				t.Errorf("output missing node count:\n%s", sb.String())
+			}
+		})
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{}, &sb); err == nil {
+		t.Error("no action did not error")
+	}
+	if err := run([]string{"-name", "nope"}, &sb); err == nil {
+		t.Error("unknown topology did not error")
+	}
+	if err := run([]string{"-random", "nope"}, &sb); err == nil {
+		t.Error("unknown generator did not error")
+	}
+	if err := run([]string{"-name", "nsfnet", "-sites", "99"}, &sb); err == nil {
+		t.Error("too many sites did not error")
+	}
+}
+
+func TestRunExportImport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "topo.json")
+	var sb strings.Builder
+	if err := run([]string{"-name", "abilene", "-export", path}, &sb); err != nil {
+		t.Fatalf("export: %v", err)
+	}
+	if !strings.Contains(sb.String(), "exported to") {
+		t.Errorf("missing export confirmation:\n%s", sb.String())
+	}
+	sb.Reset()
+	if err := run([]string{"-import", path, "-sites", "3"}, &sb); err != nil {
+		t.Fatalf("import: %v", err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "nodes:     11") || !strings.Contains(out, "edges:     14") {
+		t.Errorf("imported stats wrong:\n%s", out)
+	}
+	if err := run([]string{"-import", "/does/not/exist.json"}, &sb); err == nil {
+		t.Error("missing import file did not error")
+	}
+	if err := run([]string{"-name", "abilene", "-export", "/no/such/dir/x.json"}, &sb); err == nil {
+		t.Error("bad export path did not error")
+	}
+}

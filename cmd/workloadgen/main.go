@@ -1,0 +1,88 @@
+// Command workloadgen generates reproducible problem instances as JSON,
+// the interchange format consumed by vnfsim -instance.
+//
+// Usage:
+//
+//	workloadgen -requests 300 -seed 7 > trace.json
+//	workloadgen -topology geant -cloudlets 10 -horizon 100 -H 5 -K 1.08 -o trace.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"revnf/internal/experiments"
+	"revnf/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "workloadgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("workloadgen", flag.ContinueOnError)
+	var (
+		topo      = fs.String("topology", "", "embedded topology name")
+		cloudlets = fs.Int("cloudlets", 0, "cloudlet count")
+		requests  = fs.Int("requests", 300, "request count")
+		horizon   = fs.Int("horizon", 0, "time horizon T")
+		h         = fs.Float64("H", 0, "payment-rate variation pr_max/pr_min")
+		k         = fs.Float64("K", 0, "cloudlet reliability variation rc_max/rc_min")
+		seed      = fs.Int64("seed", 1, "generator seed")
+		output    = fs.String("o", "", "output file (default stdout)")
+		format    = fs.String("format", "json", "output format: json (full instance) or csv (trace only)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	setup := experiments.DefaultSetup()
+	if *topo != "" {
+		setup.Topology = *topo
+	}
+	if *cloudlets > 0 {
+		setup.Cloudlets = *cloudlets
+	}
+	if *horizon > 0 {
+		setup.Horizon = *horizon
+	}
+	hv, kv := setup.H, setup.K
+	if *h > 0 {
+		hv = *h
+	}
+	if *k > 0 {
+		kv = *k
+	}
+
+	inst, err := setup.Instance(*requests, hv, kv, *seed)
+	if err != nil {
+		return err
+	}
+
+	w := stdout
+	if *output != "" {
+		f, err := os.Create(*output)
+		if err != nil {
+			return fmt.Errorf("create output: %w", err)
+		}
+		defer func() {
+			if cerr := f.Close(); cerr != nil && err == nil {
+				fmt.Fprintln(os.Stderr, "workloadgen: close:", cerr)
+			}
+		}()
+		w = f
+	}
+	switch *format {
+	case "json":
+		return inst.Save(w)
+	case "csv":
+		return workload.ExportCSV(w, inst.Network.Catalog, inst.Trace)
+	default:
+		return fmt.Errorf("unknown -format %q (want json|csv)", *format)
+	}
+}

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"revnf/internal/workload"
+)
+
+func TestRunToStdout(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-requests", "25", "-seed", "4", "-cloudlets", "3", "-horizon", "15"}, &sb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	inst, err := workload.LoadInstance(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("generated JSON does not round-trip: %v", err)
+	}
+	if len(inst.Trace) != 25 || len(inst.Network.Cloudlets) != 3 || inst.Horizon != 15 {
+		t.Errorf("instance shape = %d requests, %d cloudlets, horizon %d",
+			len(inst.Trace), len(inst.Network.Cloudlets), inst.Horizon)
+	}
+}
+
+func TestRunToFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.json")
+	var sb strings.Builder
+	if err := run([]string{"-requests", "10", "-o", path}, &sb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatalf("open output: %v", err)
+	}
+	defer func() {
+		_ = f.Close()
+	}()
+	inst, err := workload.LoadInstance(f)
+	if err != nil {
+		t.Fatalf("file does not round-trip: %v", err)
+	}
+	if len(inst.Trace) != 10 {
+		t.Errorf("trace length = %d, want 10", len(inst.Trace))
+	}
+}
+
+func TestRunOverrides(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-requests", "10", "-topology", "geant", "-H", "2", "-K", "1.01", "-seed", "6"}, &sb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if _, err := workload.LoadInstance(strings.NewReader(sb.String())); err != nil {
+		t.Fatalf("round-trip: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-requests", "0"}, &sb); err == nil {
+		t.Error("zero requests did not error")
+	}
+	if err := run([]string{"-topology", "nope"}, &sb); err == nil {
+		t.Error("unknown topology did not error")
+	}
+	if err := run([]string{"-o", "/no/such/dir/file.json"}, &sb); err == nil {
+		t.Error("bad output path did not error")
+	}
+}
+
+func TestRunCSVFormat(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-requests", "15", "-format", "csv", "-horizon", "20"}, &sb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "arrival,duration,vnf,reliability,payment") {
+		t.Errorf("CSV header missing:\n%s", out)
+	}
+	trace, err := workload.ImportCSV(strings.NewReader(out), workload.DefaultCatalog(), 20)
+	if err != nil {
+		t.Fatalf("CSV does not round-trip: %v", err)
+	}
+	if len(trace) != 15 {
+		t.Errorf("trace length = %d, want 15", len(trace))
+	}
+}
+
+func TestRunBadFormat(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-format", "nope"}, &sb); err == nil {
+		t.Error("unknown format did not error")
+	}
+}

@@ -1,0 +1,113 @@
+package revnf_test
+
+import (
+	"fmt"
+	"log"
+
+	"revnf"
+)
+
+// Example shows the minimal end-to-end flow: build a network, stream two
+// requests through Algorithm 1, and inspect the decisions.
+func Example() {
+	network := &revnf.Network{
+		Catalog: []revnf.VNF{
+			{ID: 0, Name: "firewall", Demand: 1, Reliability: 0.95},
+		},
+		Cloudlets: []revnf.Cloudlet{
+			{ID: 0, Node: 0, Capacity: 10, Reliability: 0.999},
+		},
+	}
+	const horizon = 10
+	sched, err := revnf.NewOnsiteScheduler(network, horizon)
+	if err != nil {
+		log.Fatal(err)
+	}
+	inst := &revnf.Instance{
+		Network: network,
+		Horizon: horizon,
+		Trace: []revnf.Request{
+			{ID: 0, VNF: 0, Reliability: 0.99, Arrival: 1, Duration: 3, Payment: 10},
+			{ID: 1, VNF: 0, Reliability: 0.90, Arrival: 2, Duration: 2, Payment: 4},
+		},
+	}
+	res, err := revnf.Run(inst, sched)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("admitted %d of %d, revenue %.0f\n", res.Admitted, len(inst.Trace), res.Revenue)
+	for _, d := range res.Decisions {
+		if d.Admitted {
+			a := d.Placement.Assignments[0]
+			fmt.Printf("request %d: cloudlet %d with %d instance(s)\n", d.Request, a.Cloudlet, a.Instances)
+		}
+	}
+	// Output:
+	// admitted 2 of 2, revenue 14
+	// request 0: cloudlet 0 with 2 instance(s)
+	// request 1: cloudlet 0 with 1 instance(s)
+}
+
+// ExampleOnsiteInstancesMath shows the closed-form backup sizing of Eq. (3):
+// how many instances a request needs at a given cloudlet.
+func Example_backupSizing() {
+	// A 0.9-reliable VNF must reach availability 0.99 inside a
+	// 0.999-reliable cloudlet.
+	network := &revnf.Network{
+		Catalog:   []revnf.VNF{{ID: 0, Name: "ids", Demand: 2, Reliability: 0.9}},
+		Cloudlets: []revnf.Cloudlet{{ID: 0, Node: 0, Capacity: 20, Reliability: 0.999}},
+	}
+	sched, err := revnf.NewOnsiteScheduler(network, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	inst := &revnf.Instance{
+		Network: network,
+		Horizon: 5,
+		Trace: []revnf.Request{
+			{ID: 0, VNF: 0, Reliability: 0.99, Arrival: 1, Duration: 1, Payment: 1},
+		},
+	}
+	res, err := revnf.Run(inst, sched)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p := res.Decisions[0].Placement
+	fmt.Printf("%d instances, availability %.4f\n",
+		p.TotalInstances(), p.Availability(network, inst.Trace[0]))
+	// Output:
+	// 3 instances, availability 0.9980
+}
+
+// Example_offsite shows off-site placement: reliability accumulates across
+// cloudlets, one instance per cloudlet.
+func Example_offsite() {
+	network := &revnf.Network{
+		Catalog: []revnf.VNF{{ID: 0, Name: "lb", Demand: 1, Reliability: 0.9}},
+		Cloudlets: []revnf.Cloudlet{
+			{ID: 0, Node: 0, Capacity: 5, Reliability: 0.99},
+			{ID: 1, Node: 1, Capacity: 5, Reliability: 0.98},
+			{ID: 2, Node: 2, Capacity: 5, Reliability: 0.97},
+		},
+	}
+	sched, err := revnf.NewOffsiteScheduler(network, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	inst := &revnf.Instance{
+		Network: network,
+		Horizon: 5,
+		Trace: []revnf.Request{
+			{ID: 0, VNF: 0, Reliability: 0.985, Arrival: 1, Duration: 2, Payment: 6},
+		},
+	}
+	res, err := revnf.Run(inst, sched)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p := res.Decisions[0].Placement
+	fmt.Printf("spread over %d cloudlets, availability %.4f\n",
+		len(p.Assignments), p.Availability(network, inst.Trace[0]))
+	// Output:
+	// spread over 2 cloudlets, availability 0.9871
+}

@@ -1,0 +1,57 @@
+// Capacity planning: how much cloudlet capacity does a target workload
+// need before admission stops being the bottleneck?
+//
+// The example fixes a 400-request day and sweeps the per-cloudlet capacity
+// range, reporting revenue and admission rate for Algorithm 1. The "knee"
+// of the curve — where extra capacity stops buying revenue — is the
+// right-sizing point.
+//
+// Run with:
+//
+//	go run ./examples/capacityplan
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"revnf"
+)
+
+func main() {
+	fmt.Println("capacity sweep: 8 cloudlets, 400 requests, Algorithm 1 (on-site)")
+	fmt.Printf("%-12s %10s %10s %12s\n", "capacity", "revenue", "admitted", "utilization")
+
+	prevRevenue := 0.0
+	knee := -1
+	for _, capUnits := range []int{4, 6, 8, 12, 16, 24, 32, 48} {
+		cfg := revnf.DefaultInstanceConfig(400)
+		cfg.Cloudlets.MinCapacity = capUnits
+		cfg.Cloudlets.MaxCapacity = capUnits
+		inst, err := revnf.NewInstance(cfg, 5)
+		if err != nil {
+			log.Fatalf("build instance: %v", err)
+		}
+		sched, err := revnf.NewOnsiteScheduler(inst.Network, inst.Horizon)
+		if err != nil {
+			log.Fatalf("scheduler: %v", err)
+		}
+		res, err := revnf.Run(inst, sched)
+		if err != nil {
+			log.Fatalf("run: %v", err)
+		}
+		fmt.Printf("%-12d %10.1f %9.1f%% %11.1f%%\n",
+			capUnits, res.Revenue, 100*res.AdmissionRate(), 100*res.Utilization)
+		// The knee: first capacity whose marginal revenue gain drops
+		// below 3%.
+		if knee < 0 && prevRevenue > 0 && res.Revenue < prevRevenue*1.03 {
+			knee = capUnits
+		}
+		prevRevenue = res.Revenue
+	}
+	if knee > 0 {
+		fmt.Printf("\nright-sizing point: ~%d units per cloudlet (marginal gain < 3%%)\n", knee)
+	} else {
+		fmt.Println("\nno knee found in the swept range: the workload is capacity-hungry throughout")
+	}
+}

@@ -1,0 +1,72 @@
+// Quickstart: build a small MEC network by hand, stream a handful of
+// requests through both of the paper's online algorithms, and print each
+// admission decision.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"revnf"
+)
+
+func main() {
+	// A three-cloudlet edge: the catalog is the paper's 10 VNF types.
+	network := &revnf.Network{
+		Catalog: revnf.DefaultCatalog(),
+		Cloudlets: []revnf.Cloudlet{
+			{ID: 0, Node: 0, Capacity: 12, Reliability: 0.999},
+			{ID: 1, Node: 3, Capacity: 10, Reliability: 0.98},
+			{ID: 2, Node: 7, Capacity: 8, Reliability: 0.96},
+		},
+	}
+	const horizon = 12
+
+	// Six user requests: (VNF type, reliability requirement, arrival slot,
+	// duration, payment). They arrive one at a time — the schedulers never
+	// see the future.
+	trace := []revnf.Request{
+		{ID: 0, VNF: 0, Reliability: 0.95, Arrival: 1, Duration: 4, Payment: 12},
+		{ID: 1, VNF: 3, Reliability: 0.90, Arrival: 1, Duration: 6, Payment: 30},
+		{ID: 2, VNF: 5, Reliability: 0.93, Arrival: 2, Duration: 3, Payment: 9},
+		{ID: 3, VNF: 8, Reliability: 0.95, Arrival: 3, Duration: 5, Payment: 40},
+		{ID: 4, VNF: 1, Reliability: 0.90, Arrival: 3, Duration: 2, Payment: 3},
+		{ID: 5, VNF: 9, Reliability: 0.95, Arrival: 4, Duration: 6, Payment: 22},
+	}
+	inst := &revnf.Instance{Network: network, Horizon: horizon, Trace: trace}
+
+	for _, build := range []func() (revnf.Scheduler, error){
+		func() (revnf.Scheduler, error) { return revnf.NewOnsiteScheduler(network, horizon) },
+		func() (revnf.Scheduler, error) { return revnf.NewOffsiteScheduler(network, horizon) },
+	} {
+		sched, err := build()
+		if err != nil {
+			log.Fatalf("build scheduler: %v", err)
+		}
+		res, err := revnf.Run(inst, sched)
+		if err != nil {
+			log.Fatalf("run %s: %v", sched.Name(), err)
+		}
+		fmt.Printf("== %s (%s scheme) ==\n", res.Algorithm, res.Scheme)
+		for _, d := range res.Decisions {
+			req := trace[d.Request]
+			if !d.Admitted {
+				fmt.Printf("  request %d (%s, R=%.2f, pay=%.0f): rejected\n",
+					req.ID, network.Catalog[req.VNF].Name, req.Reliability, req.Payment)
+				continue
+			}
+			fmt.Printf("  request %d (%s, R=%.2f, pay=%.0f): admitted →",
+				req.ID, network.Catalog[req.VNF].Name, req.Reliability, req.Payment)
+			for _, a := range d.Placement.Assignments {
+				fmt.Printf(" cloudlet %d ×%d", a.Cloudlet, a.Instances)
+			}
+			fmt.Printf(" (availability %.4f)\n", d.Placement.Availability(network, req))
+		}
+		fmt.Printf("  revenue %.0f, admission rate %.0f%%, mean utilization %.1f%%\n\n",
+			res.Revenue, 100*res.AdmissionRate(), 100*res.Utilization)
+	}
+}

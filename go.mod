@@ -1,0 +1,3 @@
+module revnf
+
+go 1.22

@@ -1,0 +1,251 @@
+// Package baseline provides the comparison schedulers of the paper's
+// evaluation, plus simple extra baselines used in ablations. The paper's
+// greedy benchmark "always tries to admit all coming requests by
+// preferring to place VNF instances in cloudlets with high reliabilities"
+// (Section VI-A); it never reasons about opportunity cost, which is
+// exactly what the primal-dual algorithms add.
+package baseline
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"revnf/internal/core"
+)
+
+// Errors returned by constructors.
+var (
+	ErrBadNetwork = errors.New("baseline: invalid network")
+)
+
+// GreedyOnsite admits every request it can, choosing the most reliable
+// cloudlet with sufficient residual capacity (on-site scheme).
+type GreedyOnsite struct {
+	network *core.Network
+	// order is the cloudlet IDs sorted by reliability descending.
+	order []int
+}
+
+// NewGreedyOnsite creates the paper's greedy on-site baseline.
+func NewGreedyOnsite(network *core.Network) (*GreedyOnsite, error) {
+	if err := validate(network); err != nil {
+		return nil, err
+	}
+	return &GreedyOnsite{network: network, order: byReliability(network)}, nil
+}
+
+// Name implements core.Scheduler.
+func (g *GreedyOnsite) Name() string { return "greedy-onsite" }
+
+// Scheme implements core.Scheduler.
+func (g *GreedyOnsite) Scheme() core.Scheme { return core.OnSite }
+
+// Decide implements core.Scheduler.
+func (g *GreedyOnsite) Decide(req core.Request, view core.CapacityView) (core.Placement, bool) {
+	vnf := g.network.Catalog[req.VNF]
+	for _, j := range g.order {
+		cl := g.network.Cloudlets[j]
+		n, err := core.OnsiteInstances(vnf.Reliability, cl.Reliability, req.Reliability)
+		if err != nil {
+			// Cloudlets are reliability-sorted: all later ones fail too.
+			break
+		}
+		if view.ResidualWindow(j, req.Arrival, req.Duration) < n*vnf.Demand {
+			continue
+		}
+		return core.Placement{
+			Request:     req.ID,
+			Scheme:      core.OnSite,
+			Assignments: []core.Assignment{{Cloudlet: j, Instances: n}},
+		}, true
+	}
+	return core.Placement{}, false
+}
+
+// GreedyOffsite admits every request it can, accumulating the most
+// reliable cloudlets with space until the reliability requirement is met
+// (off-site scheme).
+type GreedyOffsite struct {
+	network *core.Network
+	order   []int
+}
+
+// NewGreedyOffsite creates the paper's greedy off-site baseline.
+func NewGreedyOffsite(network *core.Network) (*GreedyOffsite, error) {
+	if err := validate(network); err != nil {
+		return nil, err
+	}
+	return &GreedyOffsite{network: network, order: byReliability(network)}, nil
+}
+
+// Name implements core.Scheduler.
+func (g *GreedyOffsite) Name() string { return "greedy-offsite" }
+
+// Scheme implements core.Scheduler.
+func (g *GreedyOffsite) Scheme() core.Scheme { return core.OffSite }
+
+// Decide implements core.Scheduler.
+func (g *GreedyOffsite) Decide(req core.Request, view core.CapacityView) (core.Placement, bool) {
+	vnf := g.network.Catalog[req.VNF]
+	needWeight := core.RequirementWeight(req.Reliability)
+	totalWeight := 0.0
+	var assignments []core.Assignment
+	for _, j := range g.order {
+		if view.ResidualWindow(j, req.Arrival, req.Duration) < vnf.Demand {
+			continue
+		}
+		assignments = append(assignments, core.Assignment{Cloudlet: j, Instances: 1})
+		totalWeight += core.OffsiteWeight(vnf.Reliability, g.network.Cloudlets[j].Reliability)
+		if core.WeightsSatisfy(totalWeight, needWeight) {
+			return core.Placement{Request: req.ID, Scheme: core.OffSite, Assignments: assignments}, true
+		}
+	}
+	return core.Placement{}, false
+}
+
+// FirstFitOnsite places each request in the lowest-ID feasible cloudlet.
+// It ignores reliability ordering entirely and serves as an ablation
+// baseline isolating the value of reliability awareness.
+type FirstFitOnsite struct {
+	network *core.Network
+}
+
+// NewFirstFitOnsite creates the first-fit baseline.
+func NewFirstFitOnsite(network *core.Network) (*FirstFitOnsite, error) {
+	if err := validate(network); err != nil {
+		return nil, err
+	}
+	return &FirstFitOnsite{network: network}, nil
+}
+
+// Name implements core.Scheduler.
+func (f *FirstFitOnsite) Name() string { return "firstfit-onsite" }
+
+// Scheme implements core.Scheduler.
+func (f *FirstFitOnsite) Scheme() core.Scheme { return core.OnSite }
+
+// Decide implements core.Scheduler.
+func (f *FirstFitOnsite) Decide(req core.Request, view core.CapacityView) (core.Placement, bool) {
+	vnf := f.network.Catalog[req.VNF]
+	for j, cl := range f.network.Cloudlets {
+		n, err := core.OnsiteInstances(vnf.Reliability, cl.Reliability, req.Reliability)
+		if err != nil {
+			continue
+		}
+		if view.ResidualWindow(j, req.Arrival, req.Duration) < n*vnf.Demand {
+			continue
+		}
+		return core.Placement{
+			Request:     req.ID,
+			Scheme:      core.OnSite,
+			Assignments: []core.Assignment{{Cloudlet: j, Instances: n}},
+		}, true
+	}
+	return core.Placement{}, false
+}
+
+// RandomOnsite places each request in a uniformly random feasible
+// cloudlet. It lower-bounds what any sensible on-site policy should earn.
+type RandomOnsite struct {
+	network *core.Network
+	rng     *rand.Rand
+}
+
+// NewRandomOnsite creates the random baseline with an injected RNG for
+// reproducibility.
+func NewRandomOnsite(network *core.Network, rng *rand.Rand) (*RandomOnsite, error) {
+	if err := validate(network); err != nil {
+		return nil, err
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("%w: nil RNG", ErrBadNetwork)
+	}
+	return &RandomOnsite{network: network, rng: rng}, nil
+}
+
+// Name implements core.Scheduler.
+func (r *RandomOnsite) Name() string { return "random-onsite" }
+
+// Scheme implements core.Scheduler.
+func (r *RandomOnsite) Scheme() core.Scheme { return core.OnSite }
+
+// Decide implements core.Scheduler.
+func (r *RandomOnsite) Decide(req core.Request, view core.CapacityView) (core.Placement, bool) {
+	vnf := r.network.Catalog[req.VNF]
+	type option struct{ cloudlet, instances int }
+	var options []option
+	for j, cl := range r.network.Cloudlets {
+		n, err := core.OnsiteInstances(vnf.Reliability, cl.Reliability, req.Reliability)
+		if err != nil {
+			continue
+		}
+		if view.ResidualWindow(j, req.Arrival, req.Duration) < n*vnf.Demand {
+			continue
+		}
+		options = append(options, option{cloudlet: j, instances: n})
+	}
+	if len(options) == 0 {
+		return core.Placement{}, false
+	}
+	pick := options[r.rng.Intn(len(options))]
+	return core.Placement{
+		Request:     req.ID,
+		Scheme:      core.OnSite,
+		Assignments: []core.Assignment{{Cloudlet: pick.cloudlet, Instances: pick.instances}},
+	}, true
+}
+
+// RejectAll rejects everything; it anchors the revenue floor in sanity
+// checks.
+type RejectAll struct {
+	scheme core.Scheme
+}
+
+// NewRejectAll creates the reject-everything baseline for the scheme.
+func NewRejectAll(scheme core.Scheme) (*RejectAll, error) {
+	if !scheme.Valid() {
+		return nil, fmt.Errorf("%w: scheme %d", ErrBadNetwork, int(scheme))
+	}
+	return &RejectAll{scheme: scheme}, nil
+}
+
+// Name implements core.Scheduler.
+func (r *RejectAll) Name() string { return "reject-all" }
+
+// Scheme implements core.Scheduler.
+func (r *RejectAll) Scheme() core.Scheme { return r.scheme }
+
+// Decide implements core.Scheduler.
+func (r *RejectAll) Decide(core.Request, core.CapacityView) (core.Placement, bool) {
+	return core.Placement{}, false
+}
+
+func validate(network *core.Network) error {
+	if network == nil {
+		return fmt.Errorf("%w: nil", ErrBadNetwork)
+	}
+	if err := network.Validate(); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadNetwork, err)
+	}
+	return nil
+}
+
+// byReliability returns cloudlet IDs ordered by reliability descending,
+// ties by ascending ID.
+func byReliability(network *core.Network) []int {
+	order := make([]int, len(network.Cloudlets))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ra := network.Cloudlets[order[a]].Reliability
+		rb := network.Cloudlets[order[b]].Reliability
+		if ra != rb {
+			return ra > rb
+		}
+		return order[a] < order[b]
+	})
+	return order
+}

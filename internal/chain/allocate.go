@@ -1,0 +1,137 @@
+package chain
+
+import (
+	"fmt"
+	"math"
+
+	"revnf/internal/core"
+)
+
+// allocationCap bounds per-stage instance counts; targets within (0,1)
+// always converge far earlier, so hitting the cap signals a numerical
+// corner rather than a legitimate allocation.
+const allocationCap = 64
+
+// Allocation is the number of instances each chain stage receives (index
+// parallel to Request.VNFs).
+type Allocation []int
+
+// Units returns the total computing units per slot the allocation costs.
+func (a Allocation) Units(catalog []core.VNF, vnfs []int) int {
+	total := 0
+	for k, n := range a {
+		total += n * catalog[vnfs[k]].Demand
+	}
+	return total
+}
+
+// OnsiteAllocation computes the cheapest per-stage instance counts that
+// make an on-site chain meet requirement req inside a cloudlet with
+// reliability rc:
+//
+//	rc · Π_k (1 - (1-r_k)^{n_k}) ≥ req.
+//
+// It is the chain generalization of the paper's closed-form N_ij (Eq. 3).
+// The allocation starts at one instance per stage and repeatedly adds an
+// instance to the stage with the best marginal gain in log-availability
+// per computing unit — the classic greedy for series-system redundancy
+// allocation, optimal when gains are concave in n_k (they are:
+// log(1-(1-r)^n) has decreasing increments).
+func OnsiteAllocation(catalog []core.VNF, vnfs []int, rc, req float64) (Allocation, error) {
+	if rc <= req {
+		return nil, fmt.Errorf("%w: cloudlet reliability %v ≤ requirement %v", ErrInfeasible, rc, req)
+	}
+	if len(vnfs) == 0 {
+		return nil, fmt.Errorf("%w: empty chain", ErrBadChain)
+	}
+	target := math.Log(req / rc) // ≤ 0; need Σ_k log avail_k ≥ target
+	alloc := make(Allocation, len(vnfs))
+	logAvail := make([]float64, len(vnfs))
+	total := 0.0
+	for k, f := range vnfs {
+		alloc[k] = 1
+		logAvail[k] = math.Log(catalog[f].Reliability)
+		total += logAvail[k]
+	}
+	for steps := 0; total < target; steps++ {
+		if steps > allocationCap*len(vnfs) {
+			return nil, fmt.Errorf("%w: allocation did not converge for req %v at rc %v", ErrInfeasible, req, rc)
+		}
+		best, bestGainPerUnit := -1, 0.0
+		var bestNewLog float64
+		for k, f := range vnfs {
+			rf := catalog[f].Reliability
+			newLog := math.Log(1 - math.Pow(1-rf, float64(alloc[k]+1)))
+			gain := newLog - logAvail[k]
+			perUnit := gain / float64(catalog[f].Demand)
+			if perUnit > bestGainPerUnit {
+				best, bestGainPerUnit, bestNewLog = k, perUnit, newLog
+			}
+		}
+		if best < 0 {
+			// All stages are numerically at availability 1 yet the
+			// product still misses the target: impossible when target<0,
+			// but guard against pathological inputs.
+			return nil, fmt.Errorf("%w: no stage can improve availability", ErrInfeasible)
+		}
+		total += bestNewLog - logAvail[best]
+		logAvail[best] = bestNewLog
+		alloc[best]++
+	}
+	trimAllocation(catalog, vnfs, alloc, logAvail, &total, target)
+	return alloc, nil
+}
+
+// trimAllocation removes instances the greedy pass overshot past the
+// target, most expensive stages first, leaving a locally minimal
+// allocation: no single instance can be removed without breaking the
+// requirement.
+func trimAllocation(catalog []core.VNF, vnfs []int, alloc Allocation, logAvail []float64, total *float64, target float64) {
+	order := make([]int, len(vnfs))
+	for k := range order {
+		order[k] = k
+	}
+	// Costliest stages first; ties by index for determinism.
+	for i := 0; i < len(order); i++ {
+		for j := i + 1; j < len(order); j++ {
+			di := catalog[vnfs[order[i]]].Demand
+			dj := catalog[vnfs[order[j]]].Demand
+			if dj > di || (dj == di && order[j] < order[i]) {
+				order[i], order[j] = order[j], order[i]
+			}
+		}
+	}
+	for _, k := range order {
+		rf := catalog[vnfs[k]].Reliability
+		for alloc[k] > 1 {
+			newLog := math.Log(1 - math.Pow(1-rf, float64(alloc[k]-1)))
+			if *total-logAvail[k]+newLog < target {
+				break
+			}
+			*total += newLog - logAvail[k]
+			logAvail[k] = newLog
+			alloc[k]--
+		}
+	}
+}
+
+// OffsiteStageTargets splits a whole-chain requirement into per-stage
+// availability targets. The chain needs Π_k A_k ≥ R; the equal-budget
+// split assigns every stage A_k ≥ R^{1/K}, weighting the log-budget
+// uniformly. Stages with cheap, reliable VNFs overshoot their targets and
+// slack never hurts, so the split is safe if each target is individually
+// attainable.
+func OffsiteStageTargets(req float64, stages int) ([]float64, error) {
+	if stages < 1 {
+		return nil, fmt.Errorf("%w: %d stages", ErrBadChain, stages)
+	}
+	if req <= 0 || req >= 1 {
+		return nil, fmt.Errorf("%w: requirement %v", ErrBadChain, req)
+	}
+	target := math.Pow(req, 1/float64(stages))
+	out := make([]float64, stages)
+	for k := range out {
+		out[k] = target
+	}
+	return out, nil
+}

@@ -1,0 +1,367 @@
+package chain
+
+import (
+	"fmt"
+	"sort"
+
+	"revnf/internal/core"
+)
+
+// Scheduler is an online admission algorithm for chain requests,
+// structurally parallel to core.Scheduler.
+type Scheduler interface {
+	// Name identifies the algorithm in results.
+	Name() string
+	// Scheme returns the redundancy scheme.
+	Scheme() core.Scheme
+	// Decide makes the online admission decision for one chain request.
+	Decide(req Request, view core.CapacityView) (Placement, bool)
+}
+
+// OnsiteScheduler is the chain generalization of Algorithm 1: one dual
+// price per (slot, cloudlet), an admission test comparing payment against
+// the cheapest cloudlet's dual cost for the whole chain allocation, and
+// the multiplicative update of Eq. (34) applied with the chain's total
+// computing footprint.
+type OnsiteScheduler struct {
+	network *core.Network
+	horizon int
+	lambda  [][]float64
+}
+
+// NewOnsiteScheduler creates the chain on-site primal-dual scheduler. It
+// always enforces residual capacity (the evaluated variant).
+func NewOnsiteScheduler(network *core.Network, horizon int) (*OnsiteScheduler, error) {
+	if err := checkNetwork(network, horizon); err != nil {
+		return nil, err
+	}
+	s := &OnsiteScheduler{
+		network: network,
+		horizon: horizon,
+		lambda:  make([][]float64, len(network.Cloudlets)),
+	}
+	for j := range s.lambda {
+		s.lambda[j] = make([]float64, horizon)
+	}
+	return s, nil
+}
+
+// Name implements Scheduler.
+func (s *OnsiteScheduler) Name() string { return "pd-chain-onsite" }
+
+// Scheme implements Scheduler.
+func (s *OnsiteScheduler) Scheme() core.Scheme { return core.OnSite }
+
+// Decide implements Scheduler.
+func (s *OnsiteScheduler) Decide(req Request, view core.CapacityView) (Placement, bool) {
+	if req.Arrival < 1 || req.End() > s.horizon || len(req.VNFs) == 0 {
+		return Placement{}, false
+	}
+	bestCloudlet := -1
+	var bestAlloc Allocation
+	bestUnits := 0
+	bestPrice := 0.0
+	for j, cl := range s.network.Cloudlets {
+		alloc, err := OnsiteAllocation(s.network.Catalog, req.VNFs, cl.Reliability, req.Reliability)
+		if err != nil {
+			continue
+		}
+		units := alloc.Units(s.network.Catalog, req.VNFs)
+		if view.ResidualWindow(j, req.Arrival, req.Duration) < units {
+			continue
+		}
+		price := 0.0
+		for t := req.Arrival; t <= req.End(); t++ {
+			price += float64(units) * s.lambda[j][t-1]
+		}
+		if bestCloudlet < 0 || price < bestPrice {
+			bestCloudlet, bestAlloc, bestUnits, bestPrice = j, alloc, units, price
+		}
+	}
+	if bestCloudlet < 0 || req.Payment-bestPrice <= 0 {
+		return Placement{}, false
+	}
+	// Dual update (Eq. 34 with the chain footprint).
+	capj := float64(s.network.Cloudlets[bestCloudlet].Capacity)
+	growth := 1 + float64(bestUnits)/capj
+	additive := float64(bestUnits) * req.Payment / (float64(req.Duration) * capj)
+	for t := req.Arrival; t <= req.End(); t++ {
+		s.lambda[bestCloudlet][t-1] = s.lambda[bestCloudlet][t-1]*growth + additive
+	}
+	stages := make([]StagePlacement, len(req.VNFs))
+	for k, f := range req.VNFs {
+		stages[k] = StagePlacement{
+			VNF:         f,
+			Assignments: []core.Assignment{{Cloudlet: bestCloudlet, Instances: bestAlloc[k]}},
+		}
+	}
+	return Placement{Request: req.ID, Scheme: core.OnSite, Stages: stages}, true
+}
+
+// OffsiteScheduler is the chain generalization of Algorithm 2: the chain
+// requirement is split into per-stage targets R^{1/K}, and each stage runs
+// the dual-price accumulation of Algorithm 2 with its share of the
+// payment. The chain is admitted only when every stage can be satisfied.
+type OffsiteScheduler struct {
+	network *core.Network
+	horizon int
+	lambda  [][]float64
+}
+
+// NewOffsiteScheduler creates the chain off-site primal-dual scheduler.
+func NewOffsiteScheduler(network *core.Network, horizon int) (*OffsiteScheduler, error) {
+	if err := checkNetwork(network, horizon); err != nil {
+		return nil, err
+	}
+	s := &OffsiteScheduler{
+		network: network,
+		horizon: horizon,
+		lambda:  make([][]float64, len(network.Cloudlets)),
+	}
+	for j := range s.lambda {
+		s.lambda[j] = make([]float64, horizon)
+	}
+	return s, nil
+}
+
+// Name implements Scheduler.
+func (s *OffsiteScheduler) Name() string { return "pd-chain-offsite" }
+
+// Scheme implements Scheduler.
+func (s *OffsiteScheduler) Scheme() core.Scheme { return core.OffSite }
+
+// Decide implements Scheduler.
+func (s *OffsiteScheduler) Decide(req Request, view core.CapacityView) (Placement, bool) {
+	if req.Arrival < 1 || req.End() > s.horizon || len(req.VNFs) == 0 {
+		return Placement{}, false
+	}
+	targets, err := OffsiteStageTargets(req.Reliability, len(req.VNFs))
+	if err != nil {
+		return Placement{}, false
+	}
+	stagePay := req.Payment / float64(len(req.VNFs))
+	// used excludes cloudlets claimed by earlier stages of this chain:
+	// keeping stage sets disjoint (anti-affinity) removes the failure
+	// correlation between stages, so the independent per-stage targets
+	// R^{1/K} compose exactly.
+	used := make(map[int]int, len(s.network.Cloudlets))
+	stages := make([]StagePlacement, len(req.VNFs))
+	for k, f := range req.VNFs {
+		st, ok := s.placeStage(req, f, targets[k], stagePay, used, view)
+		if !ok {
+			return Placement{}, false
+		}
+		demand := s.network.Catalog[f].Demand
+		for _, a := range st.Assignments {
+			used[a.Cloudlet] += a.Units(demand)
+		}
+		stages[k] = st
+	}
+	// All stages satisfied: apply the dual updates (deferred so a
+	// rejected chain leaves no trace).
+	for k, st := range stages {
+		s.updateDuals(req, st, targets[k], stagePay)
+	}
+	return Placement{Request: req.ID, Scheme: core.OffSite, Stages: stages}, true
+}
+
+func (s *OffsiteScheduler) placeStage(req Request, vnf int, target, stagePay float64, used map[int]int, view core.CapacityView) (StagePlacement, bool) {
+	rf := s.network.Catalog[vnf].Reliability
+	demand := s.network.Catalog[vnf].Demand
+	needWeight := core.RequirementWeight(target)
+	type candidate struct {
+		cloudlet int
+		weight   float64
+		price    float64
+	}
+	candidates := make([]candidate, 0, len(s.network.Cloudlets))
+	for j, cl := range s.network.Cloudlets {
+		w := core.OffsiteWeight(rf, cl.Reliability)
+		sumLambda := 0.0
+		for t := req.Arrival; t <= req.End(); t++ {
+			sumLambda += s.lambda[j][t-1]
+		}
+		price := sumLambda / w
+		if stagePay-needWeight*float64(demand)*price <= 0 {
+			continue
+		}
+		candidates = append(candidates, candidate{cloudlet: j, weight: w, price: price})
+	}
+	sort.Slice(candidates, func(a, b int) bool {
+		if candidates[a].price != candidates[b].price {
+			return candidates[a].price < candidates[b].price
+		}
+		return candidates[a].cloudlet < candidates[b].cloudlet
+	})
+	var assignments []core.Assignment
+	totalWeight := 0.0
+	for _, c := range candidates {
+		if _, taken := used[c.cloudlet]; taken {
+			continue // anti-affinity across stages
+		}
+		if view.ResidualWindow(c.cloudlet, req.Arrival, req.Duration) < demand {
+			continue
+		}
+		assignments = append(assignments, core.Assignment{Cloudlet: c.cloudlet, Instances: 1})
+		totalWeight += c.weight
+		if core.WeightsSatisfy(totalWeight, needWeight) {
+			return StagePlacement{VNF: vnf, Assignments: assignments}, true
+		}
+	}
+	return StagePlacement{}, false
+}
+
+func (s *OffsiteScheduler) updateDuals(req Request, st StagePlacement, target, stagePay float64) {
+	rf := s.network.Catalog[st.VNF].Reliability
+	demand := float64(s.network.Catalog[st.VNF].Demand)
+	needWeight := core.RequirementWeight(target)
+	for _, a := range st.Assignments {
+		w := core.OffsiteWeight(rf, s.network.Cloudlets[a.Cloudlet].Reliability)
+		capj := float64(s.network.Cloudlets[a.Cloudlet].Capacity)
+		ratio := needWeight * demand / (w * capj)
+		growth := 1 + ratio
+		additive := ratio * stagePay / float64(req.Duration)
+		for t := req.Arrival; t <= req.End(); t++ {
+			s.lambda[a.Cloudlet][t-1] = s.lambda[a.Cloudlet][t-1]*growth + additive
+		}
+	}
+}
+
+// GreedyOnsite is the chain version of the paper's greedy baseline: admit
+// everything possible, preferring reliable cloudlets.
+type GreedyOnsite struct {
+	network *core.Network
+	order   []int
+}
+
+// NewGreedyOnsite creates the greedy on-site chain baseline.
+func NewGreedyOnsite(network *core.Network, horizon int) (*GreedyOnsite, error) {
+	if err := checkNetwork(network, horizon); err != nil {
+		return nil, err
+	}
+	return &GreedyOnsite{network: network, order: byReliability(network)}, nil
+}
+
+// Name implements Scheduler.
+func (g *GreedyOnsite) Name() string { return "greedy-chain-onsite" }
+
+// Scheme implements Scheduler.
+func (g *GreedyOnsite) Scheme() core.Scheme { return core.OnSite }
+
+// Decide implements Scheduler.
+func (g *GreedyOnsite) Decide(req Request, view core.CapacityView) (Placement, bool) {
+	if len(req.VNFs) == 0 {
+		return Placement{}, false
+	}
+	for _, j := range g.order {
+		cl := g.network.Cloudlets[j]
+		alloc, err := OnsiteAllocation(g.network.Catalog, req.VNFs, cl.Reliability, req.Reliability)
+		if err != nil {
+			break // reliability-sorted: later cloudlets fail too
+		}
+		units := alloc.Units(g.network.Catalog, req.VNFs)
+		if view.ResidualWindow(j, req.Arrival, req.Duration) < units {
+			continue
+		}
+		stages := make([]StagePlacement, len(req.VNFs))
+		for k, f := range req.VNFs {
+			stages[k] = StagePlacement{
+				VNF:         f,
+				Assignments: []core.Assignment{{Cloudlet: j, Instances: alloc[k]}},
+			}
+		}
+		return Placement{Request: req.ID, Scheme: core.OnSite, Stages: stages}, true
+	}
+	return Placement{}, false
+}
+
+// GreedyOffsite is the greedy off-site chain baseline: per-stage targets
+// R^{1/K}, most reliable cloudlets first.
+type GreedyOffsite struct {
+	network *core.Network
+	order   []int
+}
+
+// NewGreedyOffsite creates the greedy off-site chain baseline.
+func NewGreedyOffsite(network *core.Network, horizon int) (*GreedyOffsite, error) {
+	if err := checkNetwork(network, horizon); err != nil {
+		return nil, err
+	}
+	return &GreedyOffsite{network: network, order: byReliability(network)}, nil
+}
+
+// Name implements Scheduler.
+func (g *GreedyOffsite) Name() string { return "greedy-chain-offsite" }
+
+// Scheme implements Scheduler.
+func (g *GreedyOffsite) Scheme() core.Scheme { return core.OffSite }
+
+// Decide implements Scheduler.
+func (g *GreedyOffsite) Decide(req Request, view core.CapacityView) (Placement, bool) {
+	if len(req.VNFs) == 0 {
+		return Placement{}, false
+	}
+	targets, err := OffsiteStageTargets(req.Reliability, len(req.VNFs))
+	if err != nil {
+		return Placement{}, false
+	}
+	used := make(map[int]int, len(g.network.Cloudlets))
+	stages := make([]StagePlacement, len(req.VNFs))
+	for k, f := range req.VNFs {
+		rf := g.network.Catalog[f].Reliability
+		demand := g.network.Catalog[f].Demand
+		needWeight := core.RequirementWeight(targets[k])
+		var assignments []core.Assignment
+		totalWeight := 0.0
+		for _, j := range g.order {
+			if _, taken := used[j]; taken {
+				continue // anti-affinity across stages
+			}
+			if view.ResidualWindow(j, req.Arrival, req.Duration) < demand {
+				continue
+			}
+			assignments = append(assignments, core.Assignment{Cloudlet: j, Instances: 1})
+			totalWeight += core.OffsiteWeight(rf, g.network.Cloudlets[j].Reliability)
+			if core.WeightsSatisfy(totalWeight, needWeight) {
+				break
+			}
+		}
+		if !core.WeightsSatisfy(totalWeight, needWeight) {
+			return Placement{}, false
+		}
+		for _, a := range assignments {
+			used[a.Cloudlet] += demand
+		}
+		stages[k] = StagePlacement{VNF: f, Assignments: assignments}
+	}
+	return Placement{Request: req.ID, Scheme: core.OffSite, Stages: stages}, true
+}
+
+func checkNetwork(network *core.Network, horizon int) error {
+	if network == nil {
+		return fmt.Errorf("%w: nil network", ErrBadChain)
+	}
+	if err := network.Validate(); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadChain, err)
+	}
+	if horizon < 1 {
+		return fmt.Errorf("%w: horizon %d", ErrBadChain, horizon)
+	}
+	return nil
+}
+
+func byReliability(network *core.Network) []int {
+	order := make([]int, len(network.Cloudlets))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ra := network.Cloudlets[order[a]].Reliability
+		rb := network.Cloudlets[order[b]].Reliability
+		if ra != rb {
+			return ra > rb
+		}
+		return order[a] < order[b]
+	})
+	return order
+}

@@ -1,0 +1,222 @@
+package chain
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"revnf/internal/core"
+	"revnf/internal/timeslot"
+)
+
+// Errors returned by the runner and generator.
+var (
+	ErrBadInstance  = errors.New("chain: invalid instance")
+	ErrBadScheduler = errors.New("chain: nil scheduler")
+	ErrBadConfig    = errors.New("chain: invalid configuration")
+)
+
+// Instance bundles a chain simulation input.
+type Instance struct {
+	// Network holds the catalog and cloudlets.
+	Network *core.Network
+	// Horizon is T.
+	Horizon int
+	// Trace is the chain request stream in arrival order.
+	Trace []Request
+}
+
+// Validate checks the network and every request.
+func (in *Instance) Validate() error {
+	if in == nil || in.Network == nil {
+		return fmt.Errorf("%w: nil", ErrBadInstance)
+	}
+	if err := in.Network.Validate(); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadInstance, err)
+	}
+	if in.Horizon < 1 {
+		return fmt.Errorf("%w: horizon %d", ErrBadInstance, in.Horizon)
+	}
+	for i, r := range in.Trace {
+		if r.ID != i {
+			return fmt.Errorf("%w: request at index %d has ID %d", ErrBadInstance, i, r.ID)
+		}
+		if err := r.Validate(in.Network, in.Horizon); err != nil {
+			return fmt.Errorf("%w: %v", ErrBadInstance, err)
+		}
+	}
+	return nil
+}
+
+// Decision records one chain admission outcome.
+type Decision struct {
+	// Request is the chain request ID; Admitted the outcome.
+	Request  int
+	Admitted bool
+	// Placement is the footprint when admitted.
+	Placement Placement
+}
+
+// Result summarizes one chain simulation run.
+type Result struct {
+	// Algorithm and Scheme identify the scheduler.
+	Algorithm string
+	Scheme    core.Scheme
+	// Revenue is the summed payment of admitted chains.
+	Revenue float64
+	// Admitted and Rejected count decisions.
+	Admitted, Rejected int
+	// Decisions is the audit trail in arrival order.
+	Decisions []Decision
+	// Utilization is the mean used/capacity at the end of the run.
+	Utilization float64
+}
+
+// AdmissionRate returns admitted / total decisions.
+func (r *Result) AdmissionRate() float64 {
+	total := r.Admitted + r.Rejected
+	if total == 0 {
+		return 0
+	}
+	return float64(r.Admitted) / float64(total)
+}
+
+// Run feeds the trace to the scheduler in arrival order, validating every
+// claimed placement (structure, scheme shape, availability) and reserving
+// its footprint in the authoritative ledger. Chain schedulers have no
+// violation licence: an overbooked placement is an error.
+func Run(inst *Instance, sched Scheduler) (*Result, error) {
+	if sched == nil {
+		return nil, ErrBadScheduler
+	}
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	caps := make([]int, len(inst.Network.Cloudlets))
+	for j, cl := range inst.Network.Cloudlets {
+		caps[j] = cl.Capacity
+	}
+	ledger, err := timeslot.New(caps, inst.Horizon)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadInstance, err)
+	}
+	result := &Result{
+		Algorithm: sched.Name(),
+		Scheme:    sched.Scheme(),
+		Decisions: make([]Decision, 0, len(inst.Trace)),
+	}
+	for _, req := range inst.Trace {
+		placement, admitted := sched.Decide(req, ledger)
+		if !admitted {
+			result.Rejected++
+			result.Decisions = append(result.Decisions, Decision{Request: req.ID})
+			continue
+		}
+		if err := placement.Validate(inst.Network, req); err != nil {
+			return nil, fmt.Errorf("chain: scheduler %q request %d: %w", sched.Name(), req.ID, err)
+		}
+		for _, cu := range sortedUnitEntries(placement, inst.Network.Catalog) {
+			if err := ledger.Reserve(cu.cloudlet, req.Arrival, req.Duration, cu.units); err != nil {
+				return nil, fmt.Errorf("chain: scheduler %q request %d cloudlet %d: %w", sched.Name(), req.ID, cu.cloudlet, err)
+			}
+		}
+		result.Admitted++
+		result.Revenue += req.Payment
+		result.Decisions = append(result.Decisions, Decision{Request: req.ID, Admitted: true, Placement: placement})
+	}
+	result.Utilization = ledger.Utilization()
+	return result, nil
+}
+
+type cloudletUnits struct {
+	cloudlet, units int
+}
+
+func sortedUnitEntries(p Placement, catalog []core.VNF) []cloudletUnits {
+	units := p.UnitsPerCloudlet(catalog)
+	out := make([]cloudletUnits, 0, len(units))
+	for cl, u := range units {
+		out = append(out, cloudletUnits{cloudlet: cl, units: u})
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].cloudlet < out[b].cloudlet })
+	return out
+}
+
+// TraceConfig controls GenerateTrace for chains.
+type TraceConfig struct {
+	// Requests is the number of chains.
+	Requests int
+	// Horizon is T.
+	Horizon int
+	// MinLength and MaxLength bound the chain length (stage count).
+	MinLength, MaxLength int
+	// MinDuration and MaxDuration bound durations in slots.
+	MinDuration, MaxDuration int
+	// MinRequirement and MaxRequirement bound the whole-chain R.
+	MinRequirement, MaxRequirement float64
+	// MaxPaymentRate and H define uniform payment rates as in the
+	// single-VNF generator; payment = rate·d·(chain units at one instance
+	// per stage)·R.
+	MaxPaymentRate float64
+	H              float64
+}
+
+// Validate checks the configuration.
+func (c TraceConfig) Validate() error {
+	if c.Requests < 1 || c.Horizon < 1 {
+		return fmt.Errorf("%w: requests %d horizon %d", ErrBadConfig, c.Requests, c.Horizon)
+	}
+	if c.MinLength < 1 || c.MaxLength < c.MinLength {
+		return fmt.Errorf("%w: length range [%d,%d]", ErrBadConfig, c.MinLength, c.MaxLength)
+	}
+	if c.MinDuration < 1 || c.MaxDuration < c.MinDuration || c.MaxDuration > c.Horizon {
+		return fmt.Errorf("%w: duration range [%d,%d]", ErrBadConfig, c.MinDuration, c.MaxDuration)
+	}
+	if c.MinRequirement <= 0 || c.MaxRequirement >= 1 || c.MaxRequirement < c.MinRequirement {
+		return fmt.Errorf("%w: requirement range [%v,%v]", ErrBadConfig, c.MinRequirement, c.MaxRequirement)
+	}
+	if c.MaxPaymentRate <= 0 || c.H < 1 {
+		return fmt.Errorf("%w: pr_max %v H %v", ErrBadConfig, c.MaxPaymentRate, c.H)
+	}
+	return nil
+}
+
+// GenerateTrace draws a chain request trace against the catalog, sorted by
+// arrival with IDs equal to positions.
+func GenerateTrace(cfg TraceConfig, catalog []core.VNF, rng *rand.Rand) ([]Request, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(catalog) == 0 {
+		return nil, fmt.Errorf("%w: empty catalog", ErrBadConfig)
+	}
+	prMin := cfg.MaxPaymentRate / cfg.H
+	out := make([]Request, cfg.Requests)
+	for i := range out {
+		length := cfg.MinLength + rng.Intn(cfg.MaxLength-cfg.MinLength+1)
+		vnfs := make([]int, length)
+		baseUnits := 0
+		for k := range vnfs {
+			vnfs[k] = rng.Intn(len(catalog))
+			baseUnits += catalog[vnfs[k]].Demand
+		}
+		dur := cfg.MinDuration + rng.Intn(cfg.MaxDuration-cfg.MinDuration+1)
+		arr := 1 + rng.Intn(cfg.Horizon-dur+1)
+		req := cfg.MinRequirement + (cfg.MaxRequirement-cfg.MinRequirement)*rng.Float64()
+		rate := prMin + (cfg.MaxPaymentRate-prMin)*rng.Float64()
+		out[i] = Request{
+			ID:          i,
+			VNFs:        vnfs,
+			Reliability: req,
+			Arrival:     arr,
+			Duration:    dur,
+			Payment:     rate * float64(dur) * float64(baseUnits) * req,
+		}
+	}
+	sort.SliceStable(out, func(a, b int) bool { return out[a].Arrival < out[b].Arrival })
+	for i := range out {
+		out[i].ID = i
+	}
+	return out, nil
+}

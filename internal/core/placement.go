@@ -1,0 +1,115 @@
+package core
+
+import "fmt"
+
+// Assignment places a number of instances of one request's VNF in one
+// cloudlet.
+type Assignment struct {
+	// Cloudlet is the target cloudlet ID.
+	Cloudlet int
+	// Instances is the number of primary plus backup instances placed
+	// there. Under the off-site scheme this is always 1.
+	Instances int
+}
+
+// Units returns the computing units the assignment consumes per slot for a
+// VNF with per-instance demand.
+func (a Assignment) Units(demand int) int {
+	return a.Instances * demand
+}
+
+// Placement is an admission decision's resource footprint: where each
+// instance of a request goes. A placement is valid for exactly one scheme.
+type Placement struct {
+	// Request is the ID of the placed request.
+	Request int
+	// Scheme records which redundancy scheme produced the placement.
+	Scheme Scheme
+	// Assignments lists the per-cloudlet instance counts. On-site
+	// placements have exactly one assignment; off-site placements have one
+	// assignment per chosen cloudlet, each with a single instance.
+	Assignments []Assignment
+}
+
+// TotalInstances returns the number of instances across all assignments.
+func (p Placement) TotalInstances() int {
+	total := 0
+	for _, a := range p.Assignments {
+		total += a.Instances
+	}
+	return total
+}
+
+// Validate checks the placement's structure and that its availability meets
+// the request's reliability requirement under the recorded scheme.
+func (p Placement) Validate(n *Network, r Request) error {
+	if p.Request != r.ID {
+		return fmt.Errorf("%w: placement for request %d checked against %d", ErrBadPlacement, p.Request, r.ID)
+	}
+	if !p.Scheme.Valid() {
+		return fmt.Errorf("%w: invalid scheme %d", ErrBadPlacement, int(p.Scheme))
+	}
+	if len(p.Assignments) == 0 {
+		return fmt.Errorf("%w: no assignments", ErrBadPlacement)
+	}
+	seen := make(map[int]bool, len(p.Assignments))
+	for _, a := range p.Assignments {
+		if a.Cloudlet < 0 || a.Cloudlet >= len(n.Cloudlets) {
+			return fmt.Errorf("%w: unknown cloudlet %d", ErrBadPlacement, a.Cloudlet)
+		}
+		if a.Instances < 1 {
+			return fmt.Errorf("%w: %d instances in cloudlet %d", ErrBadPlacement, a.Instances, a.Cloudlet)
+		}
+		if seen[a.Cloudlet] {
+			return fmt.Errorf("%w: cloudlet %d assigned twice", ErrBadPlacement, a.Cloudlet)
+		}
+		seen[a.Cloudlet] = true
+	}
+	rf := n.Catalog[r.VNF].Reliability
+	switch p.Scheme {
+	case OnSite:
+		if len(p.Assignments) != 1 {
+			return fmt.Errorf("%w: on-site placement spans %d cloudlets", ErrBadPlacement, len(p.Assignments))
+		}
+		a := p.Assignments[0]
+		got := OnsiteReliability(rf, n.Cloudlets[a.Cloudlet].Reliability, a.Instances)
+		if got+relEpsilon < r.Reliability {
+			return fmt.Errorf("%w: on-site availability %v < %v", ErrBelowRequirement, got, r.Reliability)
+		}
+	case OffSite:
+		rcs := make([]float64, 0, len(p.Assignments))
+		for _, a := range p.Assignments {
+			if a.Instances != 1 {
+				return fmt.Errorf("%w: off-site assignment with %d instances in cloudlet %d", ErrBadPlacement, a.Instances, a.Cloudlet)
+			}
+			rcs = append(rcs, n.Cloudlets[a.Cloudlet].Reliability)
+		}
+		got := OffsiteReliability(rf, rcs)
+		if got+relEpsilon < r.Reliability {
+			return fmt.Errorf("%w: off-site availability %v < %v", ErrBelowRequirement, got, r.Reliability)
+		}
+	}
+	return nil
+}
+
+// Availability returns the probability that at least one instance of the
+// placement is operational, given the network's reliabilities.
+func (p Placement) Availability(n *Network, r Request) float64 {
+	rf := n.Catalog[r.VNF].Reliability
+	switch p.Scheme {
+	case OnSite:
+		if len(p.Assignments) != 1 {
+			return 0
+		}
+		a := p.Assignments[0]
+		return OnsiteReliability(rf, n.Cloudlets[a.Cloudlet].Reliability, a.Instances)
+	case OffSite:
+		rcs := make([]float64, 0, len(p.Assignments))
+		for _, a := range p.Assignments {
+			rcs = append(rcs, n.Cloudlets[a.Cloudlet].Reliability)
+		}
+		return OffsiteReliability(rf, rcs)
+	default:
+		return 0
+	}
+}

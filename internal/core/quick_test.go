@@ -1,0 +1,89 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// Property (testing/quick): on-site availability is monotone in every
+// input — more reliable VNFs, more reliable cloudlets, and more instances
+// never hurt.
+func TestOnsiteReliabilityMonotoneQuick(t *testing.T) {
+	clamp := func(x float64) float64 {
+		frac := math.Mod(math.Abs(x), 1)
+		if !(frac >= 0 && frac <= 1) { // NaN or ±Inf inputs
+			frac = 0.5
+		}
+		return 0.05 + 0.9*frac
+	}
+	f := func(rfSeed, rcSeed float64, nSeed uint8) bool {
+		rf, rc := clamp(rfSeed), clamp(rcSeed)
+		n := 1 + int(nSeed)%10
+		base := OnsiteReliability(rf, rc, n)
+		if OnsiteReliability(rf, rc, n+1) < base {
+			return false
+		}
+		rf2 := rf + (1-rf)/2
+		if OnsiteReliability(rf2, rc, n) < base-1e-12 {
+			return false
+		}
+		rc2 := rc + (1-rc)/2
+		return OnsiteReliability(rf, rc2, n) >= base-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property (testing/quick): off-site availability is monotone in the
+// cloudlet set — adding a cloudlet never lowers availability — and is
+// bounded by 1.
+func TestOffsiteReliabilityMonotoneQuick(t *testing.T) {
+	clamp := func(x float64) float64 {
+		frac := math.Mod(math.Abs(x), 1)
+		if !(frac >= 0 && frac <= 1) { // NaN or ±Inf inputs
+			frac = 0.5
+		}
+		return 0.05 + 0.9*frac
+	}
+	f := func(rfSeed float64, rcSeeds []float64, extraSeed float64) bool {
+		rf := clamp(rfSeed)
+		rcs := make([]float64, 0, len(rcSeeds))
+		for _, s := range rcSeeds {
+			rcs = append(rcs, clamp(s))
+			if len(rcs) == 8 {
+				break
+			}
+		}
+		base := OffsiteReliability(rf, rcs)
+		if base < 0 || base > 1 {
+			return false
+		}
+		grown := OffsiteReliability(rf, append(rcs, clamp(extraSeed)))
+		return grown >= base-1e-12 && grown <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property (testing/quick): Request.Covers agrees with the slot list.
+func TestRequestCoversQuick(t *testing.T) {
+	f := func(arrSeed, durSeed, probeSeed uint8) bool {
+		r := Request{Arrival: 1 + int(arrSeed)%50, Duration: 1 + int(durSeed)%20}
+		slots := r.Slots()
+		if len(slots) != r.Duration {
+			return false
+		}
+		inList := make(map[int]bool, len(slots))
+		for _, s := range slots {
+			inList[s] = true
+		}
+		probe := 1 + int(probeSeed)%80
+		return r.Covers(probe) == inList[probe]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// relEpsilon absorbs floating-point noise when comparing reliabilities: a
+// placement whose computed availability falls short of the requirement by
+// less than relEpsilon is still accepted. The instance-count formulas below
+// round conservatively, so the tolerance is only ever consumed by the final
+// comparison, never by sizing decisions.
+const relEpsilon = 1e-12
+
+// OnsiteInstances returns N, the minimum number of primary plus backup
+// instances of a VNF with reliability rf that must be placed in a cloudlet
+// with reliability rc so that rc·(1-(1-rf)^N) ≥ req (Eq. (2)-(3) of the
+// paper). It returns ErrInfeasible when rc ≤ req, in which case no number of
+// instances suffices because every instance dies with the cloudlet.
+func OnsiteInstances(rf, rc, req float64) (int, error) {
+	if !validProbability(rf) || !validProbability(rc) || !validProbability(req) {
+		return 0, fmt.Errorf("%w: rf=%v rc=%v req=%v", ErrBadReliability, rf, rc, req)
+	}
+	if rc <= req {
+		return 0, fmt.Errorf("%w: cloudlet reliability %v ≤ requirement %v", ErrInfeasible, rc, req)
+	}
+	// N = ceil( ln(1 - req/rc) / ln(1 - rf) ). Both logs are negative.
+	target := 1 - req/rc
+	n := int(math.Ceil(math.Log(target) / math.Log(1-rf)))
+	if n < 1 {
+		n = 1
+	}
+	// Guard against floating-point underestimation: bump until the closed
+	// form verifies. In practice this loop runs zero iterations.
+	for OnsiteReliability(rf, rc, n)+relEpsilon < req {
+		n++
+	}
+	return n, nil
+}
+
+// OnsiteReliability returns rc·(1-(1-rf)^n), the availability of a request
+// served by n instances of a VNF with reliability rf inside one cloudlet
+// with reliability rc.
+func OnsiteReliability(rf, rc float64, n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return rc * (1 - math.Pow(1-rf, float64(n)))
+}
+
+// OffsiteReliability returns 1 - Π(1 - rf·rc_j) over the supplied cloudlet
+// reliabilities: the availability of a request with one instance of a VNF
+// with reliability rf in each of the cloudlets (Eq. (10)).
+func OffsiteReliability(rf float64, rcs []float64) float64 {
+	fail := 1.0
+	for _, rc := range rcs {
+		fail *= 1 - rf*rc
+	}
+	return 1 - fail
+}
+
+// OffsiteWeight returns w = -ln(1 - rf·rc), the log-domain reliability
+// contribution of placing one instance in a cloudlet with reliability rc
+// (Section V). Weights are additive: a cloudlet set meets requirement req
+// iff the sum of its weights is at least RequirementWeight(req).
+func OffsiteWeight(rf, rc float64) float64 {
+	return -math.Log(1 - rf*rc)
+}
+
+// RequirementWeight returns W = -ln(1 - req), the log-domain threshold that
+// the summed OffsiteWeights of the chosen cloudlets must reach.
+func RequirementWeight(req float64) float64 {
+	return -math.Log(1 - req)
+}
+
+// WeightsSatisfy reports whether a total log-domain weight meets the
+// requirement weight, with floating-point tolerance.
+func WeightsSatisfy(totalWeight, requirementWeight float64) bool {
+	return totalWeight+relEpsilon >= requirementWeight
+}
+
+// MinOffsiteCloudlets returns the smallest k such that placing one instance
+// in each of the k most reliable cloudlets meets req, or an error when even
+// using every cloudlet falls short. It is a feasibility oracle used by
+// workload generators and tests.
+func MinOffsiteCloudlets(rf, req float64, cloudlets []Cloudlet) (int, error) {
+	if !validProbability(rf) || !validProbability(req) {
+		return 0, fmt.Errorf("%w: rf=%v req=%v", ErrBadReliability, rf, req)
+	}
+	rcs := make([]float64, len(cloudlets))
+	for i, c := range cloudlets {
+		rcs[i] = c.Reliability
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(rcs)))
+	need := RequirementWeight(req)
+	total := 0.0
+	for k, rc := range rcs {
+		total += OffsiteWeight(rf, rc)
+		if WeightsSatisfy(total, need) {
+			return k + 1, nil
+		}
+	}
+	return 0, fmt.Errorf("%w: requirement %v unreachable with %d cloudlets", ErrInfeasible, req, len(cloudlets))
+}

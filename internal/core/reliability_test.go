@@ -1,0 +1,211 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestOnsiteInstancesKnownValues(t *testing.T) {
+	tests := []struct {
+		name        string
+		rf, rc, req float64
+		want        int
+	}{
+		// Single 0.9-reliable instance in a 0.99 cloudlet already gives
+		// 0.99*0.9 = 0.891 ≥ 0.85.
+		{"single instance suffices", 0.9, 0.99, 0.85, 1},
+		// 0.99*(1-0.1^1)=0.891 < 0.9, 0.99*(1-0.1^2)=0.9801 ≥ 0.9.
+		{"two instances", 0.9, 0.99, 0.9, 2},
+		// Demanding requirement close to cloudlet reliability.
+		{"tight requirement", 0.9, 0.99, 0.9899, 4},
+		{"high vnf reliability", 0.9999, 0.999, 0.99, 1},
+		{"low vnf reliability", 0.5, 0.999, 0.99, 7},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := OnsiteInstances(tt.rf, tt.rc, tt.req)
+			if err != nil {
+				t.Fatalf("OnsiteInstances(%v,%v,%v) error: %v", tt.rf, tt.rc, tt.req, err)
+			}
+			if got != tt.want {
+				t.Errorf("OnsiteInstances(%v,%v,%v) = %d, want %d", tt.rf, tt.rc, tt.req, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestOnsiteInstancesInfeasible(t *testing.T) {
+	if _, err := OnsiteInstances(0.9, 0.95, 0.95); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("rc == req: err = %v, want ErrInfeasible", err)
+	}
+	if _, err := OnsiteInstances(0.9, 0.9, 0.99); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("rc < req: err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestOnsiteInstancesBadInputs(t *testing.T) {
+	bad := [][3]float64{
+		{0, 0.9, 0.5}, {1, 0.9, 0.5}, {0.9, 0, 0.5}, {0.9, 1.2, 0.5}, {0.9, 0.99, 0}, {0.9, 0.99, 1},
+	}
+	for _, b := range bad {
+		if _, err := OnsiteInstances(b[0], b[1], b[2]); !errors.Is(err, ErrBadReliability) {
+			t.Errorf("OnsiteInstances(%v) err = %v, want ErrBadReliability", b, err)
+		}
+	}
+}
+
+// Property: the returned N both satisfies the requirement and is minimal
+// (N-1 instances fall short).
+func TestOnsiteInstancesMinimalProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func() bool {
+		rf := 0.3 + 0.699*rng.Float64()
+		rc := 0.9 + 0.0999*rng.Float64()
+		req := rc * (0.5 + 0.49*rng.Float64()) // strictly below rc
+		n, err := OnsiteInstances(rf, rc, req)
+		if err != nil {
+			return false
+		}
+		meets := OnsiteReliability(rf, rc, n)+relEpsilon >= req
+		minimal := n == 1 || OnsiteReliability(rf, rc, n-1) < req
+		return meets && minimal
+	}
+	cfg := &quick.Config{MaxCount: 2000}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOnsiteReliabilityEdges(t *testing.T) {
+	if got := OnsiteReliability(0.9, 0.99, 0); got != 0 {
+		t.Errorf("zero instances availability = %v, want 0", got)
+	}
+	if got := OnsiteReliability(0.9, 0.99, -3); got != 0 {
+		t.Errorf("negative instances availability = %v, want 0", got)
+	}
+	// Monotone and bounded by cloudlet reliability.
+	prev := 0.0
+	for n := 1; n <= 20; n++ {
+		got := OnsiteReliability(0.6, 0.95, n)
+		if got <= prev {
+			t.Fatalf("availability not strictly increasing at n=%d: %v <= %v", n, got, prev)
+		}
+		if got > 0.95 {
+			t.Fatalf("availability %v exceeds cloudlet reliability", got)
+		}
+		prev = got
+	}
+}
+
+func TestOffsiteReliability(t *testing.T) {
+	if got := OffsiteReliability(0.9, nil); got != 0 {
+		t.Errorf("no cloudlets availability = %v, want 0", got)
+	}
+	got := OffsiteReliability(0.9, []float64{0.99})
+	want := 0.9 * 0.99
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("one cloudlet = %v, want %v", got, want)
+	}
+	got = OffsiteReliability(0.9, []float64{0.99, 0.95})
+	want = 1 - (1-0.9*0.99)*(1-0.9*0.95)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("two cloudlets = %v, want %v", got, want)
+	}
+}
+
+// Property: the log-domain weight test agrees with the direct product form.
+func TestWeightEquivalenceProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	f := func() bool {
+		rf := 0.5 + 0.4999*rng.Float64()
+		k := 1 + rng.Intn(6)
+		rcs := make([]float64, k)
+		total := 0.0
+		for i := range rcs {
+			rcs[i] = 0.8 + 0.1999*rng.Float64()
+			total += OffsiteWeight(rf, rcs[i])
+		}
+		req := 0.5 + 0.4999*rng.Float64()
+		direct := OffsiteReliability(rf, rcs)+relEpsilon >= req
+		logdom := WeightsSatisfy(total, RequirementWeight(req))
+		// The two tests may disagree only within floating-point noise of
+		// the boundary.
+		if direct != logdom {
+			return math.Abs(OffsiteReliability(rf, rcs)-req) < 1e-9
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinOffsiteCloudlets(t *testing.T) {
+	cloudlets := []Cloudlet{
+		{ID: 0, Capacity: 1, Reliability: 0.95},
+		{ID: 1, Capacity: 1, Reliability: 0.99},
+		{ID: 2, Capacity: 1, Reliability: 0.90},
+	}
+	// rf=0.9: best single product = 0.9*0.99 = 0.891 ≥ 0.85 → 1 cloudlet.
+	k, err := MinOffsiteCloudlets(0.9, 0.85, cloudlets)
+	if err != nil || k != 1 {
+		t.Errorf("MinOffsiteCloudlets(0.85) = %d, %v; want 1, nil", k, err)
+	}
+	// Requirement above best single product but below two.
+	k, err = MinOffsiteCloudlets(0.9, 0.95, cloudlets)
+	if err != nil || k != 2 {
+		t.Errorf("MinOffsiteCloudlets(0.95) = %d, %v; want 2, nil", k, err)
+	}
+	// Unreachable: even all three cloudlets cap out below 0.9999.
+	all := OffsiteReliability(0.9, []float64{0.95, 0.99, 0.90})
+	if all >= 0.9999 {
+		t.Fatalf("test setup: expected unreachable requirement, got %v", all)
+	}
+	if _, err = MinOffsiteCloudlets(0.9, 0.9999, cloudlets); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("unreachable requirement err = %v, want ErrInfeasible", err)
+	}
+	if _, err = MinOffsiteCloudlets(0, 0.9, cloudlets); !errors.Is(err, ErrBadReliability) {
+		t.Errorf("bad rf err = %v, want ErrBadReliability", err)
+	}
+}
+
+// Property: MinOffsiteCloudlets returns the minimum k: the top-(k-1) set
+// never satisfies the requirement.
+func TestMinOffsiteCloudletsMinimalProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 500; trial++ {
+		m := 2 + rng.Intn(8)
+		cloudlets := make([]Cloudlet, m)
+		rcs := make([]float64, m)
+		for i := range cloudlets {
+			rcs[i] = 0.85 + 0.14*rng.Float64()
+			cloudlets[i] = Cloudlet{ID: i, Capacity: 1, Reliability: rcs[i]}
+		}
+		rf := 0.6 + 0.39*rng.Float64()
+		req := 0.8 + 0.19*rng.Float64()
+		k, err := MinOffsiteCloudlets(rf, req, cloudlets)
+		if err != nil {
+			continue // genuinely unreachable; nothing to check
+		}
+		// Top-k by reliability must satisfy; top-(k-1) must not.
+		sorted := append([]float64(nil), rcs...)
+		for i := range sorted {
+			for j := i + 1; j < len(sorted); j++ {
+				if sorted[j] > sorted[i] {
+					sorted[i], sorted[j] = sorted[j], sorted[i]
+				}
+			}
+		}
+		if got := OffsiteReliability(rf, sorted[:k]); got+1e-9 < req {
+			t.Fatalf("trial %d: top-%d availability %v < req %v", trial, k, got, req)
+		}
+		if k > 1 {
+			if got := OffsiteReliability(rf, sorted[:k-1]); got >= req+1e-9 {
+				t.Fatalf("trial %d: top-%d already satisfies (%v ≥ %v), k=%d not minimal", trial, k-1, got, req, k)
+			}
+		}
+	}
+}

@@ -1,0 +1,31 @@
+package core
+
+// CapacityView exposes the authoritative resource state to online
+// schedulers. The simulation engine owns the underlying ledger; schedulers
+// query residual capacity through this interface and return placements, and
+// the engine performs the actual reservation. Raw Algorithm 1 ignores the
+// view (its capacity violations are part of the analysis); every other
+// scheduler uses it to stay feasible.
+type CapacityView interface {
+	// Capacity returns cap_j for cloudlet j.
+	Capacity(cloudlet int) int
+	// Residual returns the free computing units of cloudlet j at slot t.
+	Residual(cloudlet, slot int) int
+	// ResidualWindow returns the minimum residual capacity of cloudlet j
+	// over slots [start, start+duration-1].
+	ResidualWindow(cloudlet, start, duration int) int
+}
+
+// Scheduler is an online admission algorithm. Decide is called once per
+// request, in arrival order, and must not assume knowledge of future
+// requests. It returns the placement and true to admit, or a zero placement
+// and false to reject. Implementations keep their own dual or heuristic
+// state between calls and are not safe for concurrent use.
+type Scheduler interface {
+	// Name identifies the algorithm in metrics and experiment tables.
+	Name() string
+	// Scheme returns the redundancy scheme the scheduler operates under.
+	Scheme() Scheme
+	// Decide makes the online admission decision for one request.
+	Decide(req Request, view CapacityView) (Placement, bool)
+}

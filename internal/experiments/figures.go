@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+
+	"revnf/internal/core"
+	"revnf/internal/metrics"
+)
+
+// Point is one x-position of a series with its replication statistics.
+type Point struct {
+	// X is the sweep value (request count, H, or K).
+	X float64
+	// Revenue summarizes the replications at this point.
+	Revenue metrics.Summary
+}
+
+// Series is one algorithm's curve across the sweep.
+type Series struct {
+	// Name is the algorithm label.
+	Name string
+	// Points are the sweep positions in order.
+	Points []Point
+}
+
+// FigureResult bundles a regenerated figure: structured series plus the
+// rendered table.
+type FigureResult struct {
+	// ID is the paper figure identifier ("1a", "1b", "2a", "2b", or an
+	// ablation name).
+	ID string
+	// XLabel names the sweep variable.
+	XLabel string
+	// Series holds one curve per algorithm, in column order.
+	Series []Series
+	// Table is the printable result.
+	Table *metrics.Table
+}
+
+// sweep runs the factories over the given x positions, materializing
+// instances through mkPoint, and assembles the figure.
+func (s Setup) sweep(id, xlabel string, xs []float64, factories []schedulerFactory, scheme core.Scheme,
+	runAt func(x float64) (map[string]metrics.Summary, error), formatX func(float64) string) (*FigureResult, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	names := s.algorithmOrder(factories)
+	fig := &FigureResult{
+		ID:     id,
+		XLabel: xlabel,
+		Series: make([]Series, len(names)),
+		Table: &metrics.Table{
+			Title:  fmt.Sprintf("Figure %s — revenue vs %s (seeds=%d)", id, xlabel, len(s.Seeds)),
+			Header: append([]string{xlabel}, names...),
+		},
+	}
+	for i, name := range names {
+		fig.Series[i].Name = name
+	}
+	for _, x := range xs {
+		summaries, err := runAt(x)
+		if err != nil {
+			return nil, err
+		}
+		row := make([]string, 0, len(names)+1)
+		row = append(row, formatX(x))
+		for i, name := range names {
+			sum := summaries[name]
+			fig.Series[i].Points = append(fig.Series[i].Points, Point{X: x, Revenue: sum})
+			row = append(row, metrics.FormatMeanCI(sum))
+		}
+		fig.Table.Rows = append(fig.Table.Rows, row)
+	}
+	return fig, nil
+}
+
+func formatInt(x float64) string { return strconv.Itoa(int(x)) }
+
+func formatFloat2(x float64) string { return strconv.FormatFloat(x, 'f', 2, 64) }
+
+// Fig1a regenerates Figure 1(a): on-site revenue versus the number of
+// requests, comparing Algorithm 1 (capacity-enforced, per Section VI-A)
+// against the greedy baseline and the offline comparator.
+func (s Setup) Fig1a(requestCounts []int) (*FigureResult, error) {
+	if err := s.checkOnsiteFeasibility(s.K); err != nil {
+		return nil, err
+	}
+	factories := onsiteFactories()
+	xs := toFloats(requestCounts)
+	return s.sweep("1a", "requests", xs, factories, core.OnSite, func(x float64) (map[string]metrics.Summary, error) {
+		return s.runPoint(int(x), s.H, s.K, factories, core.OnSite)
+	}, formatInt)
+}
+
+// Fig1b regenerates Figure 1(b): off-site revenue versus the number of
+// requests, comparing Algorithm 2 against greedy and the offline
+// comparator.
+func (s Setup) Fig1b(requestCounts []int) (*FigureResult, error) {
+	factories := offsiteFactories()
+	xs := toFloats(requestCounts)
+	return s.sweep("1b", "requests", xs, factories, core.OffSite, func(x float64) (map[string]metrics.Summary, error) {
+		return s.runPoint(int(x), s.H, s.K, factories, core.OffSite)
+	}, formatInt)
+}
+
+// Fig2a regenerates Figure 2(a): revenue versus the payment-rate variation
+// H = pr_max/pr_min at fixed load (pr_max fixed, pr_min lowered).
+func (s Setup) Fig2a(hs []float64) (*FigureResult, error) {
+	if err := s.checkOnsiteFeasibility(s.K); err != nil {
+		return nil, err
+	}
+	factories := onsiteFactories()
+	return s.sweep("2a", "H", hs, factories, core.OnSite, func(x float64) (map[string]metrics.Summary, error) {
+		return s.runPoint(s.Requests, x, s.K, factories, core.OnSite)
+	}, formatFloat2)
+}
+
+// Fig2b regenerates Figure 2(b): revenue versus the cloudlet-reliability
+// variation K = rc_max/rc_min (rc_max fixed, rc_min lowered). The paper
+// discusses this sweep for the off-site scheme, where low-reliability
+// cloudlets force wider replication.
+func (s Setup) Fig2b(ks []float64) (*FigureResult, error) {
+	factories := offsiteFactories()
+	return s.sweep("2b", "K", ks, factories, core.OffSite, func(x float64) (map[string]metrics.Summary, error) {
+		return s.runPoint(s.Requests, s.H, x, factories, core.OffSite)
+	}, formatFloat2)
+}
+
+func toFloats(xs []int) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = float64(x)
+	}
+	return out
+}

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+
+	"revnf/internal/metrics"
+	"revnf/internal/offsite"
+	"revnf/internal/qos"
+	"revnf/internal/simulate"
+	"revnf/internal/topology"
+)
+
+// AblationLatencyPenalty sweeps the latency-penalty weight of the
+// latency-aware Algorithm 2 variant, reporting revenue against the
+// recovery-latency and sync-traffic costs the paper attributes to
+// off-site redundancy: the revenue/latency trade-off curve.
+func (s Setup) AblationLatencyPenalty(weights []float64) (*metrics.Table, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	g, err := topology.Load(s.Topology)
+	if err != nil {
+		return nil, err
+	}
+	table := &metrics.Table{
+		Title: fmt.Sprintf("Ablation — Algorithm 2 latency penalty (requests=%d, seeds=%d, topology=%s)",
+			s.Requests, len(s.Seeds), s.Topology),
+		Header: []string{"weight", "revenue", "mean recovery latency", "max recovery latency", "sync traffic"},
+	}
+	for _, w := range weights {
+		var revenue, meanLat, maxLat, traffic []float64
+		for _, seed := range s.Seeds {
+			inst, err := s.Instance(s.Requests, s.H, s.K, seed)
+			if err != nil {
+				return nil, err
+			}
+			var opts []offsite.Option
+			if w > 0 {
+				opts = append(opts, offsite.WithLatencyPenalty(g, w))
+			}
+			sched, err := offsite.NewScheduler(inst.Network, inst.Horizon, opts...)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %w", err)
+			}
+			res, err := simulate.Run(inst, sched)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %w", err)
+			}
+			rep, err := qos.Assess(inst.Network, g, inst.Trace, res.AdmittedPlacements())
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %w", err)
+			}
+			revenue = append(revenue, res.Revenue)
+			meanLat = append(meanLat, rep.MeanRecoveryLatency)
+			maxLat = append(maxLat, rep.MaxRecoveryLatency)
+			traffic = append(traffic, rep.TotalSyncTraffic)
+		}
+		table.AddRow(
+			formatFloat2(w),
+			metrics.FormatMeanCI(metrics.Summarize(revenue)),
+			strconv.FormatFloat(metrics.Summarize(meanLat).Mean, 'f', 2, 64),
+			strconv.FormatFloat(metrics.Summarize(maxLat).Mean, 'f', 2, 64),
+			metrics.FormatFloat(metrics.Summarize(traffic).Mean),
+		)
+	}
+	return table, nil
+}

@@ -1,0 +1,98 @@
+package lp
+
+import "fmt"
+
+// Dualize constructs the LP dual of the problem. For a maximization
+//
+//	max c·x  s.t.  a_i·x ≤ b_i (y_i ≥ 0),  a_i·x ≥ b_i (y_i ≤ 0),
+//	               a_i·x = b_i (y_i free),  x ≥ 0,
+//
+// the dual is min b·y s.t. Aᵀy ≥ c with the sign conditions above;
+// minimization problems dualize symmetrically. Because this package's
+// variables are non-negative, sign-constrained duals map directly and
+// free duals (from equality rows) are split into positive and negative
+// parts.
+//
+// The practical use alongside Solve: any FEASIBLE point of the dual
+// bounds the primal optimum (weak duality), so solving the dual with a
+// budget yields an anytime-valid bound, whereas stopping the primal
+// simplex early yields nothing.
+//
+// The returned problem has one variable per primal constraint (plus one
+// extra variable per equality row, appended after the constraint-indexed
+// block: the dual of equality row i is x_i − x_{extra(i)}).
+func (p *Problem) Dualize() (*Problem, error) {
+	m := len(p.cons)
+	if m == 0 {
+		return nil, fmt.Errorf("%w: dual of an unconstrained problem", ErrBadProblem)
+	}
+	// Count equality rows: each contributes an extra split variable.
+	extras := 0
+	for _, c := range p.cons {
+		if c.Rel == EQ {
+			extras++
+		}
+	}
+	dualSense := Minimize
+	if p.sense == Minimize {
+		dualSense = Maximize
+	}
+	dual, err := NewProblem(dualSense, m+extras)
+	if err != nil {
+		return nil, err
+	}
+	// Orient every row so its dual variable is non-negative:
+	// maximization wants ≤ rows, minimization wants ≥ rows; rows of the
+	// opposite relation contribute with flipped sign.
+	rowSign := make([]float64, m)
+	extraOf := make([]int, m) // split-variable index for EQ rows, else -1
+	nextExtra := m
+	for i, c := range p.cons {
+		extraOf[i] = -1
+		switch {
+		case c.Rel == EQ:
+			rowSign[i] = 1
+			extraOf[i] = nextExtra
+			nextExtra++
+		case p.sense == Maximize && c.Rel == GE, p.sense == Minimize && c.Rel == LE:
+			rowSign[i] = -1
+		default:
+			rowSign[i] = 1
+		}
+	}
+	// Dual objective: Σ sign_i·b_i·y_i (minus the split part for EQ).
+	for i, c := range p.cons {
+		if err := dual.SetObjectiveCoeff(i, rowSign[i]*c.RHS); err != nil {
+			return nil, err
+		}
+		if extraOf[i] >= 0 {
+			if err := dual.SetObjectiveCoeff(extraOf[i], -c.RHS); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Dual constraints: one per primal variable j: Σ_i sign_i·a_ij·y_i ≥ c_j
+	// for a primal maximization (≤ c_j for a primal minimization).
+	rel := GE
+	if p.sense == Minimize {
+		rel = LE
+	}
+	rows := make([]map[int]float64, p.nvars)
+	for j := range rows {
+		rows[j] = map[int]float64{}
+	}
+	for i, c := range p.cons {
+		for j, v := range c.Coeffs {
+			rows[j][i] += rowSign[i] * v
+			if extraOf[i] >= 0 {
+				rows[j][extraOf[i]] -= v
+			}
+		}
+	}
+	for j := 0; j < p.nvars; j++ {
+		if _, err := dual.AddConstraint(rows[j], rel, p.obj[j]); err != nil {
+			return nil, err
+		}
+	}
+	return dual, nil
+}

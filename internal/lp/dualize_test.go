@@ -1,0 +1,119 @@
+package lp
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestDualizeClassicMax(t *testing.T) {
+	p := mustProblem(t, Maximize, 2)
+	_ = p.SetObjectiveCoeff(0, 3)
+	_ = p.SetObjectiveCoeff(1, 5)
+	mustConstraint(t, p, map[int]float64{0: 1}, LE, 4)
+	mustConstraint(t, p, map[int]float64{1: 2}, LE, 12)
+	mustConstraint(t, p, map[int]float64{0: 3, 1: 2}, LE, 18)
+	dual, err := p.Dualize()
+	if err != nil {
+		t.Fatalf("Dualize: %v", err)
+	}
+	if dual.Sense() != Minimize || dual.NumVars() != 3 || dual.NumConstraints() != 2 {
+		t.Fatalf("dual shape: sense %v, %d vars, %d cons", dual.Sense(), dual.NumVars(), dual.NumConstraints())
+	}
+	primalSol := solveOptimal(t, p)
+	dualSol := solveOptimal(t, dual)
+	if math.Abs(primalSol.Objective-dualSol.Objective) > 1e-6 {
+		t.Errorf("strong duality violated: primal %v, dual %v", primalSol.Objective, dualSol.Objective)
+	}
+}
+
+func TestDualizeWithGEAndEQ(t *testing.T) {
+	// min 2x + 3y s.t. x + y ≥ 4, x = 1, y ≤ 10.
+	p := mustProblem(t, Minimize, 2)
+	_ = p.SetObjectiveCoeff(0, 2)
+	_ = p.SetObjectiveCoeff(1, 3)
+	mustConstraint(t, p, map[int]float64{0: 1, 1: 1}, GE, 4)
+	mustConstraint(t, p, map[int]float64{0: 1}, EQ, 1)
+	mustConstraint(t, p, map[int]float64{1: 1}, LE, 10)
+	dual, err := p.Dualize()
+	if err != nil {
+		t.Fatalf("Dualize: %v", err)
+	}
+	primalSol := solveOptimal(t, p) // x=1, y=3 → 11
+	if math.Abs(primalSol.Objective-11) > 1e-6 {
+		t.Fatalf("primal objective %v, want 11", primalSol.Objective)
+	}
+	dualSol := solveOptimal(t, dual)
+	if math.Abs(dualSol.Objective-primalSol.Objective) > 1e-6 {
+		t.Errorf("strong duality violated: primal %v, dual %v", primalSol.Objective, dualSol.Objective)
+	}
+}
+
+func TestDualizeUnconstrained(t *testing.T) {
+	p := mustProblem(t, Maximize, 1)
+	if _, err := p.Dualize(); !errors.Is(err, ErrBadProblem) {
+		t.Errorf("Dualize of unconstrained err = %v", err)
+	}
+}
+
+// Property: strong duality holds between random primals and their
+// Dualize output across senses and relation mixes.
+func TestDualizeStrongDualityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 150; trial++ {
+		n := 1 + rng.Intn(4)
+		sense := Maximize
+		if rng.Intn(2) == 0 {
+			sense = Minimize
+		}
+		p := mustProblem(t, sense, n)
+		for i := 0; i < n; i++ {
+			_ = p.SetObjectiveCoeff(i, 1+rng.Float64()*9)
+		}
+		// Boxes keep both senses bounded and feasible.
+		for i := 0; i < n; i++ {
+			mustConstraint(t, p, map[int]float64{i: 1}, LE, 1+rng.Float64()*9)
+		}
+		// A few random extra rows.
+		for k := rng.Intn(3); k > 0; k-- {
+			coeffs := map[int]float64{}
+			for i := 0; i < n; i++ {
+				if rng.Float64() < 0.7 {
+					coeffs[i] = rng.Float64() * 2
+				}
+			}
+			if len(coeffs) == 0 {
+				continue
+			}
+			if rng.Intn(2) == 0 {
+				mustConstraint(t, p, coeffs, LE, 5+rng.Float64()*10)
+			} else {
+				// A GE row that the origin satisfies keeps feasibility.
+				mustConstraint(t, p, coeffs, GE, 0)
+			}
+		}
+		primal, err := p.Solve()
+		if err != nil {
+			t.Fatalf("trial %d primal: %v", trial, err)
+		}
+		if primal.Status != Optimal {
+			continue // skip unbounded/infeasible corners
+		}
+		dual, err := p.Dualize()
+		if err != nil {
+			t.Fatalf("trial %d dualize: %v", trial, err)
+		}
+		dualSol, err := dual.Solve()
+		if err != nil {
+			t.Fatalf("trial %d dual: %v", trial, err)
+		}
+		if dualSol.Status != Optimal {
+			t.Fatalf("trial %d: dual status %v for optimal primal", trial, dualSol.Status)
+		}
+		tol := 1e-5 * (1 + math.Abs(primal.Objective))
+		if math.Abs(primal.Objective-dualSol.Objective) > tol {
+			t.Fatalf("trial %d: primal %v != dual %v", trial, primal.Objective, dualSol.Objective)
+		}
+	}
+}

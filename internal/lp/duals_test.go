@@ -1,0 +1,121 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestDualsClassicMax(t *testing.T) {
+	// max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18 → optimum 36.
+	// Known duals: y1 = 0, y2 = 3/2, y3 = 1.
+	p := mustProblem(t, Maximize, 2)
+	_ = p.SetObjectiveCoeff(0, 3)
+	_ = p.SetObjectiveCoeff(1, 5)
+	mustConstraint(t, p, map[int]float64{0: 1}, LE, 4)
+	mustConstraint(t, p, map[int]float64{1: 2}, LE, 12)
+	mustConstraint(t, p, map[int]float64{0: 3, 1: 2}, LE, 18)
+	sol := solveOptimal(t, p)
+	want := []float64{0, 1.5, 1}
+	for i, w := range want {
+		if math.Abs(sol.Duals[i]-w) > 1e-6 {
+			t.Errorf("Duals[%d] = %v, want %v", i, sol.Duals[i], w)
+		}
+	}
+	// Strong duality: y·b = objective.
+	yb := sol.Duals[0]*4 + sol.Duals[1]*12 + sol.Duals[2]*18
+	if math.Abs(yb-sol.Objective) > 1e-6 {
+		t.Errorf("y·b = %v, objective %v", yb, sol.Objective)
+	}
+}
+
+func TestDualsSignsByRelation(t *testing.T) {
+	// min x s.t. x ≥ 2 (GE binding): dual of a ≥ row in a minimization is
+	// non-negative and y·b = 2.
+	p := mustProblem(t, Minimize, 1)
+	_ = p.SetObjectiveCoeff(0, 1)
+	mustConstraint(t, p, map[int]float64{0: 1}, GE, 2)
+	sol := solveOptimal(t, p)
+	if math.Abs(sol.Duals[0]-1) > 1e-6 {
+		t.Errorf("GE dual = %v, want 1", sol.Duals[0])
+	}
+	// Equality row: max x + y s.t. x + y = 5, x ≤ 3 → dual of EQ row 1.
+	q := mustProblem(t, Maximize, 2)
+	_ = q.SetObjectiveCoeff(0, 1)
+	_ = q.SetObjectiveCoeff(1, 1)
+	mustConstraint(t, q, map[int]float64{0: 1, 1: 1}, EQ, 5)
+	mustConstraint(t, q, map[int]float64{0: 1}, LE, 3)
+	qs := solveOptimal(t, q)
+	yb := qs.Duals[0]*5 + qs.Duals[1]*3
+	if math.Abs(yb-qs.Objective) > 1e-6 {
+		t.Errorf("EQ strong duality: y·b = %v, objective %v", yb, qs.Objective)
+	}
+}
+
+// Property: strong duality and complementary slackness hold on random
+// bounded maximization LPs.
+func TestDualsStrongDualityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(5)
+		m := 1 + rng.Intn(5)
+		p := mustProblem(t, Maximize, n)
+		for i := 0; i < n; i++ {
+			_ = p.SetObjectiveCoeff(i, rng.Float64()*10)
+		}
+		type row struct {
+			coeffs map[int]float64
+			rhs    float64
+		}
+		rows := make([]row, 0, m+n)
+		add := func(coeffs map[int]float64, rhs float64) {
+			rows = append(rows, row{coeffs, rhs})
+			mustConstraint(t, p, coeffs, LE, rhs)
+		}
+		// Random non-negative LE rows keep the problem bounded along with
+		// per-variable boxes.
+		for k := 0; k < m; k++ {
+			coeffs := map[int]float64{}
+			for i := 0; i < n; i++ {
+				if rng.Float64() < 0.7 {
+					coeffs[i] = rng.Float64() * 3
+				}
+			}
+			add(coeffs, 1+rng.Float64()*10)
+		}
+		for i := 0; i < n; i++ {
+			add(map[int]float64{i: 1}, 1+rng.Float64()*5)
+		}
+		sol, err := p.Solve()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if sol.Status != Optimal {
+			t.Fatalf("trial %d: status %v", trial, sol.Status)
+		}
+		// Strong duality.
+		yb := 0.0
+		for i, r := range rows {
+			if sol.Duals[i] < -1e-7 {
+				t.Fatalf("trial %d: negative dual %v on ≤ row in maximization", trial, sol.Duals[i])
+			}
+			yb += sol.Duals[i] * r.rhs
+		}
+		if math.Abs(yb-sol.Objective) > 1e-5*(1+math.Abs(sol.Objective)) {
+			t.Fatalf("trial %d: y·b = %v, objective %v", trial, yb, sol.Objective)
+		}
+		// Complementary slackness: positive dual ⇒ binding row.
+		for i, r := range rows {
+			if sol.Duals[i] < 1e-6 {
+				continue
+			}
+			lhs := 0.0
+			for v, c := range r.coeffs {
+				lhs += c * sol.X[v]
+			}
+			if math.Abs(lhs-r.rhs) > 1e-5*(1+math.Abs(r.rhs)) {
+				t.Fatalf("trial %d: dual %v on slack row (%v < %v)", trial, sol.Duals[i], lhs, r.rhs)
+			}
+		}
+	}
+}

@@ -1,0 +1,160 @@
+// Package lp implements a dense two-phase primal simplex solver for linear
+// programs. It is the foundation of the offline comparator: the paper
+// obtains offline optima with CPLEX; this package plus internal/mip is the
+// from-scratch substitution. Problems are stated in natural form (min or
+// max, ≤ / ≥ / = constraints, non-negative variables) and converted to
+// standard form internally.
+package lp
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Errors returned by problem construction and solving.
+var (
+	ErrBadProblem     = errors.New("lp: malformed problem")
+	ErrIterationLimit = errors.New("lp: simplex iteration limit reached")
+)
+
+// Sense is the optimization direction.
+type Sense int
+
+// Optimization senses.
+const (
+	Minimize Sense = iota + 1
+	Maximize
+)
+
+// Relation is a constraint comparison operator.
+type Relation int
+
+// Constraint relations.
+const (
+	LE Relation = iota + 1 // ≤
+	GE                     // ≥
+	EQ                     // =
+)
+
+// String returns the operator symbol.
+func (r Relation) String() string {
+	switch r {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "="
+	default:
+		return fmt.Sprintf("Relation(%d)", int(r))
+	}
+}
+
+// Constraint is one linear constraint sum(coeffs·x) REL rhs. Coefficients
+// are sparse: absent variables have coefficient zero.
+type Constraint struct {
+	// Coeffs maps variable index to coefficient.
+	Coeffs map[int]float64
+	// Rel is the comparison operator.
+	Rel Relation
+	// RHS is the right-hand side.
+	RHS float64
+}
+
+// Problem is a linear program over non-negative variables. Build with
+// NewProblem, SetObjective/SetObjectiveCoeff and AddConstraint, then call
+// Solve.
+type Problem struct {
+	sense Sense
+	nvars int
+	obj   []float64
+	cons  []Constraint
+}
+
+// NewProblem creates a problem with nvars non-negative variables.
+func NewProblem(sense Sense, nvars int) (*Problem, error) {
+	if sense != Minimize && sense != Maximize {
+		return nil, fmt.Errorf("%w: sense %d", ErrBadProblem, int(sense))
+	}
+	if nvars < 1 {
+		return nil, fmt.Errorf("%w: %d variables", ErrBadProblem, nvars)
+	}
+	return &Problem{sense: sense, nvars: nvars, obj: make([]float64, nvars)}, nil
+}
+
+// NumVars returns the number of structural variables.
+func (p *Problem) NumVars() int { return p.nvars }
+
+// NumConstraints returns the number of constraints added so far.
+func (p *Problem) NumConstraints() int { return len(p.cons) }
+
+// SetObjectiveCoeff sets the objective coefficient of variable i.
+func (p *Problem) SetObjectiveCoeff(i int, v float64) error {
+	if i < 0 || i >= p.nvars {
+		return fmt.Errorf("%w: variable %d of %d", ErrBadProblem, i, p.nvars)
+	}
+	p.obj[i] = v
+	return nil
+}
+
+// AddConstraint appends a constraint and returns its index.
+func (p *Problem) AddConstraint(coeffs map[int]float64, rel Relation, rhs float64) (int, error) {
+	if rel != LE && rel != GE && rel != EQ {
+		return 0, fmt.Errorf("%w: relation %d", ErrBadProblem, int(rel))
+	}
+	clean := make(map[int]float64, len(coeffs))
+	for i, v := range coeffs {
+		if i < 0 || i >= p.nvars {
+			return 0, fmt.Errorf("%w: constraint references variable %d of %d", ErrBadProblem, i, p.nvars)
+		}
+		if v != 0 {
+			clean[i] = v
+		}
+	}
+	p.cons = append(p.cons, Constraint{Coeffs: clean, Rel: rel, RHS: rhs})
+	return len(p.cons) - 1, nil
+}
+
+// Status reports the outcome of a solve.
+type Status int
+
+// Solve outcomes.
+const (
+	// Optimal means an optimal basic feasible solution was found.
+	Optimal Status = iota + 1
+	// Infeasible means the constraints admit no solution.
+	Infeasible
+	// Unbounded means the objective can improve without limit.
+	Unbounded
+)
+
+// String returns the status name.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Solution is the result of Solve.
+type Solution struct {
+	// Status classifies the outcome; X and Objective are meaningful only
+	// when it is Optimal.
+	Status Status
+	// Objective is the optimal objective value in the problem's sense.
+	Objective float64
+	// X holds the optimal values of the structural variables.
+	X []float64
+	// Duals holds one dual price per constraint, in the problem's sense:
+	// the marginal objective change per unit of RHS. For a maximization
+	// problem a binding ≤ capacity row gets a non-negative price — the
+	// offline counterpart of the online λ_{tj} the paper's algorithms
+	// maintain. By strong duality Σ_i Duals[i]·RHS[i] equals Objective.
+	Duals []float64
+}

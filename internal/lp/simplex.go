@@ -1,0 +1,488 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+	"os"
+)
+
+// Numerical tolerances for the dense simplex.
+const (
+	// eps is the general zero tolerance for reduced costs and pivots.
+	eps = 1e-9
+	// feasEps is the tolerance on phase-1 objective used to declare
+	// feasibility.
+	feasEps = 1e-7
+	// pertEps scales the anti-degeneracy perturbation applied to
+	// inequality right-hand sides. Capacity-style LPs have thousands of
+	// ties at every vertex; breaking them with row-indexed perturbations
+	// this small cuts stalled pivots by orders of magnitude while moving
+	// the optimum by less than the 1e-6 tolerances used downstream.
+	pertEps = 1e-9
+	// pivTol is the preferred minimum pivot magnitude. Pivoting on
+	// elements near eps amplifies floating-point error by their inverse;
+	// the Harris-style ratio test only falls below pivTol when no larger
+	// pivot exists.
+	pivTol = 1e-7
+	// refreshEvery bounds floating-point drift: the incrementally updated
+	// reduced-cost row is recomputed from the tableau at this pivot
+	// cadence.
+	refreshEvery = 128
+)
+
+// Solve runs two-phase primal simplex and returns the solution. The
+// returned error is non-nil only for malformed problems or when the
+// iteration safety limit is exceeded (ErrIterationLimit); Infeasible and
+// Unbounded are reported through Solution.Status, not as errors.
+func (p *Problem) Solve() (*Solution, error) {
+	t, nStruct, nReal, err := p.buildTableau()
+	if err != nil {
+		return nil, err
+	}
+	// Phase 1: minimize the sum of artificial variables.
+	if t.nArtificial > 0 {
+		phase1 := make([]float64, t.ncols)
+		for j := nReal; j < t.ncols; j++ {
+			phase1[j] = 1
+		}
+		status, z, err := t.run(phase1, t.ncols)
+		if err != nil {
+			return nil, err
+		}
+		if status == Unbounded {
+			// Phase-1 objective is bounded below by 0; unbounded here
+			// means a numerical breakdown.
+			return nil, fmt.Errorf("%w: phase 1 unbounded", ErrBadProblem)
+		}
+		if z > feasEps {
+			return &Solution{Status: Infeasible}, nil
+		}
+		t.driveOutArtificials(nReal)
+	}
+	// Phase 2: original objective (converted to minimization) over real
+	// columns only. The objective is NOT perturbed: cost perturbation
+	// would turn zero-cost feasible rays (common in duals and symmetric
+	// instances) into strictly improving rays and misreport bounded
+	// problems as unbounded.
+	cost := make([]float64, t.ncols)
+	sign := 1.0
+	if p.sense == Maximize {
+		sign = -1
+	}
+	for j := 0; j < nStruct; j++ {
+		cost[j] = sign * p.obj[j]
+	}
+	status, z, err := t.run(cost, nReal)
+	if err != nil {
+		return nil, err
+	}
+	if status == Unbounded {
+		return &Solution{Status: Unbounded}, nil
+	}
+	x := make([]float64, nStruct)
+	for r, b := range t.basis {
+		if b < nStruct {
+			x[b] = t.rhs(r)
+		}
+	}
+	obj := z
+	if p.sense == Maximize {
+		obj = -z
+	}
+	return &Solution{Status: Optimal, Objective: obj, X: x, Duals: t.duals(cost, p.sense)}, nil
+}
+
+// duals recovers the constraint prices from the optimal basis: with
+// y = c_B·B⁻¹, the reduced cost of each row's slack/surplus/artificial
+// column encodes ∓y_r, and the row's normalization sign maps it back to
+// the original orientation. Maximization flips the sense of the internal
+// minimization duals.
+func (t *tableau) duals(cost []float64, sense Sense) []float64 {
+	red := make([]float64, t.ncols+1)
+	copy(red, cost)
+	for r, b := range t.basis {
+		if cb := cost[b]; cb != 0 {
+			addScaled(red, t.a[r], -cb)
+		}
+	}
+	out := make([]float64, t.nrows)
+	for r, info := range t.rows {
+		var y float64
+		switch info.rel {
+		case LE, EQ:
+			y = -red[info.column]
+		case GE:
+			y = red[info.column]
+		}
+		if sense == Maximize {
+			y = -y
+		}
+		out[r] = info.sign * y
+	}
+	return out
+}
+
+// tableau is the dense standard-form representation: rows are constraints
+// (Ax = b with b ≥ 0), columns are structural variables, then slack/surplus
+// variables, then artificial variables, with the RHS stored per row.
+type tableau struct {
+	nrows, ncols int
+	nArtificial  int
+	a            [][]float64 // nrows x (ncols+1); last entry of each row is RHS
+	basis        []int       // basic variable of each row
+	rows         []rowInfo   // per-row dual bookkeeping
+}
+
+// rowInfo remembers how each original constraint was normalized so that
+// dual prices can be mapped back: the logical column whose reduced cost
+// carries the row's dual (slack, surplus or artificial), the normalized
+// relation, and the sign applied to the original row.
+type rowInfo struct {
+	column int
+	rel    Relation
+	sign   float64
+}
+
+func (t *tableau) rhs(r int) float64 { return t.a[r][t.ncols] }
+
+// buildTableau converts the problem to standard form. It returns the
+// tableau, the structural variable count, and the count of real (structural
+// + slack/surplus) columns.
+func (p *Problem) buildTableau() (*tableau, int, int, error) {
+	m := len(p.cons)
+	// Count slack/surplus columns.
+	nSlack := 0
+	for _, c := range p.cons {
+		if c.Rel != EQ {
+			nSlack++
+		}
+	}
+	// Artificial columns: one per row whose canonical form lacks a ready
+	// basic column (GE and EQ rows, and LE rows with negative RHS). A GE
+	// row with zero RHS is negated into a LE row instead — its slack can
+	// start basic at zero, which removes the row from phase 1 entirely
+	// (the off-site reliability rows Σw·Y − W·X ≥ 0 are all of this
+	// shape, so this frequently eliminates phase 1 altogether).
+	nArt := 0
+	for _, c := range p.cons {
+		rhs, rel := c.RHS, c.Rel
+		if rhs < 0 {
+			rel = flip(rel)
+		}
+		if rel == GE && rhs == 0 {
+			rel = LE
+		}
+		if rel != LE {
+			nArt++
+		}
+	}
+	nReal := p.nvars + nSlack
+	ncols := nReal + nArt
+	t := &tableau{
+		nrows:       m,
+		ncols:       ncols,
+		nArtificial: nArt,
+		a:           make([][]float64, m),
+		basis:       make([]int, m),
+		rows:        make([]rowInfo, m),
+	}
+	slackCol := p.nvars
+	artCol := nReal
+	for r, c := range p.cons {
+		row := make([]float64, ncols+1)
+		sign := 1.0
+		rel := c.Rel
+		if c.RHS < 0 {
+			sign = -1
+			rel = flip(rel)
+		}
+		if rel == GE && sign*c.RHS == 0 {
+			sign, rel = -sign, LE
+		}
+		for i, v := range c.Coeffs {
+			row[i] = sign * v
+		}
+		row[ncols] = sign * c.RHS
+		// Anti-degeneracy: relax inequality rows outward by a tiny
+		// row-indexed amount so ratio-test ties become rare. Enlarging
+		// the feasible region keeps every original point feasible, so
+		// objectives move by at most O(pertEps) in the relaxing
+		// direction. Equality rows stay exact: perturbing them could make
+		// redundant equality systems inconsistent.
+		pert := pertEps * float64(r+1) / float64(m) * math.Max(1, math.Abs(row[ncols]))
+		switch rel {
+		case LE:
+			row[slackCol] = 1
+			t.basis[r] = slackCol
+			t.rows[r] = rowInfo{column: slackCol, rel: LE, sign: sign}
+			slackCol++
+			row[ncols] += pert
+		case GE:
+			row[slackCol] = -1
+			t.rows[r] = rowInfo{column: slackCol, rel: GE, sign: sign}
+			slackCol++
+			row[artCol] = 1
+			t.basis[r] = artCol
+			artCol++
+			row[ncols] -= pert
+			if row[ncols] < 0 {
+				row[ncols] = 0
+			}
+		case EQ:
+			row[artCol] = 1
+			t.basis[r] = artCol
+			t.rows[r] = rowInfo{column: artCol, rel: EQ, sign: sign}
+			artCol++
+		}
+		t.a[r] = row
+	}
+	return t, p.nvars, nReal, nil
+}
+
+func flip(r Relation) Relation {
+	switch r {
+	case LE:
+		return GE
+	case GE:
+		return LE
+	default:
+		return EQ
+	}
+}
+
+// run prices the current basis against cost, then iterates primal simplex
+// allowing entering columns below colLimit. It returns the final status and
+// objective value (in the cost vector's sense).
+func (t *tableau) run(cost []float64, colLimit int) (Status, float64, error) {
+	// Reduced-cost row: red[j] = c_j - c_B·B⁻¹A_j; red[ncols] = -z.
+	red := make([]float64, t.ncols+1)
+	copy(red, cost)
+	for r, b := range t.basis {
+		if cb := cost[b]; cb != 0 {
+			addScaled(red, t.a[r], -cb)
+		}
+	}
+	// refresh recomputes the reduced-cost row from the tableau, clearing
+	// the drift the incremental updates accumulate.
+	refresh := func() {
+		copy(red, cost)
+		red[t.ncols] = 0
+		for r, b := range t.basis {
+			if cb := cost[b]; cb != 0 {
+				addScaled(red, t.a[r], -cb)
+			}
+		}
+	}
+	// Devex reference weights: weights[j] approximates ||B⁻¹A_j||²
+	// relative to the current reference framework. They are reset to 1
+	// whenever the framework is re-anchored (at each refresh).
+	weights := make([]float64, colLimit)
+	resetWeights := func() {
+		for j := range weights {
+			weights[j] = 1
+		}
+	}
+	resetWeights()
+	maxIter := 200*(t.nrows+t.ncols) + 5000
+	// Devex pricing first; switch to Bland's rule near the limit to break
+	// any cycling.
+	blandAfter := maxIter * 3 / 4
+	debug := os.Getenv("LPDEBUG") != ""
+	for iter := 0; iter < maxIter; iter++ {
+		if debug && iter%500 == 0 {
+			fmt.Printf("lp: rows=%d cols=%d iter=%d obj=%.6f\n", t.nrows, t.ncols, iter, -red[t.ncols])
+		}
+		if iter > 0 && iter%refreshEvery == 0 {
+			refresh()
+			resetWeights()
+		}
+		bland := iter >= blandAfter
+		enter := t.chooseEntering(red, weights, colLimit, bland)
+		if enter < 0 {
+			// Re-verify optimality against a freshly priced row before
+			// declaring victory: the incremental row may have drifted.
+			refresh()
+			enter = t.chooseEntering(red, weights, colLimit, bland)
+			if enter < 0 {
+				return Optimal, -red[t.ncols], nil
+			}
+		}
+		leave := t.ratioTest(enter, bland)
+		if leave < 0 {
+			return Unbounded, 0, nil
+		}
+		t.updateDevex(weights, leave, enter, colLimit)
+		t.pivot(leave, enter)
+		// Update reduced costs with the (normalized) pivot row.
+		if f := red[enter]; f != 0 {
+			addScaled(red, t.a[leave], -f)
+			red[enter] = 0 // clear residual rounding noise
+		}
+	}
+	return Optimal, 0, fmt.Errorf("%w: after %d pivots", ErrIterationLimit, maxIter)
+}
+
+// chooseEntering picks the entering column by Devex pricing: maximize
+// red_j²/weights[j], where the weights approximate steepest-edge column
+// norms ||B⁻¹A_j||². Dantzig's most-negative rule zig-zags badly on the
+// heavily degenerate capacity LPs this package exists for; Devex gets
+// near-steepest-edge iteration counts at O(n) update cost per pivot.
+// Under Bland's rule (anti-cycling fallback) the smallest eligible index
+// wins.
+func (t *tableau) chooseEntering(red, weights []float64, colLimit int, bland bool) int {
+	if bland {
+		for j := 0; j < colLimit; j++ {
+			if red[j] < -eps {
+				return j
+			}
+		}
+		return -1
+	}
+	best, bestScore := -1, 0.0
+	for j := 0; j < colLimit; j++ {
+		if red[j] >= -eps {
+			continue
+		}
+		score := red[j] * red[j] / weights[j]
+		if score > bestScore {
+			best, bestScore = j, score
+		}
+	}
+	return best
+}
+
+// updateDevex applies the Devex weight update for a pivot on (leave,
+// enter), using the pre-pivot transformed row (Forrest–Goldfarb):
+//
+//	w_j ← max(w_j, (α_rj/α_rq)²·w_q)  for j ≠ q
+//	w_q ← max(w_q/α_rq², 1)
+func (t *tableau) updateDevex(weights []float64, leave, enter, colLimit int) {
+	row := t.a[leave]
+	piv := row[enter]
+	if piv == 0 {
+		return
+	}
+	wq := weights[enter]
+	invPiv2 := 1 / (piv * piv)
+	for j := 0; j < colLimit; j++ {
+		if j == enter || row[j] == 0 {
+			continue
+		}
+		if cand := row[j] * row[j] * invPiv2 * wq; cand > weights[j] {
+			weights[j] = cand
+		}
+	}
+	weights[enter] = math.Max(wq*invPiv2, 1)
+}
+
+// ratioTest returns the leaving row for the entering column, or -1 when
+// the column is unbounded. It is a Harris-style two-pass test: the first
+// pass finds the minimum ratio, the second picks — among rows whose ratio
+// is within a small tolerance of the minimum — the one with the largest
+// pivot element, strongly preferring pivots above pivTol (tiny pivots
+// amplify floating-point error by their inverse and were the source of
+// objective blow-ups on large degenerate instances). Under Bland's rule
+// the smallest basic-variable index wins instead, preserving the
+// anti-cycling guarantee.
+func (t *tableau) ratioTest(enter int, bland bool) int {
+	minRatio := math.Inf(1)
+	any := false
+	for r := 0; r < t.nrows; r++ {
+		coef := t.a[r][enter]
+		if coef <= eps {
+			continue
+		}
+		any = true
+		if ratio := t.rhs(r) / coef; ratio < minRatio {
+			minRatio = ratio
+		}
+	}
+	if !any {
+		return -1
+	}
+	slack := eps + 1e-7*math.Abs(minRatio)
+	leave := -1
+	var leaveCoef float64
+	leaveBig := false
+	for r := 0; r < t.nrows; r++ {
+		coef := t.a[r][enter]
+		if coef <= eps {
+			continue
+		}
+		if t.rhs(r)/coef > minRatio+slack {
+			continue
+		}
+		if bland {
+			if leave < 0 || t.basis[r] < t.basis[leave] {
+				leave, leaveCoef = r, coef
+			}
+			continue
+		}
+		big := coef >= pivTol
+		switch {
+		case leave < 0:
+			leave, leaveCoef, leaveBig = r, coef, big
+		case big && !leaveBig:
+			leave, leaveCoef, leaveBig = r, coef, big
+		case big == leaveBig && coef > leaveCoef:
+			leave, leaveCoef, leaveBig = r, coef, big
+		}
+	}
+	return leave
+}
+
+func (t *tableau) pivot(r, c int) {
+	row := t.a[r]
+	inv := 1 / row[c]
+	for j := range row {
+		row[j] *= inv
+	}
+	row[c] = 1
+	for i := 0; i < t.nrows; i++ {
+		if i == r {
+			continue
+		}
+		if f := t.a[i][c]; f != 0 {
+			addScaled(t.a[i], row, -f)
+			t.a[i][c] = 0
+		}
+	}
+	t.basis[r] = c
+}
+
+// driveOutArtificials pivots any artificial variable still basic (at zero
+// level) onto a real column, or zeroes its row when the row is redundant.
+func (t *tableau) driveOutArtificials(nReal int) {
+	for r := 0; r < t.nrows; r++ {
+		if t.basis[r] < nReal {
+			continue
+		}
+		pivoted := false
+		for j := 0; j < nReal; j++ {
+			if math.Abs(t.a[r][j]) > eps {
+				t.pivot(r, j)
+				pivoted = true
+				break
+			}
+		}
+		if !pivoted {
+			// Redundant row: zero it so it can never constrain again.
+			for j := range t.a[r] {
+				t.a[r][j] = 0
+			}
+			// Keep the artificial nominally basic at level 0; with an
+			// all-zero row it never participates in a ratio test.
+		}
+	}
+}
+
+// addScaled sets dst += scale·src element-wise; slices must share length.
+// The loop is branch-free so the compiler can keep it in straight-line
+// vectorizable form — on the mostly-dense rows a filled tableau produces,
+// that beats skipping zeros.
+func addScaled(dst, src []float64, scale float64) {
+	_ = dst[len(src)-1] // hoist the bounds check out of the loop
+	for j, v := range src {
+		dst[j] += scale * v
+	}
+}

@@ -1,0 +1,350 @@
+package lp
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func mustProblem(t *testing.T, sense Sense, nvars int) *Problem {
+	t.Helper()
+	p, err := NewProblem(sense, nvars)
+	if err != nil {
+		t.Fatalf("NewProblem: %v", err)
+	}
+	return p
+}
+
+func mustConstraint(t *testing.T, p *Problem, coeffs map[int]float64, rel Relation, rhs float64) {
+	t.Helper()
+	if _, err := p.AddConstraint(coeffs, rel, rhs); err != nil {
+		t.Fatalf("AddConstraint: %v", err)
+	}
+}
+
+func solveOptimal(t *testing.T, p *Problem) *Solution {
+	t.Helper()
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if sol.Status != Optimal {
+		t.Fatalf("Status = %v, want optimal", sol.Status)
+	}
+	return sol
+}
+
+func TestProblemConstructionErrors(t *testing.T) {
+	if _, err := NewProblem(Sense(0), 2); !errors.Is(err, ErrBadProblem) {
+		t.Errorf("bad sense err = %v", err)
+	}
+	if _, err := NewProblem(Minimize, 0); !errors.Is(err, ErrBadProblem) {
+		t.Errorf("zero vars err = %v", err)
+	}
+	p := mustProblem(t, Minimize, 2)
+	if err := p.SetObjectiveCoeff(5, 1); !errors.Is(err, ErrBadProblem) {
+		t.Errorf("bad objective index err = %v", err)
+	}
+	if _, err := p.AddConstraint(map[int]float64{7: 1}, LE, 1); !errors.Is(err, ErrBadProblem) {
+		t.Errorf("bad constraint index err = %v", err)
+	}
+	if _, err := p.AddConstraint(map[int]float64{0: 1}, Relation(9), 1); !errors.Is(err, ErrBadProblem) {
+		t.Errorf("bad relation err = %v", err)
+	}
+}
+
+func TestRelationAndStatusStrings(t *testing.T) {
+	if LE.String() != "<=" || GE.String() != ">=" || EQ.String() != "=" || Relation(9).String() == "" {
+		t.Error("Relation.String wrong")
+	}
+	if Optimal.String() != "optimal" || Infeasible.String() != "infeasible" ||
+		Unbounded.String() != "unbounded" || Status(9).String() == "" {
+		t.Error("Status.String wrong")
+	}
+}
+
+// Classic production LP: max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18.
+// Optimum (2, 6) with objective 36.
+func TestSolveClassicMax(t *testing.T) {
+	p := mustProblem(t, Maximize, 2)
+	_ = p.SetObjectiveCoeff(0, 3)
+	_ = p.SetObjectiveCoeff(1, 5)
+	mustConstraint(t, p, map[int]float64{0: 1}, LE, 4)
+	mustConstraint(t, p, map[int]float64{1: 2}, LE, 12)
+	mustConstraint(t, p, map[int]float64{0: 3, 1: 2}, LE, 18)
+	sol := solveOptimal(t, p)
+	if math.Abs(sol.Objective-36) > 1e-6 {
+		t.Errorf("Objective = %v, want 36", sol.Objective)
+	}
+	if math.Abs(sol.X[0]-2) > 1e-6 || math.Abs(sol.X[1]-6) > 1e-6 {
+		t.Errorf("X = %v, want [2 6]", sol.X)
+	}
+}
+
+// Diet-style minimization with GE constraints:
+// min 0.6x + y s.t. 10x + 2y ≥ 20, 5x + 5y ≥ 30, 2x + 6y ≥ 12.
+func TestSolveMinWithGE(t *testing.T) {
+	p := mustProblem(t, Minimize, 2)
+	_ = p.SetObjectiveCoeff(0, 0.6)
+	_ = p.SetObjectiveCoeff(1, 1)
+	mustConstraint(t, p, map[int]float64{0: 10, 1: 2}, GE, 20)
+	mustConstraint(t, p, map[int]float64{0: 5, 1: 5}, GE, 30)
+	mustConstraint(t, p, map[int]float64{0: 2, 1: 6}, GE, 12)
+	sol := solveOptimal(t, p)
+	// Feasibility of the returned point.
+	x, y := sol.X[0], sol.X[1]
+	if 10*x+2*y < 20-1e-6 || 5*x+5*y < 30-1e-6 || 2*x+6*y < 12-1e-6 {
+		t.Errorf("solution %v violates constraints", sol.X)
+	}
+	// Optimum is x=6, y=0 (all three constraints tight or slack): 3.6.
+	if math.Abs(sol.Objective-3.6) > 1e-6 {
+		t.Errorf("Objective = %v, want 3.6", sol.Objective)
+	}
+}
+
+func TestSolveEquality(t *testing.T) {
+	// max x + 2y s.t. x + y = 10, x ≤ 6 → x=0? No: y unbounded? y ≤ 10 via
+	// equality; optimum x=0, y=10 → 20.
+	p := mustProblem(t, Maximize, 2)
+	_ = p.SetObjectiveCoeff(0, 1)
+	_ = p.SetObjectiveCoeff(1, 2)
+	mustConstraint(t, p, map[int]float64{0: 1, 1: 1}, EQ, 10)
+	mustConstraint(t, p, map[int]float64{0: 1}, LE, 6)
+	sol := solveOptimal(t, p)
+	if math.Abs(sol.Objective-20) > 1e-6 {
+		t.Errorf("Objective = %v, want 20", sol.Objective)
+	}
+	if math.Abs(sol.X[0]+sol.X[1]-10) > 1e-6 {
+		t.Errorf("equality violated: %v", sol.X)
+	}
+}
+
+func TestSolveInfeasible(t *testing.T) {
+	p := mustProblem(t, Maximize, 1)
+	_ = p.SetObjectiveCoeff(0, 1)
+	mustConstraint(t, p, map[int]float64{0: 1}, LE, 1)
+	mustConstraint(t, p, map[int]float64{0: 1}, GE, 2)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if sol.Status != Infeasible {
+		t.Errorf("Status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestSolveUnbounded(t *testing.T) {
+	p := mustProblem(t, Maximize, 2)
+	_ = p.SetObjectiveCoeff(0, 1)
+	mustConstraint(t, p, map[int]float64{1: 1}, LE, 5)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if sol.Status != Unbounded {
+		t.Errorf("Status = %v, want unbounded", sol.Status)
+	}
+}
+
+func TestSolveNegativeRHS(t *testing.T) {
+	// x ≥ 2 written as -x ≤ -2; min x → 2.
+	p := mustProblem(t, Minimize, 1)
+	_ = p.SetObjectiveCoeff(0, 1)
+	mustConstraint(t, p, map[int]float64{0: -1}, LE, -2)
+	sol := solveOptimal(t, p)
+	if math.Abs(sol.Objective-2) > 1e-6 {
+		t.Errorf("Objective = %v, want 2", sol.Objective)
+	}
+}
+
+func TestSolveDegenerate(t *testing.T) {
+	// Degenerate vertex: multiple constraints active at origin-adjacent
+	// point. max x+y s.t. x ≤ 2, y ≤ 2, x+y ≤ 2, x-y ≤ 0 → optimum 2.
+	p := mustProblem(t, Maximize, 2)
+	_ = p.SetObjectiveCoeff(0, 1)
+	_ = p.SetObjectiveCoeff(1, 1)
+	mustConstraint(t, p, map[int]float64{0: 1}, LE, 2)
+	mustConstraint(t, p, map[int]float64{1: 1}, LE, 2)
+	mustConstraint(t, p, map[int]float64{0: 1, 1: 1}, LE, 2)
+	mustConstraint(t, p, map[int]float64{0: 1, 1: -1}, LE, 0)
+	sol := solveOptimal(t, p)
+	if math.Abs(sol.Objective-2) > 1e-6 {
+		t.Errorf("Objective = %v, want 2", sol.Objective)
+	}
+}
+
+func TestSolveRedundantEquality(t *testing.T) {
+	// Duplicate equality rows force a redundant artificial row in phase 1.
+	p := mustProblem(t, Maximize, 2)
+	_ = p.SetObjectiveCoeff(0, 1)
+	_ = p.SetObjectiveCoeff(1, 1)
+	mustConstraint(t, p, map[int]float64{0: 1, 1: 1}, EQ, 4)
+	mustConstraint(t, p, map[int]float64{0: 2, 1: 2}, EQ, 8)
+	mustConstraint(t, p, map[int]float64{0: 1}, LE, 3)
+	sol := solveOptimal(t, p)
+	if math.Abs(sol.Objective-4) > 1e-6 {
+		t.Errorf("Objective = %v, want 4", sol.Objective)
+	}
+}
+
+func TestSolveZeroObjective(t *testing.T) {
+	p := mustProblem(t, Minimize, 2)
+	mustConstraint(t, p, map[int]float64{0: 1, 1: 1}, GE, 1)
+	sol := solveOptimal(t, p)
+	if math.Abs(sol.Objective) > 1e-9 {
+		t.Errorf("Objective = %v, want 0", sol.Objective)
+	}
+}
+
+// Property: for randomly generated LPs that are feasible by construction
+// (b = A·x0 + margin), the solver returns Optimal, the solution satisfies
+// every constraint, and the objective is at least as good as x0's.
+func TestSolveRandomFeasibleProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(12345))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(6)
+		m := 1 + rng.Intn(6)
+		p := mustProblem(t, Minimize, n)
+		c := make([]float64, n)
+		for i := range c {
+			c[i] = rng.Float64() * 10 // non-negative costs keep min bounded
+			_ = p.SetObjectiveCoeff(i, c[i])
+		}
+		x0 := make([]float64, n)
+		for i := range x0 {
+			x0[i] = rng.Float64() * 5
+		}
+		type row struct {
+			coeffs map[int]float64
+			rel    Relation
+			rhs    float64
+		}
+		rows := make([]row, 0, m)
+		for k := 0; k < m; k++ {
+			coeffs := map[int]float64{}
+			dot := 0.0
+			for i := 0; i < n; i++ {
+				if rng.Float64() < 0.7 {
+					v := rng.NormFloat64() * 3
+					coeffs[i] = v
+					dot += v * x0[i]
+				}
+			}
+			var rel Relation
+			var rhs float64
+			switch rng.Intn(3) {
+			case 0:
+				rel, rhs = LE, dot+rng.Float64()*2
+			case 1:
+				rel, rhs = GE, dot-rng.Float64()*2
+			default:
+				rel, rhs = EQ, dot
+			}
+			rows = append(rows, row{coeffs, rel, rhs})
+			mustConstraint(t, p, coeffs, rel, rhs)
+		}
+		sol, err := p.Solve()
+		if err != nil {
+			t.Fatalf("trial %d: Solve: %v", trial, err)
+		}
+		if sol.Status != Optimal {
+			t.Fatalf("trial %d: status %v for feasible-by-construction LP", trial, sol.Status)
+		}
+		// Check feasibility.
+		for k, r := range rows {
+			dot := 0.0
+			for i, v := range r.coeffs {
+				dot += v * sol.X[i]
+			}
+			switch r.rel {
+			case LE:
+				if dot > r.rhs+1e-6 {
+					t.Fatalf("trial %d: constraint %d violated: %v > %v", trial, k, dot, r.rhs)
+				}
+			case GE:
+				if dot < r.rhs-1e-6 {
+					t.Fatalf("trial %d: constraint %d violated: %v < %v", trial, k, dot, r.rhs)
+				}
+			case EQ:
+				if math.Abs(dot-r.rhs) > 1e-6 {
+					t.Fatalf("trial %d: constraint %d violated: %v != %v", trial, k, dot, r.rhs)
+				}
+			}
+		}
+		for i, v := range sol.X {
+			if v < -1e-9 {
+				t.Fatalf("trial %d: negative variable %d = %v", trial, i, v)
+			}
+		}
+		// Objective no worse than the witness point.
+		witness := 0.0
+		for i := range c {
+			witness += c[i] * x0[i]
+		}
+		if sol.Objective > witness+1e-6 {
+			t.Fatalf("trial %d: objective %v worse than witness %v", trial, sol.Objective, witness)
+		}
+		// Objective value must equal c·x of the returned point.
+		recomputed := 0.0
+		for i := range c {
+			recomputed += c[i] * sol.X[i]
+		}
+		if math.Abs(recomputed-sol.Objective) > 1e-6 {
+			t.Fatalf("trial %d: objective %v != c·x %v", trial, sol.Objective, recomputed)
+		}
+	}
+}
+
+// Property: maximizing c·x equals -1 times minimizing (-c)·x on the same
+// feasible region.
+func TestSolveMaxMinDuality(t *testing.T) {
+	rng := rand.New(rand.NewSource(777))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(4)
+		maxP := mustProblem(t, Maximize, n)
+		minP := mustProblem(t, Minimize, n)
+		for i := 0; i < n; i++ {
+			c := rng.NormFloat64() * 5
+			_ = maxP.SetObjectiveCoeff(i, c)
+			_ = minP.SetObjectiveCoeff(i, -c)
+		}
+		// Box constraints keep everything bounded and feasible.
+		for i := 0; i < n; i++ {
+			ub := 1 + rng.Float64()*9
+			mustConstraint(t, maxP, map[int]float64{i: 1}, LE, ub)
+			mustConstraint(t, minP, map[int]float64{i: 1}, LE, ub)
+		}
+		a, err := maxP.Solve()
+		if err != nil {
+			t.Fatalf("trial %d max: %v", trial, err)
+		}
+		b, err := minP.Solve()
+		if err != nil {
+			t.Fatalf("trial %d min: %v", trial, err)
+		}
+		if a.Status != Optimal || b.Status != Optimal {
+			t.Fatalf("trial %d: statuses %v/%v", trial, a.Status, b.Status)
+		}
+		if math.Abs(a.Objective+b.Objective) > 1e-6 {
+			t.Fatalf("trial %d: max %v != -min %v", trial, a.Objective, -b.Objective)
+		}
+	}
+}
+
+// Regression: a bounded LP with a zero-objective feasible ray (b and c
+// cancel along db=dc=1) must not be misreported as unbounded. An earlier
+// objective-perturbation experiment broke exactly this case.
+func TestSolveZeroObjectiveRay(t *testing.T) {
+	p := mustProblem(t, Maximize, 4)
+	_ = p.SetObjectiveCoeff(0, 4)
+	_ = p.SetObjectiveCoeff(1, 1)
+	_ = p.SetObjectiveCoeff(2, -1)
+	_ = p.SetObjectiveCoeff(3, -10)
+	mustConstraint(t, p, map[int]float64{0: 1, 1: 1, 2: -1}, LE, 2)
+	mustConstraint(t, p, map[int]float64{0: 1, 3: -1}, LE, 3)
+	sol := solveOptimal(t, p)
+	if math.Abs(sol.Objective-11) > 1e-6 {
+		t.Errorf("Objective = %v, want 11", sol.Objective)
+	}
+}

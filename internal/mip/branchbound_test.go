@@ -1,0 +1,307 @@
+package mip
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"revnf/internal/lp"
+)
+
+// knapsackProblem builds max Σ value·x s.t. Σ weight·x ≤ cap, x binary.
+func knapsackProblem(t *testing.T, values, weights []float64, capacity float64) (*lp.Problem, []int) {
+	t.Helper()
+	n := len(values)
+	p, err := lp.NewProblem(lp.Maximize, n)
+	if err != nil {
+		t.Fatalf("NewProblem: %v", err)
+	}
+	weightRow := map[int]float64{}
+	binaries := make([]int, n)
+	for i := 0; i < n; i++ {
+		if err := p.SetObjectiveCoeff(i, values[i]); err != nil {
+			t.Fatalf("SetObjectiveCoeff: %v", err)
+		}
+		if _, err := p.AddConstraint(map[int]float64{i: 1}, lp.LE, 1); err != nil {
+			t.Fatalf("AddConstraint: %v", err)
+		}
+		weightRow[i] = weights[i]
+		binaries[i] = i
+	}
+	if _, err := p.AddConstraint(weightRow, lp.LE, capacity); err != nil {
+		t.Fatalf("AddConstraint: %v", err)
+	}
+	return p, binaries
+}
+
+// bruteForceKnapsack enumerates all subsets.
+func bruteForceKnapsack(values, weights []float64, capacity float64) float64 {
+	n := len(values)
+	best := 0.0
+	for mask := 0; mask < 1<<n; mask++ {
+		v, w := 0.0, 0.0
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				v += values[i]
+				w += weights[i]
+			}
+		}
+		if w <= capacity && v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+func TestSolveKnapsackExact(t *testing.T) {
+	values := []float64{10, 13, 7, 8, 2}
+	weights := []float64{3, 4, 2, 3, 1}
+	p, bins := knapsackProblem(t, values, weights, 7)
+	res, err := Solve(p, bins, Config{})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if res.Status != Exact {
+		t.Fatalf("Status = %v, want exact", res.Status)
+	}
+	want := bruteForceKnapsack(values, weights, 7)
+	if math.Abs(res.Objective-want) > 1e-6 {
+		t.Errorf("Objective = %v, want %v", res.Objective, want)
+	}
+	if math.Abs(res.Bound-res.Objective) > 1e-6 {
+		t.Errorf("Bound = %v, want %v at exactness", res.Bound, res.Objective)
+	}
+	// Solution must be binary and respect the knapsack.
+	w := 0.0
+	for i, x := range res.X {
+		if math.Abs(x-math.Round(x)) > 1e-6 {
+			t.Errorf("X[%d] = %v not integral", i, x)
+		}
+		w += weights[i] * x
+	}
+	if w > 7+1e-6 {
+		t.Errorf("weight %v exceeds capacity", w)
+	}
+	if res.Gap() > 1e-9 {
+		t.Errorf("Gap() = %v, want 0", res.Gap())
+	}
+}
+
+func TestSolveInfeasible(t *testing.T) {
+	p, err := lp.NewProblem(lp.Maximize, 1)
+	if err != nil {
+		t.Fatalf("NewProblem: %v", err)
+	}
+	_ = p.SetObjectiveCoeff(0, 1)
+	_, _ = p.AddConstraint(map[int]float64{0: 1}, lp.LE, 1)
+	_, _ = p.AddConstraint(map[int]float64{0: 1}, lp.GE, 2)
+	res, err := Solve(p, []int{0}, Config{})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if res.Status != Infeasible {
+		t.Errorf("Status = %v, want infeasible", res.Status)
+	}
+	if !math.IsInf(res.Gap(), 1) {
+		t.Errorf("Gap() = %v, want +Inf", res.Gap())
+	}
+}
+
+// Integrality forced by branching: LP relaxation is fractional but the
+// integer optimum requires excluding the fractional vertex.
+func TestSolveFractionalRelaxation(t *testing.T) {
+	// max x0 + x1 s.t. x0 + x1 ≤ 1.5 → LP gives 1.5, IP gives 1.
+	p, err := lp.NewProblem(lp.Maximize, 2)
+	if err != nil {
+		t.Fatalf("NewProblem: %v", err)
+	}
+	_ = p.SetObjectiveCoeff(0, 1)
+	_ = p.SetObjectiveCoeff(1, 1)
+	_, _ = p.AddConstraint(map[int]float64{0: 1}, lp.LE, 1)
+	_, _ = p.AddConstraint(map[int]float64{1: 1}, lp.LE, 1)
+	_, _ = p.AddConstraint(map[int]float64{0: 1, 1: 1}, lp.LE, 1.5)
+	res, err := Solve(p, []int{0, 1}, Config{})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if res.Status != Exact || math.Abs(res.Objective-1) > 1e-6 {
+		t.Errorf("got %v obj %v, want exact 1", res.Status, res.Objective)
+	}
+}
+
+func TestSolveBudgetExceeded(t *testing.T) {
+	values := []float64{10, 13, 7, 8, 2, 9, 4, 6}
+	weights := []float64{3, 4, 2, 3, 1, 4, 2, 3}
+	p, bins := knapsackProblem(t, values, weights, 10)
+	res, err := Solve(p, bins, Config{MaxNodes: 1})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if res.Status != BudgetExceeded && res.Status != NoIncumbent && res.Status != Exact {
+		t.Fatalf("Status = %v", res.Status)
+	}
+	if res.Nodes > 1 {
+		t.Errorf("Nodes = %d, want ≤ 1", res.Nodes)
+	}
+	// With any incumbent, bound must be at least the incumbent for a
+	// maximization problem.
+	if res.Status == BudgetExceeded && res.Bound < res.Objective-1e-9 {
+		t.Errorf("Bound %v below incumbent %v", res.Bound, res.Objective)
+	}
+}
+
+func TestSolveRelativeGapStopsEarly(t *testing.T) {
+	values := []float64{10, 13, 7, 8, 2, 9, 4, 6, 11, 3}
+	weights := []float64{3, 4, 2, 3, 1, 4, 2, 3, 5, 2}
+	p, bins := knapsackProblem(t, values, weights, 12)
+	exact, err := Solve(p, bins, Config{})
+	if err != nil {
+		t.Fatalf("Solve exact: %v", err)
+	}
+	loose, err := Solve(p, bins, Config{RelativeGap: 0.5})
+	if err != nil {
+		t.Fatalf("Solve loose: %v", err)
+	}
+	if loose.Nodes > exact.Nodes {
+		t.Errorf("gapped search used more nodes (%d) than exact (%d)", loose.Nodes, exact.Nodes)
+	}
+	// Loose incumbent within 50% of the true optimum.
+	if loose.Objective < exact.Objective*0.5-1e-9 {
+		t.Errorf("loose objective %v too far below exact %v", loose.Objective, exact.Objective)
+	}
+}
+
+func TestSolveInputErrors(t *testing.T) {
+	if _, err := Solve(nil, nil, Config{}); !errors.Is(err, ErrBadInput) {
+		t.Errorf("nil problem err = %v, want ErrBadInput", err)
+	}
+	p, _ := lp.NewProblem(lp.Maximize, 1)
+	_ = p.SetObjectiveCoeff(0, 1)
+	_, _ = p.AddConstraint(map[int]float64{0: 1}, lp.LE, 1)
+	if _, err := Solve(p, []int{5}, Config{}); !errors.Is(err, ErrBadInput) {
+		t.Errorf("bad binary index err = %v, want ErrBadInput", err)
+	}
+}
+
+func TestSolveUnboundedRelaxation(t *testing.T) {
+	p, _ := lp.NewProblem(lp.Maximize, 2)
+	_ = p.SetObjectiveCoeff(0, 1)
+	_ = p.SetObjectiveCoeff(1, 1)
+	// x0 bounded binary, x1 unbounded → relaxation unbounded.
+	_, _ = p.AddConstraint(map[int]float64{0: 1}, lp.LE, 1)
+	if _, err := Solve(p, []int{0}, Config{}); !errors.Is(err, ErrBadInput) {
+		t.Errorf("unbounded relaxation err = %v, want ErrBadInput", err)
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	if Exact.String() != "exact" || BudgetExceeded.String() != "budget-exceeded" ||
+		Infeasible.String() != "infeasible" || NoIncumbent.String() != "no-incumbent" ||
+		Status(9).String() == "" {
+		t.Error("Status.String wrong")
+	}
+}
+
+// Property: on random small knapsacks the branch-and-bound optimum matches
+// subset enumeration exactly.
+func TestSolveMatchesBruteForceProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(9)
+		values := make([]float64, n)
+		weights := make([]float64, n)
+		for i := range values {
+			values[i] = 1 + rng.Float64()*20
+			weights[i] = 1 + rng.Float64()*10
+		}
+		capacity := 5 + rng.Float64()*20
+		p, bins := knapsackProblem(t, values, weights, capacity)
+		res, err := Solve(p, bins, Config{})
+		if err != nil {
+			t.Fatalf("trial %d: Solve: %v", trial, err)
+		}
+		if res.Status != Exact {
+			t.Fatalf("trial %d: status %v", trial, res.Status)
+		}
+		want := bruteForceKnapsack(values, weights, capacity)
+		if math.Abs(res.Objective-want) > 1e-6 {
+			t.Fatalf("trial %d: objective %v, brute force %v", trial, res.Objective, want)
+		}
+	}
+}
+
+// Property: with two coupled constraints (knapsack + cardinality), the
+// solver still matches brute force.
+func TestSolveCardinalityKnapsackProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 40; trial++ {
+		n := 3 + rng.Intn(7)
+		values := make([]float64, n)
+		weights := make([]float64, n)
+		for i := range values {
+			values[i] = 1 + rng.Float64()*15
+			weights[i] = 1 + rng.Float64()*8
+		}
+		capacity := 4 + rng.Float64()*16
+		maxCount := 1 + rng.Intn(n)
+		p, bins := knapsackProblem(t, values, weights, capacity)
+		countRow := map[int]float64{}
+		for i := 0; i < n; i++ {
+			countRow[i] = 1
+		}
+		if _, err := p.AddConstraint(countRow, lp.LE, float64(maxCount)); err != nil {
+			t.Fatalf("AddConstraint: %v", err)
+		}
+		res, err := Solve(p, bins, Config{})
+		if err != nil {
+			t.Fatalf("trial %d: Solve: %v", trial, err)
+		}
+		// Brute force with cardinality.
+		best := 0.0
+		for mask := 0; mask < 1<<n; mask++ {
+			v, w, cnt := 0.0, 0.0, 0
+			for i := 0; i < n; i++ {
+				if mask&(1<<i) != 0 {
+					v += values[i]
+					w += weights[i]
+					cnt++
+				}
+			}
+			if w <= capacity && cnt <= maxCount && v > best {
+				best = v
+			}
+		}
+		if res.Status != Exact || math.Abs(res.Objective-best) > 1e-6 {
+			t.Fatalf("trial %d: got %v/%v, brute force %v", trial, res.Status, res.Objective, best)
+		}
+	}
+}
+
+func TestSolveWarmStart(t *testing.T) {
+	values := []float64{10, 13, 7, 8, 2}
+	weights := []float64{3, 4, 2, 3, 1}
+	p, bins := knapsackProblem(t, values, weights, 7)
+	// Feasible warm start: items 0 and 2 (weight 5 ≤ 7, value 17).
+	warm := []float64{1, 0, 1, 0, 0}
+	res, err := Solve(p, bins, Config{MaxNodes: 1, WarmStart: warm})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if res.Objective < 17-1e-9 {
+		t.Errorf("warm-started incumbent %v below warm start value 17", res.Objective)
+	}
+	if res.Status == NoIncumbent {
+		t.Error("warm start ignored: NoIncumbent")
+	}
+	// Invalid warm starts must be rejected loudly.
+	if _, err := Solve(p, bins, Config{WarmStart: []float64{1}}); !errors.Is(err, ErrBadInput) {
+		t.Errorf("short warm start err = %v", err)
+	}
+	if _, err := Solve(p, bins, Config{WarmStart: []float64{0.5, 0, 0, 0, 0}}); !errors.Is(err, ErrBadInput) {
+		t.Errorf("fractional warm start err = %v", err)
+	}
+	if _, err := Solve(p, bins, Config{WarmStart: []float64{1, 1, 1, 1, 1}}); !errors.Is(err, ErrBadInput) {
+		t.Errorf("infeasible warm start err = %v", err)
+	}
+}

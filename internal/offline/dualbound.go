@@ -1,0 +1,34 @@
+package offline
+
+import (
+	"fmt"
+
+	"revnf/internal/lp"
+	"revnf/internal/workload"
+)
+
+// LPBoundOffsiteDual computes the off-site LP bound by solving the DUAL of
+// the relaxation. The dual's geometry differs enough from the primal's
+// that instances degenerate for one are often easy for the other; both
+// yield the same bound by strong duality.
+func LPBoundOffsiteDual(inst *workload.Instance) (float64, error) {
+	if err := checkInstance(inst); err != nil {
+		return 0, err
+	}
+	model, err := buildOffsite(inst, false)
+	if err != nil {
+		return 0, err
+	}
+	dual, err := model.prob.Dualize()
+	if err != nil {
+		return 0, fmt.Errorf("offline: %w", err)
+	}
+	sol, err := dual.Solve()
+	if err != nil {
+		return 0, fmt.Errorf("offline: %w", err)
+	}
+	if sol.Status != lp.Optimal {
+		return 0, fmt.Errorf("%w: dual status %v", ErrBadInstance, sol.Status)
+	}
+	return sol.Objective, nil
+}

@@ -1,0 +1,213 @@
+// Package offline computes the offline comparator curves of the paper's
+// evaluation. The paper solves the on-site ILP (Eqs. 4–8) and the
+// linearized off-site ILP (Eqs. 49–53) with CPLEX; this package builds the
+// same programs over internal/lp and solves them with internal/mip's
+// branch and bound — exact when the search finishes within its node
+// budget, otherwise reporting the best incumbent together with the
+// relaxation upper bound so experiments can bracket the true optimum. The
+// pure LP relaxation bounds are also exposed for cheap upper-bound curves.
+package offline
+
+import (
+	"errors"
+	"fmt"
+
+	"revnf/internal/core"
+	"revnf/internal/lp"
+	"revnf/internal/mip"
+	"revnf/internal/workload"
+)
+
+// Errors returned by the solvers.
+var (
+	ErrBadInstance = errors.New("offline: invalid instance")
+)
+
+// Solution is an offline schedule with its optimality certificate.
+type Solution struct {
+	// Status is the branch-and-bound outcome.
+	Status mip.Status
+	// Revenue is the incumbent's objective: a feasible offline revenue.
+	Revenue float64
+	// UpperBound is the best relaxation bound; the true offline optimum
+	// lies in [Revenue, UpperBound].
+	UpperBound float64
+	// Admitted flags each request in trace order.
+	Admitted []bool
+	// Placements holds one placement per admitted request.
+	Placements []core.Placement
+	// Nodes is the number of branch-and-bound nodes explored.
+	Nodes int
+}
+
+// Gap returns the relative optimality gap of the solution.
+func (s *Solution) Gap() float64 {
+	if s.Revenue == 0 {
+		if s.UpperBound == 0 {
+			return 0
+		}
+		return 1
+	}
+	return (s.UpperBound - s.Revenue) / s.Revenue
+}
+
+// onsiteModel maps (request, cloudlet) pairs to ILP variables.
+type onsiteModel struct {
+	prob *lp.Problem
+	// vars[k] identifies variable k; index maps pairs back to k.
+	vars []onsitePair
+}
+
+type onsitePair struct {
+	request, cloudlet, instances int
+}
+
+// buildOnsite constructs the LP relaxation of the on-site ILP (Eqs. 4–8)
+// with X_i eliminated through X_i = Σ_j Y_ij.
+func buildOnsite(inst *workload.Instance) (*onsiteModel, error) {
+	var pairs []onsitePair
+	for _, req := range inst.Trace {
+		vnf := inst.Network.Catalog[req.VNF]
+		for j, cl := range inst.Network.Cloudlets {
+			n, err := core.OnsiteInstances(vnf.Reliability, cl.Reliability, req.Reliability)
+			if err != nil {
+				continue
+			}
+			pairs = append(pairs, onsitePair{request: req.ID, cloudlet: j, instances: n})
+		}
+	}
+	if len(pairs) == 0 {
+		return nil, fmt.Errorf("%w: no feasible request/cloudlet pair", ErrBadInstance)
+	}
+	prob, err := lp.NewProblem(lp.Maximize, len(pairs))
+	if err != nil {
+		return nil, fmt.Errorf("offline: %w", err)
+	}
+	// Objective and per-request selection constraints (5), (21).
+	perRequest := make(map[int]map[int]float64, len(inst.Trace))
+	for k, p := range pairs {
+		if err := prob.SetObjectiveCoeff(k, inst.Trace[p.request].Payment); err != nil {
+			return nil, fmt.Errorf("offline: %w", err)
+		}
+		row, ok := perRequest[p.request]
+		if !ok {
+			row = map[int]float64{}
+			perRequest[p.request] = row
+		}
+		row[k] = 1
+	}
+	for _, req := range inst.Trace {
+		if row, ok := perRequest[req.ID]; ok {
+			if _, err := prob.AddConstraint(row, lp.LE, 1); err != nil {
+				return nil, fmt.Errorf("offline: %w", err)
+			}
+		}
+	}
+	// Capacity constraints (4) per (cloudlet, slot) with active load.
+	capRows := make(map[[2]int]map[int]float64)
+	for k, p := range pairs {
+		req := inst.Trace[p.request]
+		units := float64(p.instances * inst.Network.Catalog[req.VNF].Demand)
+		for t := req.Arrival; t <= req.End(); t++ {
+			key := [2]int{p.cloudlet, t}
+			row, ok := capRows[key]
+			if !ok {
+				row = map[int]float64{}
+				capRows[key] = row
+			}
+			row[k] = units
+		}
+	}
+	for j := range inst.Network.Cloudlets {
+		for t := 1; t <= inst.Horizon; t++ {
+			row, ok := capRows[[2]int{j, t}]
+			if !ok {
+				continue
+			}
+			if _, err := prob.AddConstraint(row, lp.LE, float64(inst.Network.Cloudlets[j].Capacity)); err != nil {
+				return nil, fmt.Errorf("offline: %w", err)
+			}
+		}
+	}
+	return &onsiteModel{prob: prob, vars: pairs}, nil
+}
+
+// SolveOnsite computes the offline on-site schedule by branch and bound.
+func SolveOnsite(inst *workload.Instance, cfg mip.Config) (*Solution, error) {
+	if err := checkInstance(inst); err != nil {
+		return nil, err
+	}
+	model, err := buildOnsite(inst)
+	if err != nil {
+		return nil, err
+	}
+	binaries := make([]int, len(model.vars))
+	for k := range binaries {
+		binaries[k] = k
+	}
+	if cfg.WarmStart == nil {
+		warm, err := onsiteWarmStart(inst, model)
+		if err != nil {
+			return nil, fmt.Errorf("offline: on-site warm start: %w", err)
+		}
+		cfg.WarmStart = warm
+	}
+	res, err := mip.Solve(model.prob, binaries, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("offline: on-site solve: %w", err)
+	}
+	sol := &Solution{
+		Status:     res.Status,
+		UpperBound: res.Bound,
+		Admitted:   make([]bool, len(inst.Trace)),
+		Nodes:      res.Nodes,
+	}
+	if res.Status == mip.Infeasible || res.Status == mip.NoIncumbent {
+		return sol, nil
+	}
+	sol.Revenue = res.Objective
+	for k, p := range model.vars {
+		if res.X[k] > 0.5 {
+			sol.Admitted[p.request] = true
+			sol.Placements = append(sol.Placements, core.Placement{
+				Request:     p.request,
+				Scheme:      core.OnSite,
+				Assignments: []core.Assignment{{Cloudlet: p.cloudlet, Instances: p.instances}},
+			})
+		}
+	}
+	return sol, nil
+}
+
+// LPBoundOnsite returns the LP-relaxation upper bound on offline on-site
+// revenue, the cheap stand-in for the optimal curve at large scales.
+func LPBoundOnsite(inst *workload.Instance) (float64, error) {
+	if err := checkInstance(inst); err != nil {
+		return 0, err
+	}
+	model, err := buildOnsite(inst)
+	if err != nil {
+		return 0, err
+	}
+	sol, err := model.prob.Solve()
+	if err != nil {
+		return 0, fmt.Errorf("offline: %w", err)
+	}
+	if sol.Status != lp.Optimal {
+		return 0, fmt.Errorf("%w: relaxation status %v", ErrBadInstance, sol.Status)
+	}
+	return sol.Objective, nil
+}
+
+func checkInstance(inst *workload.Instance) error {
+	if inst == nil {
+		return fmt.Errorf("%w: nil", ErrBadInstance)
+	}
+	if err := inst.Validate(); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadInstance, err)
+	}
+	if len(inst.Trace) == 0 {
+		return fmt.Errorf("%w: empty trace", ErrBadInstance)
+	}
+	return nil
+}

@@ -1,0 +1,217 @@
+package offline
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"revnf/internal/core"
+	"revnf/internal/mip"
+	"revnf/internal/timeslot"
+	"revnf/internal/workload"
+)
+
+func tinyInstance(t *testing.T, seed int64, requests int) *workload.Instance {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	network := &core.Network{
+		Catalog: []core.VNF{
+			{ID: 0, Name: "fw", Demand: 1, Reliability: 0.95},
+			{ID: 1, Name: "ids", Demand: 2, Reliability: 0.9},
+		},
+		Cloudlets: []core.Cloudlet{
+			{ID: 0, Node: 0, Capacity: 4, Reliability: 0.99},
+			{ID: 1, Node: 1, Capacity: 3, Reliability: 0.98},
+			{ID: 2, Node: 2, Capacity: 3, Reliability: 0.97},
+		},
+	}
+	const horizon = 4
+	trace := make([]core.Request, requests)
+	for i := range trace {
+		d := 1 + rng.Intn(2)
+		a := 1 + rng.Intn(horizon-d+1)
+		trace[i] = core.Request{
+			ID:          i,
+			VNF:         rng.Intn(2),
+			Reliability: 0.9 + 0.05*rng.Float64(),
+			Arrival:     a,
+			Duration:    d,
+			Payment:     1 + rng.Float64()*9,
+		}
+	}
+	inst := &workload.Instance{Network: network, Horizon: horizon, Trace: trace}
+	if err := inst.Validate(); err != nil {
+		t.Fatalf("instance invalid: %v", err)
+	}
+	return inst
+}
+
+// bruteForceOnsite enumerates every (reject | cloudlet) choice per request
+// and returns the best capacity-feasible revenue.
+func bruteForceOnsite(t *testing.T, inst *workload.Instance) float64 {
+	t.Helper()
+	n := len(inst.Trace)
+	m := len(inst.Network.Cloudlets)
+	caps := make([]int, m)
+	for j, cl := range inst.Network.Cloudlets {
+		caps[j] = cl.Capacity
+	}
+	type option struct {
+		cloudlet, units int
+	}
+	options := make([][]option, n)
+	for i, req := range inst.Trace {
+		vnf := inst.Network.Catalog[req.VNF]
+		for j, cl := range inst.Network.Cloudlets {
+			k, err := core.OnsiteInstances(vnf.Reliability, cl.Reliability, req.Reliability)
+			if err != nil {
+				continue
+			}
+			options[i] = append(options[i], option{cloudlet: j, units: k * vnf.Demand})
+		}
+	}
+	best := 0.0
+	choice := make([]int, n) // -1 = reject, else option index
+	var recurse func(i int, ledger *timeslot.Ledger, revenue float64)
+	recurse = func(i int, ledger *timeslot.Ledger, revenue float64) {
+		if i == n {
+			if revenue > best {
+				best = revenue
+			}
+			return
+		}
+		choice[i] = -1
+		recurse(i+1, ledger, revenue)
+		req := inst.Trace[i]
+		for _, opt := range options[i] {
+			if !ledger.CanReserve(opt.cloudlet, req.Arrival, req.Duration, opt.units) {
+				continue
+			}
+			if err := ledger.Reserve(opt.cloudlet, req.Arrival, req.Duration, opt.units); err != nil {
+				t.Fatalf("Reserve: %v", err)
+			}
+			recurse(i+1, ledger, revenue+req.Payment)
+			if err := ledger.Release(opt.cloudlet, req.Arrival, req.Duration, opt.units); err != nil {
+				t.Fatalf("Release: %v", err)
+			}
+		}
+	}
+	ledger, err := timeslot.New(caps, inst.Horizon)
+	if err != nil {
+		t.Fatalf("timeslot.New: %v", err)
+	}
+	recurse(0, ledger, 0)
+	return best
+}
+
+func TestSolveOnsiteMatchesBruteForce(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		inst := tinyInstance(t, seed, 5)
+		sol, err := SolveOnsite(inst, mip.Config{})
+		if err != nil {
+			t.Fatalf("seed %d: SolveOnsite: %v", seed, err)
+		}
+		if sol.Status != mip.Exact {
+			t.Fatalf("seed %d: status %v", seed, sol.Status)
+		}
+		want := bruteForceOnsite(t, inst)
+		if math.Abs(sol.Revenue-want) > 1e-6 {
+			t.Errorf("seed %d: revenue %v, brute force %v", seed, sol.Revenue, want)
+		}
+	}
+}
+
+func TestSolveOnsiteSolutionIsFeasible(t *testing.T) {
+	inst := tinyInstance(t, 42, 8)
+	sol, err := SolveOnsite(inst, mip.Config{})
+	if err != nil {
+		t.Fatalf("SolveOnsite: %v", err)
+	}
+	replayPlacements(t, inst, sol)
+}
+
+// replayPlacements reserves every placement in a fresh ledger and fails the
+// test on any capacity or reliability violation.
+func replayPlacements(t *testing.T, inst *workload.Instance, sol *Solution) {
+	t.Helper()
+	caps := make([]int, len(inst.Network.Cloudlets))
+	for j, cl := range inst.Network.Cloudlets {
+		caps[j] = cl.Capacity
+	}
+	ledger, err := timeslot.New(caps, inst.Horizon)
+	if err != nil {
+		t.Fatalf("timeslot.New: %v", err)
+	}
+	revenue := 0.0
+	for _, p := range sol.Placements {
+		req := inst.Trace[p.Request]
+		if !sol.Admitted[p.Request] {
+			t.Errorf("placement for non-admitted request %d", p.Request)
+		}
+		if err := p.Validate(inst.Network, req); err != nil {
+			t.Errorf("placement for request %d invalid: %v", p.Request, err)
+		}
+		demand := inst.Network.Catalog[req.VNF].Demand
+		for _, a := range p.Assignments {
+			if err := ledger.Reserve(a.Cloudlet, req.Arrival, req.Duration, a.Units(demand)); err != nil {
+				t.Errorf("placement for request %d overbooks: %v", p.Request, err)
+			}
+		}
+		revenue += req.Payment
+	}
+	if math.Abs(revenue-sol.Revenue) > 1e-6 {
+		t.Errorf("placement revenue %v != solution revenue %v", revenue, sol.Revenue)
+	}
+}
+
+func TestLPBoundOnsiteDominatesILP(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		inst := tinyInstance(t, seed, 6)
+		bound, err := LPBoundOnsite(inst)
+		if err != nil {
+			t.Fatalf("LPBoundOnsite: %v", err)
+		}
+		sol, err := SolveOnsite(inst, mip.Config{})
+		if err != nil {
+			t.Fatalf("SolveOnsite: %v", err)
+		}
+		if bound < sol.Revenue-1e-6 {
+			t.Errorf("seed %d: LP bound %v below ILP optimum %v", seed, bound, sol.Revenue)
+		}
+	}
+}
+
+func TestSolveOnsiteErrors(t *testing.T) {
+	if _, err := SolveOnsite(nil, mip.Config{}); !errors.Is(err, ErrBadInstance) {
+		t.Errorf("nil instance err = %v", err)
+	}
+	inst := tinyInstance(t, 1, 3)
+	inst.Trace = nil
+	if _, err := SolveOnsite(inst, mip.Config{}); !errors.Is(err, ErrBadInstance) {
+		t.Errorf("empty trace err = %v", err)
+	}
+	// All requirements unattainable.
+	inst = tinyInstance(t, 1, 3)
+	for i := range inst.Trace {
+		inst.Trace[i].Reliability = 0.9999
+	}
+	if _, err := SolveOnsite(inst, mip.Config{}); !errors.Is(err, ErrBadInstance) {
+		t.Errorf("no feasible pair err = %v", err)
+	}
+}
+
+func TestSolutionGap(t *testing.T) {
+	s := &Solution{Revenue: 10, UpperBound: 11}
+	if math.Abs(s.Gap()-0.1) > 1e-12 {
+		t.Errorf("Gap() = %v, want 0.1", s.Gap())
+	}
+	empty := &Solution{}
+	if empty.Gap() != 0 {
+		t.Errorf("empty Gap() = %v, want 0", empty.Gap())
+	}
+	noIncumbent := &Solution{UpperBound: 5}
+	if noIncumbent.Gap() != 1 {
+		t.Errorf("no-incumbent Gap() = %v, want 1", noIncumbent.Gap())
+	}
+}

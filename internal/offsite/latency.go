@@ -1,0 +1,91 @@
+package offsite
+
+import (
+	"fmt"
+	"math"
+
+	"revnf/internal/topology"
+)
+
+// WithLatencyPenalty makes the scheduler latency-aware: after the cheapest
+// feasible cloudlet is chosen as the primary site, subsequent backup
+// candidates are re-ranked by dual price plus weight·(latency from the
+// primary, normalized by the topology diameter). The paper notes off-site
+// redundancy pays recovery latency and inter-cloudlet traffic (Section I)
+// without modelling it; this option trades a little dual-price optimality
+// for placements whose backups sit near their primary. Every cloudlet must
+// be bound to a node of g.
+func WithLatencyPenalty(g *topology.Graph, weight float64) Option {
+	return func(s *Scheduler) {
+		s.latencyGraph = g
+		s.latencyWeight = weight
+		s.name = s.name + "-latency"
+	}
+}
+
+// initLatency resolves the cloudlet-to-cloudlet latency matrix once at
+// construction.
+func (s *Scheduler) initLatency() error {
+	g := s.latencyGraph
+	if g == nil {
+		return nil
+	}
+	if s.latencyWeight < 0 {
+		return fmt.Errorf("%w: negative latency weight %v", ErrBadNetwork, s.latencyWeight)
+	}
+	diameter, err := g.Diameter()
+	if err != nil {
+		return fmt.Errorf("%w: latency topology: %v", ErrBadNetwork, err)
+	}
+	if diameter <= 0 {
+		diameter = 1
+	}
+	m := len(s.network.Cloudlets)
+	s.latency = make([][]float64, m)
+	for a := 0; a < m; a++ {
+		node := s.network.Cloudlets[a].Node
+		if node < 0 || node >= g.Nodes() {
+			return fmt.Errorf("%w: cloudlet %d not bound to a node of %q", ErrBadNetwork, a, g.Name())
+		}
+		dist, err := g.ShortestLatencies(node)
+		if err != nil {
+			return fmt.Errorf("%w: latency topology: %v", ErrBadNetwork, err)
+		}
+		s.latency[a] = make([]float64, m)
+		for b := 0; b < m; b++ {
+			target := s.network.Cloudlets[b].Node
+			if target < 0 || target >= g.Nodes() {
+				return fmt.Errorf("%w: cloudlet %d not bound to a node of %q", ErrBadNetwork, b, g.Name())
+			}
+			l := dist[target]
+			if math.IsInf(l, 1) {
+				return fmt.Errorf("%w: cloudlets %d and %d disconnected in %q", ErrBadNetwork, a, b, g.Name())
+			}
+			s.latency[a][b] = l / diameter
+		}
+	}
+	return nil
+}
+
+// penalizedOrder re-ranks the price-sorted candidates for latency-aware
+// accumulation: the head (primary) keeps its position; the tail is sorted
+// by price + weight·normalizedLatency(primary, candidate).
+func (s *Scheduler) penalizedOrder(candidates []candidate) []candidate {
+	if s.latency == nil || len(candidates) < 2 {
+		return candidates
+	}
+	primary := candidates[0].cloudlet
+	out := append([]candidate(nil), candidates...)
+	tail := out[1:]
+	key := func(c candidate) float64 {
+		return c.price + s.latencyWeight*s.latency[primary][c.cloudlet]
+	}
+	// Insertion sort: candidate lists are small (≤ cloudlet count).
+	for i := 1; i < len(tail); i++ {
+		for j := i; j > 0 && (key(tail[j]) < key(tail[j-1]) ||
+			(key(tail[j]) == key(tail[j-1]) && tail[j].cloudlet < tail[j-1].cloudlet)); j-- {
+			tail[j], tail[j-1] = tail[j-1], tail[j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,129 @@
+package offsite
+
+import (
+	"errors"
+	"testing"
+
+	"revnf/internal/core"
+	"revnf/internal/topology"
+)
+
+// latencyNetwork binds the three test cloudlets to a 4-node path topology:
+// cloudlets at nodes 0, 1 and 3, so cloudlet pair (0,1) is near and (0,2)
+// is far.
+func latencyNetwork(t *testing.T) (*core.Network, *topology.Graph) {
+	t.Helper()
+	g, err := topology.NewGraph("line", 4)
+	if err != nil {
+		t.Fatalf("NewGraph: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := g.AddEdge(i, i+1, 2); err != nil {
+			t.Fatalf("AddEdge: %v", err)
+		}
+	}
+	n := testNetwork()
+	n.Cloudlets[0].Node = 0
+	n.Cloudlets[1].Node = 1
+	n.Cloudlets[2].Node = 3
+	return n, g
+}
+
+func TestWithLatencyPenaltyPrefersNearBackups(t *testing.T) {
+	n, g := latencyNetwork(t)
+	// Make the far cloudlet (2) the most reliable so the plain scheduler
+	// would otherwise happily use it.
+	n.Cloudlets[0].Reliability = 0.99
+	n.Cloudlets[1].Reliability = 0.97
+	n.Cloudlets[2].Reliability = 0.98
+	s, err := NewScheduler(n, 5, WithLatencyPenalty(g, 1000))
+	if err != nil {
+		t.Fatalf("NewScheduler: %v", err)
+	}
+	if s.Name() != "pd-offsite-latency" {
+		t.Errorf("Name = %q", s.Name())
+	}
+	view := newLedger(t, n, 5)
+	// Require two cloudlets (single best gives 0.95·0.99 ≈ 0.94).
+	req := core.Request{ID: 0, VNF: 0, Reliability: 0.985, Arrival: 1, Duration: 2, Payment: 50}
+	p, ok := s.Decide(req, view)
+	if !ok {
+		t.Fatal("rejected")
+	}
+	if err := p.Validate(n, req); err != nil {
+		t.Fatalf("placement invalid: %v", err)
+	}
+	// With a huge penalty the backup must be the near cloudlet 1, not the
+	// more reliable far cloudlet 2 (as long as reliability still works).
+	if len(p.Assignments) < 2 {
+		t.Fatalf("assignments = %v", p.Assignments)
+	}
+	if p.Assignments[0].Cloudlet != 0 {
+		t.Errorf("primary = %d, want 0 (all prices zero, lowest ID)", p.Assignments[0].Cloudlet)
+	}
+	if p.Assignments[1].Cloudlet != 1 {
+		t.Errorf("backup = %d, want near cloudlet 1", p.Assignments[1].Cloudlet)
+	}
+}
+
+func TestWithLatencyPenaltyZeroWeightKeepsPriceOrder(t *testing.T) {
+	n, g := latencyNetwork(t)
+	s, err := NewScheduler(n, 5, WithLatencyPenalty(g, 0))
+	if err != nil {
+		t.Fatalf("NewScheduler: %v", err)
+	}
+	plain, err := NewScheduler(n, 5)
+	if err != nil {
+		t.Fatalf("NewScheduler: %v", err)
+	}
+	viewA := newLedger(t, n, 5)
+	viewB := newLedger(t, n, 5)
+	for i := 0; i < 50; i++ {
+		req := core.Request{ID: i, VNF: 0, Reliability: 0.97, Arrival: 1, Duration: 3, Payment: 20}
+		pa, oka := s.Decide(req, viewA)
+		pb, okb := plain.Decide(req, viewB)
+		if oka != okb {
+			t.Fatalf("request %d: decisions diverge with zero weight", i)
+		}
+		if !oka {
+			continue
+		}
+		if len(pa.Assignments) != len(pb.Assignments) {
+			t.Fatalf("request %d: assignment counts diverge", i)
+		}
+		for k := range pa.Assignments {
+			if pa.Assignments[k] != pb.Assignments[k] {
+				t.Fatalf("request %d: assignment %d diverges", i, k)
+			}
+		}
+		demand := n.Catalog[req.VNF].Demand
+		for _, a := range pa.Assignments {
+			if err := viewA.Reserve(a.Cloudlet, req.Arrival, req.Duration, demand); err != nil {
+				t.Fatalf("reserve A: %v", err)
+			}
+			if err := viewB.Reserve(a.Cloudlet, req.Arrival, req.Duration, demand); err != nil {
+				t.Fatalf("reserve B: %v", err)
+			}
+		}
+	}
+}
+
+func TestWithLatencyPenaltyErrors(t *testing.T) {
+	n, g := latencyNetwork(t)
+	if _, err := NewScheduler(n, 5, WithLatencyPenalty(g, -1)); !errors.Is(err, ErrBadNetwork) {
+		t.Errorf("negative weight err = %v", err)
+	}
+	unbound := testNetwork() // Node fields not on g's node range? testNetwork nodes 0..2 valid on 4-node graph
+	unbound.Cloudlets[2].Node = 99
+	if _, err := NewScheduler(unbound, 5, WithLatencyPenalty(g, 1)); !errors.Is(err, ErrBadNetwork) {
+		t.Errorf("unbound cloudlet err = %v", err)
+	}
+	disconnected, err := topology.NewGraph("disc", 4)
+	if err != nil {
+		t.Fatalf("NewGraph: %v", err)
+	}
+	_ = disconnected.AddEdge(0, 1, 1)
+	if _, err := NewScheduler(n, 5, WithLatencyPenalty(disconnected, 1)); !errors.Is(err, ErrBadNetwork) {
+		t.Errorf("disconnected topology err = %v", err)
+	}
+}

@@ -1,0 +1,250 @@
+// Package offsite implements Algorithm 2 of the paper: the online
+// primal-dual heuristic for the VNF service reliability problem under the
+// off-site scheme, in which at most one instance of a request is placed in
+// each cloudlet and reliability accumulates across the chosen set.
+//
+// The scheme's nonlinear reliability constraint
+// 1 - Π(1 - r(f)·r(c_j)) ≥ R is linearized in the log domain (Section V):
+// each cloudlet contributes weight w_j = -ln(1 - r(f)·r(c_j)) and the
+// request needs total weight W = -ln(1 - R). The scheduler keeps dual
+// prices λ_{tj}, computes each cloudlet's normalized price
+// Σ_t V_i[t]·λ_{tj} / w_j, discards cloudlets that fail the payment test
+// of line 5, and greedily accumulates the cheapest capacity-feasible
+// cloudlets until the weight target is met. Admission updates the touched
+// prices per Eq. (67). Unlike raw Algorithm 1, Algorithm 2 never violates
+// cloudlet capacities (Theorem 2).
+package offsite
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"revnf/internal/core"
+	"revnf/internal/topology"
+)
+
+// Errors returned by the constructor.
+var (
+	ErrBadNetwork = errors.New("offsite: invalid network")
+	ErrBadHorizon = errors.New("offsite: invalid horizon")
+)
+
+// Scheduler is the Algorithm 2 implementation. It is not safe for
+// concurrent use.
+type Scheduler struct {
+	network *core.Network
+	horizon int
+	// lambda[j][t-1] is the dual price λ_{tj}.
+	lambda  [][]float64
+	sortKey SortKey
+	name    string
+	// Latency awareness (WithLatencyPenalty): normalized cloudlet-pair
+	// latencies and the penalty weight.
+	latencyGraph  *topology.Graph
+	latencyWeight float64
+	latency       [][]float64
+}
+
+// SortKey selects how Algorithm 2 orders candidate cloudlets before the
+// greedy accumulation. The paper's rule is SortByPrice; the others are
+// ablation knobs isolating the value of dual-price ordering.
+type SortKey int
+
+// Candidate orderings.
+const (
+	// SortByPrice orders by ascending normalized dual price (line 9 of
+	// Algorithm 2; the paper's rule).
+	SortByPrice SortKey = iota + 1
+	// SortByReliability orders by descending cloudlet reliability,
+	// mimicking the greedy baseline's preference inside the primal-dual
+	// admission test.
+	SortByReliability
+	// SortByResidual orders by descending residual capacity over the
+	// request's window, a load-balancing heuristic.
+	SortByResidual
+)
+
+// Option configures the scheduler.
+type Option func(*Scheduler)
+
+// WithName overrides the reported algorithm name.
+func WithName(name string) Option {
+	return func(s *Scheduler) { s.name = name }
+}
+
+// WithSortKey overrides the candidate ordering (default SortByPrice).
+func WithSortKey(key SortKey) Option {
+	return func(s *Scheduler) {
+		s.sortKey = key
+		switch key {
+		case SortByReliability:
+			s.name = s.name + "-relsort"
+		case SortByResidual:
+			s.name = s.name + "-residualsort"
+		}
+	}
+}
+
+// NewScheduler creates an Algorithm 2 scheduler.
+func NewScheduler(network *core.Network, horizon int, opts ...Option) (*Scheduler, error) {
+	if network == nil {
+		return nil, fmt.Errorf("%w: nil", ErrBadNetwork)
+	}
+	if err := network.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadNetwork, err)
+	}
+	if horizon < 1 {
+		return nil, fmt.Errorf("%w: %d", ErrBadHorizon, horizon)
+	}
+	s := &Scheduler{
+		network: network,
+		horizon: horizon,
+		lambda:  make([][]float64, len(network.Cloudlets)),
+		sortKey: SortByPrice,
+		name:    "pd-offsite",
+	}
+	for j := range s.lambda {
+		s.lambda[j] = make([]float64, horizon)
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	if err := s.initLatency(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Name implements core.Scheduler.
+func (s *Scheduler) Name() string { return s.name }
+
+// Scheme implements core.Scheduler.
+func (s *Scheduler) Scheme() core.Scheme { return core.OffSite }
+
+// Lambda returns the current dual price λ_{tj}; exported for tests and
+// diagnostics.
+func (s *Scheduler) Lambda(cloudlet, slot int) float64 {
+	if cloudlet < 0 || cloudlet >= len(s.lambda) || slot < 1 || slot > s.horizon {
+		return 0
+	}
+	return s.lambda[cloudlet][slot-1]
+}
+
+// candidate is one cloudlet surviving the payment filter.
+type candidate struct {
+	cloudlet int
+	weight   float64 // w_j = -ln(1 - r(f)·r(c_j))
+	price    float64 // Σ_t λ_{tj} / w_j
+}
+
+// Decide implements core.Scheduler: lines 3–23 of Algorithm 2.
+func (s *Scheduler) Decide(req core.Request, view core.CapacityView) (core.Placement, bool) {
+	if req.Arrival < 1 || req.End() > s.horizon {
+		return core.Placement{}, false
+	}
+	vnf := s.network.Catalog[req.VNF]
+	needWeight := core.RequirementWeight(req.Reliability)
+	demand := float64(vnf.Demand)
+	candidates := make([]candidate, 0, len(s.network.Cloudlets))
+	for j, cl := range s.network.Cloudlets {
+		w := core.OffsiteWeight(vnf.Reliability, cl.Reliability)
+		sumLambda := 0.0
+		for t := req.Arrival; t <= req.End(); t++ {
+			sumLambda += s.lambda[j][t-1]
+		}
+		price := sumLambda / w
+		// Payment filter (line 5): place no instance at cloudlets whose
+		// dual cost already exceeds the request's value:
+		// pay + ln(1-R)·c(f)·price ≤ 0  ⇔  pay ≤ W·c(f)·price.
+		if req.Payment-needWeight*demand*price <= 0 {
+			continue
+		}
+		candidates = append(candidates, candidate{cloudlet: j, weight: w, price: price})
+	}
+	// Sort candidates (line 9). The paper's rule is ascending normalized
+	// price; the alternatives are ablation orderings. Ties break by
+	// cloudlet ID for determinism.
+	switch s.sortKey {
+	case SortByReliability:
+		sort.Slice(candidates, func(a, b int) bool {
+			ra := s.network.Cloudlets[candidates[a].cloudlet].Reliability
+			rb := s.network.Cloudlets[candidates[b].cloudlet].Reliability
+			if ra != rb {
+				return ra > rb
+			}
+			return candidates[a].cloudlet < candidates[b].cloudlet
+		})
+	case SortByResidual:
+		sort.Slice(candidates, func(a, b int) bool {
+			fa := view.ResidualWindow(candidates[a].cloudlet, req.Arrival, req.Duration)
+			fb := view.ResidualWindow(candidates[b].cloudlet, req.Arrival, req.Duration)
+			if fa != fb {
+				return fa > fb
+			}
+			return candidates[a].cloudlet < candidates[b].cloudlet
+		})
+	default:
+		sort.Slice(candidates, func(a, b int) bool {
+			if candidates[a].price != candidates[b].price {
+				return candidates[a].price < candidates[b].price
+			}
+			return candidates[a].cloudlet < candidates[b].cloudlet
+		})
+	}
+	if s.latency != nil {
+		// Latency-aware variant: anchor the penalty on the first
+		// capacity-feasible candidate (the primary site).
+		primary := -1
+		for i, c := range candidates {
+			if view.ResidualWindow(c.cloudlet, req.Arrival, req.Duration) >= vnf.Demand {
+				primary = i
+				break
+			}
+		}
+		if primary >= 0 {
+			candidates[0], candidates[primary] = candidates[primary], candidates[0]
+			candidates = s.penalizedOrder(candidates)
+		}
+	}
+	// Accumulate capacity-feasible cloudlets until the reliability weight
+	// target is reached (lines 10–17).
+	var chosen []candidate
+	totalWeight := 0.0
+	for _, c := range candidates {
+		if view.ResidualWindow(c.cloudlet, req.Arrival, req.Duration) < vnf.Demand {
+			continue
+		}
+		chosen = append(chosen, c)
+		totalWeight += c.weight
+		if core.WeightsSatisfy(totalWeight, needWeight) {
+			break
+		}
+	}
+	if !core.WeightsSatisfy(totalWeight, needWeight) {
+		return core.Placement{}, false
+	}
+	s.updateDuals(req, vnf, chosen)
+	assignments := make([]core.Assignment, len(chosen))
+	for i, c := range chosen {
+		assignments[i] = core.Assignment{Cloudlet: c.cloudlet, Instances: 1}
+	}
+	return core.Placement{Request: req.ID, Scheme: core.OffSite, Assignments: assignments}, true
+}
+
+// updateDuals applies Eq. (67) to every selected cloudlet's slots. With
+// W = -ln(1-R) and w_j = -ln(1 - r(f)·r(c_j)) the update is
+// λ := λ·(1 + W·c(f)/(w_j·cap_j)) + W·c(f)·pay/(w_j·d·cap_j).
+func (s *Scheduler) updateDuals(req core.Request, vnf core.VNF, chosen []candidate) {
+	needWeight := core.RequirementWeight(req.Reliability)
+	demand := float64(vnf.Demand)
+	for _, c := range chosen {
+		capj := float64(s.network.Cloudlets[c.cloudlet].Capacity)
+		ratio := needWeight * demand / (c.weight * capj)
+		growth := 1 + ratio
+		additive := ratio * req.Payment / float64(req.Duration)
+		for t := req.Arrival; t <= req.End(); t++ {
+			s.lambda[c.cloudlet][t-1] = s.lambda[c.cloudlet][t-1]*growth + additive
+		}
+	}
+}

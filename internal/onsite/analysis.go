@@ -1,0 +1,99 @@
+package onsite
+
+import (
+	"fmt"
+	"math"
+
+	"revnf/internal/core"
+)
+
+// Analysis holds the theoretical quantities of Theorem 1 and Lemma 8 for a
+// concrete instance: the competitive ratio 1+a_max and the capacity
+// violation bound ξ.
+type Analysis struct {
+	// AMax and AMin are the extreme per-request footprints
+	// a_ij = N_ij·c(f_i) over all feasible (request, cloudlet) pairs.
+	AMax, AMin float64
+	// CompetitiveRatio is 1 + a_max (Theorem 1).
+	CompetitiveRatio float64
+	// ViolationBound is ξ (Lemma 8): the worst-case per-slot usage of any
+	// cloudlet, in computing units.
+	ViolationBound float64
+	// ViolationRatio is ξ divided by the smallest capacity: the
+	// multiplicative overcommitment bound.
+	ViolationRatio float64
+}
+
+// Analyze computes the theoretical guarantees of Algorithm 1 for an
+// instance. It returns an error when no request can be feasibly served by
+// any cloudlet (the quantities are undefined then).
+func Analyze(network *core.Network, trace []core.Request) (*Analysis, error) {
+	if err := network.Validate(); err != nil {
+		return nil, fmt.Errorf("onsite: %w", err)
+	}
+	aMax, aMin := 0.0, math.Inf(1)
+	payMax, payMin := 0.0, math.Inf(1)
+	dMax, dMin := 0, math.MaxInt
+	for _, req := range trace {
+		vnf := network.Catalog[req.VNF]
+		feasible := false
+		for _, cl := range network.Cloudlets {
+			n, err := core.OnsiteInstances(vnf.Reliability, cl.Reliability, req.Reliability)
+			if err != nil {
+				continue
+			}
+			feasible = true
+			a := float64(n * vnf.Demand)
+			if a > aMax {
+				aMax = a
+			}
+			if a < aMin {
+				aMin = a
+			}
+		}
+		if !feasible {
+			continue
+		}
+		if req.Payment > payMax {
+			payMax = req.Payment
+		}
+		if req.Payment < payMin {
+			payMin = req.Payment
+		}
+		if req.Duration > dMax {
+			dMax = req.Duration
+		}
+		if req.Duration < dMin {
+			dMin = req.Duration
+		}
+	}
+	if aMax == 0 {
+		return nil, fmt.Errorf("onsite: %w: no feasible request/cloudlet pair", core.ErrInfeasible)
+	}
+	capMax, capMin := 0.0, math.Inf(1)
+	for _, cl := range network.Cloudlets {
+		c := float64(cl.Capacity)
+		if c > capMax {
+			capMax = c
+		}
+		if c < capMin {
+			capMin = c
+		}
+	}
+	// ξ from Lemma 8:
+	// ξ = a_max / (cap_min·log2(1 + a_min/cap_max)) ·
+	//     log2(pay_max·d_max/pay_min·(1/a_min + a_max/(a_min·cap_min)
+	//          + a_max/(d_min·cap_min)) + 1)
+	// The lemma expresses the per-slot load bound; we report it in
+	// computing units (without the 1/cap_min factor) and as a ratio.
+	inner := payMax * float64(dMax) / payMin *
+		(1/aMin + aMax/(aMin*capMin) + aMax/(float64(dMin)*capMin))
+	xiUnits := aMax / math.Log2(1+aMin/capMax) * math.Log2(inner+1)
+	return &Analysis{
+		AMax:             aMax,
+		AMin:             aMin,
+		CompetitiveRatio: 1 + aMax,
+		ViolationBound:   xiUnits,
+		ViolationRatio:   xiUnits / capMin,
+	}, nil
+}

@@ -1,0 +1,57 @@
+package onsite
+
+import (
+	"errors"
+	"testing"
+
+	"revnf/internal/core"
+)
+
+func TestAnalyze(t *testing.T) {
+	n := testNetwork()
+	trace := []core.Request{
+		{ID: 0, VNF: 0, Reliability: 0.9, Arrival: 1, Duration: 2, Payment: 5},
+		{ID: 1, VNF: 1, Reliability: 0.95, Arrival: 2, Duration: 4, Payment: 9},
+	}
+	a, err := Analyze(n, trace)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if a.AMax < a.AMin || a.AMin <= 0 {
+		t.Errorf("a_max %v, a_min %v inconsistent", a.AMax, a.AMin)
+	}
+	if a.CompetitiveRatio != 1+a.AMax {
+		t.Errorf("CompetitiveRatio = %v, want %v", a.CompetitiveRatio, 1+a.AMax)
+	}
+	if a.ViolationBound <= 0 || a.ViolationRatio <= 0 {
+		t.Errorf("violation bound %v ratio %v not positive", a.ViolationBound, a.ViolationRatio)
+	}
+	// Manual a_max: request 1 uses VNF 1 (demand 2, rf 0.9) with R=0.95.
+	// Worst feasible cloudlet has rc=0.99: N = ceil(ln(1-0.95/0.99)/ln(0.1)).
+	nInst, err := core.OnsiteInstances(0.9, 0.99, 0.95)
+	if err != nil {
+		t.Fatalf("OnsiteInstances: %v", err)
+	}
+	want := float64(nInst * 2)
+	if a.AMax != want {
+		t.Errorf("AMax = %v, want %v", a.AMax, want)
+	}
+}
+
+func TestAnalyzeInfeasible(t *testing.T) {
+	n := testNetwork()
+	trace := []core.Request{
+		{ID: 0, VNF: 0, Reliability: 0.99999, Arrival: 1, Duration: 1, Payment: 1},
+	}
+	if _, err := Analyze(n, trace); !errors.Is(err, core.ErrInfeasible) {
+		t.Errorf("Analyze err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestAnalyzeInvalidNetwork(t *testing.T) {
+	bad := testNetwork()
+	bad.Catalog = nil
+	if _, err := Analyze(bad, nil); err == nil {
+		t.Error("invalid network did not error")
+	}
+}

@@ -1,0 +1,182 @@
+// Package onsite implements Algorithm 1 of the paper: the online
+// primal-dual scheduler for the VNF service reliability problem under the
+// on-site scheme, in which all primary and backup instances of a request
+// are hosted by a single cloudlet.
+//
+// The scheduler maintains one dual price λ_{tj} per (slot, cloudlet) pair.
+// A request is admitted when its payment exceeds the cheapest cloudlet's
+// dual cost Σ_t V_i[t]·N_ij·c(f_i)·λ_{tj}; admission multiplies the touched
+// prices by (1 + N·c/cap) and adds N·c·pay/(d·cap) (Eq. 34), so heavily
+// used slots become expensive and low-value requests are priced out.
+//
+// Two variants are provided. The raw variant is the theory-faithful
+// Algorithm 1: it never inspects residual capacity, achieves the
+// (1+a_max)-competitive ratio of Theorem 1, and may overcommit cloudlets
+// within the bound ξ of Lemma 8. The enforced variant is the one the paper
+// actually evaluates (Section VI-A adopts the scaling approach of [14] so
+// "no actual capacity constraint violation occurs"): it restricts the
+// argmin to cloudlets with enough residual capacity and optionally scales
+// demands in the dual prices.
+package onsite
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"revnf/internal/core"
+)
+
+// Errors returned by the constructor.
+var (
+	ErrBadNetwork = errors.New("onsite: invalid network")
+	ErrBadHorizon = errors.New("onsite: invalid horizon")
+	ErrBadScale   = errors.New("onsite: scale factor below 1")
+)
+
+// Scheduler is the Algorithm 1 implementation. It is not safe for
+// concurrent use; the simulation engine drives it sequentially.
+type Scheduler struct {
+	network *core.Network
+	horizon int
+	// lambda[j][t-1] is the dual price λ_{tj}.
+	lambda   [][]float64
+	enforce  bool
+	additive bool
+	scale    float64
+	name     string
+}
+
+// Option configures the scheduler.
+type Option func(*Scheduler)
+
+// WithCapacityEnforcement makes the scheduler skip cloudlets without
+// enough residual capacity, so no violation ever occurs. This is the
+// variant evaluated in the paper's experiments.
+func WithCapacityEnforcement() Option {
+	return func(s *Scheduler) {
+		s.enforce = true
+		s.name = "pd-onsite"
+	}
+}
+
+// WithScale multiplies instance demands by scale (≥ 1) inside the dual
+// prices and the admission test, implementing the demand-scaling idea of
+// [14]: larger scales make the dual threshold more conservative. The
+// actual reservation still uses the true demand.
+func WithScale(scale float64) Option {
+	return func(s *Scheduler) { s.scale = scale }
+}
+
+// WithName overrides the reported algorithm name.
+func WithName(name string) Option {
+	return func(s *Scheduler) { s.name = name }
+}
+
+// WithAdditiveDuals replaces the multiplicative λ update of Eq. (34) with a
+// purely additive one (λ += N·c·pay/(d·cap)). It is an ablation knob: the
+// exponential growth of the multiplicative rule is what yields the
+// competitive ratio, and the additive variant shows how much that matters.
+func WithAdditiveDuals() Option {
+	return func(s *Scheduler) {
+		s.additive = true
+		s.name = s.name + "-additive"
+	}
+}
+
+// NewScheduler creates an Algorithm 1 scheduler. Without options it is the
+// raw, theory-faithful variant with bounded capacity violation.
+func NewScheduler(network *core.Network, horizon int, opts ...Option) (*Scheduler, error) {
+	if network == nil {
+		return nil, fmt.Errorf("%w: nil", ErrBadNetwork)
+	}
+	if err := network.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadNetwork, err)
+	}
+	if horizon < 1 {
+		return nil, fmt.Errorf("%w: %d", ErrBadHorizon, horizon)
+	}
+	s := &Scheduler{
+		network: network,
+		horizon: horizon,
+		lambda:  make([][]float64, len(network.Cloudlets)),
+		scale:   1,
+		name:    "pd-onsite-raw",
+	}
+	for j := range s.lambda {
+		s.lambda[j] = make([]float64, horizon)
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	if s.scale < 1 {
+		return nil, fmt.Errorf("%w: %v", ErrBadScale, s.scale)
+	}
+	return s, nil
+}
+
+// Name implements core.Scheduler.
+func (s *Scheduler) Name() string { return s.name }
+
+// Scheme implements core.Scheduler.
+func (s *Scheduler) Scheme() core.Scheme { return core.OnSite }
+
+// Lambda returns the current dual price λ_{tj}; it is exported for tests
+// and the experiment harness's dual-trajectory diagnostics.
+func (s *Scheduler) Lambda(cloudlet, slot int) float64 {
+	if cloudlet < 0 || cloudlet >= len(s.lambda) || slot < 1 || slot > s.horizon {
+		return 0
+	}
+	return s.lambda[cloudlet][slot-1]
+}
+
+// Decide implements core.Scheduler: lines 3–15 of Algorithm 1.
+func (s *Scheduler) Decide(req core.Request, view core.CapacityView) (core.Placement, bool) {
+	if req.Arrival < 1 || req.End() > s.horizon {
+		return core.Placement{}, false
+	}
+	vnf := s.network.Catalog[req.VNF]
+	bestCloudlet, bestInstances := -1, 0
+	bestPrice := math.Inf(1)
+	for j, cl := range s.network.Cloudlets {
+		n, err := core.OnsiteInstances(vnf.Reliability, cl.Reliability, req.Reliability)
+		if err != nil {
+			continue // r(c_j) ≤ R_i: this cloudlet cannot serve the request
+		}
+		units := n * vnf.Demand
+		if s.enforce && view.ResidualWindow(j, req.Arrival, req.Duration) < units {
+			continue
+		}
+		price := 0.0
+		scaled := float64(units) * s.scale
+		for t := req.Arrival; t <= req.End(); t++ {
+			price += scaled * s.lambda[j][t-1]
+		}
+		if price < bestPrice {
+			bestPrice, bestCloudlet, bestInstances = price, j, n
+		}
+	}
+	if bestCloudlet < 0 || req.Payment-bestPrice <= 0 {
+		return core.Placement{}, false
+	}
+	s.updateDuals(req, bestCloudlet, bestInstances, vnf.Demand)
+	return core.Placement{
+		Request:     req.ID,
+		Scheme:      core.OnSite,
+		Assignments: []core.Assignment{{Cloudlet: bestCloudlet, Instances: bestInstances}},
+	}, true
+}
+
+// updateDuals applies Eq. (34) to the selected cloudlet's slots.
+func (s *Scheduler) updateDuals(req core.Request, cloudlet, instances, demand int) {
+	capj := float64(s.network.Cloudlets[cloudlet].Capacity)
+	units := float64(instances*demand) * s.scale
+	growth := 1 + units/capj
+	if s.additive {
+		growth = 1
+	}
+	additive := units * req.Payment / (float64(req.Duration) * capj)
+	for t := req.Arrival; t <= req.End(); t++ {
+		s.lambda[cloudlet][t-1] = s.lambda[cloudlet][t-1]*growth + additive
+	}
+}

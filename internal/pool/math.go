@@ -1,0 +1,136 @@
+// Package pool implements shared backup pooling for the on-site scheme,
+// the resource-saving mechanism of the paper's reference [12] (Fan, Jiang,
+// Qiao: on-site pooling "improves the resource utilization and thus
+// reduces resource consumption"). Instead of giving every request its own
+// dedicated backup instances, requests of the same VNF type inside a
+// cloudlet share a pool of B backups: a request survives when its primary
+// instance is alive, or when enough live backups remain to cover every
+// failed primary.
+//
+// The survival model for a tagged request among n pool members with
+// per-instance reliability r and B shared backups is
+//
+//	P(survive) = r + (1-r)·P(L ≥ F + 1),
+//
+// where F ~ Binomial(n-1, 1-r) counts the other members' failed primaries
+// and L ~ Binomial(B, r) the live backups — the tagged request claims a
+// backup only when the pool can cover all failures including its own
+// (fair, worst-case assignment). The cloudlet factor multiplies as in the
+// paper: availability = r(c)·P(survive).
+package pool
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Errors returned by the pool math.
+var (
+	ErrBadInput   = errors.New("pool: invalid input")
+	ErrInfeasible = errors.New("pool: requirement unattainable")
+)
+
+// maxPoolBackups bounds pool sizes; requirements in (0,1) converge long
+// before this.
+const maxPoolBackups = 256
+
+// Survival returns the probability that a tagged member of a pool with n
+// members, B shared backups and per-instance reliability r has a live
+// instance (its own primary or a claimable backup), excluding the cloudlet
+// factor.
+func Survival(n, backups int, r float64) (float64, error) {
+	if n < 1 || backups < 0 {
+		return 0, fmt.Errorf("%w: n=%d backups=%d", ErrBadInput, n, backups)
+	}
+	if r <= 0 || r >= 1 {
+		return 0, fmt.Errorf("%w: reliability %v", ErrBadInput, r)
+	}
+	// P(L ≥ F+1) with F ~ Bin(n-1, 1-r), L ~ Bin(B, r).
+	failPMF := binomialPMF(n-1, 1-r)
+	liveCDFAtLeast := binomialAtLeast(backups, r)
+	cover := 0.0
+	for f, pf := range failPMF {
+		if f+1 <= backups {
+			cover += pf * liveCDFAtLeast[f+1]
+		}
+	}
+	return r + (1-r)*cover, nil
+}
+
+// MinBackups returns the smallest shared pool size B such that every
+// member of an n-request pool in a cloudlet with reliability rc meets
+// requirement req: rc·Survival(n, B, r) ≥ req. It generalizes the paper's
+// dedicated-backup count N_ij (Eq. 3), which is the n=1 special case plus
+// per-request duplication.
+func MinBackups(n int, r, rc, req float64) (int, error) {
+	if n < 1 {
+		return 0, fmt.Errorf("%w: n=%d", ErrBadInput, n)
+	}
+	if rc <= 0 || rc >= 1 || req <= 0 || req >= 1 {
+		return 0, fmt.Errorf("%w: rc=%v req=%v", ErrBadInput, rc, req)
+	}
+	if rc <= req {
+		return 0, fmt.Errorf("%w: cloudlet reliability %v ≤ requirement %v", ErrInfeasible, rc, req)
+	}
+	target := req / rc
+	for b := 0; b <= maxPoolBackups; b++ {
+		s, err := Survival(n, b, r)
+		if err != nil {
+			return 0, err
+		}
+		if s+1e-12 >= target {
+			return b, nil
+		}
+	}
+	return 0, fmt.Errorf("%w: pool of %d members cannot reach %v", ErrInfeasible, n, req)
+}
+
+// binomialPMF returns the probability mass function of Binomial(n, p) as a
+// slice indexed by the outcome.
+func binomialPMF(n int, p float64) []float64 {
+	pmf := make([]float64, n+1)
+	if n == 0 {
+		pmf[0] = 1
+		return pmf
+	}
+	// Iterative computation avoids large binomial coefficients:
+	// pmf[k] = C(n,k) p^k (1-p)^(n-k), pmf[k+1]/pmf[k] = (n-k)/(k+1)·p/(1-p).
+	q := 1 - p
+	pmf[0] = math.Pow(q, float64(n))
+	if pmf[0] == 0 {
+		// Underflow for large n·log(q); recompute in log space.
+		for k := 0; k <= n; k++ {
+			pmf[k] = math.Exp(logChoose(n, k) + float64(k)*math.Log(p) + float64(n-k)*math.Log(q))
+		}
+		return pmf
+	}
+	ratio := p / q
+	for k := 0; k < n; k++ {
+		pmf[k+1] = pmf[k] * ratio * float64(n-k) / float64(k+1)
+	}
+	return pmf
+}
+
+// binomialAtLeast returns tail[k] = P(X ≥ k) for X ~ Binomial(n, p),
+// indexed 0..n+1 (tail[n+1] = 0).
+func binomialAtLeast(n int, p float64) []float64 {
+	pmf := binomialPMF(n, p)
+	tail := make([]float64, n+2)
+	for k := n; k >= 0; k-- {
+		tail[k] = tail[k+1] + pmf[k]
+	}
+	return tail
+}
+
+func logChoose(n, k int) float64 {
+	return logFactorial(n) - logFactorial(k) - logFactorial(n-k)
+}
+
+func logFactorial(n int) float64 {
+	total := 0.0
+	for i := 2; i <= n; i++ {
+		total += math.Log(float64(i))
+	}
+	return total
+}

@@ -1,0 +1,238 @@
+package pool
+
+import (
+	"fmt"
+	"sort"
+
+	"revnf/internal/core"
+	"revnf/internal/timeslot"
+	"revnf/internal/workload"
+)
+
+// Admission records one pooled admission: the chosen cloudlet and the
+// per-slot marginal backup units the request added.
+type Admission struct {
+	// Request is the request ID; Cloudlet the pool's host.
+	Request, Cloudlet int
+}
+
+// Result summarizes a pooled-greedy simulation and its dedicated-backup
+// comparison metrics.
+type Result struct {
+	// Revenue, Admitted, Rejected mirror the engine's result.
+	Revenue            float64
+	Admitted, Rejected int
+	// Admissions lists the admitted requests and their cloudlets.
+	Admissions []Admission
+	// Utilization is the mean used/capacity over all cells.
+	Utilization float64
+	// BackupUnits is the total backup unit-slots reserved by the pools;
+	// DedicatedBackupUnits is what per-request dedicated backups (Eq. 3)
+	// would have reserved for the same admissions. The difference is the
+	// pooling saving of [12].
+	BackupUnits, DedicatedBackupUnits int
+}
+
+// AdmissionRate returns admitted / total decisions.
+func (r *Result) AdmissionRate() float64 {
+	total := r.Admitted + r.Rejected
+	if total == 0 {
+		return 0
+	}
+	return float64(r.Admitted) / float64(total)
+}
+
+// poolState tracks one (cloudlet, VNF type) pool.
+type poolState struct {
+	// members holds admitted requests' windows and requirements.
+	members []core.Request
+	// backups[t-1] is the backup instance count reserved at slot t.
+	backups []int
+}
+
+// Run simulates greedy pooled admission over the instance: requests are
+// considered in arrival order and admitted into the most reliable cloudlet
+// whose pool (per slot of the window) can absorb them — reserving one
+// primary instance plus whatever marginal shared backups the pool's
+// reliability math demands. Capacity accounting is per slot because the
+// marginal backup need varies over the window.
+func Run(inst *workload.Instance) (*Result, error) {
+	if inst == nil {
+		return nil, fmt.Errorf("%w: nil instance", ErrBadInput)
+	}
+	if err := inst.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadInput, err)
+	}
+	caps := make([]int, len(inst.Network.Cloudlets))
+	for j, cl := range inst.Network.Cloudlets {
+		caps[j] = cl.Capacity
+	}
+	ledger, err := timeslot.New(caps, inst.Horizon)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadInput, err)
+	}
+	order := cloudletsByReliability(inst.Network)
+	pools := make(map[[2]int]*poolState)
+	// minBackups memoizes MinBackups per (cloudlet, vnf, members, maxReq).
+	type backupKey struct {
+		cloudlet, vnf, n int
+		maxReq           float64
+	}
+	backupCache := make(map[backupKey]int)
+	minBackups := func(cloudlet, vnf, n int, maxReq float64) (int, error) {
+		key := backupKey{cloudlet, vnf, n, maxReq}
+		if b, ok := backupCache[key]; ok {
+			return b, nil
+		}
+		b, err := MinBackups(n, inst.Network.Catalog[vnf].Reliability,
+			inst.Network.Cloudlets[cloudlet].Reliability, maxReq)
+		if err != nil {
+			return 0, err
+		}
+		backupCache[key] = b
+		return b, nil
+	}
+
+	result := &Result{}
+	for _, req := range inst.Trace {
+		demand := inst.Network.Catalog[req.VNF].Demand
+		admittedAt := -1
+		for _, j := range order {
+			cl := inst.Network.Cloudlets[j]
+			if cl.Reliability <= req.Reliability {
+				break // reliability-sorted: all later cloudlets fail too
+			}
+			ps := pools[[2]int{j, req.VNF}]
+			// Per-slot marginal footprint: one primary plus the backup
+			// growth the pool needs with this member added.
+			marginal := make([]int, req.Duration)
+			feasible := true
+			for t := req.Arrival; t <= req.End() && feasible; t++ {
+				n, maxReq := poolLoadAt(ps, t, req)
+				needed, err := minBackups(j, req.VNF, n, maxReq)
+				if err != nil {
+					feasible = false
+					break
+				}
+				current := 0
+				if ps != nil {
+					current = ps.backups[t-1]
+				}
+				grow := needed - current
+				if grow < 0 {
+					grow = 0
+				}
+				units := (1 + grow) * demand
+				marginal[t-req.Arrival] = units
+				if ledger.Residual(j, t) < units {
+					feasible = false
+				}
+			}
+			if !feasible {
+				continue
+			}
+			// Admit here: reserve slot by slot and update the pool.
+			if ps == nil {
+				ps = &poolState{backups: make([]int, inst.Horizon)}
+				pools[[2]int{j, req.VNF}] = ps
+			}
+			for t := req.Arrival; t <= req.End(); t++ {
+				units := marginal[t-req.Arrival]
+				if err := ledger.Reserve(j, t, 1, units); err != nil {
+					return nil, fmt.Errorf("pool: reserve request %d slot %d: %w", req.ID, t, err)
+				}
+				grow := units/demand - 1
+				ps.backups[t-1] += grow
+				result.BackupUnits += grow * demand
+			}
+			ps.members = append(ps.members, req)
+			admittedAt = j
+			break
+		}
+		if admittedAt < 0 {
+			result.Rejected++
+			continue
+		}
+		result.Admitted++
+		result.Revenue += req.Payment
+		result.Admissions = append(result.Admissions, Admission{Request: req.ID, Cloudlet: admittedAt})
+		// Dedicated comparison: Eq. (3) backups for this request alone.
+		n, err := core.OnsiteInstances(inst.Network.Catalog[req.VNF].Reliability,
+			inst.Network.Cloudlets[admittedAt].Reliability, req.Reliability)
+		if err == nil {
+			result.DedicatedBackupUnits += (n - 1) * demand * req.Duration
+		}
+	}
+	result.Utilization = ledger.Utilization()
+	if err := verifyPools(inst, pools); err != nil {
+		return nil, err
+	}
+	return result, nil
+}
+
+// poolLoadAt returns the member count (including the candidate) and the
+// strictest requirement among members active at slot t.
+func poolLoadAt(ps *poolState, t int, candidate core.Request) (int, float64) {
+	n, maxReq := 1, candidate.Reliability
+	if ps == nil {
+		return n, maxReq
+	}
+	for _, m := range ps.members {
+		if m.Covers(t) {
+			n++
+			if m.Reliability > maxReq {
+				maxReq = m.Reliability
+			}
+		}
+	}
+	return n, maxReq
+}
+
+// verifyPools audits the final pool states: at every slot of every pool,
+// the reserved backups must satisfy every active member's requirement.
+func verifyPools(inst *workload.Instance, pools map[[2]int]*poolState) error {
+	for key, ps := range pools {
+		cloudlet, vnf := key[0], key[1]
+		rf := inst.Network.Catalog[vnf].Reliability
+		rc := inst.Network.Cloudlets[cloudlet].Reliability
+		for t := 1; t <= inst.Horizon; t++ {
+			n, maxReq := 0, 0.0
+			for _, m := range ps.members {
+				if m.Covers(t) {
+					n++
+					if m.Reliability > maxReq {
+						maxReq = m.Reliability
+					}
+				}
+			}
+			if n == 0 {
+				continue
+			}
+			s, err := Survival(n, ps.backups[t-1], rf)
+			if err != nil {
+				return fmt.Errorf("pool: audit cloudlet %d vnf %d slot %d: %w", cloudlet, vnf, t, err)
+			}
+			if rc*s+1e-9 < maxReq {
+				return fmt.Errorf("%w: cloudlet %d vnf %d slot %d: availability %v < %v",
+					ErrInfeasible, cloudlet, vnf, t, rc*s, maxReq)
+			}
+		}
+	}
+	return nil
+}
+
+func cloudletsByReliability(network *core.Network) []int {
+	order := make([]int, len(network.Cloudlets))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ra := network.Cloudlets[order[a]].Reliability
+		rb := network.Cloudlets[order[b]].Reliability
+		if ra != rb {
+			return ra > rb
+		}
+		return order[a] < order[b]
+	})
+	return order
+}

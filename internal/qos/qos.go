@@ -1,0 +1,124 @@
+// Package qos quantifies the network-level costs of off-site redundancy
+// that the paper identifies but does not model (Section I: geographic
+// redundancy means "the recovery time will be slightly longer, and will
+// incur extra costs of network traffic between the cloudlets hosting
+// primary and backup VNF instances"). Given the MEC topology, it scores
+// every placement's recovery latency (shortest-path latency from the
+// primary cloudlet to its farthest backup) and state-synchronization
+// traffic (demand-weighted primary-to-backup path latencies), enabling the
+// on-site/off-site trade-off study the paper motivates.
+package qos
+
+import (
+	"errors"
+	"fmt"
+
+	"revnf/internal/core"
+	"revnf/internal/topology"
+)
+
+// Errors returned by Assess.
+var (
+	ErrBadInput = errors.New("qos: invalid input")
+	ErrUnplaced = errors.New("qos: cloudlet not bound to a topology node")
+)
+
+// PlacementQoS is the network cost of one placement. On-site placements
+// have zero recovery latency and zero sync traffic: primary and backups
+// share a cloudlet.
+type PlacementQoS struct {
+	// Request is the request ID.
+	Request int
+	// Primary is the cloudlet hosting the primary instance (the first
+	// assignment; schedulers emit assignments in selection order, so the
+	// first is the cheapest/preferred site).
+	Primary int
+	// RecoveryLatency is the worst-case failover latency: the largest
+	// shortest-path latency from the primary to any backup cloudlet, in
+	// the topology's latency units.
+	RecoveryLatency float64
+	// SyncTraffic is the state-synchronization cost proxy: the VNF's
+	// demand times the summed primary-to-backup path latencies.
+	SyncTraffic float64
+}
+
+// Report aggregates QoS over a set of placements.
+type Report struct {
+	// PerPlacement holds one entry per placement, in input order.
+	PerPlacement []PlacementQoS
+	// MeanRecoveryLatency and MaxRecoveryLatency summarize failover
+	// latency across placements.
+	MeanRecoveryLatency, MaxRecoveryLatency float64
+	// TotalSyncTraffic sums the traffic proxy across placements.
+	TotalSyncTraffic float64
+}
+
+// Assess scores every placement on the topology. Every cloudlet referenced
+// by a placement must be bound to a topology node (Cloudlet.Node ≥ 0).
+func Assess(network *core.Network, g *topology.Graph, trace []core.Request, placements []core.Placement) (*Report, error) {
+	if network == nil || g == nil {
+		return nil, fmt.Errorf("%w: nil network or graph", ErrBadInput)
+	}
+	if err := network.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadInput, err)
+	}
+	// Pre-compute pairwise latencies between the nodes that actually host
+	// cloudlets.
+	latencyFrom := make(map[int][]float64)
+	nodeOf := func(cloudlet int) (int, error) {
+		if cloudlet < 0 || cloudlet >= len(network.Cloudlets) {
+			return 0, fmt.Errorf("%w: cloudlet %d", ErrBadInput, cloudlet)
+		}
+		node := network.Cloudlets[cloudlet].Node
+		if node < 0 || node >= g.Nodes() {
+			return 0, fmt.Errorf("%w: cloudlet %d node %d", ErrUnplaced, cloudlet, node)
+		}
+		return node, nil
+	}
+	report := &Report{PerPlacement: make([]PlacementQoS, 0, len(placements))}
+	for _, p := range placements {
+		if p.Request < 0 || p.Request >= len(trace) {
+			return nil, fmt.Errorf("%w: placement for unknown request %d", ErrBadInput, p.Request)
+		}
+		if len(p.Assignments) == 0 {
+			return nil, fmt.Errorf("%w: empty placement for request %d", ErrBadInput, p.Request)
+		}
+		req := trace[p.Request]
+		demand := float64(network.Catalog[req.VNF].Demand)
+		primary := p.Assignments[0].Cloudlet
+		primaryNode, err := nodeOf(primary)
+		if err != nil {
+			return nil, err
+		}
+		pq := PlacementQoS{Request: p.Request, Primary: primary}
+		for _, a := range p.Assignments[1:] {
+			backupNode, err := nodeOf(a.Cloudlet)
+			if err != nil {
+				return nil, err
+			}
+			dist, ok := latencyFrom[primaryNode]
+			if !ok {
+				dist, err = g.ShortestLatencies(primaryNode)
+				if err != nil {
+					return nil, fmt.Errorf("qos: %w", err)
+				}
+				latencyFrom[primaryNode] = dist
+			}
+			lat := dist[backupNode]
+			if lat > pq.RecoveryLatency {
+				pq.RecoveryLatency = lat
+			}
+			pq.SyncTraffic += demand * lat
+		}
+		report.PerPlacement = append(report.PerPlacement, pq)
+		if pq.RecoveryLatency > report.MaxRecoveryLatency {
+			report.MaxRecoveryLatency = pq.RecoveryLatency
+		}
+		report.MeanRecoveryLatency += pq.RecoveryLatency
+		report.TotalSyncTraffic += pq.SyncTraffic
+	}
+	if n := len(report.PerPlacement); n > 0 {
+		report.MeanRecoveryLatency /= float64(n)
+	}
+	return report, nil
+}

@@ -1,0 +1,137 @@
+package qos
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"revnf/internal/core"
+	"revnf/internal/topology"
+)
+
+// lineNetwork builds a 4-node path topology (latency 2 per hop) with three
+// cloudlets on nodes 0, 1 and 3.
+func lineNetwork(t *testing.T) (*core.Network, *topology.Graph) {
+	t.Helper()
+	g, err := topology.NewGraph("line", 4)
+	if err != nil {
+		t.Fatalf("NewGraph: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := g.AddEdge(i, i+1, 2); err != nil {
+			t.Fatalf("AddEdge: %v", err)
+		}
+	}
+	n := &core.Network{
+		Catalog: []core.VNF{{ID: 0, Name: "fw", Demand: 2, Reliability: 0.95}},
+		Cloudlets: []core.Cloudlet{
+			{ID: 0, Node: 0, Capacity: 10, Reliability: 0.99},
+			{ID: 1, Node: 1, Capacity: 10, Reliability: 0.98},
+			{ID: 2, Node: 3, Capacity: 10, Reliability: 0.97},
+		},
+	}
+	return n, g
+}
+
+func testTrace() []core.Request {
+	return []core.Request{
+		{ID: 0, VNF: 0, Reliability: 0.9, Arrival: 1, Duration: 2, Payment: 5},
+		{ID: 1, VNF: 0, Reliability: 0.9, Arrival: 1, Duration: 2, Payment: 5},
+	}
+}
+
+func TestAssessOffsite(t *testing.T) {
+	n, g := lineNetwork(t)
+	trace := testTrace()
+	placements := []core.Placement{
+		{
+			Request: 0,
+			Scheme:  core.OffSite,
+			Assignments: []core.Assignment{
+				{Cloudlet: 0, Instances: 1}, // primary at node 0
+				{Cloudlet: 1, Instances: 1}, // backup at node 1 (latency 2)
+				{Cloudlet: 2, Instances: 1}, // backup at node 3 (latency 6)
+			},
+		},
+	}
+	rep, err := Assess(n, g, trace, placements)
+	if err != nil {
+		t.Fatalf("Assess: %v", err)
+	}
+	pq := rep.PerPlacement[0]
+	if pq.Primary != 0 {
+		t.Errorf("Primary = %d, want 0", pq.Primary)
+	}
+	if pq.RecoveryLatency != 6 {
+		t.Errorf("RecoveryLatency = %v, want 6", pq.RecoveryLatency)
+	}
+	// Sync traffic: demand 2 × (2 + 6) = 16.
+	if math.Abs(pq.SyncTraffic-16) > 1e-12 {
+		t.Errorf("SyncTraffic = %v, want 16", pq.SyncTraffic)
+	}
+	if rep.MaxRecoveryLatency != 6 || rep.MeanRecoveryLatency != 6 {
+		t.Errorf("report latencies = %v/%v", rep.MeanRecoveryLatency, rep.MaxRecoveryLatency)
+	}
+	if rep.TotalSyncTraffic != 16 {
+		t.Errorf("TotalSyncTraffic = %v", rep.TotalSyncTraffic)
+	}
+}
+
+func TestAssessOnsiteIsFree(t *testing.T) {
+	n, g := lineNetwork(t)
+	trace := testTrace()
+	placements := []core.Placement{
+		{
+			Request:     1,
+			Scheme:      core.OnSite,
+			Assignments: []core.Assignment{{Cloudlet: 1, Instances: 3}},
+		},
+	}
+	rep, err := Assess(n, g, trace, placements)
+	if err != nil {
+		t.Fatalf("Assess: %v", err)
+	}
+	pq := rep.PerPlacement[0]
+	if pq.RecoveryLatency != 0 || pq.SyncTraffic != 0 {
+		t.Errorf("on-site placement has recovery %v traffic %v", pq.RecoveryLatency, pq.SyncTraffic)
+	}
+}
+
+func TestAssessErrors(t *testing.T) {
+	n, g := lineNetwork(t)
+	trace := testTrace()
+	if _, err := Assess(nil, g, trace, nil); !errors.Is(err, ErrBadInput) {
+		t.Errorf("nil network err = %v", err)
+	}
+	if _, err := Assess(n, nil, trace, nil); !errors.Is(err, ErrBadInput) {
+		t.Errorf("nil graph err = %v", err)
+	}
+	unknown := []core.Placement{{Request: 99, Assignments: []core.Assignment{{Cloudlet: 0, Instances: 1}}}}
+	if _, err := Assess(n, g, trace, unknown); !errors.Is(err, ErrBadInput) {
+		t.Errorf("unknown request err = %v", err)
+	}
+	empty := []core.Placement{{Request: 0}}
+	if _, err := Assess(n, g, trace, empty); !errors.Is(err, ErrBadInput) {
+		t.Errorf("empty placement err = %v", err)
+	}
+	// Cloudlet without a node binding.
+	n2, _ := lineNetwork(t)
+	n2.Cloudlets[0].Node = -1
+	bound := []core.Placement{{Request: 0, Scheme: core.OffSite, Assignments: []core.Assignment{
+		{Cloudlet: 0, Instances: 1}, {Cloudlet: 1, Instances: 1},
+	}}}
+	if _, err := Assess(n2, g, trace, bound); !errors.Is(err, ErrUnplaced) {
+		t.Errorf("unbound cloudlet err = %v", err)
+	}
+}
+
+func TestAssessEmptyPlacements(t *testing.T) {
+	n, g := lineNetwork(t)
+	rep, err := Assess(n, g, testTrace(), nil)
+	if err != nil {
+		t.Fatalf("Assess: %v", err)
+	}
+	if len(rep.PerPlacement) != 0 || rep.MeanRecoveryLatency != 0 {
+		t.Errorf("empty report = %+v", rep)
+	}
+}

@@ -1,0 +1,160 @@
+// Package simulate drives online schedulers over request traces and audits
+// every decision: placements are validated against the reliability
+// requirement, reservations recorded in the authoritative time-slot ledger,
+// and revenue, utilization and capacity violations measured. It also
+// provides a Monte-Carlo failure injector that empirically verifies the
+// availability of admitted placements by sampling cloudlet and instance
+// failures.
+package simulate
+
+import (
+	"errors"
+	"fmt"
+
+	"revnf/internal/core"
+	"revnf/internal/timeslot"
+	"revnf/internal/workload"
+)
+
+// Errors returned by Run.
+var (
+	ErrBadInstance  = errors.New("simulate: invalid instance")
+	ErrBadScheduler = errors.New("simulate: nil scheduler")
+	// ErrSchedulerOverbooked reports a scheduler that claimed a placement
+	// the ledger cannot hold while violations are disallowed.
+	ErrSchedulerOverbooked = errors.New("simulate: scheduler exceeded capacity without violation licence")
+)
+
+// Decision records one online admission outcome.
+type Decision struct {
+	// Request is the request ID.
+	Request int
+	// Admitted reports the outcome.
+	Admitted bool
+	// Placement is the resource footprint when admitted.
+	Placement core.Placement
+}
+
+// Result summarizes one simulation run.
+type Result struct {
+	// Algorithm and Scheme identify the scheduler.
+	Algorithm string
+	Scheme    core.Scheme
+	// Revenue is the summed payment of admitted requests (objective (6)).
+	Revenue float64
+	// Admitted and Rejected count decisions.
+	Admitted, Rejected int
+	// Decisions is the per-request audit trail in arrival order.
+	Decisions []Decision
+	// Utilization is the mean used/capacity over all (cloudlet, slot)
+	// cells at the end of the run.
+	Utilization float64
+	// Violations lists every overcommitted (cloudlet, slot) cell; empty
+	// unless the run allowed violations.
+	Violations []timeslot.Violation
+	// MaxViolationRatio is the worst used/capacity cell ratio.
+	MaxViolationRatio float64
+}
+
+// AdmissionRate returns admitted / total, or 0 for an empty trace.
+func (r *Result) AdmissionRate() float64 {
+	total := r.Admitted + r.Rejected
+	if total == 0 {
+		return 0
+	}
+	return float64(r.Admitted) / float64(total)
+}
+
+// Option configures a run.
+type Option func(*config)
+
+type config struct {
+	allowViolations bool
+}
+
+// AllowViolations lets the run force-reserve capacity the ledger does not
+// have, recording the overcommitment instead of failing. Use it for the
+// raw Algorithm 1 whose analysis bounds (but does not prevent) violations.
+func AllowViolations() Option {
+	return func(c *config) { c.allowViolations = true }
+}
+
+// Run feeds the instance's trace to the scheduler in arrival order and
+// returns the audited result.
+func Run(inst *workload.Instance, sched core.Scheduler, opts ...Option) (*Result, error) {
+	if sched == nil {
+		return nil, ErrBadScheduler
+	}
+	if inst == nil {
+		return nil, fmt.Errorf("%w: nil", ErrBadInstance)
+	}
+	if err := inst.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadInstance, err)
+	}
+	var cfg config
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	caps := make([]int, len(inst.Network.Cloudlets))
+	for j, cl := range inst.Network.Cloudlets {
+		caps[j] = cl.Capacity
+	}
+	ledger, err := timeslot.New(caps, inst.Horizon)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadInstance, err)
+	}
+	result := &Result{
+		Algorithm: sched.Name(),
+		Scheme:    sched.Scheme(),
+		Decisions: make([]Decision, 0, len(inst.Trace)),
+	}
+	demandOf := func(p core.Placement, a core.Assignment) int {
+		req := inst.Trace[p.Request]
+		return a.Units(inst.Network.Catalog[req.VNF].Demand)
+	}
+	for _, req := range inst.Trace {
+		placement, admitted := sched.Decide(req, ledger)
+		if !admitted {
+			result.Rejected++
+			result.Decisions = append(result.Decisions, Decision{Request: req.ID})
+			continue
+		}
+		if err := placement.Validate(inst.Network, req); err != nil {
+			return nil, fmt.Errorf("simulate: scheduler %q request %d: %w", sched.Name(), req.ID, err)
+		}
+		for _, a := range placement.Assignments {
+			units := demandOf(placement, a)
+			if cfg.allowViolations {
+				err = ledger.ForceReserve(a.Cloudlet, req.Arrival, req.Duration, units)
+			} else {
+				err = ledger.Reserve(a.Cloudlet, req.Arrival, req.Duration, units)
+				if errors.Is(err, timeslot.ErrOverCapacity) {
+					return nil, fmt.Errorf("%w: %q request %d cloudlet %d: %v",
+						ErrSchedulerOverbooked, sched.Name(), req.ID, a.Cloudlet, err)
+				}
+			}
+			if err != nil {
+				return nil, fmt.Errorf("simulate: reserve for request %d: %w", req.ID, err)
+			}
+		}
+		result.Admitted++
+		result.Revenue += req.Payment
+		result.Decisions = append(result.Decisions, Decision{Request: req.ID, Admitted: true, Placement: placement})
+	}
+	result.Utilization = ledger.Utilization()
+	result.Violations = ledger.Violations()
+	result.MaxViolationRatio = ledger.MaxViolationRatio()
+	return result, nil
+}
+
+// AdmittedPlacements extracts the placements of admitted requests, in
+// arrival order, for downstream analysis such as failure injection.
+func (r *Result) AdmittedPlacements() []core.Placement {
+	out := make([]core.Placement, 0, r.Admitted)
+	for _, d := range r.Decisions {
+		if d.Admitted {
+			out = append(out, d.Placement)
+		}
+	}
+	return out
+}

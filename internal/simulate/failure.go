@@ -1,0 +1,110 @@
+package simulate
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"revnf/internal/core"
+)
+
+// RequestAvailability is the Monte-Carlo availability estimate for one
+// admitted request.
+type RequestAvailability struct {
+	// Request is the request ID.
+	Request int
+	// Required is the reliability requirement R.
+	Required float64
+	// Analytical is the closed-form availability of the placement.
+	Analytical float64
+	// Empirical is the fraction of failure-injection trials in which at
+	// least one instance survived.
+	Empirical float64
+	// Met reports whether the empirical estimate is consistent with the
+	// requirement, allowing three standard errors of sampling slack.
+	Met bool
+}
+
+// AvailabilityReport aggregates failure-injection results over all
+// admitted requests.
+type AvailabilityReport struct {
+	// Trials is the number of Monte-Carlo samples per request.
+	Trials int
+	// PerRequest holds one entry per admitted placement.
+	PerRequest []RequestAvailability
+	// MetFraction is the fraction of placements whose empirical
+	// availability met the requirement.
+	MetFraction float64
+}
+
+// EstimateAvailability injects random failures: in each trial every
+// cloudlet is up with probability r(c) and every VNF instance independently
+// up with probability r(f); a request survives the trial when at least one
+// of its instances sits in an up cloudlet and is itself up. This is the
+// empirical check that the paper's reliability constraints (2) and (10)
+// actually deliver the promised availability.
+func EstimateAvailability(network *core.Network, trace []core.Request, placements []core.Placement, trials int, rng *rand.Rand) (*AvailabilityReport, error) {
+	if trials < 1 {
+		return nil, fmt.Errorf("%w: %d trials", ErrBadInstance, trials)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("%w: nil RNG", ErrBadInstance)
+	}
+	if err := network.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadInstance, err)
+	}
+	report := &AvailabilityReport{
+		Trials:     trials,
+		PerRequest: make([]RequestAvailability, 0, len(placements)),
+	}
+	met := 0
+	for _, p := range placements {
+		if p.Request < 0 || p.Request >= len(trace) {
+			return nil, fmt.Errorf("%w: placement for unknown request %d", ErrBadInstance, p.Request)
+		}
+		req := trace[p.Request]
+		if err := p.Validate(network, req); err != nil {
+			return nil, fmt.Errorf("simulate: placement for request %d: %w", p.Request, err)
+		}
+		rf := network.Catalog[req.VNF].Reliability
+		survived := 0
+		for trial := 0; trial < trials; trial++ {
+			if sampleSurvival(network, p, rf, rng) {
+				survived++
+			}
+		}
+		empirical := float64(survived) / float64(trials)
+		// Three standard errors of slack on the binomial estimate.
+		slack := 3 * math.Sqrt(req.Reliability*(1-req.Reliability)/float64(trials))
+		ra := RequestAvailability{
+			Request:    p.Request,
+			Required:   req.Reliability,
+			Analytical: p.Availability(network, req),
+			Empirical:  empirical,
+			Met:        empirical+slack >= req.Reliability,
+		}
+		if ra.Met {
+			met++
+		}
+		report.PerRequest = append(report.PerRequest, ra)
+	}
+	if len(report.PerRequest) > 0 {
+		report.MetFraction = float64(met) / float64(len(report.PerRequest))
+	}
+	return report, nil
+}
+
+// sampleSurvival samples one failure trial for one placement.
+func sampleSurvival(network *core.Network, p core.Placement, rf float64, rng *rand.Rand) bool {
+	for _, a := range p.Assignments {
+		if rng.Float64() >= network.Cloudlets[a.Cloudlet].Reliability {
+			continue // cloudlet down: all its instances are lost
+		}
+		for k := 0; k < a.Instances; k++ {
+			if rng.Float64() < rf {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,180 @@
+package simulate
+
+import (
+	"fmt"
+	"math/rand"
+
+	"revnf/internal/core"
+)
+
+// TimelineConfig parameterizes the time-dynamic failure model. Components
+// alternate between up and down states in a two-state Markov chain whose
+// stationary up-probability equals the component's reliability and whose
+// mean repair time is the configured MTTR (in slots):
+//
+//	P(down→up) = 1/MTTR,  P(up→down) = (1-r)/(r·MTTR).
+//
+// MTTR = 1 recovers (nearly) independent per-slot failures; larger MTTRs
+// produce the bursty, correlated outages real cloudlets exhibit, which the
+// static probability model of the paper cannot distinguish between
+// schemes.
+type TimelineConfig struct {
+	// CloudletMTTR is the mean cloudlet repair time in slots (≥ 1).
+	CloudletMTTR float64
+	// InstanceMTTR is the mean VNF instance repair time in slots (≥ 1).
+	InstanceMTTR float64
+}
+
+// Validate checks the configuration.
+func (c TimelineConfig) Validate() error {
+	if c.CloudletMTTR < 1 || c.InstanceMTTR < 1 {
+		return fmt.Errorf("%w: MTTRs %v/%v below 1 slot", ErrBadInstance, c.CloudletMTTR, c.InstanceMTTR)
+	}
+	return nil
+}
+
+// RequestUptime is one admitted request's delivered service over its
+// execution window.
+type RequestUptime struct {
+	// Request is the request ID.
+	Request int
+	// Slots is the execution window length; UpSlots how many of them had
+	// at least one live instance.
+	Slots, UpSlots int
+	// Delivered is UpSlots/Slots.
+	Delivered float64
+	// Required is the request's reliability requirement.
+	Required float64
+}
+
+// TimelineReport aggregates a time-dynamic failure simulation.
+type TimelineReport struct {
+	// PerRequest holds one entry per admitted placement.
+	PerRequest []RequestUptime
+	// MeanDelivered is the average Delivered across requests.
+	MeanDelivered float64
+	// FullServiceFraction is the fraction of requests with zero downtime
+	// over their window.
+	FullServiceFraction float64
+	// CloudletDownSlots counts how many of the horizon's slots each
+	// cloudlet spent down.
+	CloudletDownSlots []int
+}
+
+// SimulateTimeline plays the horizon forward slot by slot: cloudlets and
+// instances flip between up and down per the Markov model, and every
+// admitted placement's delivered uptime is measured over its window. It
+// is the dynamic companion to EstimateAvailability — the static check
+// validates the probability math, this one shows how outage burstiness
+// (MTTR) affects the schemes' delivered service.
+func SimulateTimeline(network *core.Network, horizon int, trace []core.Request, placements []core.Placement, cfg TimelineConfig, rng *rand.Rand) (*TimelineReport, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("%w: nil RNG", ErrBadInstance)
+	}
+	if err := network.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadInstance, err)
+	}
+	if horizon < 1 {
+		return nil, fmt.Errorf("%w: horizon %d", ErrBadInstance, horizon)
+	}
+	// Cloudlet up/down timelines.
+	cloudletUp := make([][]bool, len(network.Cloudlets))
+	downSlots := make([]int, len(network.Cloudlets))
+	for j, cl := range network.Cloudlets {
+		cloudletUp[j] = markovTimeline(horizon, cl.Reliability, cfg.CloudletMTTR, rng)
+		for _, up := range cloudletUp[j] {
+			if !up {
+				downSlots[j]++
+			}
+		}
+	}
+	report := &TimelineReport{
+		PerRequest:        make([]RequestUptime, 0, len(placements)),
+		CloudletDownSlots: downSlots,
+	}
+	fullService := 0
+	totalDelivered := 0.0
+	for _, p := range placements {
+		if p.Request < 0 || p.Request >= len(trace) {
+			return nil, fmt.Errorf("%w: placement for unknown request %d", ErrBadInstance, p.Request)
+		}
+		req := trace[p.Request]
+		rf := network.Catalog[req.VNF].Reliability
+		// Per-instance software timelines over the request's window.
+		type instTimeline struct {
+			cloudlet int
+			up       []bool
+		}
+		var instances []instTimeline
+		for _, a := range p.Assignments {
+			for k := 0; k < a.Instances; k++ {
+				instances = append(instances, instTimeline{
+					cloudlet: a.Cloudlet,
+					up:       markovTimeline(req.Duration, rf, cfg.InstanceMTTR, rng),
+				})
+			}
+		}
+		upSlots := 0
+		for t := req.Arrival; t <= req.End(); t++ {
+			alive := false
+			for _, inst := range instances {
+				if cloudletUp[inst.cloudlet][t-1] && inst.up[t-req.Arrival] {
+					alive = true
+					break
+				}
+			}
+			if alive {
+				upSlots++
+			}
+		}
+		delivered := float64(upSlots) / float64(req.Duration)
+		report.PerRequest = append(report.PerRequest, RequestUptime{
+			Request:   p.Request,
+			Slots:     req.Duration,
+			UpSlots:   upSlots,
+			Delivered: delivered,
+			Required:  req.Reliability,
+		})
+		totalDelivered += delivered
+		if upSlots == req.Duration {
+			fullService++
+		}
+	}
+	if n := len(report.PerRequest); n > 0 {
+		report.MeanDelivered = totalDelivered / float64(n)
+		report.FullServiceFraction = float64(fullService) / float64(n)
+	}
+	return report, nil
+}
+
+// markovTimeline samples a two-state availability chain of the given
+// length whose stationary up-probability is r and mean down-spell is mttr
+// slots. The initial state is drawn from the stationary distribution.
+func markovTimeline(length int, r, mttr float64, rng *rand.Rand) []bool {
+	repair := 1 / mttr
+	fail := repair * (1 - r) / r
+	if fail > 1 {
+		// Very low reliabilities with short MTTRs cannot hold the
+		// stationary target; saturate the failure rate (the stationary
+		// availability then exceeds r, erring on the safe side).
+		fail = 1
+	}
+	up := rng.Float64() < r
+	out := make([]bool, length)
+	for t := 0; t < length; t++ {
+		out[t] = up
+		if up {
+			if rng.Float64() < fail {
+				up = false
+			}
+		} else {
+			if rng.Float64() < repair {
+				up = true
+			}
+		}
+	}
+	return out
+}

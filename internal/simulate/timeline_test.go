@@ -1,0 +1,160 @@
+package simulate
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"revnf/internal/baseline"
+	"revnf/internal/core"
+)
+
+func TestTimelineConfigValidate(t *testing.T) {
+	if err := (TimelineConfig{CloudletMTTR: 1, InstanceMTTR: 1}).Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	if err := (TimelineConfig{CloudletMTTR: 0.5, InstanceMTTR: 1}).Validate(); err == nil {
+		t.Error("sub-slot cloudlet MTTR accepted")
+	}
+	if err := (TimelineConfig{CloudletMTTR: 1, InstanceMTTR: 0}).Validate(); err == nil {
+		t.Error("zero instance MTTR accepted")
+	}
+}
+
+func TestMarkovTimelineStationary(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, tc := range []struct{ r, mttr float64 }{
+		{0.95, 1}, {0.99, 5}, {0.9, 10},
+	} {
+		up := 0
+		const length = 200000
+		tl := markovTimeline(length, tc.r, tc.mttr, rng)
+		for _, u := range tl {
+			if u {
+				up++
+			}
+		}
+		got := float64(up) / length
+		if math.Abs(got-tc.r) > 0.01 {
+			t.Errorf("r=%v mttr=%v: stationary availability %v", tc.r, tc.mttr, got)
+		}
+	}
+}
+
+func TestMarkovTimelineBurstiness(t *testing.T) {
+	// Larger MTTR must produce longer down spells at the same stationary
+	// availability.
+	meanSpell := func(mttr float64, seed int64) float64 {
+		rng := rand.New(rand.NewSource(seed))
+		tl := markovTimeline(100000, 0.95, mttr, rng)
+		spells, length, current := 0, 0, 0
+		for _, up := range tl {
+			if up {
+				if current > 0 {
+					spells++
+					length += current
+					current = 0
+				}
+			} else {
+				current++
+			}
+		}
+		if spells == 0 {
+			return 0
+		}
+		return float64(length) / float64(spells)
+	}
+	short := meanSpell(1, 2)
+	long := meanSpell(8, 3)
+	if long < 2*short {
+		t.Errorf("mean down spell at MTTR=8 (%v) not clearly longer than MTTR=1 (%v)", long, short)
+	}
+}
+
+func TestSimulateTimelineEndToEnd(t *testing.T) {
+	inst := testInstance(t, 40)
+	g, err := baseline.NewGreedyOnsite(inst.Network)
+	if err != nil {
+		t.Fatalf("NewGreedyOnsite: %v", err)
+	}
+	res, err := Run(inst, g)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	cfg := TimelineConfig{CloudletMTTR: 2, InstanceMTTR: 1}
+	rep, err := SimulateTimeline(inst.Network, inst.Horizon, inst.Trace, res.AdmittedPlacements(), cfg, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatalf("SimulateTimeline: %v", err)
+	}
+	if len(rep.PerRequest) != res.Admitted {
+		t.Fatalf("report entries %d, want %d", len(rep.PerRequest), res.Admitted)
+	}
+	if rep.MeanDelivered <= 0 || rep.MeanDelivered > 1 {
+		t.Errorf("MeanDelivered = %v", rep.MeanDelivered)
+	}
+	if len(rep.CloudletDownSlots) != len(inst.Network.Cloudlets) {
+		t.Errorf("CloudletDownSlots = %v", rep.CloudletDownSlots)
+	}
+	for _, ru := range rep.PerRequest {
+		if ru.UpSlots > ru.Slots || ru.Delivered < 0 || ru.Delivered > 1 {
+			t.Errorf("per-request uptime malformed: %+v", ru)
+		}
+	}
+}
+
+// Property: at MTTR=1 the mean delivered availability across many seeds
+// approaches the placements' analytical availability.
+func TestSimulateTimelineMatchesAnalytical(t *testing.T) {
+	inst := testInstance(t, 10)
+	g, err := baseline.NewGreedyOnsite(inst.Network)
+	if err != nil {
+		t.Fatalf("NewGreedyOnsite: %v", err)
+	}
+	res, err := Run(inst, g)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	placements := res.AdmittedPlacements()
+	if len(placements) == 0 {
+		t.Skip("no admissions")
+	}
+	// Analytical mean availability of the admitted placements.
+	analytical := 0.0
+	for _, p := range placements {
+		analytical += p.Availability(inst.Network, inst.Trace[p.Request])
+	}
+	analytical /= float64(len(placements))
+	cfg := TimelineConfig{CloudletMTTR: 1, InstanceMTTR: 1}
+	total, rounds := 0.0, 300
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < rounds; i++ {
+		rep, err := SimulateTimeline(inst.Network, inst.Horizon, inst.Trace, placements, cfg, rng)
+		if err != nil {
+			t.Fatalf("SimulateTimeline: %v", err)
+		}
+		total += rep.MeanDelivered
+	}
+	got := total / float64(rounds)
+	if math.Abs(got-analytical) > 0.02 {
+		t.Errorf("timeline mean delivered %v vs analytical %v", got, analytical)
+	}
+}
+
+func TestSimulateTimelineErrors(t *testing.T) {
+	inst := testInstance(t, 5)
+	cfg := TimelineConfig{CloudletMTTR: 1, InstanceMTTR: 1}
+	rng := rand.New(rand.NewSource(1))
+	if _, err := SimulateTimeline(inst.Network, inst.Horizon, inst.Trace, nil, TimelineConfig{}, rng); err == nil {
+		t.Error("invalid config accepted")
+	}
+	if _, err := SimulateTimeline(inst.Network, inst.Horizon, inst.Trace, nil, cfg, nil); err == nil {
+		t.Error("nil RNG accepted")
+	}
+	if _, err := SimulateTimeline(inst.Network, 0, inst.Trace, nil, cfg, rng); err == nil {
+		t.Error("zero horizon accepted")
+	}
+	bad := []core.Placement{{Request: 99}}
+	if _, err := SimulateTimeline(inst.Network, inst.Horizon, inst.Trace, bad, cfg, rng); err == nil {
+		t.Error("unknown request accepted")
+	}
+}

@@ -1,0 +1,254 @@
+// Package timeslot tracks per-cloudlet, per-slot computing resource usage
+// over a finite horizon of discrete time slots. The Ledger is the
+// authoritative record used by the simulation engine: feasible schedulers
+// reserve through it and are refused when capacity would be exceeded, while
+// the raw primal-dual algorithm (whose analysis permits bounded violations)
+// force-reserves and has its overcommitment measured.
+package timeslot
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Errors returned by the ledger.
+var (
+	ErrBadSlot      = errors.New("timeslot: slot out of horizon")
+	ErrBadCloudlet  = errors.New("timeslot: unknown cloudlet")
+	ErrBadUnits     = errors.New("timeslot: non-positive units")
+	ErrOverCapacity = errors.New("timeslot: reservation exceeds capacity")
+	ErrUnderflow    = errors.New("timeslot: release exceeds recorded usage")
+)
+
+// Ledger records the computing units in use in each cloudlet at each slot.
+// Slots are 1-based, matching the paper's T = {1..T}. The zero value is not
+// usable; construct with New.
+type Ledger struct {
+	horizon int
+	caps    []int
+	used    [][]int // used[cloudlet][slot-1]
+}
+
+// New creates a ledger for the given per-cloudlet capacities and horizon.
+func New(capacities []int, horizon int) (*Ledger, error) {
+	if horizon < 1 {
+		return nil, fmt.Errorf("%w: horizon %d", ErrBadSlot, horizon)
+	}
+	if len(capacities) == 0 {
+		return nil, fmt.Errorf("%w: no capacities", ErrBadCloudlet)
+	}
+	caps := make([]int, len(capacities))
+	used := make([][]int, len(capacities))
+	for j, c := range capacities {
+		if c <= 0 {
+			return nil, fmt.Errorf("%w: cloudlet %d capacity %d", ErrBadUnits, j, c)
+		}
+		caps[j] = c
+		used[j] = make([]int, horizon)
+	}
+	return &Ledger{horizon: horizon, caps: caps, used: used}, nil
+}
+
+// Horizon returns the number of slots T.
+func (l *Ledger) Horizon() int { return l.horizon }
+
+// Cloudlets returns the number of cloudlets tracked.
+func (l *Ledger) Cloudlets() int { return len(l.caps) }
+
+// Capacity returns cap_j for cloudlet j, or 0 for an unknown cloudlet.
+func (l *Ledger) Capacity(cloudlet int) int {
+	if cloudlet < 0 || cloudlet >= len(l.caps) {
+		return 0
+	}
+	return l.caps[cloudlet]
+}
+
+// Used returns the units in use in cloudlet j at slot t, or 0 when out of
+// range.
+func (l *Ledger) Used(cloudlet, slot int) int {
+	if cloudlet < 0 || cloudlet >= len(l.caps) || slot < 1 || slot > l.horizon {
+		return 0
+	}
+	return l.used[cloudlet][slot-1]
+}
+
+// Residual returns the free units of cloudlet j at slot t. It can be
+// negative after forced reservations.
+func (l *Ledger) Residual(cloudlet, slot int) int {
+	if cloudlet < 0 || cloudlet >= len(l.caps) || slot < 1 || slot > l.horizon {
+		return 0
+	}
+	return l.caps[cloudlet] - l.used[cloudlet][slot-1]
+}
+
+// ResidualWindow returns the minimum residual capacity of cloudlet j over
+// slots [start, start+duration-1]. It returns 0 for invalid arguments.
+func (l *Ledger) ResidualWindow(cloudlet, start, duration int) int {
+	if cloudlet < 0 || cloudlet >= len(l.caps) || start < 1 || duration < 1 || start+duration-1 > l.horizon {
+		return 0
+	}
+	minFree := l.caps[cloudlet] - l.used[cloudlet][start-1]
+	for t := start + 1; t <= start+duration-1; t++ {
+		if free := l.caps[cloudlet] - l.used[cloudlet][t-1]; free < minFree {
+			minFree = free
+		}
+	}
+	return minFree
+}
+
+// CanReserve reports whether units fit in cloudlet j over the window
+// without exceeding capacity.
+func (l *Ledger) CanReserve(cloudlet, start, duration, units int) bool {
+	if units <= 0 {
+		return false
+	}
+	return l.ResidualWindow(cloudlet, start, duration) >= units
+}
+
+// Reserve books units in cloudlet j over slots [start, start+duration-1].
+// It fails with ErrOverCapacity (leaving the ledger unchanged) when any slot
+// would exceed capacity.
+func (l *Ledger) Reserve(cloudlet, start, duration, units int) error {
+	if err := l.checkArgs(cloudlet, start, duration, units); err != nil {
+		return err
+	}
+	if l.ResidualWindow(cloudlet, start, duration) < units {
+		return fmt.Errorf("%w: cloudlet %d window [%d,%d] units %d free %d",
+			ErrOverCapacity, cloudlet, start, start+duration-1, units,
+			l.ResidualWindow(cloudlet, start, duration))
+	}
+	l.add(cloudlet, start, duration, units)
+	return nil
+}
+
+// ForceReserve books units regardless of capacity. It is used for the raw
+// primal-dual algorithm whose bounded capacity violations are part of the
+// paper's analysis; the resulting overcommitment shows up in Violations.
+func (l *Ledger) ForceReserve(cloudlet, start, duration, units int) error {
+	if err := l.checkArgs(cloudlet, start, duration, units); err != nil {
+		return err
+	}
+	l.add(cloudlet, start, duration, units)
+	return nil
+}
+
+// Release returns previously reserved units. It fails with ErrUnderflow
+// (leaving the ledger unchanged) when more units would be released than are
+// in use at any covered slot.
+func (l *Ledger) Release(cloudlet, start, duration, units int) error {
+	if err := l.checkArgs(cloudlet, start, duration, units); err != nil {
+		return err
+	}
+	for t := start; t <= start+duration-1; t++ {
+		if l.used[cloudlet][t-1] < units {
+			return fmt.Errorf("%w: cloudlet %d slot %d used %d release %d",
+				ErrUnderflow, cloudlet, t, l.used[cloudlet][t-1], units)
+		}
+	}
+	l.add(cloudlet, start, duration, -units)
+	return nil
+}
+
+func (l *Ledger) checkArgs(cloudlet, start, duration, units int) error {
+	if cloudlet < 0 || cloudlet >= len(l.caps) {
+		return fmt.Errorf("%w: %d", ErrBadCloudlet, cloudlet)
+	}
+	if start < 1 || duration < 1 || start+duration-1 > l.horizon {
+		return fmt.Errorf("%w: window [%d,%d] horizon %d", ErrBadSlot, start, start+duration-1, l.horizon)
+	}
+	if units <= 0 {
+		return fmt.Errorf("%w: %d", ErrBadUnits, units)
+	}
+	return nil
+}
+
+func (l *Ledger) add(cloudlet, start, duration, units int) {
+	for t := start; t <= start+duration-1; t++ {
+		l.used[cloudlet][t-1] += units
+	}
+}
+
+// Violation describes one overcommitted (cloudlet, slot) cell.
+type Violation struct {
+	// Cloudlet and Slot locate the overcommitted cell.
+	Cloudlet, Slot int
+	// Used and Capacity give the recorded usage and the limit.
+	Used, Capacity int
+}
+
+// Excess returns Used - Capacity.
+func (v Violation) Excess() int { return v.Used - v.Capacity }
+
+// Ratio returns Used / Capacity, the multiplicative overcommitment.
+func (v Violation) Ratio() float64 { return float64(v.Used) / float64(v.Capacity) }
+
+// Violations returns every overcommitted cell in cloudlet-then-slot order.
+func (l *Ledger) Violations() []Violation {
+	var out []Violation
+	for j := range l.caps {
+		for t := 1; t <= l.horizon; t++ {
+			if u := l.used[j][t-1]; u > l.caps[j] {
+				out = append(out, Violation{Cloudlet: j, Slot: t, Used: u, Capacity: l.caps[j]})
+			}
+		}
+	}
+	return out
+}
+
+// MaxViolationRatio returns the largest Used/Capacity across all cells
+// (1.0 or less means no violation; exactly 1.0 is returned for a full but
+// unviolated ledger as well as for an empty one with ratio below 1).
+func (l *Ledger) MaxViolationRatio() float64 {
+	maxRatio := 0.0
+	for j := range l.caps {
+		for t := 0; t < l.horizon; t++ {
+			if r := float64(l.used[j][t]) / float64(l.caps[j]); r > maxRatio {
+				maxRatio = r
+			}
+		}
+	}
+	return maxRatio
+}
+
+// Utilization returns the mean of Used/Capacity over every (cloudlet, slot)
+// cell. Overcommitted cells contribute ratios above 1.
+func (l *Ledger) Utilization() float64 {
+	if len(l.caps) == 0 || l.horizon == 0 {
+		return 0
+	}
+	total := 0.0
+	for j := range l.caps {
+		for t := 0; t < l.horizon; t++ {
+			total += float64(l.used[j][t]) / float64(l.caps[j])
+		}
+	}
+	return total / float64(len(l.caps)*l.horizon)
+}
+
+// PeakUsage returns the maximum units in use in cloudlet j across all
+// slots.
+func (l *Ledger) PeakUsage(cloudlet int) int {
+	if cloudlet < 0 || cloudlet >= len(l.caps) {
+		return 0
+	}
+	peak := 0
+	for _, u := range l.used[cloudlet] {
+		if u > peak {
+			peak = u
+		}
+	}
+	return peak
+}
+
+// Clone returns an independent deep copy of the ledger, used by solvers
+// that explore hypothetical schedules.
+func (l *Ledger) Clone() *Ledger {
+	caps := make([]int, len(l.caps))
+	copy(caps, l.caps)
+	used := make([][]int, len(l.used))
+	for j := range l.used {
+		used[j] = make([]int, len(l.used[j]))
+		copy(used[j], l.used[j])
+	}
+	return &Ledger{horizon: l.horizon, caps: caps, used: used}
+}

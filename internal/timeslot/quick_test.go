@@ -1,0 +1,69 @@
+package timeslot
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property (testing/quick): Reserve-then-Release is an identity on the
+// ledger for any in-range arguments, and Reserve never succeeds beyond
+// capacity.
+func TestReserveReleaseIdentityQuick(t *testing.T) {
+	const (
+		horizon  = 12
+		capacity = 10
+	)
+	f := func(cloudletSeed, startSeed, durSeed, unitSeed uint8) bool {
+		l, err := New([]int{capacity, capacity}, horizon)
+		if err != nil {
+			return false
+		}
+		cloudlet := int(cloudletSeed) % 2
+		start := 1 + int(startSeed)%horizon
+		dur := 1 + int(durSeed)%(horizon-start+1)
+		units := 1 + int(unitSeed)%capacity
+		if err := l.Reserve(cloudlet, start, dur, units); err != nil {
+			return false
+		}
+		if l.Used(cloudlet, start) != units {
+			return false
+		}
+		if err := l.Release(cloudlet, start, dur, units); err != nil {
+			return false
+		}
+		for tt := 1; tt <= horizon; tt++ {
+			if l.Used(cloudlet, tt) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property (testing/quick): CanReserve is consistent with Reserve — if
+// CanReserve says yes, Reserve must succeed, and vice versa.
+func TestCanReserveConsistencyQuick(t *testing.T) {
+	f := func(capSeed, loadSeed, unitSeed uint8) bool {
+		capacity := 1 + int(capSeed)%20
+		l, err := New([]int{capacity}, 5)
+		if err != nil {
+			return false
+		}
+		load := int(loadSeed) % (capacity + 1)
+		if load > 0 {
+			if err := l.Reserve(0, 1, 5, load); err != nil {
+				return false
+			}
+		}
+		units := 1 + int(unitSeed)%(capacity+5)
+		can := l.CanReserve(0, 2, 3, units)
+		err = l.Reserve(0, 2, 3, units)
+		return can == (err == nil)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,167 @@
+package topology
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// ErdosRenyi generates a connected G(n,p) random graph: each node pair is
+// linked independently with probability p, then any disconnected components
+// are stitched together with one extra link each so the result is always
+// connected (the stitching adds at most n-1 edges and is the standard fix
+// for simulation topologies).
+func ErdosRenyi(n int, p float64, rng *rand.Rand) (*Graph, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("%w: %d nodes", ErrBadNode, n)
+	}
+	if p < 0 || p > 1 {
+		return nil, fmt.Errorf("topology: probability %v out of [0,1]", p)
+	}
+	g, err := NewGraph(fmt.Sprintf("er-%d", n), n)
+	if err != nil {
+		return nil, err
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				if err := g.AddEdge(u, v, 1+float64(rng.Intn(19))); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	connect(g, rng)
+	return g, nil
+}
+
+// BarabasiAlbert generates a connected scale-free graph by preferential
+// attachment: nodes arrive one at a time and link to m existing nodes with
+// probability proportional to their degree. It matches the hub-and-spoke
+// shape of metropolitan access networks.
+func BarabasiAlbert(n, m int, rng *rand.Rand) (*Graph, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("%w: %d nodes", ErrBadNode, n)
+	}
+	if m < 1 || m >= n {
+		return nil, fmt.Errorf("topology: attachment count %d out of [1,%d)", m, n)
+	}
+	g, err := NewGraph(fmt.Sprintf("ba-%d-%d", n, m), n)
+	if err != nil {
+		return nil, err
+	}
+	// Seed clique of m+1 nodes.
+	for u := 0; u <= m; u++ {
+		for v := u + 1; v <= m; v++ {
+			if err := g.AddEdge(u, v, 1+float64(rng.Intn(19))); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// targets holds one entry per edge endpoint: sampling uniformly from it
+	// is sampling proportionally to degree.
+	targets := make([]int, 0, 2*m*n)
+	for _, e := range g.Edges() {
+		targets = append(targets, e.U, e.V)
+	}
+	for v := m + 1; v < n; v++ {
+		seen := make(map[int]bool, m)
+		chosen := make([]int, 0, m)
+		for len(chosen) < m {
+			var candidate int
+			if len(targets) == 0 {
+				candidate = rng.Intn(v)
+			} else {
+				candidate = targets[rng.Intn(len(targets))]
+			}
+			if candidate != v && !seen[candidate] {
+				seen[candidate] = true
+				chosen = append(chosen, candidate)
+			}
+		}
+		for _, u := range chosen {
+			if err := g.AddEdge(u, v, 1+float64(rng.Intn(19))); err != nil {
+				return nil, err
+			}
+			targets = append(targets, u, v)
+		}
+	}
+	return g, nil
+}
+
+// Waxman generates a connected Waxman random graph: nodes get uniform
+// coordinates in the unit square and each pair links with probability
+// alpha·exp(-dist/(beta·sqrt(2))). Link latency is proportional to
+// Euclidean distance. Classic model for wide-area topologies.
+func Waxman(n int, alpha, beta float64, rng *rand.Rand) (*Graph, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("%w: %d nodes", ErrBadNode, n)
+	}
+	if alpha <= 0 || alpha > 1 || beta <= 0 || beta > 1 {
+		return nil, fmt.Errorf("topology: waxman parameters alpha=%v beta=%v out of (0,1]", alpha, beta)
+	}
+	g, err := NewGraph(fmt.Sprintf("waxman-%d", n), n)
+	if err != nil {
+		return nil, err
+	}
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.Float64()
+		ys[i] = rng.Float64()
+	}
+	maxDist := math.Sqrt2
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			d := math.Hypot(xs[u]-xs[v], ys[u]-ys[v])
+			if rng.Float64() < alpha*math.Exp(-d/(beta*maxDist)) {
+				if err := g.AddEdge(u, v, 1+20*d); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	connect(g, rng)
+	return g, nil
+}
+
+// connect stitches disconnected components together by linking a random
+// node of each non-root component to a random already-reached node.
+func connect(g *Graph, rng *rand.Rand) {
+	n := g.Nodes()
+	comp := make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	var components [][]int
+	for start := 0; start < n; start++ {
+		if comp[start] != -1 {
+			continue
+		}
+		id := len(components)
+		stack := []int{start}
+		comp[start] = id
+		var members []int
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			members = append(members, u)
+			for _, nb := range g.adj[u] {
+				if comp[nb.node] == -1 {
+					comp[nb.node] = id
+					stack = append(stack, nb.node)
+				}
+			}
+		}
+		components = append(components, members)
+	}
+	reached := components[0]
+	for _, members := range components[1:] {
+		u := reached[rng.Intn(len(reached))]
+		v := members[rng.Intn(len(members))]
+		// Ignore the error: u and v are in different components, so the
+		// edge cannot be a duplicate or self-loop.
+		_ = g.AddEdge(u, v, 1+float64(rng.Intn(19)))
+		reached = append(reached, members...)
+	}
+}

@@ -1,0 +1,130 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestErdosRenyi(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g, err := ErdosRenyi(30, 0.1, rng)
+	if err != nil {
+		t.Fatalf("ErdosRenyi: %v", err)
+	}
+	if g.Nodes() != 30 {
+		t.Errorf("Nodes = %d, want 30", g.Nodes())
+	}
+	if !g.Connected() {
+		t.Error("ErdosRenyi graph disconnected after stitching")
+	}
+}
+
+func TestErdosRenyiSparseStillConnected(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g, err := ErdosRenyi(50, 0, rng) // no random links at all
+	if err != nil {
+		t.Fatalf("ErdosRenyi: %v", err)
+	}
+	if !g.Connected() {
+		t.Error("p=0 graph must still be stitched connected")
+	}
+	if g.EdgeCount() != 49 {
+		t.Errorf("p=0 graph has %d edges, want 49 (spanning stitches)", g.EdgeCount())
+	}
+}
+
+func TestErdosRenyiErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	if _, err := ErdosRenyi(0, 0.5, rng); err == nil {
+		t.Error("n=0 did not error")
+	}
+	if _, err := ErdosRenyi(5, 1.5, rng); err == nil {
+		t.Error("p>1 did not error")
+	}
+}
+
+func TestBarabasiAlbert(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g, err := BarabasiAlbert(40, 2, rng)
+	if err != nil {
+		t.Fatalf("BarabasiAlbert: %v", err)
+	}
+	if g.Nodes() != 40 {
+		t.Errorf("Nodes = %d, want 40", g.Nodes())
+	}
+	if !g.Connected() {
+		t.Error("BA graph disconnected")
+	}
+	// Seed clique (m+1 choose 2) + m links per remaining node.
+	want := 3 + 2*(40-3)
+	if g.EdgeCount() != want {
+		t.Errorf("EdgeCount = %d, want %d", g.EdgeCount(), want)
+	}
+	// Scale-free shape: maximum degree should clearly exceed attachment m.
+	maxDeg := 0
+	for v := 0; v < g.Nodes(); v++ {
+		if d := g.Degree(v); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	if maxDeg < 5 {
+		t.Errorf("max degree %d suspiciously small for a BA graph", maxDeg)
+	}
+}
+
+func TestBarabasiAlbertErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	if _, err := BarabasiAlbert(1, 1, rng); err == nil {
+		t.Error("n=1 did not error")
+	}
+	if _, err := BarabasiAlbert(5, 0, rng); err == nil {
+		t.Error("m=0 did not error")
+	}
+	if _, err := BarabasiAlbert(5, 5, rng); err == nil {
+		t.Error("m=n did not error")
+	}
+}
+
+func TestWaxman(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g, err := Waxman(30, 0.8, 0.5, rng)
+	if err != nil {
+		t.Fatalf("Waxman: %v", err)
+	}
+	if g.Nodes() != 30 || !g.Connected() {
+		t.Errorf("Waxman graph nodes=%d connected=%v", g.Nodes(), g.Connected())
+	}
+}
+
+func TestWaxmanErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	if _, err := Waxman(0, 0.5, 0.5, rng); err == nil {
+		t.Error("n=0 did not error")
+	}
+	if _, err := Waxman(5, 0, 0.5, rng); err == nil {
+		t.Error("alpha=0 did not error")
+	}
+	if _, err := Waxman(5, 0.5, 2, rng); err == nil {
+		t.Error("beta>1 did not error")
+	}
+}
+
+func TestGeneratorsDeterministicPerSeed(t *testing.T) {
+	a, err := BarabasiAlbert(25, 2, rand.New(rand.NewSource(11)))
+	if err != nil {
+		t.Fatalf("BarabasiAlbert: %v", err)
+	}
+	b, err := BarabasiAlbert(25, 2, rand.New(rand.NewSource(11)))
+	if err != nil {
+		t.Fatalf("BarabasiAlbert: %v", err)
+	}
+	ea, eb := a.Edges(), b.Edges()
+	if len(ea) != len(eb) {
+		t.Fatalf("edge counts differ")
+	}
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatalf("edge %d differs across identical seeds", i)
+		}
+	}
+}

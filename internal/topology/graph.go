@@ -1,0 +1,274 @@
+// Package topology models the MEC access network G = (V, E): access-point
+// nodes connected by links, with cloudlets co-located at a subset of nodes.
+// It provides embedded real-world topologies in the style of the Internet
+// Topology Zoo (the paper's topology source [18]), random graph generators,
+// and the path/selection algorithms the experiments need.
+package topology
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Errors returned by graph construction and queries.
+var (
+	ErrBadNode       = errors.New("topology: node out of range")
+	ErrSelfLoop      = errors.New("topology: self loop")
+	ErrDuplicateEdge = errors.New("topology: duplicate edge")
+	ErrDisconnected  = errors.New("topology: graph is disconnected")
+	ErrNoPath        = errors.New("topology: no path between nodes")
+	ErrUnknown       = errors.New("topology: unknown topology name")
+)
+
+// Edge is an undirected link between two access points with a positive
+// latency used as its routing weight.
+type Edge struct {
+	// U and V are the endpoint node IDs, with U < V canonically.
+	U, V int
+	// Latency is the link's propagation latency in milliseconds.
+	Latency float64
+}
+
+// Graph is an undirected simple graph of access-point nodes. Construct with
+// NewGraph and AddEdge; node IDs are 0-based.
+type Graph struct {
+	name  string
+	n     int
+	edges []Edge
+	adj   [][]neighbor
+	set   map[[2]int]bool
+}
+
+type neighbor struct {
+	node    int
+	latency float64
+}
+
+// NewGraph creates an empty graph with n nodes.
+func NewGraph(name string, n int) (*Graph, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("%w: %d nodes", ErrBadNode, n)
+	}
+	return &Graph{
+		name: name,
+		n:    n,
+		adj:  make([][]neighbor, n),
+		set:  make(map[[2]int]bool),
+	}, nil
+}
+
+// Name returns the topology's label.
+func (g *Graph) Name() string { return g.name }
+
+// Nodes returns the number of nodes |V|.
+func (g *Graph) Nodes() int { return g.n }
+
+// EdgeCount returns the number of links |E|.
+func (g *Graph) EdgeCount() int { return len(g.edges) }
+
+// Edges returns a copy of the edge list.
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, len(g.edges))
+	copy(out, g.edges)
+	return out
+}
+
+// AddEdge inserts an undirected link with the given latency. Latencies that
+// are not positive are clamped to 1.
+func (g *Graph) AddEdge(u, v int, latency float64) error {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return fmt.Errorf("%w: edge (%d,%d) with %d nodes", ErrBadNode, u, v, g.n)
+	}
+	if u == v {
+		return fmt.Errorf("%w: node %d", ErrSelfLoop, u)
+	}
+	if u > v {
+		u, v = v, u
+	}
+	key := [2]int{u, v}
+	if g.set[key] {
+		return fmt.Errorf("%w: (%d,%d)", ErrDuplicateEdge, u, v)
+	}
+	if latency <= 0 {
+		latency = 1
+	}
+	g.set[key] = true
+	g.edges = append(g.edges, Edge{U: u, V: v, Latency: latency})
+	g.adj[u] = append(g.adj[u], neighbor{node: v, latency: latency})
+	g.adj[v] = append(g.adj[v], neighbor{node: u, latency: latency})
+	return nil
+}
+
+// HasEdge reports whether nodes u and v are directly linked.
+func (g *Graph) HasEdge(u, v int) bool {
+	if u > v {
+		u, v = v, u
+	}
+	return g.set[[2]int{u, v}]
+}
+
+// Degree returns the number of links at node u, or 0 for invalid nodes.
+func (g *Graph) Degree(u int) int {
+	if u < 0 || u >= g.n {
+		return 0
+	}
+	return len(g.adj[u])
+}
+
+// Connected reports whether every node is reachable from node 0.
+func (g *Graph) Connected() bool {
+	if g.n == 0 {
+		return true
+	}
+	seen := make([]bool, g.n)
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, nb := range g.adj[u] {
+			if !seen[nb.node] {
+				seen[nb.node] = true
+				count++
+				stack = append(stack, nb.node)
+			}
+		}
+	}
+	return count == g.n
+}
+
+// ShortestLatencies runs Dijkstra from src and returns the latency to every
+// node (math.Inf(1) for unreachable nodes).
+func (g *Graph) ShortestLatencies(src int) ([]float64, error) {
+	if src < 0 || src >= g.n {
+		return nil, fmt.Errorf("%w: source %d", ErrBadNode, src)
+	}
+	dist := make([]float64, g.n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[src] = 0
+	done := make([]bool, g.n)
+	h := &distHeap{items: []distItem{{node: src, dist: 0}}}
+	for h.Len() > 0 {
+		it := h.pop()
+		if done[it.node] {
+			continue
+		}
+		done[it.node] = true
+		for _, nb := range g.adj[it.node] {
+			if alt := it.dist + nb.latency; alt < dist[nb.node] {
+				dist[nb.node] = alt
+				h.push(distItem{node: nb.node, dist: alt})
+			}
+		}
+	}
+	return dist, nil
+}
+
+// PathLatency returns the shortest-path latency between u and v.
+func (g *Graph) PathLatency(u, v int) (float64, error) {
+	dist, err := g.ShortestLatencies(u)
+	if err != nil {
+		return 0, err
+	}
+	if v < 0 || v >= g.n {
+		return 0, fmt.Errorf("%w: target %d", ErrBadNode, v)
+	}
+	if math.IsInf(dist[v], 1) {
+		return 0, fmt.Errorf("%w: %d to %d", ErrNoPath, u, v)
+	}
+	return dist[v], nil
+}
+
+// Diameter returns the largest shortest-path latency between any node pair.
+// It returns an error when the graph is disconnected.
+func (g *Graph) Diameter() (float64, error) {
+	worst := 0.0
+	for u := 0; u < g.n; u++ {
+		dist, err := g.ShortestLatencies(u)
+		if err != nil {
+			return 0, err
+		}
+		for _, d := range dist {
+			if math.IsInf(d, 1) {
+				return 0, ErrDisconnected
+			}
+			if d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst, nil
+}
+
+// NodesByDegree returns node IDs sorted by decreasing degree, ties broken
+// by ascending ID. It is the default cloudlet-placement order: cloudlets go
+// at the best-connected access points.
+func (g *Graph) NodesByDegree() []int {
+	ids := make([]int, g.n)
+	for i := range ids {
+		ids[i] = i
+	}
+	sort.SliceStable(ids, func(a, b int) bool {
+		da, db := len(g.adj[ids[a]]), len(g.adj[ids[b]])
+		if da != db {
+			return da > db
+		}
+		return ids[a] < ids[b]
+	})
+	return ids
+}
+
+// distHeap is a minimal binary min-heap for Dijkstra, avoiding
+// container/heap interface allocation overhead in hot loops.
+type distItem struct {
+	node int
+	dist float64
+}
+
+type distHeap struct {
+	items []distItem
+}
+
+func (h *distHeap) Len() int { return len(h.items) }
+
+func (h *distHeap) push(it distItem) {
+	h.items = append(h.items, it)
+	i := len(h.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.items[parent].dist <= h.items[i].dist {
+			break
+		}
+		h.items[parent], h.items[i] = h.items[i], h.items[parent]
+		i = parent
+	}
+}
+
+func (h *distHeap) pop() distItem {
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(h.items) && h.items[l].dist < h.items[smallest].dist {
+			smallest = l
+		}
+		if r < len(h.items) && h.items[r].dist < h.items[smallest].dist {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h.items[i], h.items[smallest] = h.items[smallest], h.items[i]
+		i = smallest
+	}
+	return top
+}

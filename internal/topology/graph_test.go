@@ -1,0 +1,175 @@
+package topology
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func pathGraph(t *testing.T, n int) *Graph {
+	t.Helper()
+	g, err := NewGraph("path", n)
+	if err != nil {
+		t.Fatalf("NewGraph: %v", err)
+	}
+	for i := 0; i < n-1; i++ {
+		if err := g.AddEdge(i, i+1, 2); err != nil {
+			t.Fatalf("AddEdge: %v", err)
+		}
+	}
+	return g
+}
+
+func TestNewGraphErrors(t *testing.T) {
+	if _, err := NewGraph("x", 0); !errors.Is(err, ErrBadNode) {
+		t.Errorf("NewGraph(0) err = %v, want ErrBadNode", err)
+	}
+}
+
+func TestAddEdgeErrors(t *testing.T) {
+	g, err := NewGraph("x", 3)
+	if err != nil {
+		t.Fatalf("NewGraph: %v", err)
+	}
+	if err := g.AddEdge(0, 3, 1); !errors.Is(err, ErrBadNode) {
+		t.Errorf("out-of-range edge err = %v, want ErrBadNode", err)
+	}
+	if err := g.AddEdge(1, 1, 1); !errors.Is(err, ErrSelfLoop) {
+		t.Errorf("self loop err = %v, want ErrSelfLoop", err)
+	}
+	if err := g.AddEdge(0, 1, 1); err != nil {
+		t.Fatalf("AddEdge: %v", err)
+	}
+	if err := g.AddEdge(1, 0, 1); !errors.Is(err, ErrDuplicateEdge) {
+		t.Errorf("duplicate edge (reversed) err = %v, want ErrDuplicateEdge", err)
+	}
+}
+
+func TestGraphBasics(t *testing.T) {
+	g := pathGraph(t, 4)
+	if g.Name() != "path" || g.Nodes() != 4 || g.EdgeCount() != 3 {
+		t.Fatalf("basics: %s %d %d", g.Name(), g.Nodes(), g.EdgeCount())
+	}
+	if !g.HasEdge(2, 1) || g.HasEdge(0, 3) {
+		t.Error("HasEdge wrong")
+	}
+	if g.Degree(0) != 1 || g.Degree(1) != 2 || g.Degree(9) != 0 {
+		t.Error("Degree wrong")
+	}
+	edges := g.Edges()
+	edges[0].U = 99 // must not alias internal state
+	if g.Edges()[0].U == 99 {
+		t.Error("Edges() aliases internal slice")
+	}
+}
+
+func TestAddEdgeClampsLatency(t *testing.T) {
+	g, _ := NewGraph("x", 2)
+	if err := g.AddEdge(0, 1, -5); err != nil {
+		t.Fatalf("AddEdge: %v", err)
+	}
+	if got := g.Edges()[0].Latency; got != 1 {
+		t.Errorf("clamped latency = %v, want 1", got)
+	}
+}
+
+func TestConnected(t *testing.T) {
+	g := pathGraph(t, 5)
+	if !g.Connected() {
+		t.Error("path graph reported disconnected")
+	}
+	h, _ := NewGraph("two", 2)
+	if h.Connected() {
+		t.Error("edgeless 2-node graph reported connected")
+	}
+}
+
+func TestShortestLatencies(t *testing.T) {
+	g := pathGraph(t, 4) // latencies all 2
+	dist, err := g.ShortestLatencies(0)
+	if err != nil {
+		t.Fatalf("ShortestLatencies: %v", err)
+	}
+	want := []float64{0, 2, 4, 6}
+	for i, w := range want {
+		if dist[i] != w {
+			t.Errorf("dist[%d] = %v, want %v", i, dist[i], w)
+		}
+	}
+	if _, err := g.ShortestLatencies(-1); !errors.Is(err, ErrBadNode) {
+		t.Errorf("bad source err = %v, want ErrBadNode", err)
+	}
+}
+
+func TestShortestLatenciesPrefersLighterPath(t *testing.T) {
+	g, _ := NewGraph("tri", 3)
+	_ = g.AddEdge(0, 1, 10)
+	_ = g.AddEdge(0, 2, 1)
+	_ = g.AddEdge(2, 1, 2)
+	got, err := g.PathLatency(0, 1)
+	if err != nil {
+		t.Fatalf("PathLatency: %v", err)
+	}
+	if got != 3 {
+		t.Errorf("PathLatency(0,1) = %v, want 3 (via node 2)", got)
+	}
+}
+
+func TestPathLatencyErrors(t *testing.T) {
+	g, _ := NewGraph("disc", 3)
+	_ = g.AddEdge(0, 1, 1)
+	if _, err := g.PathLatency(0, 2); !errors.Is(err, ErrNoPath) {
+		t.Errorf("no path err = %v, want ErrNoPath", err)
+	}
+	if _, err := g.PathLatency(0, 9); !errors.Is(err, ErrBadNode) {
+		t.Errorf("bad target err = %v, want ErrBadNode", err)
+	}
+	if _, err := g.PathLatency(-2, 1); !errors.Is(err, ErrBadNode) {
+		t.Errorf("bad source err = %v, want ErrBadNode", err)
+	}
+}
+
+func TestDiameter(t *testing.T) {
+	g := pathGraph(t, 4)
+	d, err := g.Diameter()
+	if err != nil {
+		t.Fatalf("Diameter: %v", err)
+	}
+	if d != 6 {
+		t.Errorf("Diameter = %v, want 6", d)
+	}
+	h, _ := NewGraph("disc", 2)
+	if _, err := h.Diameter(); !errors.Is(err, ErrDisconnected) {
+		t.Errorf("disconnected Diameter err = %v, want ErrDisconnected", err)
+	}
+}
+
+func TestNodesByDegree(t *testing.T) {
+	g, _ := NewGraph("star", 4)
+	_ = g.AddEdge(0, 1, 1)
+	_ = g.AddEdge(1, 2, 1)
+	_ = g.AddEdge(1, 3, 1)
+	order := g.NodesByDegree()
+	if order[0] != 1 {
+		t.Errorf("NodesByDegree()[0] = %d, want hub 1", order[0])
+	}
+	// Ties (0,2,3 all degree 1) broken by ascending ID.
+	if order[1] != 0 || order[2] != 2 || order[3] != 3 {
+		t.Errorf("NodesByDegree() = %v, want [1 0 2 3]", order)
+	}
+}
+
+func TestDistHeapOrdering(t *testing.T) {
+	h := &distHeap{}
+	for _, d := range []float64{5, 1, 4, 2, 3} {
+		h.push(distItem{node: int(d), dist: d})
+	}
+	prev := math.Inf(-1)
+	for h.Len() > 0 {
+		it := h.pop()
+		if it.dist < prev {
+			t.Fatalf("heap pop out of order: %v after %v", it.dist, prev)
+		}
+		prev = it.dist
+	}
+}

@@ -1,0 +1,58 @@
+package topology
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// JSON interchange for custom topologies: users who model their own access
+// network export/import graphs in this format and feed them to the
+// simulators in place of the embedded Zoo-style entries.
+
+type graphDTO struct {
+	Name  string    `json:"name"`
+	Nodes int       `json:"nodes"`
+	Edges []edgeDTO `json:"edges"`
+}
+
+type edgeDTO struct {
+	U       int     `json:"u"`
+	V       int     `json:"v"`
+	Latency float64 `json:"latency"`
+}
+
+// Save writes the graph as indented JSON.
+func (g *Graph) Save(w io.Writer) error {
+	dto := graphDTO{Name: g.Name(), Nodes: g.Nodes(), Edges: make([]edgeDTO, 0, g.EdgeCount())}
+	for _, e := range g.Edges() {
+		dto.Edges = append(dto.Edges, edgeDTO{U: e.U, V: e.V, Latency: e.Latency})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(dto); err != nil {
+		return fmt.Errorf("topology: encode graph: %w", err)
+	}
+	return nil
+}
+
+// LoadJSON reads a graph previously written by Save (or hand-authored in
+// the same format) and validates it: node count, edge endpoints, no self
+// loops or duplicates. Connectivity is NOT required — callers that need
+// it check Connected.
+func LoadJSON(r io.Reader) (*Graph, error) {
+	var dto graphDTO
+	if err := json.NewDecoder(r).Decode(&dto); err != nil {
+		return nil, fmt.Errorf("topology: decode graph: %w", err)
+	}
+	g, err := NewGraph(dto.Name, dto.Nodes)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range dto.Edges {
+		if err := g.AddEdge(e.U, e.V, e.Latency); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}

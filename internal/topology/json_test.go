@@ -1,0 +1,69 @@
+package topology
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestGraphJSONRoundTrip(t *testing.T) {
+	g := MustLoad(NSFNET)
+	var buf bytes.Buffer
+	if err := g.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	got, err := LoadJSON(&buf)
+	if err != nil {
+		t.Fatalf("LoadJSON: %v", err)
+	}
+	if got.Name() != g.Name() || got.Nodes() != g.Nodes() || got.EdgeCount() != g.EdgeCount() {
+		t.Fatalf("round trip changed shape: %s %d/%d vs %s %d/%d",
+			got.Name(), got.Nodes(), got.EdgeCount(), g.Name(), g.Nodes(), g.EdgeCount())
+	}
+	ge, he := g.Edges(), got.Edges()
+	for i := range ge {
+		if ge[i] != he[i] {
+			t.Fatalf("edge %d differs: %+v vs %+v", i, ge[i], he[i])
+		}
+	}
+}
+
+func TestLoadJSONHandAuthored(t *testing.T) {
+	input := `{"name":"campus","nodes":3,"edges":[{"u":0,"v":1,"latency":2},{"u":1,"v":2,"latency":3}]}`
+	g, err := LoadJSON(strings.NewReader(input))
+	if err != nil {
+		t.Fatalf("LoadJSON: %v", err)
+	}
+	if g.Name() != "campus" || g.Nodes() != 3 || g.EdgeCount() != 2 {
+		t.Errorf("graph shape: %s %d/%d", g.Name(), g.Nodes(), g.EdgeCount())
+	}
+	lat, err := g.PathLatency(0, 2)
+	if err != nil || lat != 5 {
+		t.Errorf("PathLatency = %v, %v", lat, err)
+	}
+}
+
+func TestLoadJSONErrors(t *testing.T) {
+	cases := []struct {
+		name, input string
+		wantErr     error
+	}{
+		{"truncated", `{"name":`, nil},
+		{"zero nodes", `{"name":"x","nodes":0,"edges":[]}`, ErrBadNode},
+		{"edge out of range", `{"name":"x","nodes":2,"edges":[{"u":0,"v":5,"latency":1}]}`, ErrBadNode},
+		{"self loop", `{"name":"x","nodes":2,"edges":[{"u":1,"v":1,"latency":1}]}`, ErrSelfLoop},
+		{"duplicate", `{"name":"x","nodes":2,"edges":[{"u":0,"v":1,"latency":1},{"u":1,"v":0,"latency":2}]}`, ErrDuplicateEdge},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := LoadJSON(strings.NewReader(tc.input))
+			if err == nil {
+				t.Fatal("no error")
+			}
+			if tc.wantErr != nil && !errors.Is(err, tc.wantErr) {
+				t.Errorf("err = %v, want %v", err, tc.wantErr)
+			}
+		})
+	}
+}

@@ -1,0 +1,55 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzImportCSV checks the parser never panics and that every accepted
+// trace is fully valid: sorted, renumbered, and within the horizon.
+func FuzzImportCSV(f *testing.F) {
+	f.Add("arrival,duration,vnf,reliability,payment\n1,2,firewall,0.9,5\n")
+	f.Add("arrival,duration,vnf,reliability,payment\n3,1,0,0.95,2.5\n1,1,cache,0.92,1\n")
+	f.Add("arrival,duration,vnf,reliability,payment\n")
+	f.Add("arrival,duration,vnf,reliability,payment\n1,1,nope,0.9,1\n")
+	f.Add("x\n")
+	f.Add("arrival,duration,vnf,reliability,payment\n-1,1,0,0.9,1\n")
+	f.Add("arrival,duration,vnf,reliability,payment\n1,1,0,0.9,\"quoted\"\n")
+	catalog := DefaultCatalog()
+	f.Fuzz(func(t *testing.T, input string) {
+		const horizon = 50
+		trace, err := ImportCSV(strings.NewReader(input), catalog, horizon)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		prev := 0
+		for i, r := range trace {
+			if r.ID != i {
+				t.Fatalf("request %d has ID %d", i, r.ID)
+			}
+			if r.Arrival < prev {
+				t.Fatal("accepted trace not sorted")
+			}
+			prev = r.Arrival
+			if r.Arrival < 1 || r.End() > horizon {
+				t.Fatalf("accepted request outside horizon: %+v", r)
+			}
+			if r.VNF < 0 || r.VNF >= len(catalog) {
+				t.Fatalf("accepted unknown VNF: %+v", r)
+			}
+		}
+		// Accepted traces must survive an export/import round trip.
+		var buf bytes.Buffer
+		if err := ExportCSV(&buf, catalog, trace); err != nil {
+			t.Fatalf("export of accepted trace failed: %v", err)
+		}
+		again, err := ImportCSV(&buf, catalog, horizon)
+		if err != nil {
+			t.Fatalf("re-import of exported trace failed: %v", err)
+		}
+		if len(again) != len(trace) {
+			t.Fatalf("round trip changed length: %d vs %d", len(again), len(trace))
+		}
+	})
+}

@@ -1,0 +1,186 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+
+	"revnf/internal/core"
+	"revnf/internal/topology"
+)
+
+// Instance bundles everything one simulation run needs: the static network,
+// the horizon, and the request trace.
+type Instance struct {
+	// Network holds the catalog and cloudlets.
+	Network *core.Network
+	// Horizon is T.
+	Horizon int
+	// Trace is the request stream in arrival order.
+	Trace []core.Request
+}
+
+// Validate checks the network, horizon and every request.
+func (in *Instance) Validate() error {
+	if err := in.Network.Validate(); err != nil {
+		return err
+	}
+	if in.Horizon < 1 {
+		return fmt.Errorf("%w: horizon %d", ErrBadConfig, in.Horizon)
+	}
+	return in.Network.ValidateTrace(in.Trace, in.Horizon)
+}
+
+// InstanceConfig assembles a full instance from its parts, mirroring the
+// paper's evaluation setup: a Topology Zoo network, cloudlets at the
+// best-connected APs, the [15]-style catalog, and a randomized trace.
+type InstanceConfig struct {
+	// TopologyName is an embedded topology name (see package topology);
+	// empty selects NSFNET.
+	TopologyName string
+	// Cloudlets configures the fleet; Sites is filled from the topology.
+	Cloudlets CloudletConfig
+	// Catalog is the VNF catalog; nil selects DefaultCatalog.
+	Catalog []core.VNF
+	// Trace configures the request stream.
+	Trace TraceConfig
+}
+
+// NewInstance builds a reproducible instance from the configuration and
+// seed.
+func NewInstance(cfg InstanceConfig, seed int64) (*Instance, error) {
+	rng := rand.New(rand.NewSource(seed))
+	name := cfg.TopologyName
+	if name == "" {
+		name = topology.NSFNET
+	}
+	g, err := topology.Load(name)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Cloudlets.Count > g.Nodes() {
+		return nil, fmt.Errorf("%w: %d cloudlets on %d-node topology", ErrBadConfig, cfg.Cloudlets.Count, g.Nodes())
+	}
+	sites, err := topology.PlaceCloudletsByDegree(g, cfg.Cloudlets.Count)
+	if err != nil {
+		return nil, err
+	}
+	ccfg := cfg.Cloudlets
+	ccfg.Sites = sites
+	cloudlets, err := RandomCloudlets(ccfg, rng)
+	if err != nil {
+		return nil, err
+	}
+	catalog := cfg.Catalog
+	if catalog == nil {
+		catalog = DefaultCatalog()
+	}
+	trace, err := GenerateTrace(cfg.Trace, catalog, rng)
+	if err != nil {
+		return nil, err
+	}
+	inst := &Instance{
+		Network: &core.Network{Catalog: catalog, Cloudlets: cloudlets},
+		Horizon: cfg.Trace.Horizon,
+		Trace:   trace,
+	}
+	if err := inst.Validate(); err != nil {
+		return nil, fmt.Errorf("workload: generated instance invalid: %w", err)
+	}
+	return inst, nil
+}
+
+// JSON data-transfer shapes, kept separate from the core model so wire
+// field names stay stable independent of Go identifiers.
+
+type instanceDTO struct {
+	Horizon   int           `json:"horizon"`
+	Catalog   []vnfDTO      `json:"catalog"`
+	Cloudlets []cloudletDTO `json:"cloudlets"`
+	Trace     []requestDTO  `json:"trace"`
+}
+
+type vnfDTO struct {
+	ID          int     `json:"id"`
+	Name        string  `json:"name"`
+	Demand      int     `json:"demand"`
+	Reliability float64 `json:"reliability"`
+}
+
+type cloudletDTO struct {
+	ID          int     `json:"id"`
+	Node        int     `json:"node"`
+	Capacity    int     `json:"capacity"`
+	Reliability float64 `json:"reliability"`
+}
+
+type requestDTO struct {
+	ID          int     `json:"id"`
+	VNF         int     `json:"vnf"`
+	Reliability float64 `json:"reliability"`
+	Arrival     int     `json:"arrival"`
+	Duration    int     `json:"duration"`
+	Payment     float64 `json:"payment"`
+}
+
+// Save writes the instance as indented JSON.
+func (in *Instance) Save(w io.Writer) error {
+	dto := instanceDTO{
+		Horizon:   in.Horizon,
+		Catalog:   make([]vnfDTO, len(in.Network.Catalog)),
+		Cloudlets: make([]cloudletDTO, len(in.Network.Cloudlets)),
+		Trace:     make([]requestDTO, len(in.Trace)),
+	}
+	for i, f := range in.Network.Catalog {
+		dto.Catalog[i] = vnfDTO{ID: f.ID, Name: f.Name, Demand: f.Demand, Reliability: f.Reliability}
+	}
+	for j, c := range in.Network.Cloudlets {
+		dto.Cloudlets[j] = cloudletDTO{ID: c.ID, Node: c.Node, Capacity: c.Capacity, Reliability: c.Reliability}
+	}
+	for i, r := range in.Trace {
+		dto.Trace[i] = requestDTO{
+			ID: r.ID, VNF: r.VNF, Reliability: r.Reliability,
+			Arrival: r.Arrival, Duration: r.Duration, Payment: r.Payment,
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(dto); err != nil {
+		return fmt.Errorf("workload: encode instance: %w", err)
+	}
+	return nil
+}
+
+// LoadInstance reads an instance previously written by Save and validates
+// it.
+func LoadInstance(r io.Reader) (*Instance, error) {
+	var dto instanceDTO
+	if err := json.NewDecoder(r).Decode(&dto); err != nil {
+		return nil, fmt.Errorf("workload: decode instance: %w", err)
+	}
+	in := &Instance{
+		Network: &core.Network{
+			Catalog:   make([]core.VNF, len(dto.Catalog)),
+			Cloudlets: make([]core.Cloudlet, len(dto.Cloudlets)),
+		},
+		Horizon: dto.Horizon,
+		Trace:   make([]core.Request, len(dto.Trace)),
+	}
+	for i, f := range dto.Catalog {
+		in.Network.Catalog[i] = core.VNF{ID: f.ID, Name: f.Name, Demand: f.Demand, Reliability: f.Reliability}
+	}
+	for j, c := range dto.Cloudlets {
+		in.Network.Cloudlets[j] = core.Cloudlet{ID: c.ID, Node: c.Node, Capacity: c.Capacity, Reliability: c.Reliability}
+	}
+	for i, q := range dto.Trace {
+		in.Trace[i] = core.Request{
+			ID: q.ID, VNF: q.VNF, Reliability: q.Reliability,
+			Arrival: q.Arrival, Duration: q.Duration, Payment: q.Payment,
+		}
+	}
+	if err := in.Validate(); err != nil {
+		return nil, fmt.Errorf("workload: loaded instance invalid: %w", err)
+	}
+	return in, nil
+}

@@ -1,0 +1,147 @@
+package workload
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"revnf/internal/topology"
+)
+
+func baseInstanceConfig() InstanceConfig {
+	return InstanceConfig{
+		TopologyName: topology.NSFNET,
+		Cloudlets: CloudletConfig{
+			Count: 6, MinCapacity: 40, MaxCapacity: 80,
+			MaxReliability: 0.999, K: 1.05,
+		},
+		Trace: baseTraceConfig(),
+	}
+}
+
+func TestNewInstance(t *testing.T) {
+	inst, err := NewInstance(baseInstanceConfig(), 1)
+	if err != nil {
+		t.Fatalf("NewInstance: %v", err)
+	}
+	if err := inst.Validate(); err != nil {
+		t.Fatalf("instance invalid: %v", err)
+	}
+	if got := len(inst.Network.Cloudlets); got != 6 {
+		t.Errorf("cloudlets = %d, want 6", got)
+	}
+	if got := len(inst.Trace); got != 200 {
+		t.Errorf("trace = %d, want 200", got)
+	}
+	// Cloudlets must be bound to distinct topology nodes.
+	seen := map[int]bool{}
+	for _, c := range inst.Network.Cloudlets {
+		if c.Node < 0 || c.Node >= 14 {
+			t.Errorf("cloudlet node %d outside NSFNET", c.Node)
+		}
+		if seen[c.Node] {
+			t.Errorf("duplicate cloudlet node %d", c.Node)
+		}
+		seen[c.Node] = true
+	}
+}
+
+func TestNewInstanceDefaultsTopologyAndCatalog(t *testing.T) {
+	cfg := baseInstanceConfig()
+	cfg.TopologyName = ""
+	cfg.Catalog = nil
+	inst, err := NewInstance(cfg, 2)
+	if err != nil {
+		t.Fatalf("NewInstance: %v", err)
+	}
+	if len(inst.Network.Catalog) != 10 {
+		t.Errorf("default catalog size = %d, want 10", len(inst.Network.Catalog))
+	}
+}
+
+func TestNewInstanceDeterministic(t *testing.T) {
+	a, err := NewInstance(baseInstanceConfig(), 7)
+	if err != nil {
+		t.Fatalf("NewInstance: %v", err)
+	}
+	b, err := NewInstance(baseInstanceConfig(), 7)
+	if err != nil {
+		t.Fatalf("NewInstance: %v", err)
+	}
+	if len(a.Trace) != len(b.Trace) {
+		t.Fatal("trace lengths differ")
+	}
+	for i := range a.Trace {
+		if a.Trace[i] != b.Trace[i] {
+			t.Fatalf("request %d differs across identical seeds", i)
+		}
+	}
+	for j := range a.Network.Cloudlets {
+		if a.Network.Cloudlets[j] != b.Network.Cloudlets[j] {
+			t.Fatalf("cloudlet %d differs across identical seeds", j)
+		}
+	}
+}
+
+func TestNewInstanceErrors(t *testing.T) {
+	cfg := baseInstanceConfig()
+	cfg.TopologyName = "nope"
+	if _, err := NewInstance(cfg, 1); !errors.Is(err, topology.ErrUnknown) {
+		t.Errorf("unknown topology err = %v, want topology.ErrUnknown", err)
+	}
+	cfg = baseInstanceConfig()
+	cfg.Cloudlets.Count = 99
+	if _, err := NewInstance(cfg, 1); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("too many cloudlets err = %v, want ErrBadConfig", err)
+	}
+	cfg = baseInstanceConfig()
+	cfg.Trace.Requests = 0
+	if _, err := NewInstance(cfg, 1); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("bad trace err = %v, want ErrBadConfig", err)
+	}
+}
+
+func TestInstanceSaveLoadRoundTrip(t *testing.T) {
+	inst, err := NewInstance(baseInstanceConfig(), 3)
+	if err != nil {
+		t.Fatalf("NewInstance: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := inst.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	got, err := LoadInstance(&buf)
+	if err != nil {
+		t.Fatalf("LoadInstance: %v", err)
+	}
+	if got.Horizon != inst.Horizon {
+		t.Errorf("horizon = %d, want %d", got.Horizon, inst.Horizon)
+	}
+	for i := range inst.Trace {
+		if got.Trace[i] != inst.Trace[i] {
+			t.Fatalf("request %d differs after round trip", i)
+		}
+	}
+	for j := range inst.Network.Cloudlets {
+		if got.Network.Cloudlets[j] != inst.Network.Cloudlets[j] {
+			t.Fatalf("cloudlet %d differs after round trip", j)
+		}
+	}
+	for i := range inst.Network.Catalog {
+		if got.Network.Catalog[i] != inst.Network.Catalog[i] {
+			t.Fatalf("VNF %d differs after round trip", i)
+		}
+	}
+}
+
+func TestLoadInstanceErrors(t *testing.T) {
+	if _, err := LoadInstance(strings.NewReader("{")); err == nil {
+		t.Error("truncated JSON did not error")
+	}
+	// Structurally valid JSON but semantically invalid instance.
+	bad := `{"horizon":0,"catalog":[],"cloudlets":[],"trace":[]}`
+	if _, err := LoadInstance(strings.NewReader(bad)); err == nil {
+		t.Error("invalid instance did not error")
+	}
+}

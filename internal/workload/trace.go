@@ -1,0 +1,211 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"revnf/internal/core"
+)
+
+// ArrivalModel selects how request arrival slots are drawn.
+type ArrivalModel int
+
+// Arrival models.
+const (
+	// ArrivalUniform draws the arrival slot uniformly over the window in
+	// which the request still finishes before the horizon.
+	ArrivalUniform ArrivalModel = iota + 1
+	// ArrivalPoisson spreads arrivals as a Poisson process with rate
+	// chosen so the expected request count over the horizon matches; the
+	// resulting burstiness mimics trace-driven arrivals.
+	ArrivalPoisson
+	// ArrivalDiurnal draws arrivals from a sinusoidal day/night intensity
+	// profile (peak at mid-horizon, trough at the edges), the load shape
+	// of human-driven IoT workloads.
+	ArrivalDiurnal
+)
+
+// DurationModel selects the request duration distribution.
+type DurationModel int
+
+// Duration models.
+const (
+	// DurationUniform draws durations uniformly over [Min, Max].
+	DurationUniform DurationModel = iota + 1
+	// DurationPareto draws durations from a bounded Pareto distribution
+	// (shape 1.5) over [Min, Max]: most requests are short with a heavy
+	// tail of long ones, matching the Google cluster trace's job-length
+	// shape [19].
+	DurationPareto
+)
+
+// TraceConfig controls GenerateTrace.
+type TraceConfig struct {
+	// Requests is the number of requests in the trace.
+	Requests int
+	// Horizon is T, the number of slots; every request finishes by T.
+	Horizon int
+	// Arrivals selects the arrival process (default ArrivalUniform).
+	Arrivals ArrivalModel
+	// Durations selects the duration distribution (default
+	// DurationUniform).
+	Durations DurationModel
+	// MinDuration and MaxDuration bound request durations in slots.
+	MinDuration, MaxDuration int
+	// MinRequirement and MaxRequirement bound the reliability requirement
+	// R, each in (0,1). Keep MaxRequirement below the smallest cloudlet
+	// reliability to preserve the paper's on-site feasibility assumption
+	// r(c_j) > R_i.
+	MinRequirement, MaxRequirement float64
+	// MaxPaymentRate is pr_max. Payment rates are uniform over
+	// [pr_max/H, pr_max] and pay = pr·d·c(f)·R (Section VI-A).
+	MaxPaymentRate float64
+	// H is the payment-rate variation pr_max/pr_min, ≥ 1.
+	H float64
+}
+
+// Validate checks the configuration ranges.
+func (c TraceConfig) Validate() error {
+	if c.Requests < 1 {
+		return fmt.Errorf("%w: %d requests", ErrBadConfig, c.Requests)
+	}
+	if c.Horizon < 1 {
+		return fmt.Errorf("%w: horizon %d", ErrBadConfig, c.Horizon)
+	}
+	if c.MinDuration < 1 || c.MaxDuration < c.MinDuration || c.MaxDuration > c.Horizon {
+		return fmt.Errorf("%w: duration range [%d,%d] horizon %d", ErrBadConfig, c.MinDuration, c.MaxDuration, c.Horizon)
+	}
+	if c.MinRequirement <= 0 || c.MaxRequirement >= 1 || c.MaxRequirement < c.MinRequirement {
+		return fmt.Errorf("%w: requirement range [%v,%v]", ErrBadConfig, c.MinRequirement, c.MaxRequirement)
+	}
+	if c.MaxPaymentRate <= 0 {
+		return fmt.Errorf("%w: pr_max %v", ErrBadConfig, c.MaxPaymentRate)
+	}
+	if c.H < 1 {
+		return fmt.Errorf("%w: H=%v below 1", ErrBadConfig, c.H)
+	}
+	switch c.Arrivals {
+	case 0, ArrivalUniform, ArrivalPoisson, ArrivalDiurnal:
+	default:
+		return fmt.Errorf("%w: arrival model %d", ErrBadConfig, int(c.Arrivals))
+	}
+	switch c.Durations {
+	case 0, DurationUniform, DurationPareto:
+	default:
+		return fmt.Errorf("%w: duration model %d", ErrBadConfig, int(c.Durations))
+	}
+	return nil
+}
+
+// GenerateTrace draws a request trace against the catalog. Requests are
+// returned in arrival order with IDs equal to their positions, matching the
+// online model: the scheduler sees them one at a time.
+func GenerateTrace(cfg TraceConfig, catalog []core.VNF, rng *rand.Rand) ([]core.Request, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(catalog) == 0 {
+		return nil, fmt.Errorf("%w: empty catalog", ErrBadConfig)
+	}
+	arrivals := cfg.drawArrivals(rng)
+	prMin := cfg.MaxPaymentRate / cfg.H
+	out := make([]core.Request, cfg.Requests)
+	for i := range out {
+		f := catalog[rng.Intn(len(catalog))]
+		dur := cfg.drawDuration(rng)
+		arr := arrivals[i]
+		// Clamp so the request finishes within the horizon (the paper
+		// only considers requests with a+d-1 ≤ T).
+		if arr+dur-1 > cfg.Horizon {
+			arr = cfg.Horizon - dur + 1
+			if arr < 1 {
+				arr, dur = 1, cfg.Horizon
+			}
+		}
+		req := uniform(rng, cfg.MinRequirement, cfg.MaxRequirement)
+		rate := uniform(rng, prMin, cfg.MaxPaymentRate)
+		out[i] = core.Request{
+			ID:          i,
+			VNF:         f.ID,
+			Reliability: req,
+			Arrival:     arr,
+			Duration:    dur,
+			Payment:     rate * float64(dur) * float64(f.Demand) * req,
+		}
+	}
+	sort.SliceStable(out, func(a, b int) bool { return out[a].Arrival < out[b].Arrival })
+	for i := range out {
+		out[i].ID = i
+	}
+	return out, nil
+}
+
+func (c TraceConfig) drawArrivals(rng *rand.Rand) []int {
+	model := c.Arrivals
+	if model == 0 {
+		model = ArrivalUniform
+	}
+	arrivals := make([]int, c.Requests)
+	switch model {
+	case ArrivalDiurnal:
+		// Rejection-sample against the sinusoidal intensity
+		// 0.15 + 0.85·sin²(π·t/T): slots near mid-horizon are ~6x more
+		// likely than the edges.
+		for i := range arrivals {
+			for {
+				slot := 1 + rng.Intn(c.Horizon)
+				phase := math.Pi * float64(slot) / float64(c.Horizon+1)
+				intensity := 0.15 + 0.85*math.Pow(math.Sin(phase), 2)
+				if rng.Float64() < intensity {
+					arrivals[i] = slot
+					break
+				}
+			}
+		}
+	case ArrivalPoisson:
+		// Exponential inter-arrival gaps with mean horizon/requests,
+		// wrapped at the horizon so all requests land inside T.
+		rate := float64(c.Requests) / float64(c.Horizon)
+		clock := 0.0
+		for i := range arrivals {
+			clock += rng.ExpFloat64() / rate
+			slot := int(clock) + 1
+			if slot > c.Horizon {
+				slot = 1 + rng.Intn(c.Horizon)
+			}
+			arrivals[i] = slot
+		}
+	default:
+		for i := range arrivals {
+			arrivals[i] = 1 + rng.Intn(c.Horizon)
+		}
+	}
+	return arrivals
+}
+
+func (c TraceConfig) drawDuration(rng *rand.Rand) int {
+	model := c.Durations
+	if model == 0 {
+		model = DurationUniform
+	}
+	switch model {
+	case DurationPareto:
+		const shape = 1.5
+		lo, hi := float64(c.MinDuration), float64(c.MaxDuration)+0.999
+		// Inverse-CDF sampling of a Pareto truncated to [lo, hi].
+		u := rng.Float64()
+		x := lo / math.Pow(1-u*(1-math.Pow(lo/hi, shape)), 1/shape)
+		d := int(x)
+		if d < c.MinDuration {
+			d = c.MinDuration
+		}
+		if d > c.MaxDuration {
+			d = c.MaxDuration
+		}
+		return d
+	default:
+		return c.MinDuration + rng.Intn(c.MaxDuration-c.MinDuration+1)
+	}
+}

@@ -1,0 +1,25 @@
+package revnf
+
+import (
+	"io"
+
+	"revnf/internal/workload"
+)
+
+// LoadInstance reads a JSON instance previously written by Instance.Save.
+func LoadInstance(r io.Reader) (*Instance, error) {
+	return workload.LoadInstance(r)
+}
+
+// ImportTraceCSV reads a request trace from CSV with header
+// "arrival,duration,vnf,reliability,payment" — the bridge for real traces
+// (the paper randomizes its workload from the Google cluster dataset).
+// The vnf column accepts a catalog index or name.
+func ImportTraceCSV(r io.Reader, catalog []VNF, horizon int) ([]Request, error) {
+	return workload.ImportCSV(r, catalog, horizon)
+}
+
+// ExportTraceCSV writes a trace in the canonical CSV format.
+func ExportTraceCSV(w io.Writer, catalog []VNF, trace []Request) error {
+	return workload.ExportCSV(w, catalog, trace)
+}

@@ -1,0 +1,34 @@
+package revnf
+
+import (
+	"revnf/internal/pool"
+)
+
+// Shared backup pooling: the on-site resource-saving mechanism of the
+// paper's reference [12], where same-type requests in a cloudlet share a
+// pool of backup instances instead of each holding dedicated ones.
+type (
+	// PoolResult is a pooled-greedy simulation outcome with its
+	// dedicated-backup comparison metrics.
+	PoolResult = pool.Result
+)
+
+// PoolSurvival returns the probability that a member of an n-request pool
+// with B shared backups and per-instance reliability r has a live
+// instance (excluding the cloudlet factor).
+func PoolSurvival(n, backups int, r float64) (float64, error) {
+	return pool.Survival(n, backups, r)
+}
+
+// PoolMinBackups returns the smallest shared pool size that lets every
+// member of an n-request pool meet requirement req in a cloudlet of
+// reliability rc.
+func PoolMinBackups(n int, r, rc, req float64) (int, error) {
+	return pool.MinBackups(n, r, rc, req)
+}
+
+// RunPooled simulates greedy pooled admission over the instance and
+// reports the backup units saved versus dedicated backups.
+func RunPooled(inst *Instance) (*PoolResult, error) {
+	return pool.Run(inst)
+}

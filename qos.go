@@ -1,0 +1,53 @@
+package revnf
+
+import (
+	"io"
+	"math/rand"
+
+	"revnf/internal/qos"
+	"revnf/internal/simulate"
+	"revnf/internal/topology"
+)
+
+// Network QoS and time-dynamic failure analysis.
+type (
+	// Topology is the MEC access network graph.
+	Topology = topology.Graph
+	// QoSReport scores placements' recovery latency and sync traffic.
+	QoSReport = qos.Report
+	// TimelineConfig parameterizes the Markov failure timeline (MTTRs).
+	TimelineConfig = simulate.TimelineConfig
+	// TimelineReport is a time-dynamic failure simulation's outcome.
+	TimelineReport = simulate.TimelineReport
+)
+
+// LoadTopology loads an embedded access-network topology by name; see
+// TopologyNames for the inventory.
+func LoadTopology(name string) (*Topology, error) {
+	return topology.Load(name)
+}
+
+// TopologyNames lists the embedded topologies.
+func TopologyNames() []string {
+	return topology.Names()
+}
+
+// LoadTopologyJSON reads a custom topology from the JSON format written by
+// Topology.Save — the path for modelling your own access network.
+func LoadTopologyJSON(r io.Reader) (*Topology, error) {
+	return topology.LoadJSON(r)
+}
+
+// AssessQoS scores every placement's off-site recovery latency and
+// state-synchronization traffic on the topology (zero for on-site
+// placements). Cloudlets must be bound to topology nodes.
+func AssessQoS(n *Network, g *Topology, trace []Request, placements []Placement) (*QoSReport, error) {
+	return qos.Assess(n, g, trace, placements)
+}
+
+// SimulateTimeline plays the horizon forward with Markov up/down cloudlet
+// and instance states (bursty outages parameterized by MTTR) and measures
+// each admitted request's delivered uptime.
+func SimulateTimeline(n *Network, horizon int, trace []Request, placements []Placement, cfg TimelineConfig, rng *rand.Rand) (*TimelineReport, error) {
+	return simulate.SimulateTimeline(n, horizon, trace, placements, cfg, rng)
+}
