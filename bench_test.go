@@ -1,13 +1,17 @@
 package revnf
 
 import (
+	"context"
 	"math/rand"
 	"testing"
+	"time"
 
 	"revnf/internal/experiments"
 	"revnf/internal/lp"
 	"revnf/internal/mip"
+	"revnf/internal/serve"
 	"revnf/internal/simulate"
+	"revnf/internal/timeslot"
 	"revnf/internal/topology"
 )
 
@@ -421,6 +425,72 @@ func BenchmarkQoSAssess(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkDaemonAdmission measures per-request admission decision cost
+// through the concurrent serve engine (bounded queue, worker goroutine,
+// ledger accounting, latency histogram) against calling the raw scheduler
+// directly, quantifying the daemon's concurrency-shell overhead.
+func BenchmarkDaemonAdmission(b *testing.B) {
+	inst := benchInstance(b, 500)
+	reqs := make([]serve.AdmissionRequest, len(inst.Trace))
+	for i, r := range inst.Trace {
+		reqs[i] = serve.AdmissionRequest{VNF: r.VNF, Reliability: r.Reliability,
+			Arrival: r.Arrival, Duration: r.Duration, Payment: r.Payment}
+	}
+
+	b.Run("engine", func(b *testing.B) {
+		sched, err := NewOnsiteScheduler(inst.Network, inst.Horizon)
+		if err != nil {
+			b.Fatal(err)
+		}
+		e, err := serve.New(serve.Config{
+			Network: inst.Network, Scheduler: sched, Horizon: inst.Horizon,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			_ = e.Shutdown(ctx)
+		}()
+		ctx := context.Background()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := e.Submit(ctx, reqs[i%len(reqs)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("direct", func(b *testing.B) {
+		sched, err := NewOnsiteScheduler(inst.Network, inst.Horizon)
+		if err != nil {
+			b.Fatal(err)
+		}
+		view, err := timeslot.New(capacities(inst.Network), inst.Horizon)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			req := inst.Trace[i%len(inst.Trace)]
+			if p, ok := sched.Decide(req, view); ok {
+				for _, a := range p.Assignments {
+					_ = view.Reserve(a.Cloudlet, req.Arrival, req.Duration, a.Instances)
+				}
+			}
+		}
+	})
+}
+
+func capacities(n *Network) []int {
+	caps := make([]int, len(n.Cloudlets))
+	for j, c := range n.Cloudlets {
+		caps[j] = c.Capacity
+	}
+	return caps
 }
 
 // BenchmarkTimelineSimulation measures the Markov failure-timeline

@@ -1,0 +1,190 @@
+// Command revnfd serves online admission decisions over HTTP. It wraps
+// one paper scheduler (Algorithm 1, Algorithm 2, or a baseline) behind
+// the concurrent admission engine in internal/serve: a bounded ingest
+// queue, a real-time slot clock that expires placements and returns
+// their capacity, and a Prometheus /metrics endpoint.
+//
+// Usage:
+//
+//	revnfd -addr :8080 -algorithm pd -scheme onsite -slot 1s
+//	revnfd -addr :8080 -algorithm pd -scheme offsite -topology geant -cloudlets 10
+//	revnfd -instance trace.json -algorithm greedy -scheme onsite
+//
+// The network is drawn from the same generator as the simulators, so a
+// load generator started with the same -topology/-cloudlets/-seed flags
+// replays requests against the network the daemon is serving. SIGINT or
+// SIGTERM begins a graceful shutdown that drains queued admissions
+// before exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"revnf/internal/baseline"
+	"revnf/internal/core"
+	"revnf/internal/experiments"
+	"revnf/internal/offsite"
+	"revnf/internal/onsite"
+	"revnf/internal/serve"
+	"revnf/internal/workload"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "revnfd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("revnfd", flag.ContinueOnError)
+	var (
+		addr      = fs.String("addr", "127.0.0.1:8080", "listen address")
+		algorithm = fs.String("algorithm", "pd", "scheduler: pd|raw|greedy|firstfit|random")
+		scheme    = fs.String("scheme", "onsite", "redundancy scheme: onsite|offsite")
+		topo      = fs.String("topology", "", "embedded topology name")
+		cloudlets = fs.Int("cloudlets", 0, "cloudlet count")
+		horizon   = fs.Int("horizon", 0, "time horizon T in slots")
+		slot      = fs.Duration("slot", time.Second, "wall-clock duration of one slot (0 = frozen clock)")
+		queue     = fs.Int("queue", serve.DefaultQueueSize, "bounded ingest queue size")
+		seed      = fs.Int64("seed", 1, "network generation seed")
+		instance  = fs.String("instance", "", "load instance JSON providing the network instead of generating")
+		drain     = fs.Duration("drain", 10*time.Second, "graceful shutdown budget")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	inst, err := loadNetwork(*instance, *topo, *cloudlets, *horizon, *seed)
+	if err != nil {
+		return err
+	}
+	sched, allowViolations, err := buildScheduler(*algorithm, *scheme, inst, *seed)
+	if err != nil {
+		return err
+	}
+	engine, err := serve.New(serve.Config{
+		Network:         inst.Network,
+		Scheduler:       sched,
+		Horizon:         inst.Horizon,
+		QueueSize:       *queue,
+		SlotDuration:    *slot,
+		AllowViolations: allowViolations,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: serve.NewHandler(engine)}
+	fmt.Fprintf(out, "revnfd: %s/%s over %d cloudlets, horizon %d, slot %s, listening on http://%s\n",
+		sched.Name(), sched.Scheme(), len(inst.Network.Cloudlets), inst.Horizon, *slot, ln.Addr())
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintf(out, "revnfd: shutting down (draining for up to %s)\n", *drain)
+	sctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	// Stop accepting connections and wait for in-flight handlers, then
+	// drain the engine's queued admissions.
+	serr := srv.Shutdown(sctx)
+	if err := engine.Shutdown(sctx); err != nil {
+		return fmt.Errorf("drain engine: %w", err)
+	}
+	if serr != nil && !errors.Is(serr, http.ErrServerClosed) {
+		return serr
+	}
+	s := engine.Stats()
+	fmt.Fprintf(out, "revnfd: served %d admissions, %d rejections, revenue %.2f\n",
+		s.Admitted, s.RejectedTotal(), s.Revenue)
+	return nil
+}
+
+// loadNetwork builds the served network: either the one stored in an
+// instance file or a freshly generated one. Generation draws cloudlets
+// before any trace, so the same -topology/-cloudlets/-seed flags yield
+// the same network in revnfd and revnfload regardless of request count.
+func loadNetwork(path, topo string, cloudlets, horizon int, seed int64) (*workload.Instance, error) {
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, fmt.Errorf("open instance: %w", err)
+		}
+		defer func() {
+			_ = f.Close() // read-only descriptor; nothing to report
+		}()
+		return workload.LoadInstance(f)
+	}
+	setup := experiments.DefaultSetup()
+	if topo != "" {
+		setup.Topology = topo
+	}
+	if cloudlets > 0 {
+		setup.Cloudlets = cloudlets
+	}
+	if horizon > 0 {
+		setup.Horizon = horizon
+	}
+	// The generator requires at least one request; the daemon only uses
+	// the network and horizon, and the cloudlet draw precedes the trace
+	// draw, so the request count does not perturb the network.
+	return setup.Instance(1, setup.H, setup.K, seed)
+}
+
+func buildScheduler(algorithm, scheme string, inst *workload.Instance, seed int64) (core.Scheduler, bool, error) {
+	switch scheme {
+	case "onsite":
+		switch algorithm {
+		case "pd":
+			s, err := onsite.NewScheduler(inst.Network, inst.Horizon, onsite.WithCapacityEnforcement())
+			return s, false, err
+		case "raw":
+			s, err := onsite.NewScheduler(inst.Network, inst.Horizon)
+			return s, true, err
+		case "greedy":
+			s, err := baseline.NewGreedyOnsite(inst.Network)
+			return s, false, err
+		case "firstfit":
+			s, err := baseline.NewFirstFitOnsite(inst.Network)
+			return s, false, err
+		case "random":
+			s, err := baseline.NewRandomOnsite(inst.Network, rand.New(rand.NewSource(seed)))
+			return s, false, err
+		}
+	case "offsite":
+		switch algorithm {
+		case "pd":
+			s, err := offsite.NewScheduler(inst.Network, inst.Horizon)
+			return s, false, err
+		case "greedy":
+			s, err := baseline.NewGreedyOffsite(inst.Network)
+			return s, false, err
+		}
+	default:
+		return nil, false, fmt.Errorf("unknown -scheme %q (want onsite|offsite)", scheme)
+	}
+	return nil, false, fmt.Errorf("algorithm %q not available under scheme %q", algorithm, scheme)
+}

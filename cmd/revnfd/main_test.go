@@ -1,0 +1,157 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer lets the test read daemon output while run is writing it.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+var listenRE = regexp.MustCompile(`listening on (http://[^\s]+)`)
+
+// startDaemon runs the daemon on an ephemeral port and returns its base
+// URL plus a stop function that triggers graceful shutdown and waits.
+func startDaemon(t *testing.T, extra ...string) (string, *syncBuffer, func() error) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	out := &syncBuffer{}
+	args := append([]string{"-addr", "127.0.0.1:0", "-slot", "0", "-drain", "5s"}, extra...)
+	errc := make(chan error, 1)
+	go func() { errc <- run(ctx, args, out) }()
+
+	deadline := time.Now().Add(5 * time.Second)
+	var url string
+	for time.Now().Before(deadline) {
+		if m := listenRE.FindStringSubmatch(out.String()); m != nil {
+			url = m[1]
+			break
+		}
+		select {
+		case err := <-errc:
+			t.Fatalf("daemon exited early: %v (output %q)", err, out.String())
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+	if url == "" {
+		cancel()
+		t.Fatalf("daemon never reported its address: %q", out.String())
+	}
+	stopped := false
+	stop := func() error {
+		if stopped {
+			return nil
+		}
+		stopped = true
+		cancel()
+		select {
+		case err := <-errc:
+			return err
+		case <-time.After(10 * time.Second):
+			return fmt.Errorf("daemon did not stop")
+		}
+	}
+	t.Cleanup(func() { _ = stop() })
+	return url, out, stop
+}
+
+func TestDaemonServesAndShutsDown(t *testing.T) {
+	url, out, stop := startDaemon(t)
+
+	resp, err := http.Post(url+"/v1/requests", "application/json",
+		strings.NewReader(`{"vnf":0,"reliability":0.9,"duration":2,"payment":50}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST status = %d", resp.StatusCode)
+	}
+	var dec struct {
+		Admitted bool   `json:"admitted"`
+		Reason   string `json:"reason"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&dec); err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Admitted {
+		t.Fatalf("request not admitted: %+v", dec)
+	}
+
+	hr, err := http.Get(url + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = hr.Body.Close()
+	if hr.StatusCode != http.StatusOK {
+		t.Errorf("healthz = %d", hr.StatusCode)
+	}
+
+	if err := stop(); err != nil {
+		t.Fatalf("graceful shutdown: %v", err)
+	}
+	final := out.String()
+	if !strings.Contains(final, "served 1 admissions") {
+		t.Errorf("shutdown summary missing admission count: %q", final)
+	}
+}
+
+func TestDaemonFlagValidation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	for _, args := range [][]string{
+		{"-scheme", "bogus"},
+		{"-algorithm", "bogus"},
+		{"-algorithm", "raw", "-scheme", "offsite"},
+		{"-instance", "/nonexistent/trace.json"},
+	} {
+		if err := run(ctx, args, &bytes.Buffer{}); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+func TestDaemonOffsiteScheme(t *testing.T) {
+	url, _, _ := startDaemon(t, "-algorithm", "pd", "-scheme", "offsite")
+	resp, err := http.Get(url + "/v1/cloudlets")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cloudlets status = %d", resp.StatusCode)
+	}
+	var body struct {
+		Horizon   int               `json:"horizon"`
+		Cloudlets []json.RawMessage `json:"cloudlets"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Horizon < 1 || len(body.Cloudlets) == 0 {
+		t.Errorf("cloudlets payload = %+v", body)
+	}
+}

@@ -1,0 +1,288 @@
+// Command revnfload replays a workload trace against a running revnfd
+// over HTTP and reports achieved throughput, admission counts, and
+// decision latency tails.
+//
+// Usage:
+//
+//	revnfload -target http://127.0.0.1:8080 -requests 2000 -concurrency 16
+//	revnfload -target http://127.0.0.1:8080 -rate 500 -requests 1000
+//	revnfload -target http://127.0.0.1:8080 -instance trace.json
+//
+// The trace is drawn from the same generator as revnfd, so matching
+// -topology/-cloudlets/-horizon/-seed flags replay requests sized for
+// the network the daemon is serving. By default requests keep their
+// generated arrival slots (the daemon schedules future windows); -now
+// rebases every request onto the daemon's current slot instead.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"revnf/internal/experiments"
+	"revnf/internal/workload"
+)
+
+func main() {
+	if err := run(context.Background(), os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "revnfload:", err)
+		os.Exit(1)
+	}
+}
+
+type wireRequest struct {
+	VNF         int     `json:"vnf"`
+	Reliability float64 `json:"reliability"`
+	Arrival     int     `json:"arrival,omitempty"`
+	Duration    int     `json:"duration"`
+	Payment     float64 `json:"payment"`
+}
+
+type wireDecision struct {
+	Admitted bool   `json:"admitted"`
+	Reason   string `json:"reason"`
+}
+
+// result is one request's outcome as observed by the client.
+type result struct {
+	status  int
+	decided wireDecision
+	latency time.Duration
+	err     error
+}
+
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("revnfload", flag.ContinueOnError)
+	var (
+		target      = fs.String("target", "http://127.0.0.1:8080", "revnfd base URL")
+		requests    = fs.Int("requests", 1000, "request count when generating a trace")
+		rate        = fs.Float64("rate", 0, "offered load in requests/second (0 = unthrottled)")
+		concurrency = fs.Int("concurrency", 8, "concurrent in-flight requests")
+		topo        = fs.String("topology", "", "embedded topology name")
+		cloudlets   = fs.Int("cloudlets", 0, "cloudlet count")
+		horizon     = fs.Int("horizon", 0, "time horizon T in slots")
+		seed        = fs.Int64("seed", 1, "trace generation seed")
+		instance    = fs.String("instance", "", "load instance JSON instead of generating")
+		now         = fs.Bool("now", false, "drop generated arrivals so every request targets the current slot")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *concurrency < 1 {
+		return fmt.Errorf("concurrency must be at least 1")
+	}
+
+	inst, err := loadTrace(*instance, *topo, *cloudlets, *requests, *horizon, *seed)
+	if err != nil {
+		return err
+	}
+	wire := make([]wireRequest, len(inst.Trace))
+	for i, r := range inst.Trace {
+		wire[i] = wireRequest{VNF: r.VNF, Reliability: r.Reliability,
+			Arrival: r.Arrival, Duration: r.Duration, Payment: r.Payment}
+		if *now {
+			wire[i].Arrival = 0
+		}
+	}
+
+	results, elapsed, err := replay(ctx, *target, wire, *rate, *concurrency)
+	if err != nil {
+		return err
+	}
+	report(out, results, elapsed)
+	return nil
+}
+
+// replay streams the wire requests through a worker pool, pacing the
+// feed at rate requests/second when rate > 0.
+func replay(ctx context.Context, target string, wire []wireRequest, rate float64, concurrency int) ([]result, time.Duration, error) {
+	// The default transport caps idle connections per host at 2, which
+	// would churn a fresh TCP connection per request at higher
+	// concurrency and dominate the measurement.
+	client := &http.Client{
+		Timeout: 30 * time.Second,
+		Transport: &http.Transport{
+			MaxIdleConns:        concurrency,
+			MaxIdleConnsPerHost: concurrency,
+		},
+	}
+	defer client.CloseIdleConnections()
+	jobs := make(chan wireRequest)
+	results := make([]result, 0, len(wire))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+
+	start := time.Now()
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for req := range jobs {
+				r := post(ctx, client, target, req)
+				mu.Lock()
+				results = append(results, r)
+				mu.Unlock()
+			}
+		}()
+	}
+
+	var interval time.Duration
+	if rate > 0 {
+		interval = time.Duration(float64(time.Second) / rate)
+	}
+	next := start
+feed:
+	for _, req := range wire {
+		if interval > 0 {
+			if d := time.Until(next); d > 0 {
+				select {
+				case <-time.After(d):
+				case <-ctx.Done():
+					break feed
+				}
+			}
+			next = next.Add(interval)
+		}
+		select {
+		case jobs <- req:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	return results, time.Since(start), ctx.Err()
+}
+
+func post(ctx context.Context, client *http.Client, target string, req wireRequest) result {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return result{err: err}
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, target+"/v1/requests", bytes.NewReader(body))
+	if err != nil {
+		return result{err: err}
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	t0 := time.Now()
+	resp, err := client.Do(hreq)
+	lat := time.Since(t0)
+	if err != nil {
+		return result{err: err, latency: lat}
+	}
+	defer func() {
+		_ = resp.Body.Close() // body already consumed below
+	}()
+	r := result{status: resp.StatusCode, latency: lat}
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&r.decided); err != nil {
+			r.err = err
+		}
+	}
+	// Drain to EOF so the connection goes back to the keep-alive pool.
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return r
+}
+
+func report(out io.Writer, results []result, elapsed time.Duration) {
+	var admitted, rejected, backpressured, failed int
+	reasons := map[string]int{}
+	latencies := make([]time.Duration, 0, len(results))
+	for _, r := range results {
+		switch {
+		case r.err != nil:
+			failed++
+			continue
+		case r.status == http.StatusServiceUnavailable:
+			backpressured++
+		case r.status == http.StatusOK && r.decided.Admitted:
+			admitted++
+		case r.status == http.StatusOK:
+			rejected++
+			reasons[r.decided.Reason]++
+		default:
+			failed++
+		}
+		latencies = append(latencies, r.latency)
+	}
+	decided := admitted + rejected
+	fmt.Fprintf(out, "requests:    %d in %s\n", len(results), elapsed.Round(time.Millisecond))
+	if elapsed > 0 {
+		fmt.Fprintf(out, "throughput:  %.0f decisions/sec (%d decided)\n",
+			float64(decided)/elapsed.Seconds(), decided)
+	}
+	fmt.Fprintf(out, "admitted:    %d\n", admitted)
+	fmt.Fprintf(out, "rejected:    %d %v\n", rejected, reasonList(reasons))
+	fmt.Fprintf(out, "throttled:   %d (503 backpressure)\n", backpressured)
+	if failed > 0 {
+		fmt.Fprintf(out, "failed:      %d (transport or decode errors)\n", failed)
+	}
+	if len(latencies) > 0 {
+		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+		fmt.Fprintf(out, "latency:     p50 %s  p95 %s  p99 %s  max %s\n",
+			quantile(latencies, 0.50), quantile(latencies, 0.95),
+			quantile(latencies, 0.99), latencies[len(latencies)-1])
+	}
+}
+
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+func reasonList(reasons map[string]int) string {
+	if len(reasons) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(reasons))
+	for k := range reasons {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b bytes.Buffer
+	b.WriteString("(")
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s: %d", k, reasons[k])
+	}
+	b.WriteString(")")
+	return b.String()
+}
+
+func loadTrace(path, topo string, cloudlets, requests, horizon int, seed int64) (*workload.Instance, error) {
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, fmt.Errorf("open instance: %w", err)
+		}
+		defer func() {
+			_ = f.Close() // read-only descriptor; nothing to report
+		}()
+		return workload.LoadInstance(f)
+	}
+	setup := experiments.DefaultSetup()
+	if topo != "" {
+		setup.Topology = topo
+	}
+	if cloudlets > 0 {
+		setup.Cloudlets = cloudlets
+	}
+	if horizon > 0 {
+		setup.Horizon = horizon
+	}
+	return setup.Instance(requests, setup.H, setup.K, seed)
+}

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"revnf/internal/experiments"
+	"revnf/internal/onsite"
+	"revnf/internal/serve"
+)
+
+// startBackend serves a real admission engine over httptest so the load
+// generator exercises its full HTTP path in-process.
+func startBackend(t *testing.T, queueSize int) *httptest.Server {
+	t.Helper()
+	setup := experiments.DefaultSetup()
+	inst, err := setup.Instance(1, setup.H, setup.K, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := onsite.NewScheduler(inst.Network, inst.Horizon, onsite.WithCapacityEnforcement())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := serve.New(serve.Config{
+		Network:   inst.Network,
+		Scheduler: sched,
+		Horizon:   inst.Horizon,
+		QueueSize: queueSize,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = e.Shutdown(ctx)
+	})
+	srv := httptest.NewServer(serve.NewHandler(e))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestLoadGeneratorReplay(t *testing.T) {
+	srv := startBackend(t, serve.DefaultQueueSize)
+	var out bytes.Buffer
+	err := run(context.Background(), []string{
+		"-target", srv.URL, "-requests", "200", "-concurrency", "4", "-seed", "1",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v (output %q)", err, out.String())
+	}
+	text := out.String()
+	if !strings.Contains(text, "requests:    200") {
+		t.Errorf("report missing request count: %q", text)
+	}
+	m := regexp.MustCompile(`admitted:    (\d+)`).FindStringSubmatch(text)
+	if m == nil || m[1] == "0" {
+		t.Errorf("no admissions reported: %q", text)
+	}
+	if strings.Contains(text, "failed:") {
+		t.Errorf("transport failures against in-process backend: %q", text)
+	}
+	if !strings.Contains(text, "latency:     p50") {
+		t.Errorf("report missing latency line: %q", text)
+	}
+}
+
+func TestLoadGeneratorThrottled(t *testing.T) {
+	srv := startBackend(t, serve.DefaultQueueSize)
+	var out bytes.Buffer
+	start := time.Now()
+	// 40 requests at 200/s must take at least ~150ms of pacing.
+	err := run(context.Background(), []string{
+		"-target", srv.URL, "-requests", "40", "-rate", "200", "-concurrency", "2", "-now",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < 100*time.Millisecond {
+		t.Errorf("rate limit ignored: finished in %s", elapsed)
+	}
+}
+
+func TestLoadGeneratorBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-concurrency", "0"},
+		{"-instance", "/nonexistent/trace.json"},
+	} {
+		if err := run(context.Background(), args, &bytes.Buffer{}); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+func TestLoadGeneratorContextCancel(t *testing.T) {
+	srv := startBackend(t, serve.DefaultQueueSize)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := run(ctx, []string{"-target", srv.URL, "-requests", "50", "-rate", "10"}, &bytes.Buffer{})
+	if err == nil {
+		t.Error("cancelled run returned nil error")
+	}
+}

@@ -19,8 +19,17 @@ type CapacityView interface {
 // Scheduler is an online admission algorithm. Decide is called once per
 // request, in arrival order, and must not assume knowledge of future
 // requests. It returns the placement and true to admit, or a zero placement
-// and false to reject. Implementations keep their own dual or heuristic
-// state between calls and are not safe for concurrent use.
+// and false to reject.
+//
+// Concurrency contract: implementations keep their own dual or heuristic
+// state between calls and are NOT safe for concurrent use. Callers must
+// guarantee that Decide calls are serialized — at most one in flight at a
+// time, each starting after the previous one returned (a single goroutine,
+// or external mutual exclusion with happens-before edges between calls).
+// The batch simulator (internal/simulate) satisfies this by construction;
+// the admission daemon (internal/serve) funnels all decisions through one
+// worker goroutine. Name and Scheme must be safe to call concurrently with
+// Decide; they are expected to return constants.
 type Scheduler interface {
 	// Name identifies the algorithm in metrics and experiment tables.
 	Name() string

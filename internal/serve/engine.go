@@ -1,0 +1,505 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"revnf/internal/core"
+	"revnf/internal/metrics"
+	"revnf/internal/simulate"
+	"revnf/internal/timeslot"
+)
+
+// AdmissionRequest is one service request submitted to the daemon. It is
+// the paper's ρ = (f, R, a, d, pay) without an ID — the engine assigns
+// IDs.
+type AdmissionRequest struct {
+	// VNF is the requested catalog type.
+	VNF int `json:"vnf"`
+	// Reliability is the requirement R in (0,1).
+	Reliability float64 `json:"reliability"`
+	// Arrival is the first execution slot; 0 means "now" (the engine's
+	// current slot).
+	Arrival int `json:"arrival,omitempty"`
+	// Duration is the number of slots d ≥ 1.
+	Duration int `json:"duration"`
+	// Payment is the revenue collected on admission.
+	Payment float64 `json:"payment"`
+}
+
+// AdmissionResult is the engine's decision for one submission.
+type AdmissionResult struct {
+	// ID is the engine-assigned request (and placement) ID.
+	ID int `json:"id"`
+	// Admitted reports the outcome.
+	Admitted bool `json:"admitted"`
+	// Reason explains a rejection; empty when admitted.
+	Reason string `json:"reason,omitempty"`
+	// Slot is the slot at which the decision was made.
+	Slot int `json:"slot"`
+	// Placement is the resource footprint when admitted.
+	Placement core.Placement `json:"-"`
+}
+
+// PlacementState describes where a placement is in its lifecycle.
+type PlacementState string
+
+// Placement lifecycle states.
+const (
+	// StateScheduled means the window has not started yet.
+	StateScheduled PlacementState = "scheduled"
+	// StateActive means the current slot is inside the window.
+	StateActive PlacementState = "active"
+	// StateExpired means the window ended and the capacity was released.
+	StateExpired PlacementState = "expired"
+)
+
+// PlacementRecord is the engine's book entry for one admitted request.
+type PlacementRecord struct {
+	// ID is the engine-assigned request ID.
+	ID int
+	// Request is the admitted request (with the engine's ID).
+	Request core.Request
+	// Placement is the admitted footprint.
+	Placement core.Placement
+	// DecidedSlot is the slot at which admission happened.
+	DecidedSlot int
+	// State is the lifecycle state as of the last read.
+	State PlacementState
+}
+
+// TickReport summarizes one slot advance.
+type TickReport struct {
+	// Slot is the slot the clock advanced to.
+	Slot int
+	// Expired counts placements whose capacity was released by this tick.
+	Expired int
+}
+
+// Stats is a consistent snapshot of the engine's counters.
+type Stats struct {
+	// Slot is the current slot; Horizon the served horizon T.
+	Slot, Horizon int
+	// QueueDepth and QueueCapacity describe the ingest queue.
+	QueueDepth, QueueCapacity int
+	// Admitted and Expired count decisions and released placements.
+	Admitted, Expired uint64
+	// Rejections counts rejected submissions by reason.
+	Rejections map[string]uint64
+	// Revenue is the summed payment of admitted requests (objective (6)).
+	Revenue float64
+	// ActivePlacements counts admitted, not-yet-expired placements.
+	ActivePlacements int
+	// CloudletUsed and CloudletCapacity give per-cloudlet units in use at
+	// the current slot (zero usage once the slot passes the horizon).
+	CloudletUsed, CloudletCapacity []int
+	// Latency is a snapshot of the admission latency histogram (seconds,
+	// submission to decision).
+	Latency *metrics.Histogram
+}
+
+// RejectedTotal sums rejections across reasons.
+func (s Stats) RejectedTotal() uint64 {
+	total := uint64(0)
+	for _, n := range s.Rejections {
+		total += n
+	}
+	return total
+}
+
+type job struct {
+	req      AdmissionRequest
+	enqueued time.Time
+	done     chan AdmissionResult
+}
+
+// Engine is the thread-safe admission core of the daemon. All scheduler
+// and ledger access is serialized: submissions flow through a bounded
+// queue into a single decision goroutine, and the slot clock and read
+// endpoints share one mutex with it.
+type Engine struct {
+	cfg     Config
+	network *core.Network
+	horizon int
+	now     func() time.Time
+
+	mu         sync.Mutex
+	sched      core.Scheduler
+	ledger     *timeslot.Ledger
+	slot       int
+	nextID     int
+	placements map[int]*PlacementRecord
+	expiry     *simulate.WindowIndex
+	admitted   uint64
+	expired    uint64
+	rejections map[string]uint64
+	revenue    float64
+	latency    *metrics.Histogram
+
+	queue chan *job
+	quit  chan struct{}
+	wg    sync.WaitGroup
+
+	closeMu sync.RWMutex
+	closed  bool
+}
+
+// New validates the config, builds the engine, and starts its decision
+// worker (and, when SlotDuration > 0, its real-time slot clock) at slot 1.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Scheduler == nil {
+		return nil, fmt.Errorf("%w: nil scheduler", ErrBadConfig)
+	}
+	if cfg.Network == nil {
+		return nil, fmt.Errorf("%w: nil network", ErrBadConfig)
+	}
+	if err := cfg.Network.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
+	}
+	if cfg.Horizon < 1 {
+		return nil, fmt.Errorf("%w: horizon %d", ErrBadConfig, cfg.Horizon)
+	}
+	if cfg.QueueSize < 0 {
+		return nil, fmt.Errorf("%w: queue size %d", ErrBadConfig, cfg.QueueSize)
+	}
+	queueSize := cfg.QueueSize
+	if queueSize == 0 {
+		queueSize = DefaultQueueSize
+	}
+	caps := make([]int, len(cfg.Network.Cloudlets))
+	for j, cl := range cfg.Network.Cloudlets {
+		caps[j] = cl.Capacity
+	}
+	ledger, err := timeslot.New(caps, cfg.Horizon)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
+	}
+	// Buckets from 10µs to ~10s cover in-process decisions through loaded
+	// network round-trips.
+	latency, err := metrics.NewHistogram(metrics.ExponentialBounds(10e-6, 4, 11)...)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
+	}
+	nowFn := cfg.Now
+	if nowFn == nil {
+		nowFn = time.Now
+	}
+	e := &Engine{
+		cfg:        cfg,
+		network:    cfg.Network,
+		horizon:    cfg.Horizon,
+		now:        nowFn,
+		sched:      cfg.Scheduler,
+		ledger:     ledger,
+		slot:       1,
+		nextID:     1, // 1-based like slots; id 0 never exists
+		placements: make(map[int]*PlacementRecord),
+		expiry:     simulate.NewWindowIndex(),
+		rejections: make(map[string]uint64),
+		latency:    latency,
+		queue:      make(chan *job, queueSize),
+		quit:       make(chan struct{}),
+	}
+	e.wg.Add(1)
+	go e.worker()
+	if cfg.SlotDuration > 0 {
+		e.wg.Add(1)
+		go e.runClock(cfg.SlotDuration)
+	}
+	return e, nil
+}
+
+// Submit enqueues one admission request and waits for the decision. It
+// fails fast with ErrQueueFull when the bounded queue is at capacity and
+// with ErrClosed after Shutdown began; ctx cancellation abandons the wait
+// (the decision still happens and is recorded).
+func (e *Engine) Submit(ctx context.Context, req AdmissionRequest) (AdmissionResult, error) {
+	j := &job{req: req, enqueued: e.now(), done: make(chan AdmissionResult, 1)}
+	e.closeMu.RLock()
+	if e.closed {
+		e.closeMu.RUnlock()
+		e.countRejection(ReasonClosed)
+		return AdmissionResult{}, ErrClosed
+	}
+	select {
+	case e.queue <- j:
+		e.closeMu.RUnlock()
+	default:
+		e.closeMu.RUnlock()
+		e.countRejection(ReasonQueueFull)
+		return AdmissionResult{}, ErrQueueFull
+	}
+	select {
+	case res := <-j.done:
+		return res, nil
+	case <-ctx.Done():
+		return AdmissionResult{}, ctx.Err()
+	}
+}
+
+// worker is the single decision goroutine; it drains the queue until
+// Shutdown closes it.
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	for j := range e.queue {
+		j.done <- e.decide(j.req, j.enqueued)
+	}
+}
+
+// decide makes one admission decision under the engine lock.
+func (e *Engine) decide(ar AdmissionRequest, enqueued time.Time) AdmissionResult {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	defer func() {
+		e.latency.Observe(e.now().Sub(enqueued).Seconds())
+	}()
+
+	id := e.nextID
+	e.nextID++
+	arrival := ar.Arrival
+	if arrival == 0 {
+		arrival = e.slot
+	}
+	req := core.Request{
+		ID:          id,
+		VNF:         ar.VNF,
+		Reliability: ar.Reliability,
+		Arrival:     arrival,
+		Duration:    ar.Duration,
+		Payment:     ar.Payment,
+	}
+	reject := func(reason string) AdmissionResult {
+		e.rejections[reason]++
+		return AdmissionResult{ID: id, Reason: reason, Slot: e.slot}
+	}
+	if arrival < e.slot {
+		return reject(ReasonStale)
+	}
+	if req.End() > e.horizon {
+		return reject(ReasonHorizon)
+	}
+	if err := e.network.ValidateRequest(req, e.horizon); err != nil {
+		return reject(ReasonInvalid)
+	}
+	placement, ok := e.sched.Decide(req, e.ledger)
+	if !ok {
+		return reject(ReasonDeclined)
+	}
+	if err := placement.Validate(e.network, req); err != nil {
+		return reject(ReasonInvalid)
+	}
+	demand := e.network.Catalog[req.VNF].Demand
+	reserved := make([]core.Assignment, 0, len(placement.Assignments))
+	for _, a := range placement.Assignments {
+		var err error
+		if e.cfg.AllowViolations {
+			err = e.ledger.ForceReserve(a.Cloudlet, req.Arrival, req.Duration, a.Units(demand))
+		} else {
+			err = e.ledger.Reserve(a.Cloudlet, req.Arrival, req.Duration, a.Units(demand))
+		}
+		if err != nil {
+			// The scheduler placed more than the ledger holds: roll the
+			// partial reservation back and refuse. (Its dual state has
+			// already moved; that only makes it more conservative.)
+			for _, r := range reserved {
+				_ = e.ledger.Release(r.Cloudlet, req.Arrival, req.Duration, r.Units(demand))
+			}
+			return reject(ReasonOverbooked)
+		}
+		reserved = append(reserved, a)
+	}
+	e.placements[id] = &PlacementRecord{
+		ID:          id,
+		Request:     req,
+		Placement:   placement,
+		DecidedSlot: e.slot,
+		State:       StateScheduled,
+	}
+	e.expiry.Add(id, req.End())
+	e.admitted++
+	e.revenue += req.Payment
+	return AdmissionResult{ID: id, Admitted: true, Slot: e.slot, Placement: placement}
+}
+
+func (e *Engine) countRejection(reason string) {
+	e.mu.Lock()
+	e.rejections[reason]++
+	e.mu.Unlock()
+}
+
+// Tick advances the slot clock by one and releases every placement whose
+// window ended — a request arriving at a with duration d holds its
+// capacity through slot a+d-1 and is released the moment the clock
+// reaches a+d. Tests drive this directly; the real-time clock calls it
+// once per SlotDuration.
+func (e *Engine) Tick() TickReport {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.slot++
+	expired := e.expiry.ExpireBefore(e.slot)
+	demandOf := func(req core.Request) int { return e.network.Catalog[req.VNF].Demand }
+	for _, id := range expired {
+		rec := e.placements[id]
+		for _, a := range rec.Placement.Assignments {
+			// Release can only fail on arguments the engine itself
+			// reserved; a failure here would be an engine bug.
+			if err := e.ledger.Release(a.Cloudlet, rec.Request.Arrival, rec.Request.Duration, a.Units(demandOf(rec.Request))); err != nil {
+				panic(fmt.Sprintf("serve: release placement %d: %v", id, err))
+			}
+		}
+		rec.State = StateExpired
+		e.expired++
+	}
+	return TickReport{Slot: e.slot, Expired: len(expired)}
+}
+
+// runClock maps wall time onto slots.
+func (e *Engine) runClock(d time.Duration) {
+	defer e.wg.Done()
+	ticker := time.NewTicker(d)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			e.Tick()
+		case <-e.quit:
+			return
+		}
+	}
+}
+
+// Slot returns the current slot.
+func (e *Engine) Slot() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.slot
+}
+
+// Horizon returns the served horizon T.
+func (e *Engine) Horizon() int { return e.horizon }
+
+// Network returns the served network (read-only by convention).
+func (e *Engine) Network() *core.Network { return e.network }
+
+// Placement returns the record for an admitted request ID. The returned
+// copy's State reflects the current slot.
+func (e *Engine) Placement(id int) (PlacementRecord, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	rec, ok := e.placements[id]
+	if !ok {
+		return PlacementRecord{}, false
+	}
+	out := *rec
+	if out.State != StateExpired {
+		if e.slot < out.Request.Arrival {
+			out.State = StateScheduled
+		} else {
+			out.State = StateActive
+		}
+	}
+	return out, true
+}
+
+// CloudletStatus is one cloudlet's residual capacity over the remaining
+// horizon.
+type CloudletStatus struct {
+	// ID, Node, Capacity and Reliability mirror the core.Cloudlet.
+	ID          int     `json:"id"`
+	Node        int     `json:"node"`
+	Capacity    int     `json:"capacity"`
+	Reliability float64 `json:"reliability"`
+	// FromSlot is the slot Residual[0] describes (the current slot).
+	FromSlot int `json:"from_slot"`
+	// Residual holds the free units per slot from FromSlot through the
+	// horizon; empty once the clock has passed the horizon. Entries can
+	// be negative when violations are allowed.
+	Residual []int `json:"residual"`
+}
+
+// Cloudlets reports residual capacity per slot for every cloudlet, from
+// the current slot through the horizon.
+func (e *Engine) Cloudlets() []CloudletStatus {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]CloudletStatus, len(e.network.Cloudlets))
+	for j, cl := range e.network.Cloudlets {
+		st := CloudletStatus{
+			ID: cl.ID, Node: cl.Node, Capacity: cl.Capacity, Reliability: cl.Reliability,
+			FromSlot: e.slot,
+		}
+		for t := e.slot; t <= e.horizon; t++ {
+			st.Residual = append(st.Residual, e.ledger.Residual(j, t))
+		}
+		out[j] = st
+	}
+	return out
+}
+
+// Stats snapshots every counter under one lock acquisition.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s := Stats{
+		Slot:             e.slot,
+		Horizon:          e.horizon,
+		QueueDepth:       len(e.queue),
+		QueueCapacity:    cap(e.queue),
+		Admitted:         e.admitted,
+		Expired:          e.expired,
+		Rejections:       make(map[string]uint64, len(e.rejections)),
+		Revenue:          e.revenue,
+		ActivePlacements: e.expiry.Len(),
+		CloudletUsed:     make([]int, len(e.network.Cloudlets)),
+		CloudletCapacity: make([]int, len(e.network.Cloudlets)),
+		Latency:          e.latency.Clone(),
+	}
+	for reason, n := range e.rejections {
+		s.Rejections[reason] = n
+	}
+	for j, cl := range e.network.Cloudlets {
+		s.CloudletCapacity[j] = cl.Capacity
+		if e.slot <= e.horizon {
+			s.CloudletUsed[j] = e.ledger.Used(j, e.slot)
+		}
+	}
+	return s
+}
+
+// Shutdown stops intake, drains every queued admission (each waiting
+// caller receives its decision), stops the clock, and waits for the
+// workers to exit or the context to expire. It is idempotent.
+func (e *Engine) Shutdown(ctx context.Context) error {
+	e.closeMu.Lock()
+	if e.closed {
+		e.closeMu.Unlock()
+		return nil
+	}
+	e.closed = true
+	close(e.quit)
+	// No Submit can be sending now: senders hold closeMu.RLock and check
+	// closed first, so closing the queue is safe.
+	close(e.queue)
+	e.closeMu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		e.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("serve: shutdown: %w", ctx.Err())
+	}
+}
+
+// Closed reports whether Shutdown has begun.
+func (e *Engine) Closed() bool {
+	e.closeMu.RLock()
+	defer e.closeMu.RUnlock()
+	return e.closed
+}

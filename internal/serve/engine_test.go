@@ -1,0 +1,511 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"revnf/internal/core"
+	"revnf/internal/onsite"
+)
+
+// testNetwork is a two-cloudlet network where every request of the test
+// VNF needs 2 instances on-site (r(c)·(1-(1-r(f))^2) ≥ 0.9 holds, one
+// instance does not).
+func testNetwork() *core.Network {
+	return &core.Network{
+		Catalog: []core.VNF{
+			{ID: 0, Name: "fw", Demand: 2, Reliability: 0.8},
+		},
+		Cloudlets: []core.Cloudlet{
+			{ID: 0, Node: -1, Capacity: 10, Reliability: 0.99},
+			{ID: 1, Node: -1, Capacity: 10, Reliability: 0.98},
+		},
+	}
+}
+
+func newTestEngine(t *testing.T, horizon int, opts ...func(*Config)) *Engine {
+	t.Helper()
+	n := testNetwork()
+	sched, err := onsite.NewScheduler(n, horizon, onsite.WithCapacityEnforcement())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Network: n, Scheduler: sched, Horizon: horizon}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = e.Shutdown(ctx)
+	})
+	return e
+}
+
+func submit(t *testing.T, e *Engine, ar AdmissionRequest) AdmissionResult {
+	t.Helper()
+	res, err := e.Submit(context.Background(), ar)
+	if err != nil {
+		t.Fatalf("Submit(%+v): %v", ar, err)
+	}
+	return res
+}
+
+func TestEngineAdmitAndReject(t *testing.T) {
+	e := newTestEngine(t, 20)
+	res := submit(t, e, AdmissionRequest{VNF: 0, Reliability: 0.9, Duration: 3, Payment: 10})
+	if !res.Admitted || res.Slot != 1 {
+		t.Fatalf("first request not admitted at slot 1: %+v", res)
+	}
+	if got := res.Placement.TotalInstances(); got != 2 {
+		t.Errorf("instances = %d, want 2 (primary + backup)", got)
+	}
+	// A request no cloudlet can satisfy is declined by the scheduler.
+	res = submit(t, e, AdmissionRequest{VNF: 0, Reliability: 0.995, Duration: 3, Payment: 10})
+	if res.Admitted || res.Reason != ReasonDeclined {
+		t.Errorf("infeasible requirement: %+v, want declined", res)
+	}
+	// Malformed model data is rejected as invalid.
+	res = submit(t, e, AdmissionRequest{VNF: 7, Reliability: 0.9, Duration: 3, Payment: 10})
+	if res.Admitted || res.Reason != ReasonInvalid {
+		t.Errorf("unknown VNF: %+v, want invalid", res)
+	}
+	res = submit(t, e, AdmissionRequest{VNF: 0, Reliability: 0.9, Duration: 0, Payment: 10})
+	if res.Admitted || res.Reason != ReasonInvalid {
+		t.Errorf("zero duration: %+v, want invalid", res)
+	}
+	// Windows beyond the horizon are rejected with their own reason.
+	res = submit(t, e, AdmissionRequest{VNF: 0, Reliability: 0.9, Duration: 21, Payment: 10})
+	if res.Admitted || res.Reason != ReasonHorizon {
+		t.Errorf("beyond horizon: %+v, want horizon", res)
+	}
+	s := e.Stats()
+	if s.Admitted != 1 || s.RejectedTotal() != 4 {
+		t.Errorf("stats admitted/rejected = %d/%d, want 1/4", s.Admitted, s.RejectedTotal())
+	}
+	if s.Revenue != 10 {
+		t.Errorf("revenue = %v, want 10", s.Revenue)
+	}
+}
+
+func TestEngineSlotClockExpiry(t *testing.T) {
+	e := newTestEngine(t, 10)
+	// Admit at slot 1 with duration 3: capacity held for slots [1,3],
+	// released exactly when the clock reaches slot 4 = a + d.
+	res := submit(t, e, AdmissionRequest{VNF: 0, Reliability: 0.9, Duration: 3, Payment: 5})
+	if !res.Admitted {
+		t.Fatalf("not admitted: %+v", res)
+	}
+	units := 2 * 2 // 2 instances × demand 2
+	j := res.Placement.Assignments[0].Cloudlet
+	for t0 := 1; t0 <= 3; t0++ {
+		if got := e.Cloudlets()[j].Residual[t0-1]; got != 10-units {
+			t.Errorf("slot %d residual = %d, want %d", t0, got, 10-units)
+		}
+	}
+	for tick := 2; tick <= 3; tick++ {
+		rep := e.Tick()
+		if rep.Slot != tick || rep.Expired != 0 {
+			t.Fatalf("tick to %d: %+v, want no expiry", tick, rep)
+		}
+	}
+	rec, ok := e.Placement(res.ID)
+	if !ok || rec.State != StateActive {
+		t.Fatalf("placement at slot 3 = %+v, want active", rec)
+	}
+	rep := e.Tick() // slot 4 = a+d: release
+	if rep.Slot != 4 || rep.Expired != 1 {
+		t.Fatalf("tick to 4: %+v, want 1 expiry", rep)
+	}
+	rec, ok = e.Placement(res.ID)
+	if !ok || rec.State != StateExpired {
+		t.Errorf("placement after expiry = %+v, want expired", rec)
+	}
+	// Full capacity is back in the ledger over the whole window.
+	cls := e.Cloudlets()[j]
+	if cls.FromSlot != 4 {
+		t.Fatalf("FromSlot = %d, want 4", cls.FromSlot)
+	}
+	s := e.Stats()
+	if s.Expired != 1 || s.ActivePlacements != 0 {
+		t.Errorf("stats expired/active = %d/%d, want 1/0", s.Expired, s.ActivePlacements)
+	}
+	// The released capacity is actually reusable: a duration-1 request
+	// starting at slot 4 sees the full cloudlet again.
+	res2 := submit(t, e, AdmissionRequest{VNF: 0, Reliability: 0.9, Duration: 1, Payment: 5})
+	if !res2.Admitted || res2.Slot != 4 {
+		t.Fatalf("post-expiry admission: %+v", res2)
+	}
+}
+
+func TestEngineStaleArrivalRejected(t *testing.T) {
+	e := newTestEngine(t, 10)
+	e.Tick()
+	e.Tick() // slot 3
+	res := submit(t, e, AdmissionRequest{VNF: 0, Reliability: 0.9, Arrival: 2, Duration: 2, Payment: 5})
+	if res.Admitted || res.Reason != ReasonStale {
+		t.Errorf("stale arrival: %+v, want stale", res)
+	}
+	// Arrival 0 means "now" and still works at slot 3.
+	res = submit(t, e, AdmissionRequest{VNF: 0, Reliability: 0.9, Duration: 2, Payment: 5})
+	if !res.Admitted || res.Slot != 3 {
+		t.Errorf("arrival=now at slot 3: %+v", res)
+	}
+	rec, ok := e.Placement(res.ID)
+	if !ok || rec.Request.Arrival != 3 {
+		t.Errorf("recorded arrival = %+v, want 3", rec.Request)
+	}
+}
+
+func TestEngineFutureArrivalScheduled(t *testing.T) {
+	e := newTestEngine(t, 10)
+	res := submit(t, e, AdmissionRequest{VNF: 0, Reliability: 0.9, Arrival: 5, Duration: 2, Payment: 5})
+	if !res.Admitted {
+		t.Fatalf("future arrival not admitted: %+v", res)
+	}
+	rec, _ := e.Placement(res.ID)
+	if rec.State != StateScheduled {
+		t.Errorf("state before window = %q, want scheduled", rec.State)
+	}
+	for e.Slot() < 5 {
+		e.Tick()
+	}
+	rec, _ = e.Placement(res.ID)
+	if rec.State != StateActive {
+		t.Errorf("state inside window = %q, want active", rec.State)
+	}
+	for e.Slot() < 7 {
+		e.Tick()
+	}
+	rec, _ = e.Placement(res.ID)
+	if rec.State != StateExpired {
+		t.Errorf("state at slot 7 = %q, want expired", rec.State)
+	}
+}
+
+// TestEngineManualTickDeterminism drives concurrent submitters against a
+// manually ticked engine under -race: every decision is serialized, the
+// ledger never overcommits, and accounting stays consistent.
+func TestEngineManualTickDeterminism(t *testing.T) {
+	e := newTestEngine(t, 40, func(c *Config) { c.QueueSize = 1024 })
+	const workers, perWorker = 8, 25
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	admitted := 0
+	var revenue float64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				res, err := e.Submit(context.Background(),
+					AdmissionRequest{VNF: 0, Reliability: 0.9, Duration: 1 + i%5, Payment: 3})
+				if err != nil {
+					t.Errorf("Submit: %v", err)
+					return
+				}
+				if res.Admitted {
+					mu.Lock()
+					admitted++
+					revenue += 3
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	// Tick concurrently with the submitters.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 10; i++ {
+			e.Tick()
+		}
+	}()
+	wg.Wait()
+	<-done
+	s := e.Stats()
+	if int(s.Admitted) != admitted {
+		t.Errorf("engine admitted %d, callers saw %d", s.Admitted, admitted)
+	}
+	if s.Revenue != revenue {
+		t.Errorf("engine revenue %v, callers saw %v", s.Revenue, revenue)
+	}
+	if got := int(s.Admitted + s.RejectedTotal()); got != workers*perWorker {
+		t.Errorf("decisions = %d, want %d", got, workers*perWorker)
+	}
+	// No cell may exceed capacity (enforced scheduler + Reserve).
+	for _, cl := range e.Cloudlets() {
+		for i, free := range cl.Residual {
+			if free < 0 {
+				t.Errorf("cloudlet %d slot %d overcommitted: residual %d", cl.ID, cl.FromSlot+i, free)
+			}
+		}
+	}
+	// Drain the horizon: every admitted placement must expire and return
+	// its capacity.
+	for e.Slot() <= 45 {
+		e.Tick()
+	}
+	s = e.Stats()
+	if s.Expired != s.Admitted || s.ActivePlacements != 0 {
+		t.Errorf("after horizon: expired %d of %d admitted, %d active",
+			s.Expired, s.Admitted, s.ActivePlacements)
+	}
+}
+
+func TestEngineRealTimeClock(t *testing.T) {
+	e := newTestEngine(t, 1000, func(c *Config) { c.SlotDuration = 2 * time.Millisecond })
+	deadline := time.Now().Add(2 * time.Second)
+	for e.Slot() < 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("clock did not advance past slot %d", e.Slot())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestEngineShutdown(t *testing.T) {
+	e := newTestEngine(t, 10)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := e.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if err := e.Shutdown(ctx); err != nil { // idempotent
+		t.Fatalf("second Shutdown: %v", err)
+	}
+	if !e.Closed() {
+		t.Error("Closed() = false after Shutdown")
+	}
+	if _, err := e.Submit(context.Background(), AdmissionRequest{VNF: 0, Reliability: 0.9, Duration: 1, Payment: 1}); !errors.Is(err, ErrClosed) {
+		t.Errorf("Submit after shutdown: err = %v, want ErrClosed", err)
+	}
+	if got := e.Stats().Rejections[ReasonClosed]; got != 1 {
+		t.Errorf("closed rejections = %d, want 1", got)
+	}
+}
+
+// TestEngineShutdownDrains verifies every submission accepted before
+// Shutdown gets a real decision.
+func TestEngineShutdownDrains(t *testing.T) {
+	e := newTestEngine(t, 10, func(c *Config) { c.QueueSize = 512 })
+	const n = 200
+	var wg sync.WaitGroup
+	results := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := e.Submit(context.Background(),
+				AdmissionRequest{VNF: 0, Reliability: 0.9, Duration: 1, Payment: 1})
+			results <- err
+		}()
+	}
+	// Shut down while submissions are in flight.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := e.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	wg.Wait()
+	close(results)
+	decided, refused := 0, 0
+	for err := range results {
+		switch {
+		case err == nil:
+			decided++
+		case errors.Is(err, ErrClosed):
+			refused++
+		default:
+			t.Errorf("unexpected submit error: %v", err)
+		}
+	}
+	if decided+refused != n {
+		t.Errorf("decided %d + refused %d != %d", decided, refused, n)
+	}
+	s := e.Stats()
+	if int(s.Admitted+s.RejectedTotal()) != n {
+		t.Errorf("engine decided %d, want %d accounted", s.Admitted+s.RejectedTotal(), n)
+	}
+}
+
+func TestEngineQueueFullBackpressure(t *testing.T) {
+	n := testNetwork()
+	sched, err := onsite.NewScheduler(n, 10, onsite.WithCapacityEnforcement())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(Config{Network: n, Scheduler: sched, Horizon: 10, QueueSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = e.Shutdown(ctx)
+	}()
+	// With a queue of 1, flooding concurrently must produce at least one
+	// ErrQueueFull and no other failure mode.
+	var wg sync.WaitGroup
+	var full, ok int64
+	var mu sync.Mutex
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := e.Submit(context.Background(),
+				AdmissionRequest{VNF: 0, Reliability: 0.9, Duration: 1, Payment: 1})
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case err == nil:
+				ok++
+			case errors.Is(err, ErrQueueFull):
+				full++
+			default:
+				t.Errorf("unexpected error: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if ok == 0 {
+		t.Error("no submission succeeded")
+	}
+	if got := e.Stats().Rejections[ReasonQueueFull]; got != uint64(full) {
+		t.Errorf("queue-full counter = %d, callers saw %d", got, full)
+	}
+}
+
+func TestEngineOverbookRollback(t *testing.T) {
+	// An unenforced (raw) scheduler will overcommit; without the
+	// violation licence the engine must refuse and roll back cleanly.
+	n := testNetwork()
+	sched, err := onsite.NewScheduler(n, 10) // raw variant
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(Config{Network: n, Scheduler: sched, Horizon: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		_ = e.Shutdown(ctx)
+	}()
+	// Escalating payments defeat the dual prices, so the raw variant keeps
+	// admitting until the 2×10-unit network physically cannot hold more.
+	overbooked := false
+	pay := 1000.0
+	for i := 0; i < 50 && !overbooked; i++ {
+		res, err := e.Submit(context.Background(),
+			AdmissionRequest{VNF: 0, Reliability: 0.9, Duration: 10, Payment: pay})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pay *= 3
+		if res.Reason == ReasonOverbooked {
+			overbooked = true
+		}
+	}
+	if !overbooked {
+		t.Fatal("raw scheduler never overbooked a 2×10-unit network")
+	}
+	for _, cl := range e.Cloudlets() {
+		for i, free := range cl.Residual {
+			if free < 0 {
+				t.Errorf("rollback failed: cloudlet %d slot %d residual %d", cl.ID, cl.FromSlot+i, free)
+			}
+		}
+	}
+}
+
+func TestEngineAllowViolations(t *testing.T) {
+	n := testNetwork()
+	sched, err := onsite.NewScheduler(n, 10) // raw variant
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(Config{Network: n, Scheduler: sched, Horizon: 10, AllowViolations: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		_ = e.Shutdown(ctx)
+	}()
+	sawNegative := false
+	pay := 1000.0
+	for i := 0; i < 50; i++ {
+		if _, err := e.Submit(context.Background(),
+			AdmissionRequest{VNF: 0, Reliability: 0.9, Duration: 10, Payment: pay}); err != nil {
+			t.Fatal(err)
+		}
+		pay *= 3
+	}
+	for _, cl := range e.Cloudlets() {
+		for _, free := range cl.Residual {
+			if free < 0 {
+				sawNegative = true
+			}
+		}
+	}
+	if !sawNegative {
+		t.Error("violation licence never produced an overcommitted cell")
+	}
+	if got := e.Stats().Rejections[ReasonOverbooked]; got != 0 {
+		t.Errorf("overbooked rejections = %d, want 0 with violations allowed", got)
+	}
+}
+
+func TestNewRejectsBadConfig(t *testing.T) {
+	n := testNetwork()
+	sched, err := onsite.NewScheduler(n, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []Config{
+		{Network: n, Horizon: 10},                                  // nil scheduler
+		{Scheduler: sched, Horizon: 10},                            // nil network
+		{Network: n, Scheduler: sched},                             // horizon 0
+		{Network: n, Scheduler: sched, Horizon: 10, QueueSize: -1}, // bad queue
+		{Network: &core.Network{}, Scheduler: sched, Horizon: 10},  // invalid network
+	}
+	for i, cfg := range cases {
+		if _, err := New(cfg); !errors.Is(err, ErrBadConfig) {
+			t.Errorf("case %d: err = %v, want ErrBadConfig", i, err)
+		}
+	}
+}
+
+func TestEngineSubmitContextCancel(t *testing.T) {
+	e := newTestEngine(t, 10)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// The worker may decide before the cancellation is observed, so both
+	// a decision and context.Canceled are acceptable; anything else is not.
+	_, err := e.Submit(ctx, AdmissionRequest{VNF: 0, Reliability: 0.9, Duration: 1, Payment: 1})
+	if err != nil && !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want nil or context.Canceled", err)
+	}
+	// The decision still happened and is accounted for.
+	deadline := time.Now().Add(time.Second)
+	for {
+		s := e.Stats()
+		if s.Admitted+s.RejectedTotal() == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("abandoned submission never decided")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,162 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"revnf/internal/core"
+)
+
+// HTTP wire shapes. Kept separate from the engine types so the JSON field
+// names stay stable independent of Go identifiers.
+
+type assignmentDTO struct {
+	Cloudlet  int `json:"cloudlet"`
+	Instances int `json:"instances"`
+}
+
+type placementDTO struct {
+	Scheme       string          `json:"scheme"`
+	Assignments  []assignmentDTO `json:"assignments"`
+	Availability float64         `json:"availability"`
+}
+
+type decisionDTO struct {
+	ID        int           `json:"id"`
+	Admitted  bool          `json:"admitted"`
+	Reason    string        `json:"reason,omitempty"`
+	Slot      int           `json:"slot"`
+	Placement *placementDTO `json:"placement,omitempty"`
+}
+
+type placementRecordDTO struct {
+	ID          int           `json:"id"`
+	State       string        `json:"state"`
+	VNF         int           `json:"vnf"`
+	Reliability float64       `json:"reliability"`
+	Arrival     int           `json:"arrival"`
+	Duration    int           `json:"duration"`
+	Payment     float64       `json:"payment"`
+	DecidedSlot int           `json:"decided_slot"`
+	Placement   *placementDTO `json:"placement"`
+}
+
+type errorDTO struct {
+	Error string `json:"error"`
+}
+
+// NewHandler exposes the engine over HTTP/JSON:
+//
+//	POST /v1/requests        admit or reject one request (503 on backpressure)
+//	GET  /v1/placements/{id} look up an admitted placement
+//	GET  /v1/cloudlets       residual capacity per cloudlet per slot
+//	GET  /healthz            liveness (503 once shutdown begins)
+//	GET  /metrics            Prometheus text exposition
+func NewHandler(e *Engine) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/requests", func(w http.ResponseWriter, r *http.Request) {
+		var ar AdmissionRequest
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&ar); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorDTO{Error: fmt.Sprintf("decode request: %v", err)})
+			return
+		}
+		res, err := e.Submit(r.Context(), ar)
+		switch {
+		case errors.Is(err, ErrQueueFull):
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusServiceUnavailable, errorDTO{Error: ReasonQueueFull})
+			return
+		case errors.Is(err, ErrClosed):
+			writeJSON(w, http.StatusServiceUnavailable, errorDTO{Error: ReasonClosed})
+			return
+		case err != nil: // context cancellation: the client went away
+			writeJSON(w, http.StatusServiceUnavailable, errorDTO{Error: err.Error()})
+			return
+		}
+		out := decisionDTO{ID: res.ID, Admitted: res.Admitted, Reason: res.Reason, Slot: res.Slot}
+		if res.Admitted {
+			arrival := ar.Arrival
+			if arrival == 0 {
+				arrival = res.Slot
+			}
+			req := core.Request{ID: res.ID, VNF: ar.VNF, Reliability: ar.Reliability,
+				Arrival: arrival, Duration: ar.Duration, Payment: ar.Payment}
+			out.Placement = toPlacementDTO(e.Network(), req, res.Placement)
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+
+	mux.HandleFunc("GET /v1/placements/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id, err := strconv.Atoi(r.PathValue("id"))
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorDTO{Error: "placement id must be an integer"})
+			return
+		}
+		rec, ok := e.Placement(id)
+		if !ok {
+			writeJSON(w, http.StatusNotFound, errorDTO{Error: fmt.Sprintf("no placement %d", id)})
+			return
+		}
+		writeJSON(w, http.StatusOK, placementRecordDTO{
+			ID:          rec.ID,
+			State:       string(rec.State),
+			VNF:         rec.Request.VNF,
+			Reliability: rec.Request.Reliability,
+			Arrival:     rec.Request.Arrival,
+			Duration:    rec.Request.Duration,
+			Payment:     rec.Request.Payment,
+			DecidedSlot: rec.DecidedSlot,
+			Placement:   toPlacementDTO(e.Network(), rec.Request, rec.Placement),
+		})
+	})
+
+	mux.HandleFunc("GET /v1/cloudlets", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, struct {
+			Slot      int              `json:"slot"`
+			Horizon   int              `json:"horizon"`
+			Cloudlets []CloudletStatus `json:"cloudlets"`
+		}{Slot: e.Slot(), Horizon: e.Horizon(), Cloudlets: e.Cloudlets()})
+	})
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		if e.Closed() {
+			http.Error(w, "shutting down", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := e.WriteMetrics(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+
+	return mux
+}
+
+func toPlacementDTO(n *core.Network, req core.Request, p core.Placement) *placementDTO {
+	dto := &placementDTO{
+		Scheme:       p.Scheme.String(),
+		Assignments:  make([]assignmentDTO, len(p.Assignments)),
+		Availability: p.Availability(n, req),
+	}
+	for i, a := range p.Assignments {
+		dto.Assignments[i] = assignmentDTO{Cloudlet: a.Cloudlet, Instances: a.Instances}
+	}
+	return dto
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	// Encoding failures past WriteHeader cannot be reported to the client.
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,338 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"revnf/internal/offsite"
+)
+
+func newTestServer(t *testing.T, horizon int, opts ...func(*Config)) (*Engine, *httptest.Server) {
+	t.Helper()
+	e := newTestEngine(t, horizon, opts...)
+	srv := httptest.NewServer(NewHandler(e))
+	t.Cleanup(srv.Close)
+	return e, srv
+}
+
+func postRequest(t *testing.T, url string, body string) (*http.Response, decisionDTO) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/requests", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/requests: %v", err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	var dec decisionDTO
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&dec); err != nil {
+			t.Fatalf("decode decision: %v", err)
+		}
+	} else {
+		_, _ = io.Copy(io.Discard, resp.Body)
+	}
+	return resp, dec
+}
+
+func TestHTTPAdmitRejectRoundTrip(t *testing.T) {
+	_, srv := newTestServer(t, 20)
+	resp, dec := postRequest(t, srv.URL, `{"vnf":0,"reliability":0.9,"duration":3,"payment":12.5}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	if !dec.Admitted || dec.Placement == nil {
+		t.Fatalf("decision = %+v, want admitted with placement", dec)
+	}
+	if dec.Placement.Scheme != "on-site" || len(dec.Placement.Assignments) != 1 {
+		t.Errorf("placement = %+v", dec.Placement)
+	}
+	if dec.Placement.Availability < 0.9 {
+		t.Errorf("availability %v below requirement", dec.Placement.Availability)
+	}
+	// Infeasible requirement: HTTP 200, admitted=false, reason=declined.
+	resp, dec = postRequest(t, srv.URL, `{"vnf":0,"reliability":0.995,"duration":3,"payment":12.5}`)
+	if resp.StatusCode != http.StatusOK || dec.Admitted || dec.Reason != ReasonDeclined {
+		t.Errorf("status %d decision %+v, want 200/declined", resp.StatusCode, dec)
+	}
+}
+
+func TestHTTPBadRequestBody(t *testing.T) {
+	_, srv := newTestServer(t, 20)
+	for _, body := range []string{`{not json`, `{"vnf":0,"bogus_field":1}`} {
+		resp, _ := postRequest(t, srv.URL, body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("body %q: status = %d, want 400", body, resp.StatusCode)
+		}
+	}
+}
+
+func TestHTTPPlacementLookup(t *testing.T) {
+	_, srv := newTestServer(t, 20)
+	_, dec := postRequest(t, srv.URL, `{"vnf":0,"reliability":0.9,"duration":4,"payment":7}`)
+	if !dec.Admitted {
+		t.Fatalf("not admitted: %+v", dec)
+	}
+	resp, err := http.Get(fmt.Sprintf("%s/v1/placements/%d", srv.URL, dec.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	var rec placementRecordDTO
+	if err := json.NewDecoder(resp.Body).Decode(&rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.ID != dec.ID || rec.State != string(StateActive) || rec.Duration != 4 {
+		t.Errorf("record = %+v", rec)
+	}
+	for _, path := range []string{"/v1/placements/9999", "/v1/placements/abc"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = resp.Body.Close()
+		want := http.StatusNotFound
+		if strings.HasSuffix(path, "abc") {
+			want = http.StatusBadRequest
+		}
+		if resp.StatusCode != want {
+			t.Errorf("GET %s: status = %d, want %d", path, resp.StatusCode, want)
+		}
+	}
+}
+
+func TestHTTPCloudlets(t *testing.T) {
+	e, srv := newTestServer(t, 10)
+	_, dec := postRequest(t, srv.URL, `{"vnf":0,"reliability":0.9,"duration":2,"payment":7}`)
+	if !dec.Admitted {
+		t.Fatalf("not admitted: %+v", dec)
+	}
+	e.Tick() // slot 2
+	resp, err := http.Get(srv.URL + "/v1/cloudlets")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	var out struct {
+		Slot      int              `json:"slot"`
+		Horizon   int              `json:"horizon"`
+		Cloudlets []CloudletStatus `json:"cloudlets"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Slot != 2 || out.Horizon != 10 || len(out.Cloudlets) != 2 {
+		t.Fatalf("out = %+v", out)
+	}
+	j := dec.Placement.Assignments[0].Cloudlet
+	cl := out.Cloudlets[j]
+	if cl.FromSlot != 2 || len(cl.Residual) != 9 {
+		t.Fatalf("cloudlet %d status = %+v", j, cl)
+	}
+	if cl.Residual[0] != cl.Capacity-4 { // slot 2 still inside the window
+		t.Errorf("slot-2 residual = %d, want %d", cl.Residual[0], cl.Capacity-4)
+	}
+	if cl.Residual[1] != cl.Capacity { // slot 3 is past the window
+		t.Errorf("slot-3 residual = %d, want %d", cl.Residual[1], cl.Capacity)
+	}
+}
+
+func TestHTTPHealthz(t *testing.T) {
+	e, srv := newTestServer(t, 10)
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d, want 200", resp.StatusCode)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := e.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("healthz after shutdown = %d, want 503", resp.StatusCode)
+	}
+}
+
+func TestHTTPMetricsScrape(t *testing.T) {
+	_, srv := newTestServer(t, 20)
+	postRequest(t, srv.URL, `{"vnf":0,"reliability":0.9,"duration":3,"payment":12.5}`)
+	postRequest(t, srv.URL, `{"vnf":0,"reliability":0.995,"duration":3,"payment":1}`)
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("content type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(body)
+	for _, want := range []string{
+		"revnfd_admissions_total 1\n",
+		`revnfd_rejections_total{reason="declined"} 1` + "\n",
+		"revnfd_revenue_total 12.5\n",
+		"revnfd_current_slot 1\n",
+		`revnfd_cloudlet_utilization{cloudlet="0"}`,
+		"revnfd_admission_latency_seconds_count 2\n",
+		"revnfd_queue_capacity 256\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+	// The exposition must parse line by line: every non-comment line is
+	// "name{labels} value" with a float value.
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Errorf("unparseable sample line %q", line)
+		}
+	}
+}
+
+// TestHTTPBackpressure503 floods a 1-slot queue and requires at least one
+// 503 with Retry-After while every accepted request still gets decided.
+func TestHTTPBackpressure503(t *testing.T) {
+	_, srv := newTestServer(t, 20, func(c *Config) { c.QueueSize = 1 })
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	codes := map[int]int{}
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(srv.URL+"/v1/requests", "application/json",
+				bytes.NewReader([]byte(`{"vnf":0,"reliability":0.9,"duration":1,"payment":2}`)))
+			if err != nil {
+				t.Errorf("POST: %v", err)
+				return
+			}
+			defer func() { _ = resp.Body.Close() }()
+			_, _ = io.Copy(io.Discard, resp.Body)
+			mu.Lock()
+			codes[resp.StatusCode]++
+			mu.Unlock()
+			if resp.StatusCode == http.StatusServiceUnavailable && resp.Header.Get("Retry-After") == "" {
+				t.Error("503 without Retry-After")
+			}
+		}()
+	}
+	wg.Wait()
+	if codes[http.StatusOK] == 0 {
+		t.Errorf("no request decided: %v", codes)
+	}
+	if codes[http.StatusOK]+codes[http.StatusServiceUnavailable] != 64 {
+		t.Errorf("unexpected status mix: %v", codes)
+	}
+}
+
+// TestHTTPShutdownDrainsInFlight starts slow-moving submissions, begins
+// shutdown, and verifies queued requests get decisions while later ones
+// get 503.
+func TestHTTPShutdownDrainsInFlight(t *testing.T) {
+	e, srv := newTestServer(t, 20, func(c *Config) { c.QueueSize = 128 })
+	const n = 50
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	codes := map[int]int{}
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(srv.URL+"/v1/requests", "application/json",
+				bytes.NewReader([]byte(`{"vnf":0,"reliability":0.9,"duration":1,"payment":2}`)))
+			if err != nil {
+				t.Errorf("POST: %v", err)
+				return
+			}
+			defer func() { _ = resp.Body.Close() }()
+			_, _ = io.Copy(io.Discard, resp.Body)
+			mu.Lock()
+			codes[resp.StatusCode]++
+			mu.Unlock()
+		}()
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := e.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	wg.Wait()
+	if codes[http.StatusOK]+codes[http.StatusServiceUnavailable] != n {
+		t.Errorf("status mix %v does not account for %d requests", codes, n)
+	}
+	s := e.Stats()
+	if got := int(s.Admitted + s.RejectedTotal()); got+codes[http.StatusServiceUnavailable] < n {
+		t.Errorf("decisions %d + 503s %d < %d", got, codes[http.StatusServiceUnavailable], n)
+	}
+}
+
+func TestHTTPMethodNotAllowed(t *testing.T) {
+	_, srv := newTestServer(t, 10)
+	resp, err := http.Get(srv.URL + "/v1/requests")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/requests = %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestHandlerWithOffsiteScheduler exercises the serve layer against
+// Algorithm 2 to confirm scheme-agnosticism. With r(f)=0.8 the single
+// best cloudlet gives 0.99·0.8 = 0.792 < 0.9, so the off-site placement
+// must span both cloudlets.
+func TestHandlerWithOffsiteScheduler(t *testing.T) {
+	n := testNetwork()
+	sched, err := offsite.NewScheduler(n, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(Config{Network: n, Scheduler: sched, Horizon: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		_ = e.Shutdown(ctx)
+	})
+	srv := httptest.NewServer(NewHandler(e))
+	t.Cleanup(srv.Close)
+	_, dec := postRequest(t, srv.URL, `{"vnf":0,"reliability":0.9,"duration":2,"payment":9}`)
+	if !dec.Admitted || dec.Placement == nil {
+		t.Fatalf("off-site decision = %+v, want admitted", dec)
+	}
+	if dec.Placement.Scheme != "off-site" || len(dec.Placement.Assignments) != 2 {
+		t.Errorf("off-site placement = %+v, want both cloudlets", dec.Placement)
+	}
+}

@@ -1,0 +1,90 @@
+package serve
+
+import (
+	"io"
+	"sort"
+	"strconv"
+
+	"revnf/internal/metrics"
+)
+
+// WriteMetrics renders the engine's counters in the Prometheus text
+// exposition format: admission/rejection/revenue counters, the slot and
+// queue gauges, per-cloudlet utilization at the current slot, and the
+// admission latency histogram.
+func (e *Engine) WriteMetrics(w io.Writer) error {
+	s := e.Stats()
+	families := []metrics.PromMetric{
+		metrics.Counter("revnfd_admissions_total",
+			"Requests admitted since start.", float64(s.Admitted)),
+		rejectionFamily(s.Rejections),
+		metrics.Counter("revnfd_revenue_total",
+			"Summed payment of admitted requests (paper objective (6)).", s.Revenue),
+		metrics.Counter("revnfd_expirations_total",
+			"Placements whose windows ended and whose capacity was released.", float64(s.Expired)),
+		metrics.Gauge("revnfd_active_placements",
+			"Admitted placements not yet expired.", float64(s.ActivePlacements)),
+		metrics.Gauge("revnfd_current_slot",
+			"Current time slot of the slot clock.", float64(s.Slot)),
+		metrics.Gauge("revnfd_horizon_slots",
+			"Served horizon T in slots.", float64(s.Horizon)),
+		metrics.Gauge("revnfd_queue_depth",
+			"Admissions waiting in the bounded ingest queue.", float64(s.QueueDepth)),
+		metrics.Gauge("revnfd_queue_capacity",
+			"Capacity of the bounded ingest queue.", float64(s.QueueCapacity)),
+		utilizationFamily(s),
+		s.Latency.Metric("revnfd_admission_latency_seconds",
+			"Latency from submission to admission decision."),
+	}
+	return metrics.WriteProm(w, families)
+}
+
+func rejectionFamily(rejections map[string]uint64) metrics.PromMetric {
+	fam := metrics.PromMetric{
+		Name: "revnfd_rejections_total",
+		Help: "Requests rejected since start, by reason.",
+		Type: "counter",
+	}
+	// Every defined reason is always exposed so scrapes see stable series.
+	reasons := []string{ReasonInvalid, ReasonStale, ReasonHorizon, ReasonDeclined,
+		ReasonOverbooked, ReasonQueueFull, ReasonClosed}
+	for r := range rejections {
+		found := false
+		for _, known := range reasons {
+			if r == known {
+				found = true
+				break
+			}
+		}
+		if !found {
+			reasons = append(reasons, r)
+		}
+	}
+	sort.Strings(reasons)
+	for _, r := range reasons {
+		fam.Samples = append(fam.Samples, metrics.PromSample{
+			Labels: []metrics.LabelPair{{Name: "reason", Value: r}},
+			Value:  float64(rejections[r]),
+		})
+	}
+	return fam
+}
+
+func utilizationFamily(s Stats) metrics.PromMetric {
+	fam := metrics.PromMetric{
+		Name: "revnfd_cloudlet_utilization",
+		Help: "Fraction of each cloudlet's capacity in use at the current slot.",
+		Type: "gauge",
+	}
+	for j := range s.CloudletCapacity {
+		util := 0.0
+		if s.CloudletCapacity[j] > 0 {
+			util = float64(s.CloudletUsed[j]) / float64(s.CloudletCapacity[j])
+		}
+		fam.Samples = append(fam.Samples, metrics.PromSample{
+			Labels: []metrics.LabelPair{{Name: "cloudlet", Value: strconv.Itoa(j)}},
+			Value:  util,
+		})
+	}
+	return fam
+}

@@ -1,0 +1,87 @@
+// Package serve turns the repo's online admission algorithms into a
+// long-running service. The paper's Algorithms 1–2 are online by
+// construction — each request must be accepted or rejected the moment it
+// arrives — but every core.Scheduler implementation is single-goroutine
+// state machine. This package supplies the concurrency shell around one:
+//
+//   - an Engine that serializes all scheduler and ledger access behind a
+//     bounded ingest queue with backpressure (a full queue rejects rather
+//     than buffering without bound);
+//   - a slot clock that maps the paper's discrete time slots onto wall
+//     time (or onto manual Tick calls in tests) and releases every
+//     placement's capacity back to the ledger exactly when its window
+//     ends, at slot a_i + d_i;
+//   - graceful shutdown that stops intake, drains in-flight admissions,
+//     and answers every caller;
+//   - Prometheus-format metrics (admissions, rejections by reason,
+//     revenue, per-cloudlet utilization, queue depth, admission latency)
+//     rendered with internal/metrics.
+//
+// The HTTP surface over the Engine lives in this package too (NewHandler);
+// cmd/revnfd wires it to a net/http server and cmd/revnfload replays
+// generated workloads against it.
+package serve
+
+import (
+	"errors"
+	"time"
+
+	"revnf/internal/core"
+)
+
+// Errors returned by the engine.
+var (
+	ErrBadConfig = errors.New("serve: invalid config")
+	// ErrQueueFull reports that the bounded ingest queue is at capacity;
+	// the HTTP layer maps it to 503 so callers can back off.
+	ErrQueueFull = errors.New("serve: ingest queue full")
+	// ErrClosed reports a submission after Shutdown began.
+	ErrClosed = errors.New("serve: engine closed")
+)
+
+// Config assembles an Engine.
+type Config struct {
+	// Network is the cloudlet fleet and VNF catalog served.
+	Network *core.Network
+	// Scheduler makes the admission decisions. The engine owns it
+	// exclusively from New onward and serializes every Decide call, per
+	// the core.Scheduler concurrency contract.
+	Scheduler core.Scheduler
+	// Horizon is the number of time slots T the daemon serves.
+	Horizon int
+	// QueueSize bounds the ingest queue; 0 selects DefaultQueueSize.
+	QueueSize int
+	// SlotDuration is the wall-clock length of one paper time slot. Zero
+	// disables the real-time clock: the slot advances only on manual Tick
+	// calls, which is the deterministic mode tests use.
+	SlotDuration time.Duration
+	// AllowViolations force-reserves capacity the ledger does not have,
+	// for the raw Algorithm 1 whose analysis bounds (but does not
+	// prevent) violations. Feasible schedulers leave it false.
+	AllowViolations bool
+	// Now overrides the clock used for latency measurement (tests).
+	Now func() time.Time
+}
+
+// DefaultQueueSize is the ingest queue bound when Config.QueueSize is 0.
+const DefaultQueueSize = 256
+
+// Rejection reasons reported in results and metrics.
+const (
+	// ReasonInvalid marks requests that fail model validation.
+	ReasonInvalid = "invalid"
+	// ReasonStale marks requests whose arrival slot has already passed.
+	ReasonStale = "stale"
+	// ReasonHorizon marks windows extending beyond the served horizon.
+	ReasonHorizon = "horizon"
+	// ReasonDeclined marks requests the scheduler priced out or could not
+	// place — the paper's genuine online rejection.
+	ReasonDeclined = "declined"
+	// ReasonOverbooked marks scheduler placements the ledger refused; it
+	// indicates a scheduler violating its feasibility contract.
+	ReasonOverbooked = "overbooked"
+	// ReasonQueueFull marks submissions dropped by backpressure.
+	ReasonQueueFull = "queue-full"
+	// ReasonClosed marks submissions after shutdown began.
+	ReasonClosed = "closed"
+)

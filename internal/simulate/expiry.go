@@ -1,0 +1,97 @@
+package simulate
+
+import (
+	"fmt"
+	"sort"
+
+	"revnf/internal/core"
+)
+
+// RequestFor resolves a placement's request in the trace, checking the ID
+// is known. It is the shared lookup used by the failure injector, the
+// timeline simulator and the serving layer's expiry bookkeeping.
+func RequestFor(trace []core.Request, p core.Placement) (core.Request, error) {
+	if p.Request < 0 || p.Request >= len(trace) {
+		return core.Request{}, fmt.Errorf("%w: placement for unknown request %d", ErrBadInstance, p.Request)
+	}
+	return trace[p.Request], nil
+}
+
+// WindowIndex tracks execution windows by their last covered slot so that
+// expirations can be drained as a slot clock advances: a placement for
+// request ρ = (f, R, a, d, pay) covers slots [a, a+d-1] and expires the
+// moment the clock reaches slot a+d. The timeline simulator uses the same
+// end-of-window convention when it scores delivered uptime; the serving
+// engine (internal/serve) uses this index to release ledger capacity on
+// every tick. The zero value is not usable; construct with
+// NewWindowIndex. Not safe for concurrent use.
+type WindowIndex struct {
+	byEnd map[int][]int
+	ends  map[int]int
+}
+
+// NewWindowIndex returns an empty index.
+func NewWindowIndex() *WindowIndex {
+	return &WindowIndex{byEnd: make(map[int][]int), ends: make(map[int]int)}
+}
+
+// Add registers id with the given last covered slot. Re-adding a live id
+// first removes the stale entry.
+func (x *WindowIndex) Add(id, end int) {
+	if _, ok := x.ends[id]; ok {
+		x.Remove(id)
+	}
+	x.ends[id] = end
+	x.byEnd[end] = append(x.byEnd[end], id)
+}
+
+// Remove unregisters id; unknown ids are ignored.
+func (x *WindowIndex) Remove(id int) {
+	end, ok := x.ends[id]
+	if !ok {
+		return
+	}
+	delete(x.ends, id)
+	ids := x.byEnd[end]
+	for i, v := range ids {
+		if v == id {
+			ids[i] = ids[len(ids)-1]
+			ids = ids[:len(ids)-1]
+			break
+		}
+	}
+	if len(ids) == 0 {
+		delete(x.byEnd, end)
+	} else {
+		x.byEnd[end] = ids
+	}
+}
+
+// Len returns the number of live windows.
+func (x *WindowIndex) Len() int { return len(x.ends) }
+
+// End returns the registered last covered slot of id and whether it is
+// live.
+func (x *WindowIndex) End(id int) (int, bool) {
+	end, ok := x.ends[id]
+	return end, ok
+}
+
+// ExpireBefore removes and returns, in ascending id order, every id whose
+// window ended before slot now — that is, every window with end < now. A
+// window ending at slot e therefore expires exactly when the clock
+// advances to slot e+1 (= arrival + duration).
+func (x *WindowIndex) ExpireBefore(now int) []int {
+	var out []int
+	for end, ids := range x.byEnd {
+		if end < now {
+			out = append(out, ids...)
+			for _, id := range ids {
+				delete(x.ends, id)
+			}
+			delete(x.byEnd, end)
+		}
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,76 @@
+package simulate
+
+import (
+	"errors"
+	"testing"
+
+	"revnf/internal/core"
+)
+
+func TestRequestFor(t *testing.T) {
+	trace := []core.Request{{ID: 0, Arrival: 1, Duration: 2}, {ID: 1, Arrival: 3, Duration: 1}}
+	req, err := RequestFor(trace, core.Placement{Request: 1})
+	if err != nil || req.ID != 1 {
+		t.Fatalf("RequestFor = %+v, %v", req, err)
+	}
+	for _, bad := range []int{-1, 2} {
+		if _, err := RequestFor(trace, core.Placement{Request: bad}); !errors.Is(err, ErrBadInstance) {
+			t.Errorf("RequestFor(%d): err = %v, want ErrBadInstance", bad, err)
+		}
+	}
+}
+
+func TestWindowIndexExpireBefore(t *testing.T) {
+	x := NewWindowIndex()
+	// Three windows: [1,2], [1,4], [3,4]. End slots 2, 4, 4.
+	x.Add(10, 2)
+	x.Add(11, 4)
+	x.Add(12, 4)
+	if x.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", x.Len())
+	}
+	if got := x.ExpireBefore(2); len(got) != 0 {
+		t.Errorf("ExpireBefore(2) = %v, want none (window [1,2] still covers slot 2)", got)
+	}
+	// A window ending at slot 2 expires exactly at slot 3 = a+d.
+	got := x.ExpireBefore(3)
+	if len(got) != 1 || got[0] != 10 {
+		t.Errorf("ExpireBefore(3) = %v, want [10]", got)
+	}
+	got = x.ExpireBefore(5)
+	if len(got) != 2 || got[0] != 11 || got[1] != 12 {
+		t.Errorf("ExpireBefore(5) = %v, want [11 12]", got)
+	}
+	if x.Len() != 0 {
+		t.Errorf("Len after draining = %d, want 0", x.Len())
+	}
+	if got := x.ExpireBefore(100); len(got) != 0 {
+		t.Errorf("ExpireBefore on empty index = %v, want none", got)
+	}
+}
+
+func TestWindowIndexRemoveAndReAdd(t *testing.T) {
+	x := NewWindowIndex()
+	x.Add(1, 5)
+	x.Add(2, 5)
+	x.Remove(1)
+	x.Remove(99) // unknown: ignored
+	if x.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", x.Len())
+	}
+	if got := x.ExpireBefore(6); len(got) != 1 || got[0] != 2 {
+		t.Errorf("ExpireBefore(6) = %v, want [2]", got)
+	}
+	// Re-adding a live id moves its window instead of duplicating it.
+	x.Add(3, 4)
+	x.Add(3, 7)
+	if end, ok := x.End(3); !ok || end != 7 {
+		t.Errorf("End(3) = %d, %v, want 7, true", end, ok)
+	}
+	if got := x.ExpireBefore(5); len(got) != 0 {
+		t.Errorf("stale window survived re-add: %v", got)
+	}
+	if got := x.ExpireBefore(8); len(got) != 1 || got[0] != 3 {
+		t.Errorf("ExpireBefore(8) = %v, want [3]", got)
+	}
+}

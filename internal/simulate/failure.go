@@ -59,10 +59,10 @@ func EstimateAvailability(network *core.Network, trace []core.Request, placement
 	}
 	met := 0
 	for _, p := range placements {
-		if p.Request < 0 || p.Request >= len(trace) {
-			return nil, fmt.Errorf("%w: placement for unknown request %d", ErrBadInstance, p.Request)
+		req, err := RequestFor(trace, p)
+		if err != nil {
+			return nil, err
 		}
-		req := trace[p.Request]
 		if err := p.Validate(network, req); err != nil {
 			return nil, fmt.Errorf("simulate: placement for request %d: %w", p.Request, err)
 		}

@@ -98,10 +98,10 @@ func SimulateTimeline(network *core.Network, horizon int, trace []core.Request, 
 	fullService := 0
 	totalDelivered := 0.0
 	for _, p := range placements {
-		if p.Request < 0 || p.Request >= len(trace) {
-			return nil, fmt.Errorf("%w: placement for unknown request %d", ErrBadInstance, p.Request)
+		req, err := RequestFor(trace, p)
+		if err != nil {
+			return nil, err
 		}
-		req := trace[p.Request]
 		rf := network.Catalog[req.VNF].Reliability
 		// Per-instance software timelines over the request's window.
 		type instTimeline struct {
