@@ -60,6 +60,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		horizon   = fs.Int("horizon", 0, "time horizon T in slots")
 		slot      = fs.Duration("slot", time.Second, "wall-clock duration of one slot (0 = frozen clock)")
 		queue     = fs.Int("queue", serve.DefaultQueueSize, "bounded ingest queue size")
+		workers   = fs.Int("workers", 1, "decision concurrency: 1 = serial, >1 = sharded propose/commit workers")
 		seed      = fs.Int64("seed", 1, "network generation seed")
 		instance  = fs.String("instance", "", "load instance JSON providing the network instead of generating")
 		drain     = fs.Duration("drain", 10*time.Second, "graceful shutdown budget")
@@ -81,11 +82,15 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		Scheduler:       sched,
 		Horizon:         inst.Horizon,
 		QueueSize:       *queue,
+		Workers:         *workers,
 		SlotDuration:    *slot,
 		AllowViolations: allowViolations,
 	})
 	if err != nil {
 		return err
+	}
+	if *workers > 1 && engine.Workers() == 1 {
+		fmt.Fprintf(out, "revnfd: scheduler %s does not support concurrent proposals; running serial\n", sched.Name())
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -93,8 +98,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		return err
 	}
 	srv := &http.Server{Handler: serve.NewHandler(engine)}
-	fmt.Fprintf(out, "revnfd: %s/%s over %d cloudlets, horizon %d, slot %s, listening on http://%s\n",
-		sched.Name(), sched.Scheme(), len(inst.Network.Cloudlets), inst.Horizon, *slot, ln.Addr())
+	fmt.Fprintf(out, "revnfd: %s/%s over %d cloudlets, horizon %d, slot %s, workers %d, listening on http://%s\n",
+		sched.Name(), sched.Scheme(), len(inst.Network.Cloudlets), inst.Horizon, *slot, engine.Workers(), ln.Addr())
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()

@@ -4,6 +4,14 @@
 // preferring to place VNF instances in cloudlets with high reliabilities"
 // (Section VI-A); it never reasons about opportunity cost, which is
 // exactly what the primal-dual algorithms add.
+//
+// Every baseline implements core.TwoPhaseScheduler. Their Propose methods
+// are pure functions of (request, capacity view) — no dual prices, no
+// learned state — so Commit and Abort are no-ops and concurrent Propose is
+// trivially safe. The one exception is RandomOnsite, whose RNG draw is
+// guarded by a mutex: concurrent proposals stay race-free, though the
+// chosen cloudlet then depends on goroutine interleaving (serial driving
+// remains deterministic).
 package baseline
 
 import (
@@ -11,6 +19,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"revnf/internal/core"
 )
@@ -24,16 +33,18 @@ var (
 // cloudlet with sufficient residual capacity (on-site scheme).
 type GreedyOnsite struct {
 	network *core.Network
+	rel     *core.ReliabilityTable
 	// order is the cloudlet IDs sorted by reliability descending.
 	order []int
 }
 
 // NewGreedyOnsite creates the paper's greedy on-site baseline.
 func NewGreedyOnsite(network *core.Network) (*GreedyOnsite, error) {
-	if err := validate(network); err != nil {
+	rel, err := buildTable(network)
+	if err != nil {
 		return nil, err
 	}
-	return &GreedyOnsite{network: network, order: byReliability(network)}, nil
+	return &GreedyOnsite{network: network, rel: rel, order: byReliability(network)}, nil
 }
 
 // Name implements core.Scheduler.
@@ -44,11 +55,16 @@ func (g *GreedyOnsite) Scheme() core.Scheme { return core.OnSite }
 
 // Decide implements core.Scheduler.
 func (g *GreedyOnsite) Decide(req core.Request, view core.CapacityView) (core.Placement, bool) {
+	return g.Propose(req, view)
+}
+
+// Propose implements core.TwoPhaseScheduler; it is a pure function of the
+// request and the view.
+func (g *GreedyOnsite) Propose(req core.Request, view core.CapacityView) (core.Placement, bool) {
 	vnf := g.network.Catalog[req.VNF]
 	for _, j := range g.order {
-		cl := g.network.Cloudlets[j]
-		n, err := core.OnsiteInstances(vnf.Reliability, cl.Reliability, req.Reliability)
-		if err != nil {
+		n, ok := g.rel.OnsiteInstancesOK(req.VNF, j, req.Reliability)
+		if !ok {
 			// Cloudlets are reliability-sorted: all later ones fail too.
 			break
 		}
@@ -64,20 +80,31 @@ func (g *GreedyOnsite) Decide(req core.Request, view core.CapacityView) (core.Pl
 	return core.Placement{}, false
 }
 
+// Commit implements core.TwoPhaseScheduler (no scheduler state).
+func (g *GreedyOnsite) Commit(core.Request, core.Placement) {}
+
+// Abort implements core.TwoPhaseScheduler (no scheduler state).
+func (g *GreedyOnsite) Abort(core.Request, core.Placement) {}
+
+// ConcurrentPropose implements core.TwoPhaseScheduler.
+func (g *GreedyOnsite) ConcurrentPropose() bool { return true }
+
 // GreedyOffsite admits every request it can, accumulating the most
 // reliable cloudlets with space until the reliability requirement is met
 // (off-site scheme).
 type GreedyOffsite struct {
 	network *core.Network
+	rel     *core.ReliabilityTable
 	order   []int
 }
 
 // NewGreedyOffsite creates the paper's greedy off-site baseline.
 func NewGreedyOffsite(network *core.Network) (*GreedyOffsite, error) {
-	if err := validate(network); err != nil {
+	rel, err := buildTable(network)
+	if err != nil {
 		return nil, err
 	}
-	return &GreedyOffsite{network: network, order: byReliability(network)}, nil
+	return &GreedyOffsite{network: network, rel: rel, order: byReliability(network)}, nil
 }
 
 // Name implements core.Scheduler.
@@ -88,6 +115,12 @@ func (g *GreedyOffsite) Scheme() core.Scheme { return core.OffSite }
 
 // Decide implements core.Scheduler.
 func (g *GreedyOffsite) Decide(req core.Request, view core.CapacityView) (core.Placement, bool) {
+	return g.Propose(req, view)
+}
+
+// Propose implements core.TwoPhaseScheduler; it is a pure function of the
+// request and the view.
+func (g *GreedyOffsite) Propose(req core.Request, view core.CapacityView) (core.Placement, bool) {
 	vnf := g.network.Catalog[req.VNF]
 	needWeight := core.RequirementWeight(req.Reliability)
 	totalWeight := 0.0
@@ -97,7 +130,7 @@ func (g *GreedyOffsite) Decide(req core.Request, view core.CapacityView) (core.P
 			continue
 		}
 		assignments = append(assignments, core.Assignment{Cloudlet: j, Instances: 1})
-		totalWeight += core.OffsiteWeight(vnf.Reliability, g.network.Cloudlets[j].Reliability)
+		totalWeight += g.rel.OffsiteWeight(req.VNF, j)
 		if core.WeightsSatisfy(totalWeight, needWeight) {
 			return core.Placement{Request: req.ID, Scheme: core.OffSite, Assignments: assignments}, true
 		}
@@ -105,19 +138,30 @@ func (g *GreedyOffsite) Decide(req core.Request, view core.CapacityView) (core.P
 	return core.Placement{}, false
 }
 
+// Commit implements core.TwoPhaseScheduler (no scheduler state).
+func (g *GreedyOffsite) Commit(core.Request, core.Placement) {}
+
+// Abort implements core.TwoPhaseScheduler (no scheduler state).
+func (g *GreedyOffsite) Abort(core.Request, core.Placement) {}
+
+// ConcurrentPropose implements core.TwoPhaseScheduler.
+func (g *GreedyOffsite) ConcurrentPropose() bool { return true }
+
 // FirstFitOnsite places each request in the lowest-ID feasible cloudlet.
 // It ignores reliability ordering entirely and serves as an ablation
 // baseline isolating the value of reliability awareness.
 type FirstFitOnsite struct {
 	network *core.Network
+	rel     *core.ReliabilityTable
 }
 
 // NewFirstFitOnsite creates the first-fit baseline.
 func NewFirstFitOnsite(network *core.Network) (*FirstFitOnsite, error) {
-	if err := validate(network); err != nil {
+	rel, err := buildTable(network)
+	if err != nil {
 		return nil, err
 	}
-	return &FirstFitOnsite{network: network}, nil
+	return &FirstFitOnsite{network: network, rel: rel}, nil
 }
 
 // Name implements core.Scheduler.
@@ -128,10 +172,16 @@ func (f *FirstFitOnsite) Scheme() core.Scheme { return core.OnSite }
 
 // Decide implements core.Scheduler.
 func (f *FirstFitOnsite) Decide(req core.Request, view core.CapacityView) (core.Placement, bool) {
+	return f.Propose(req, view)
+}
+
+// Propose implements core.TwoPhaseScheduler; it is a pure function of the
+// request and the view.
+func (f *FirstFitOnsite) Propose(req core.Request, view core.CapacityView) (core.Placement, bool) {
 	vnf := f.network.Catalog[req.VNF]
-	for j, cl := range f.network.Cloudlets {
-		n, err := core.OnsiteInstances(vnf.Reliability, cl.Reliability, req.Reliability)
-		if err != nil {
+	for j := range f.network.Cloudlets {
+		n, ok := f.rel.OnsiteInstancesOK(req.VNF, j, req.Reliability)
+		if !ok {
 			continue
 		}
 		if view.ResidualWindow(j, req.Arrival, req.Duration) < n*vnf.Demand {
@@ -146,23 +196,39 @@ func (f *FirstFitOnsite) Decide(req core.Request, view core.CapacityView) (core.
 	return core.Placement{}, false
 }
 
+// Commit implements core.TwoPhaseScheduler (no scheduler state).
+func (f *FirstFitOnsite) Commit(core.Request, core.Placement) {}
+
+// Abort implements core.TwoPhaseScheduler (no scheduler state).
+func (f *FirstFitOnsite) Abort(core.Request, core.Placement) {}
+
+// ConcurrentPropose implements core.TwoPhaseScheduler.
+func (f *FirstFitOnsite) ConcurrentPropose() bool { return true }
+
 // RandomOnsite places each request in a uniformly random feasible
 // cloudlet. It lower-bounds what any sensible on-site policy should earn.
 type RandomOnsite struct {
 	network *core.Network
-	rng     *rand.Rand
+	rel     *core.ReliabilityTable
+	// mu keeps a misused concurrent Propose race-free, but the scheduler
+	// still reports ConcurrentPropose() == false: an interleaving-dependent
+	// draw order would break the seeded reproducibility the injected RNG
+	// exists to provide.
+	mu  sync.Mutex
+	rng *rand.Rand
 }
 
 // NewRandomOnsite creates the random baseline with an injected RNG for
 // reproducibility.
 func NewRandomOnsite(network *core.Network, rng *rand.Rand) (*RandomOnsite, error) {
-	if err := validate(network); err != nil {
+	rel, err := buildTable(network)
+	if err != nil {
 		return nil, err
 	}
 	if rng == nil {
 		return nil, fmt.Errorf("%w: nil RNG", ErrBadNetwork)
 	}
-	return &RandomOnsite{network: network, rng: rng}, nil
+	return &RandomOnsite{network: network, rel: rel, rng: rng}, nil
 }
 
 // Name implements core.Scheduler.
@@ -173,12 +239,18 @@ func (r *RandomOnsite) Scheme() core.Scheme { return core.OnSite }
 
 // Decide implements core.Scheduler.
 func (r *RandomOnsite) Decide(req core.Request, view core.CapacityView) (core.Placement, bool) {
+	return r.Propose(req, view)
+}
+
+// Propose implements core.TwoPhaseScheduler. The RNG draw happens under
+// the scheduler's mutex; everything else is pure.
+func (r *RandomOnsite) Propose(req core.Request, view core.CapacityView) (core.Placement, bool) {
 	vnf := r.network.Catalog[req.VNF]
 	type option struct{ cloudlet, instances int }
 	var options []option
-	for j, cl := range r.network.Cloudlets {
-		n, err := core.OnsiteInstances(vnf.Reliability, cl.Reliability, req.Reliability)
-		if err != nil {
+	for j := range r.network.Cloudlets {
+		n, ok := r.rel.OnsiteInstancesOK(req.VNF, j, req.Reliability)
+		if !ok {
 			continue
 		}
 		if view.ResidualWindow(j, req.Arrival, req.Duration) < n*vnf.Demand {
@@ -189,13 +261,26 @@ func (r *RandomOnsite) Decide(req core.Request, view core.CapacityView) (core.Pl
 	if len(options) == 0 {
 		return core.Placement{}, false
 	}
+	r.mu.Lock()
 	pick := options[r.rng.Intn(len(options))]
+	r.mu.Unlock()
 	return core.Placement{
 		Request:     req.ID,
 		Scheme:      core.OnSite,
 		Assignments: []core.Assignment{{Cloudlet: pick.cloudlet, Instances: pick.instances}},
 	}, true
 }
+
+// Commit implements core.TwoPhaseScheduler (no scheduler state).
+func (r *RandomOnsite) Commit(core.Request, core.Placement) {}
+
+// Abort implements core.TwoPhaseScheduler (no scheduler state).
+func (r *RandomOnsite) Abort(core.Request, core.Placement) {}
+
+// ConcurrentPropose implements core.TwoPhaseScheduler. The draw order of
+// the shared RNG is part of the observable behaviour (a seed must
+// reproduce a trace), so proposals may not interleave.
+func (r *RandomOnsite) ConcurrentPropose() bool { return false }
 
 // RejectAll rejects everything; it anchors the revenue floor in sanity
 // checks.
@@ -222,6 +307,20 @@ func (r *RejectAll) Decide(core.Request, core.CapacityView) (core.Placement, boo
 	return core.Placement{}, false
 }
 
+// Propose implements core.TwoPhaseScheduler.
+func (r *RejectAll) Propose(core.Request, core.CapacityView) (core.Placement, bool) {
+	return core.Placement{}, false
+}
+
+// Commit implements core.TwoPhaseScheduler (no scheduler state).
+func (r *RejectAll) Commit(core.Request, core.Placement) {}
+
+// Abort implements core.TwoPhaseScheduler (no scheduler state).
+func (r *RejectAll) Abort(core.Request, core.Placement) {}
+
+// ConcurrentPropose implements core.TwoPhaseScheduler.
+func (r *RejectAll) ConcurrentPropose() bool { return true }
+
 func validate(network *core.Network) error {
 	if network == nil {
 		return fmt.Errorf("%w: nil", ErrBadNetwork)
@@ -230,6 +329,18 @@ func validate(network *core.Network) error {
 		return fmt.Errorf("%w: %v", ErrBadNetwork, err)
 	}
 	return nil
+}
+
+// buildTable validates the network and precomputes its reliability table.
+func buildTable(network *core.Network) (*core.ReliabilityTable, error) {
+	if err := validate(network); err != nil {
+		return nil, err
+	}
+	rel, err := core.NewReliabilityTable(network)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadNetwork, err)
+	}
+	return rel, nil
 }
 
 // byReliability returns cloudlet IDs ordered by reliability descending,

@@ -3,12 +3,15 @@ package chain
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"revnf/internal/core"
 )
 
 // Scheduler is an online admission algorithm for chain requests,
-// structurally parallel to core.Scheduler.
+// structurally parallel to core.Scheduler. The same concurrency contract
+// applies: Decide couples decision and state update and must be
+// serialized by the caller.
 type Scheduler interface {
 	// Name identifies the algorithm in results.
 	Name() string
@@ -18,14 +21,34 @@ type Scheduler interface {
 	Decide(req Request, view core.CapacityView) (Placement, bool)
 }
 
+// TwoPhaseScheduler is the chain analogue of core.TwoPhaseScheduler: a
+// side-effect-free Propose plus a state-mutating Commit/Abort, under the
+// same concurrency rule (concurrent Propose when ConcurrentPropose reports
+// true; Commit internally serialized, defining the state history). Every
+// chain scheduler here implements it: the primal-dual pair guards λ with a
+// reader/writer lock, the greedy pair is stateless.
+type TwoPhaseScheduler interface {
+	Scheduler
+	// Propose computes the placement without mutating scheduler state.
+	Propose(req Request, view core.CapacityView) (Placement, bool)
+	// Commit applies the state update for an admitted proposal.
+	Commit(req Request, p Placement)
+	// Abort discards a proposal that could not be admitted.
+	Abort(req Request, p Placement)
+	// ConcurrentPropose reports whether Propose may run concurrently.
+	ConcurrentPropose() bool
+}
+
 // OnsiteScheduler is the chain generalization of Algorithm 1: one dual
 // price per (slot, cloudlet), an admission test comparing payment against
 // the cheapest cloudlet's dual cost for the whole chain allocation, and
 // the multiplicative update of Eq. (34) applied with the chain's total
-// computing footprint.
+// computing footprint. Propose reads λ under the read lock; Commit writes
+// under the write lock.
 type OnsiteScheduler struct {
 	network *core.Network
 	horizon int
+	mu      sync.RWMutex
 	lambda  [][]float64
 }
 
@@ -52,15 +75,26 @@ func (s *OnsiteScheduler) Name() string { return "pd-chain-onsite" }
 // Scheme implements Scheduler.
 func (s *OnsiteScheduler) Scheme() core.Scheme { return core.OnSite }
 
-// Decide implements Scheduler.
+// Decide implements Scheduler: Propose immediately followed by Commit.
 func (s *OnsiteScheduler) Decide(req Request, view core.CapacityView) (Placement, bool) {
+	p, ok := s.Propose(req, view)
+	if !ok {
+		return Placement{}, false
+	}
+	s.Commit(req, p)
+	return p, true
+}
+
+// Propose implements TwoPhaseScheduler: the argmin over cloudlets and the
+// payment test, reading λ under the read lock.
+func (s *OnsiteScheduler) Propose(req Request, view core.CapacityView) (Placement, bool) {
 	if req.Arrival < 1 || req.End() > s.horizon || len(req.VNFs) == 0 {
 		return Placement{}, false
 	}
 	bestCloudlet := -1
 	var bestAlloc Allocation
-	bestUnits := 0
 	bestPrice := 0.0
+	s.mu.RLock()
 	for j, cl := range s.network.Cloudlets {
 		alloc, err := OnsiteAllocation(s.network.Catalog, req.VNFs, cl.Reliability, req.Reliability)
 		if err != nil {
@@ -75,18 +109,12 @@ func (s *OnsiteScheduler) Decide(req Request, view core.CapacityView) (Placement
 			price += float64(units) * s.lambda[j][t-1]
 		}
 		if bestCloudlet < 0 || price < bestPrice {
-			bestCloudlet, bestAlloc, bestUnits, bestPrice = j, alloc, units, price
+			bestCloudlet, bestAlloc, bestPrice = j, alloc, price
 		}
 	}
+	s.mu.RUnlock()
 	if bestCloudlet < 0 || req.Payment-bestPrice <= 0 {
 		return Placement{}, false
-	}
-	// Dual update (Eq. 34 with the chain footprint).
-	capj := float64(s.network.Cloudlets[bestCloudlet].Capacity)
-	growth := 1 + float64(bestUnits)/capj
-	additive := float64(bestUnits) * req.Payment / (float64(req.Duration) * capj)
-	for t := req.Arrival; t <= req.End(); t++ {
-		s.lambda[bestCloudlet][t-1] = s.lambda[bestCloudlet][t-1]*growth + additive
 	}
 	stages := make([]StagePlacement, len(req.VNFs))
 	for k, f := range req.VNFs {
@@ -98,13 +126,44 @@ func (s *OnsiteScheduler) Decide(req Request, view core.CapacityView) (Placement
 	return Placement{Request: req.ID, Scheme: core.OnSite, Stages: stages}, true
 }
 
+// Commit implements TwoPhaseScheduler: the Eq. (34) update with the
+// chain's total footprint, under the write lock.
+func (s *OnsiteScheduler) Commit(req Request, p Placement) {
+	if len(p.Stages) == 0 {
+		return
+	}
+	cloudlet := p.Stages[0].Assignments[0].Cloudlet
+	units := 0
+	for _, st := range p.Stages {
+		for _, a := range st.Assignments {
+			units += a.Units(s.network.Catalog[st.VNF].Demand)
+		}
+	}
+	capj := float64(s.network.Cloudlets[cloudlet].Capacity)
+	growth := 1 + float64(units)/capj
+	additive := float64(units) * req.Payment / (float64(req.Duration) * capj)
+	s.mu.Lock()
+	for t := req.Arrival; t <= req.End(); t++ {
+		s.lambda[cloudlet][t-1] = s.lambda[cloudlet][t-1]*growth + additive
+	}
+	s.mu.Unlock()
+}
+
+// Abort implements TwoPhaseScheduler; Propose acquires nothing.
+func (s *OnsiteScheduler) Abort(Request, Placement) {}
+
+// ConcurrentPropose implements TwoPhaseScheduler.
+func (s *OnsiteScheduler) ConcurrentPropose() bool { return true }
+
 // OffsiteScheduler is the chain generalization of Algorithm 2: the chain
 // requirement is split into per-stage targets R^{1/K}, and each stage runs
 // the dual-price accumulation of Algorithm 2 with its share of the
 // payment. The chain is admitted only when every stage can be satisfied.
+// Propose reads λ under the read lock; Commit writes under the write lock.
 type OffsiteScheduler struct {
 	network *core.Network
 	horizon int
+	mu      sync.RWMutex
 	lambda  [][]float64
 }
 
@@ -130,8 +189,19 @@ func (s *OffsiteScheduler) Name() string { return "pd-chain-offsite" }
 // Scheme implements Scheduler.
 func (s *OffsiteScheduler) Scheme() core.Scheme { return core.OffSite }
 
-// Decide implements Scheduler.
+// Decide implements Scheduler: Propose immediately followed by Commit.
 func (s *OffsiteScheduler) Decide(req Request, view core.CapacityView) (Placement, bool) {
+	p, ok := s.Propose(req, view)
+	if !ok {
+		return Placement{}, false
+	}
+	s.Commit(req, p)
+	return p, true
+}
+
+// Propose implements TwoPhaseScheduler: the staged dual-price accumulation
+// without the updates, reading λ under the read lock.
+func (s *OffsiteScheduler) Propose(req Request, view core.CapacityView) (Placement, bool) {
 	if req.Arrival < 1 || req.End() > s.horizon || len(req.VNFs) == 0 {
 		return Placement{}, false
 	}
@@ -146,6 +216,8 @@ func (s *OffsiteScheduler) Decide(req Request, view core.CapacityView) (Placemen
 	// R^{1/K} compose exactly.
 	used := make(map[int]int, len(s.network.Cloudlets))
 	stages := make([]StagePlacement, len(req.VNFs))
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	for k, f := range req.VNFs {
 		st, ok := s.placeStage(req, f, targets[k], stagePay, used, view)
 		if !ok {
@@ -157,14 +229,36 @@ func (s *OffsiteScheduler) Decide(req Request, view core.CapacityView) (Placemen
 		}
 		stages[k] = st
 	}
-	// All stages satisfied: apply the dual updates (deferred so a
-	// rejected chain leaves no trace).
-	for k, st := range stages {
-		s.updateDuals(req, st, targets[k], stagePay)
-	}
 	return Placement{Request: req.ID, Scheme: core.OffSite, Stages: stages}, true
 }
 
+// Commit implements TwoPhaseScheduler: the per-stage Eq. (67) updates,
+// under the write lock (a rejected chain leaves no trace because Propose
+// never updates).
+func (s *OffsiteScheduler) Commit(req Request, p Placement) {
+	if len(p.Stages) == 0 {
+		return
+	}
+	targets, err := OffsiteStageTargets(req.Reliability, len(p.Stages))
+	if err != nil {
+		return
+	}
+	stagePay := req.Payment / float64(len(p.Stages))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for k, st := range p.Stages {
+		s.updateDuals(req, st, targets[k], stagePay)
+	}
+}
+
+// Abort implements TwoPhaseScheduler; Propose acquires nothing.
+func (s *OffsiteScheduler) Abort(Request, Placement) {}
+
+// ConcurrentPropose implements TwoPhaseScheduler.
+func (s *OffsiteScheduler) ConcurrentPropose() bool { return true }
+
+// placeStage runs one stage's Algorithm 2 accumulation. The caller must
+// hold s.mu (either side) for the λ reads.
 func (s *OffsiteScheduler) placeStage(req Request, vnf int, target, stagePay float64, used map[int]int, view core.CapacityView) (StagePlacement, bool) {
 	rf := s.network.Catalog[vnf].Reliability
 	demand := s.network.Catalog[vnf].Demand
@@ -211,6 +305,8 @@ func (s *OffsiteScheduler) placeStage(req Request, vnf int, target, stagePay flo
 	return StagePlacement{}, false
 }
 
+// updateDuals applies one stage's Eq. (67) updates. The caller must hold
+// s.mu on the write side.
 func (s *OffsiteScheduler) updateDuals(req Request, st StagePlacement, target, stagePay float64) {
 	rf := s.network.Catalog[st.VNF].Reliability
 	demand := float64(s.network.Catalog[st.VNF].Demand)
@@ -250,6 +346,12 @@ func (g *GreedyOnsite) Scheme() core.Scheme { return core.OnSite }
 
 // Decide implements Scheduler.
 func (g *GreedyOnsite) Decide(req Request, view core.CapacityView) (Placement, bool) {
+	return g.Propose(req, view)
+}
+
+// Propose implements TwoPhaseScheduler; it is a pure function of the
+// request and the view.
+func (g *GreedyOnsite) Propose(req Request, view core.CapacityView) (Placement, bool) {
 	if len(req.VNFs) == 0 {
 		return Placement{}, false
 	}
@@ -275,6 +377,15 @@ func (g *GreedyOnsite) Decide(req Request, view core.CapacityView) (Placement, b
 	return Placement{}, false
 }
 
+// Commit implements TwoPhaseScheduler (no scheduler state).
+func (g *GreedyOnsite) Commit(Request, Placement) {}
+
+// Abort implements TwoPhaseScheduler (no scheduler state).
+func (g *GreedyOnsite) Abort(Request, Placement) {}
+
+// ConcurrentPropose implements TwoPhaseScheduler.
+func (g *GreedyOnsite) ConcurrentPropose() bool { return true }
+
 // GreedyOffsite is the greedy off-site chain baseline: per-stage targets
 // R^{1/K}, most reliable cloudlets first.
 type GreedyOffsite struct {
@@ -298,6 +409,12 @@ func (g *GreedyOffsite) Scheme() core.Scheme { return core.OffSite }
 
 // Decide implements Scheduler.
 func (g *GreedyOffsite) Decide(req Request, view core.CapacityView) (Placement, bool) {
+	return g.Propose(req, view)
+}
+
+// Propose implements TwoPhaseScheduler; it is a pure function of the
+// request and the view.
+func (g *GreedyOffsite) Propose(req Request, view core.CapacityView) (Placement, bool) {
 	if len(req.VNFs) == 0 {
 		return Placement{}, false
 	}
@@ -336,6 +453,15 @@ func (g *GreedyOffsite) Decide(req Request, view core.CapacityView) (Placement, 
 	}
 	return Placement{Request: req.ID, Scheme: core.OffSite, Stages: stages}, true
 }
+
+// Commit implements TwoPhaseScheduler (no scheduler state).
+func (g *GreedyOffsite) Commit(Request, Placement) {}
+
+// Abort implements TwoPhaseScheduler (no scheduler state).
+func (g *GreedyOffsite) Abort(Request, Placement) {}
+
+// ConcurrentPropose implements TwoPhaseScheduler.
+func (g *GreedyOffsite) ConcurrentPropose() bool { return true }
 
 func checkNetwork(network *core.Network, horizon int) error {
 	if network == nil {

@@ -106,8 +106,18 @@ func Run(inst *Instance, sched Scheduler) (*Result, error) {
 		Scheme:    sched.Scheme(),
 		Decisions: make([]Decision, 0, len(inst.Trace)),
 	}
+	// Two-phase schedulers run Propose → validate → reserve → Commit, the
+	// same protocol the concurrent serve engine uses; the serialized Decide
+	// path stays for plain schedulers.
+	twoPhase, _ := sched.(TwoPhaseScheduler)
 	for _, req := range inst.Trace {
-		placement, admitted := sched.Decide(req, ledger)
+		var placement Placement
+		var admitted bool
+		if twoPhase != nil {
+			placement, admitted = twoPhase.Propose(req, ledger)
+		} else {
+			placement, admitted = sched.Decide(req, ledger)
+		}
 		if !admitted {
 			result.Rejected++
 			result.Decisions = append(result.Decisions, Decision{Request: req.ID})
@@ -120,6 +130,9 @@ func Run(inst *Instance, sched Scheduler) (*Result, error) {
 			if err := ledger.Reserve(cu.cloudlet, req.Arrival, req.Duration, cu.units); err != nil {
 				return nil, fmt.Errorf("chain: scheduler %q request %d cloudlet %d: %w", sched.Name(), req.ID, cu.cloudlet, err)
 			}
+		}
+		if twoPhase != nil {
+			twoPhase.Commit(req, placement)
 		}
 		result.Admitted++
 		result.Revenue += req.Payment

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func tableNetwork(t testing.TB, vnfs, cloudlets int, rng *rand.Rand) *Network {
+	t.Helper()
+	n := &Network{}
+	for f := 0; f < vnfs; f++ {
+		n.Catalog = append(n.Catalog, VNF{
+			ID: f, Name: "f", Demand: 1 + rng.Intn(3),
+			Reliability: 0.5 + 0.4999*rng.Float64(),
+		})
+	}
+	for j := 0; j < cloudlets; j++ {
+		n.Cloudlets = append(n.Cloudlets, Cloudlet{
+			ID: j, Node: -1, Capacity: 10,
+			Reliability: 0.5 + 0.4999*rng.Float64(),
+		})
+	}
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// TestReliabilityTableMatchesClosedForm fuzzes the cached lookups against
+// the uncached functions: the table must be bit-identical in both the
+// instance counts and the off-site weights, including the error cases.
+func TestReliabilityTableMatchesClosedForm(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n := tableNetwork(t, 8, 12, rng)
+	table, err := NewReliabilityTable(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 5000; trial++ {
+		f := rng.Intn(len(n.Catalog))
+		j := rng.Intn(len(n.Cloudlets))
+		req := 0.01 + 0.989*rng.Float64()
+		rf := n.Catalog[f].Reliability
+		rc := n.Cloudlets[j].Reliability
+
+		want, wantErr := OnsiteInstances(rf, rc, req)
+		got, gotErr := table.OnsiteInstances(f, j, req)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("trial %d: error mismatch: table %v, closed form %v", trial, gotErr, wantErr)
+		}
+		if wantErr != nil {
+			if !errors.Is(gotErr, ErrInfeasible) && !errors.Is(gotErr, ErrBadReliability) {
+				t.Fatalf("trial %d: unexpected error class %v", trial, gotErr)
+			}
+			if table.OnsiteFeasible(j, req) && errors.Is(gotErr, ErrInfeasible) {
+				t.Fatalf("trial %d: OnsiteFeasible disagrees with ErrInfeasible", trial)
+			}
+			continue
+		}
+		if got != want {
+			t.Fatalf("trial %d: OnsiteInstances(rf=%v, rc=%v, req=%v): table %d, closed form %d",
+				trial, rf, rc, req, got, want)
+		}
+		if n, ok := table.OnsiteInstancesOK(f, j, req); !ok || n != want {
+			t.Fatalf("trial %d: OnsiteInstancesOK = (%d, %v), want (%d, true)", trial, n, ok, want)
+		}
+		if w, cw := table.OffsiteWeight(f, j), OffsiteWeight(rf, rc); w != cw {
+			t.Fatalf("trial %d: OffsiteWeight: table %v, closed form %v", trial, w, cw)
+		}
+	}
+}
+
+// TestReliabilityTableHighReliability exercises the near-saturation regime
+// where the ladder truncates and the exact fallback takes over.
+func TestReliabilityTableHighReliability(t *testing.T) {
+	n := &Network{
+		Catalog:   []VNF{{ID: 0, Name: "f", Demand: 1, Reliability: 0.01}},
+		Cloudlets: []Cloudlet{{ID: 0, Node: -1, Capacity: 10, Reliability: 0.999999}},
+	}
+	table, err := NewReliabilityTable(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, req := range []float64{0.3, 0.9, 0.99, 0.9999, 0.999998} {
+		want, wantErr := OnsiteInstances(0.01, 0.999999, req)
+		got, gotErr := table.OnsiteInstances(0, 0, req)
+		if (wantErr == nil) != (gotErr == nil) || got != want {
+			t.Fatalf("req %v: table (%d, %v), closed form (%d, %v)", req, got, gotErr, want, wantErr)
+		}
+	}
+}
+
+// benchReliabilityNetwork mirrors the paper's regime: highly reliable
+// cloudlets (0.9+) serving requirements below them, so the feasible branch
+// — the admission hot path — dominates.
+func benchReliabilityNetwork(b *testing.B) (*Network, []float64) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(3))
+	n := &Network{}
+	for f := 0; f < 4; f++ {
+		n.Catalog = append(n.Catalog, VNF{ID: f, Name: "f", Demand: 1, Reliability: 0.9 + 0.0999*rng.Float64()})
+	}
+	for j := 0; j < 8; j++ {
+		n.Cloudlets = append(n.Cloudlets, Cloudlet{ID: j, Node: -1, Capacity: 10, Reliability: 0.9 + 0.0999*rng.Float64()})
+	}
+	reqs := make([]float64, 256)
+	for i := range reqs {
+		reqs[i] = 0.6 + 0.3*rng.Float64()
+	}
+	return n, reqs
+}
+
+// BenchmarkOnsiteInstancesClosedForm is the uncached hot-path cost: two
+// logarithm calls plus a verification pow per admission candidate, and an
+// error allocation for every infeasible pair.
+func BenchmarkOnsiteInstancesClosedForm(b *testing.B) {
+	n, reqs := benchReliabilityNetwork(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := i % len(n.Catalog)
+		j := i % len(n.Cloudlets)
+		_, _ = OnsiteInstances(n.Catalog[f].Reliability, n.Cloudlets[j].Reliability, reqs[i%len(reqs)])
+	}
+}
+
+// BenchmarkOnsiteInstancesTable is the cached equivalent; the win is the
+// point of the per-(VNF, cloudlet) precomputation.
+func BenchmarkOnsiteInstancesTable(b *testing.B) {
+	n, reqs := benchReliabilityNetwork(b)
+	table, err := NewReliabilityTable(n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = table.OnsiteInstancesOK(i%len(n.Catalog), i%len(n.Cloudlets), reqs[i%len(reqs)])
+	}
+}

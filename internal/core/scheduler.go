@@ -1,11 +1,16 @@
 package core
 
+import "sync"
+
 // CapacityView exposes the authoritative resource state to online
-// schedulers. The simulation engine owns the underlying ledger; schedulers
-// query residual capacity through this interface and return placements, and
-// the engine performs the actual reservation. Raw Algorithm 1 ignores the
-// view (its capacity violations are part of the analysis); every other
-// scheduler uses it to stay feasible.
+// schedulers. The engine (batch simulator or admission daemon) owns the
+// underlying ledger; schedulers query residual capacity through this
+// interface and return placements, and the engine performs the actual
+// reservation. Raw Algorithm 1 ignores the view (its capacity violations
+// are part of the analysis); every other scheduler uses it to stay
+// feasible. Implementations must be safe for concurrent reads (the
+// timeslot.Ledger is); under concurrency a read is a hint that the
+// arbitrating reservation re-checks atomically.
 type CapacityView interface {
 	// Capacity returns cap_j for cloudlet j.
 	Capacity(cloudlet int) int
@@ -21,15 +26,17 @@ type CapacityView interface {
 // requests. It returns the placement and true to admit, or a zero placement
 // and false to reject.
 //
-// Concurrency contract: implementations keep their own dual or heuristic
-// state between calls and are NOT safe for concurrent use. Callers must
-// guarantee that Decide calls are serialized — at most one in flight at a
-// time, each starting after the previous one returned (a single goroutine,
-// or external mutual exclusion with happens-before edges between calls).
-// The batch simulator (internal/simulate) satisfies this by construction;
-// the admission daemon (internal/serve) funnels all decisions through one
-// worker goroutine. Name and Scheme must be safe to call concurrently with
-// Decide; they are expected to return constants.
+// Concurrency contract: Decide couples the placement choice and the
+// scheduler's internal state update in one call and is therefore NOT safe
+// for concurrent use. Callers must serialize Decide calls — at most one in
+// flight at a time, each starting after the previous one returned (a
+// single goroutine, or external mutual exclusion with happens-before edges
+// between calls). The batch simulator (internal/simulate) satisfies this
+// by construction; the admission daemon (internal/serve) either funnels
+// Decide through one worker or, when the scheduler also implements
+// TwoPhaseScheduler, switches to the propose/commit protocol below and
+// runs proposals concurrently. Name and Scheme must be safe to call
+// concurrently with Decide; they are expected to return constants.
 type Scheduler interface {
 	// Name identifies the algorithm in metrics and experiment tables.
 	Name() string
@@ -38,3 +45,102 @@ type Scheduler interface {
 	// Decide makes the online admission decision for one request.
 	Decide(req Request, view CapacityView) (Placement, bool)
 }
+
+// TwoPhaseScheduler splits the admission decision into a side-effect-free
+// Propose and a state-mutating Commit/Abort, so that capacity arbitration
+// can live in the ledger instead of in the scheduler:
+//
+//	p, ok := s.Propose(req, view)   // pure: reads prices, reads view
+//	... engine reserves p's footprint atomically in the ledger ...
+//	s.Commit(req, p)                // applies dual/heuristic state updates
+//
+// Every scheduler in this repository implements Decide as Propose followed
+// immediately by Commit, so the two interfaces agree decision-for-decision
+// when driven serially (SerialAdapter packages that equivalence).
+//
+// Concurrency rule: Propose must not mutate scheduler state observable by
+// other calls; when ConcurrentPropose reports true, any number of Propose
+// calls may run concurrently with each other and with at most one
+// Commit/Abort sequence consumer. Commit calls are serialized by the
+// scheduler itself (internally locked); the sequence of Commit calls is
+// the scheduler's state history. For the primal-dual algorithms this keeps
+// the λ updates of Eqs. (34)/(67) sequentially consistent in Commit order
+// — exactly the per-request update order the competitive analysis assumes
+// — while Propose reads a recent price snapshot under a read lock.
+//
+// Which schedulers support concurrent Propose:
+//
+//   - greedy, first-fit, reject-all: trivially — Propose is a pure
+//     function of (req, view) and Commit is a no-op;
+//   - random: yes — its only mutable state is the RNG, which Propose
+//     guards with a dedicated mutex (draw order, and hence the chosen
+//     cloudlet, depends on interleaving; serial driving stays
+//     deterministic);
+//   - on-site and off-site primal-dual (and their chain variants): yes —
+//     λ is guarded by a reader/writer lock; Propose takes the read side,
+//     Commit the write side.
+//
+// Abort releases nothing by default (no scheduler here acquires state in
+// Propose) but is part of the contract so engines can pair every Propose
+// with exactly one Commit or Abort.
+type TwoPhaseScheduler interface {
+	Scheduler
+	// Propose computes the placement the scheduler would admit for req
+	// given the capacity view, without mutating scheduler state. It
+	// returns false to reject (priced out or infeasible).
+	Propose(req Request, view CapacityView) (Placement, bool)
+	// Commit applies the scheduler's internal state update for a proposal
+	// the engine decided to admit. It must be called at most once per
+	// Propose, after the engine has secured the placement's capacity.
+	Commit(req Request, p Placement)
+	// Abort discards a proposal the engine could not admit (for example
+	// when the ledger refused the reservation after a concurrent commit
+	// consumed the capacity). It must leave scheduler state exactly as if
+	// the Propose had never happened.
+	Abort(req Request, p Placement)
+	// ConcurrentPropose reports whether Propose may be invoked
+	// concurrently. Engines must treat false as "serialize everything",
+	// falling back to the Decide contract.
+	ConcurrentPropose() bool
+}
+
+// SerialAdapter drives a TwoPhaseScheduler through the serialized Decide
+// contract: every Decide is Propose immediately followed by Commit under
+// one adapter-owned mutex. The adapter reproduces the scheduler's own
+// Decide behavior decision-for-decision (same admit/reject sequence, same
+// revenue) and additionally makes the pair safe to call from multiple
+// goroutines, at the cost of full serialization.
+type SerialAdapter struct {
+	mu sync.Mutex
+	s  TwoPhaseScheduler
+}
+
+// NewSerialAdapter wraps a two-phase scheduler in the serialized Decide
+// contract. It returns nil for a nil scheduler.
+func NewSerialAdapter(s TwoPhaseScheduler) *SerialAdapter {
+	if s == nil {
+		return nil
+	}
+	return &SerialAdapter{s: s}
+}
+
+// Name implements Scheduler.
+func (a *SerialAdapter) Name() string { return a.s.Name() }
+
+// Scheme implements Scheduler.
+func (a *SerialAdapter) Scheme() Scheme { return a.s.Scheme() }
+
+// Decide implements Scheduler: Propose then Commit atomically.
+func (a *SerialAdapter) Decide(req Request, view CapacityView) (Placement, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	p, ok := a.s.Propose(req, view)
+	if !ok {
+		return Placement{}, false
+	}
+	a.s.Commit(req, p)
+	return p, true
+}
+
+// Unwrap returns the adapted two-phase scheduler.
+func (a *SerialAdapter) Unwrap() TwoPhaseScheduler { return a.s }

@@ -234,6 +234,26 @@ func (h *Histogram) Clone() *Histogram {
 	}
 }
 
+// Merge adds another histogram's observations into h. The two must have
+// identical bucket bounds — the shard-merge case this exists for always
+// builds its histograms from one bounds spec.
+func (h *Histogram) Merge(other *Histogram) error {
+	if len(other.bounds) != len(h.bounds) {
+		return fmt.Errorf("%w: merging %d buckets into %d", ErrBadHistogram, len(other.bounds), len(h.bounds))
+	}
+	for i, b := range other.bounds {
+		if b != h.bounds[i] {
+			return fmt.Errorf("%w: bucket bound mismatch at %d", ErrBadHistogram, i)
+		}
+	}
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	h.sum += other.sum
+	h.count += other.count
+	return nil
+}
+
 // Metric renders the histogram as a Prometheus family with cumulative
 // _bucket samples, _sum and _count.
 func (h *Histogram) Metric(name, help string, labels ...LabelPair) PromMetric {

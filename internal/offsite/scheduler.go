@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"revnf/internal/core"
 	"revnf/internal/topology"
@@ -30,11 +31,18 @@ var (
 	ErrBadHorizon = errors.New("offsite: invalid horizon")
 )
 
-// Scheduler is the Algorithm 2 implementation. It is not safe for
-// concurrent use.
+// Scheduler is the Algorithm 2 implementation. It implements both the
+// serialized Decide contract and core.TwoPhaseScheduler: Propose reads the
+// dual prices under the read side of a reader/writer lock and may run
+// concurrently; Commit applies the Eq. (67) updates under the write side,
+// keeping the λ trajectory sequentially consistent in Commit order.
 type Scheduler struct {
 	network *core.Network
 	horizon int
+	// rel caches the per-(VNF, cloudlet) off-site weights.
+	rel *core.ReliabilityTable
+	// mu guards lambda: Propose reads, Commit writes.
+	mu sync.RWMutex
 	// lambda[j][t-1] is the dual price λ_{tj}.
 	lambda  [][]float64
 	sortKey SortKey
@@ -97,9 +105,14 @@ func NewScheduler(network *core.Network, horizon int, opts ...Option) (*Schedule
 	if horizon < 1 {
 		return nil, fmt.Errorf("%w: %d", ErrBadHorizon, horizon)
 	}
+	rel, err := core.NewReliabilityTable(network)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadNetwork, err)
+	}
 	s := &Scheduler{
 		network: network,
 		horizon: horizon,
+		rel:     rel,
 		lambda:  make([][]float64, len(network.Cloudlets)),
 		sortKey: SortByPrice,
 		name:    "pd-offsite",
@@ -128,6 +141,8 @@ func (s *Scheduler) Lambda(cloudlet, slot int) float64 {
 	if cloudlet < 0 || cloudlet >= len(s.lambda) || slot < 1 || slot > s.horizon {
 		return 0
 	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.lambda[cloudlet][slot-1]
 }
 
@@ -138,8 +153,21 @@ type candidate struct {
 	price    float64 // Σ_t λ_{tj} / w_j
 }
 
-// Decide implements core.Scheduler: lines 3–23 of Algorithm 2.
+// Decide implements core.Scheduler: Propose immediately followed by
+// Commit, the serialized form of lines 3–23 of Algorithm 2.
 func (s *Scheduler) Decide(req core.Request, view core.CapacityView) (core.Placement, bool) {
+	p, ok := s.Propose(req, view)
+	if !ok {
+		return core.Placement{}, false
+	}
+	s.Commit(req, p)
+	return p, true
+}
+
+// Propose implements core.TwoPhaseScheduler: the payment filter, candidate
+// ordering, and greedy weight accumulation of Algorithm 2, reading the
+// dual prices under the read lock and leaving scheduler state untouched.
+func (s *Scheduler) Propose(req core.Request, view core.CapacityView) (core.Placement, bool) {
 	if req.Arrival < 1 || req.End() > s.horizon {
 		return core.Placement{}, false
 	}
@@ -147,8 +175,9 @@ func (s *Scheduler) Decide(req core.Request, view core.CapacityView) (core.Place
 	needWeight := core.RequirementWeight(req.Reliability)
 	demand := float64(vnf.Demand)
 	candidates := make([]candidate, 0, len(s.network.Cloudlets))
-	for j, cl := range s.network.Cloudlets {
-		w := core.OffsiteWeight(vnf.Reliability, cl.Reliability)
+	s.mu.RLock()
+	for j := range s.network.Cloudlets {
+		w := s.rel.OffsiteWeight(req.VNF, j)
 		sumLambda := 0.0
 		for t := req.Arrival; t <= req.End(); t++ {
 			sumLambda += s.lambda[j][t-1]
@@ -162,6 +191,7 @@ func (s *Scheduler) Decide(req core.Request, view core.CapacityView) (core.Place
 		}
 		candidates = append(candidates, candidate{cloudlet: j, weight: w, price: price})
 	}
+	s.mu.RUnlock()
 	// Sort candidates (line 9). The paper's rule is ascending normalized
 	// price; the alternatives are ablation orderings. Ties break by
 	// cloudlet ID for determinism.
@@ -224,7 +254,6 @@ func (s *Scheduler) Decide(req core.Request, view core.CapacityView) (core.Place
 	if !core.WeightsSatisfy(totalWeight, needWeight) {
 		return core.Placement{}, false
 	}
-	s.updateDuals(req, vnf, chosen)
 	assignments := make([]core.Assignment, len(chosen))
 	for i, c := range chosen {
 		assignments[i] = core.Assignment{Cloudlet: c.cloudlet, Instances: 1}
@@ -232,12 +261,38 @@ func (s *Scheduler) Decide(req core.Request, view core.CapacityView) (core.Place
 	return core.Placement{Request: req.ID, Scheme: core.OffSite, Assignments: assignments}, true
 }
 
+// Commit implements core.TwoPhaseScheduler: it applies the Eq. (67) dual
+// updates for every cloudlet in the admitted proposal under the write
+// lock. The per-cloudlet weights are recomputed from the reliability
+// table, so Commit needs only the placement, not Propose's scratch state.
+func (s *Scheduler) Commit(req core.Request, p core.Placement) {
+	if len(p.Assignments) == 0 {
+		return
+	}
+	vnf := s.network.Catalog[req.VNF]
+	chosen := make([]candidate, len(p.Assignments))
+	for i, a := range p.Assignments {
+		chosen[i] = candidate{cloudlet: a.Cloudlet, weight: s.rel.OffsiteWeight(req.VNF, a.Cloudlet)}
+	}
+	s.updateDuals(req, vnf, chosen)
+}
+
+// Abort implements core.TwoPhaseScheduler. Propose acquires nothing, so
+// aborting a proposal is a no-op.
+func (s *Scheduler) Abort(core.Request, core.Placement) {}
+
+// ConcurrentPropose implements core.TwoPhaseScheduler: proposals only read
+// λ under the read lock and may run concurrently.
+func (s *Scheduler) ConcurrentPropose() bool { return true }
+
 // updateDuals applies Eq. (67) to every selected cloudlet's slots. With
 // W = -ln(1-R) and w_j = -ln(1 - r(f)·r(c_j)) the update is
 // λ := λ·(1 + W·c(f)/(w_j·cap_j)) + W·c(f)·pay/(w_j·d·cap_j).
 func (s *Scheduler) updateDuals(req core.Request, vnf core.VNF, chosen []candidate) {
 	needWeight := core.RequirementWeight(req.Reliability)
 	demand := float64(vnf.Demand)
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	for _, c := range chosen {
 		capj := float64(s.network.Cloudlets[c.cloudlet].Capacity)
 		ratio := needWeight * demand / (c.weight * capj)

@@ -23,6 +23,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"revnf/internal/core"
 )
@@ -34,11 +35,20 @@ var (
 	ErrBadScale   = errors.New("onsite: scale factor below 1")
 )
 
-// Scheduler is the Algorithm 1 implementation. It is not safe for
-// concurrent use; the simulation engine drives it sequentially.
+// Scheduler is the Algorithm 1 implementation. It implements both the
+// serialized Decide contract and the two-phase propose/commit contract of
+// core.TwoPhaseScheduler: Propose reads the dual prices under the read
+// side of a reader/writer lock and is safe to run concurrently; Commit
+// applies the λ update of Eq. (34) under the write side, so the dual
+// trajectory is sequentially consistent in Commit order — the per-request
+// update order the competitive analysis of Theorem 1 assumes.
 type Scheduler struct {
 	network *core.Network
 	horizon int
+	// rel caches the per-(VNF, cloudlet) instance-count math.
+	rel *core.ReliabilityTable
+	// mu guards lambda: Propose reads, Commit writes.
+	mu sync.RWMutex
 	// lambda[j][t-1] is the dual price λ_{tj}.
 	lambda   [][]float64
 	enforce  bool
@@ -96,9 +106,14 @@ func NewScheduler(network *core.Network, horizon int, opts ...Option) (*Schedule
 	if horizon < 1 {
 		return nil, fmt.Errorf("%w: %d", ErrBadHorizon, horizon)
 	}
+	rel, err := core.NewReliabilityTable(network)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadNetwork, err)
+	}
 	s := &Scheduler{
 		network: network,
 		horizon: horizon,
+		rel:     rel,
 		lambda:  make([][]float64, len(network.Cloudlets)),
 		scale:   1,
 		name:    "pd-onsite-raw",
@@ -127,20 +142,36 @@ func (s *Scheduler) Lambda(cloudlet, slot int) float64 {
 	if cloudlet < 0 || cloudlet >= len(s.lambda) || slot < 1 || slot > s.horizon {
 		return 0
 	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.lambda[cloudlet][slot-1]
 }
 
-// Decide implements core.Scheduler: lines 3–15 of Algorithm 1.
+// Decide implements core.Scheduler: Propose immediately followed by
+// Commit, the serialized form of lines 3–15 of Algorithm 1.
 func (s *Scheduler) Decide(req core.Request, view core.CapacityView) (core.Placement, bool) {
+	p, ok := s.Propose(req, view)
+	if !ok {
+		return core.Placement{}, false
+	}
+	s.Commit(req, p)
+	return p, true
+}
+
+// Propose implements core.TwoPhaseScheduler: the argmin over cloudlets and
+// the payment test of Algorithm 1, reading the dual prices under the read
+// lock and leaving all scheduler state untouched.
+func (s *Scheduler) Propose(req core.Request, view core.CapacityView) (core.Placement, bool) {
 	if req.Arrival < 1 || req.End() > s.horizon {
 		return core.Placement{}, false
 	}
 	vnf := s.network.Catalog[req.VNF]
 	bestCloudlet, bestInstances := -1, 0
 	bestPrice := math.Inf(1)
-	for j, cl := range s.network.Cloudlets {
-		n, err := core.OnsiteInstances(vnf.Reliability, cl.Reliability, req.Reliability)
-		if err != nil {
+	s.mu.RLock()
+	for j := range s.network.Cloudlets {
+		n, ok := s.rel.OnsiteInstancesOK(req.VNF, j, req.Reliability)
+		if !ok {
 			continue // r(c_j) ≤ R_i: this cloudlet cannot serve the request
 		}
 		units := n * vnf.Demand
@@ -156,16 +187,34 @@ func (s *Scheduler) Decide(req core.Request, view core.CapacityView) (core.Place
 			bestPrice, bestCloudlet, bestInstances = price, j, n
 		}
 	}
+	s.mu.RUnlock()
 	if bestCloudlet < 0 || req.Payment-bestPrice <= 0 {
 		return core.Placement{}, false
 	}
-	s.updateDuals(req, bestCloudlet, bestInstances, vnf.Demand)
 	return core.Placement{
 		Request:     req.ID,
 		Scheme:      core.OnSite,
 		Assignments: []core.Assignment{{Cloudlet: bestCloudlet, Instances: bestInstances}},
 	}, true
 }
+
+// Commit implements core.TwoPhaseScheduler: it applies the Eq. (34) dual
+// update for the admitted proposal under the write lock.
+func (s *Scheduler) Commit(req core.Request, p core.Placement) {
+	if len(p.Assignments) != 1 {
+		return
+	}
+	s.updateDuals(req, p.Assignments[0].Cloudlet, p.Assignments[0].Instances,
+		s.network.Catalog[req.VNF].Demand)
+}
+
+// Abort implements core.TwoPhaseScheduler. Propose acquires nothing, so
+// aborting a proposal is a no-op.
+func (s *Scheduler) Abort(core.Request, core.Placement) {}
+
+// ConcurrentPropose implements core.TwoPhaseScheduler: proposals only read
+// λ under the read lock and may run concurrently.
+func (s *Scheduler) ConcurrentPropose() bool { return true }
 
 // updateDuals applies Eq. (34) to the selected cloudlet's slots.
 func (s *Scheduler) updateDuals(req core.Request, cloudlet, instances, demand int) {
@@ -176,7 +225,9 @@ func (s *Scheduler) updateDuals(req core.Request, cloudlet, instances, demand in
 		growth = 1
 	}
 	additive := units * req.Payment / (float64(req.Duration) * capj)
+	s.mu.Lock()
 	for t := req.Arrival; t <= req.End(); t++ {
 		s.lambda[cloudlet][t-1] = s.lambda[cloudlet][t-1]*growth + additive
 	}
+	s.mu.Unlock()
 }

@@ -50,6 +50,115 @@ type poolState struct {
 	backups []int
 }
 
+// runner holds the mutable state of a pooled-greedy run. Like the other
+// engines it is structured as propose/commit: proposal computes a
+// candidate admission (cloudlet plus per-slot marginal footprint) without
+// mutating anything, and commit reserves the footprint and updates the
+// pool — pooled admission is inherently stateful (the marginal backup
+// need depends on every earlier member), so the runner does not implement
+// core.TwoPhaseScheduler, but the same protocol shape keeps the decision
+// logic auditable and side-effect-free.
+type runner struct {
+	inst   *workload.Instance
+	ledger *timeslot.Ledger
+	order  []int
+	pools  map[[2]int]*poolState
+	// backupCache memoizes MinBackups per (cloudlet, vnf, members, maxReq).
+	backupCache map[backupKey]int
+	result      *Result
+}
+
+type backupKey struct {
+	cloudlet, vnf, n int
+	maxReq           float64
+}
+
+func (r *runner) minBackups(cloudlet, vnf, n int, maxReq float64) (int, error) {
+	key := backupKey{cloudlet, vnf, n, maxReq}
+	if b, ok := r.backupCache[key]; ok {
+		return b, nil
+	}
+	b, err := MinBackups(n, r.inst.Network.Catalog[vnf].Reliability,
+		r.inst.Network.Cloudlets[cloudlet].Reliability, maxReq)
+	if err != nil {
+		return 0, err
+	}
+	r.backupCache[key] = b
+	return b, nil
+}
+
+// proposal is a candidate pooled admission: the chosen cloudlet and the
+// per-slot marginal units (one primary plus backup growth) it would add.
+type proposal struct {
+	cloudlet int
+	marginal []int
+}
+
+// propose finds the most reliable cloudlet whose pool can absorb the
+// request, returning its marginal footprint. It mutates nothing (the
+// memoization cache aside, which is value-semantics transparent).
+func (r *runner) propose(req core.Request) (proposal, bool) {
+	demand := r.inst.Network.Catalog[req.VNF].Demand
+	for _, j := range r.order {
+		cl := r.inst.Network.Cloudlets[j]
+		if cl.Reliability <= req.Reliability {
+			break // reliability-sorted: all later cloudlets fail too
+		}
+		ps := r.pools[[2]int{j, req.VNF}]
+		// Per-slot marginal footprint: one primary plus the backup
+		// growth the pool needs with this member added.
+		marginal := make([]int, req.Duration)
+		feasible := true
+		for t := req.Arrival; t <= req.End() && feasible; t++ {
+			n, maxReq := poolLoadAt(ps, t, req)
+			needed, err := r.minBackups(j, req.VNF, n, maxReq)
+			if err != nil {
+				feasible = false
+				break
+			}
+			current := 0
+			if ps != nil {
+				current = ps.backups[t-1]
+			}
+			grow := needed - current
+			if grow < 0 {
+				grow = 0
+			}
+			units := (1 + grow) * demand
+			marginal[t-req.Arrival] = units
+			if r.ledger.Residual(j, t) < units {
+				feasible = false
+			}
+		}
+		if feasible {
+			return proposal{cloudlet: j, marginal: marginal}, true
+		}
+	}
+	return proposal{}, false
+}
+
+// commit reserves the proposal's footprint slot by slot and adds the
+// request to the pool.
+func (r *runner) commit(req core.Request, p proposal) error {
+	demand := r.inst.Network.Catalog[req.VNF].Demand
+	ps := r.pools[[2]int{p.cloudlet, req.VNF}]
+	if ps == nil {
+		ps = &poolState{backups: make([]int, r.inst.Horizon)}
+		r.pools[[2]int{p.cloudlet, req.VNF}] = ps
+	}
+	for t := req.Arrival; t <= req.End(); t++ {
+		units := p.marginal[t-req.Arrival]
+		if err := r.ledger.Reserve(p.cloudlet, t, 1, units); err != nil {
+			return fmt.Errorf("pool: reserve request %d slot %d: %w", req.ID, t, err)
+		}
+		grow := units/demand - 1
+		ps.backups[t-1] += grow
+		r.result.BackupUnits += grow * demand
+	}
+	ps.members = append(ps.members, req)
+	return nil
+}
+
 // Run simulates greedy pooled admission over the instance: requests are
 // considered in arrival order and admitted into the most reliable cloudlet
 // whose pool (per slot of the window) can absorb them — reserving one
@@ -71,100 +180,37 @@ func Run(inst *workload.Instance) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadInput, err)
 	}
-	order := cloudletsByReliability(inst.Network)
-	pools := make(map[[2]int]*poolState)
-	// minBackups memoizes MinBackups per (cloudlet, vnf, members, maxReq).
-	type backupKey struct {
-		cloudlet, vnf, n int
-		maxReq           float64
+	r := &runner{
+		inst:        inst,
+		ledger:      ledger,
+		order:       cloudletsByReliability(inst.Network),
+		pools:       make(map[[2]int]*poolState),
+		backupCache: make(map[backupKey]int),
+		result:      &Result{},
 	}
-	backupCache := make(map[backupKey]int)
-	minBackups := func(cloudlet, vnf, n int, maxReq float64) (int, error) {
-		key := backupKey{cloudlet, vnf, n, maxReq}
-		if b, ok := backupCache[key]; ok {
-			return b, nil
-		}
-		b, err := MinBackups(n, inst.Network.Catalog[vnf].Reliability,
-			inst.Network.Cloudlets[cloudlet].Reliability, maxReq)
-		if err != nil {
-			return 0, err
-		}
-		backupCache[key] = b
-		return b, nil
-	}
-
-	result := &Result{}
+	result := r.result
 	for _, req := range inst.Trace {
-		demand := inst.Network.Catalog[req.VNF].Demand
-		admittedAt := -1
-		for _, j := range order {
-			cl := inst.Network.Cloudlets[j]
-			if cl.Reliability <= req.Reliability {
-				break // reliability-sorted: all later cloudlets fail too
-			}
-			ps := pools[[2]int{j, req.VNF}]
-			// Per-slot marginal footprint: one primary plus the backup
-			// growth the pool needs with this member added.
-			marginal := make([]int, req.Duration)
-			feasible := true
-			for t := req.Arrival; t <= req.End() && feasible; t++ {
-				n, maxReq := poolLoadAt(ps, t, req)
-				needed, err := minBackups(j, req.VNF, n, maxReq)
-				if err != nil {
-					feasible = false
-					break
-				}
-				current := 0
-				if ps != nil {
-					current = ps.backups[t-1]
-				}
-				grow := needed - current
-				if grow < 0 {
-					grow = 0
-				}
-				units := (1 + grow) * demand
-				marginal[t-req.Arrival] = units
-				if ledger.Residual(j, t) < units {
-					feasible = false
-				}
-			}
-			if !feasible {
-				continue
-			}
-			// Admit here: reserve slot by slot and update the pool.
-			if ps == nil {
-				ps = &poolState{backups: make([]int, inst.Horizon)}
-				pools[[2]int{j, req.VNF}] = ps
-			}
-			for t := req.Arrival; t <= req.End(); t++ {
-				units := marginal[t-req.Arrival]
-				if err := ledger.Reserve(j, t, 1, units); err != nil {
-					return nil, fmt.Errorf("pool: reserve request %d slot %d: %w", req.ID, t, err)
-				}
-				grow := units/demand - 1
-				ps.backups[t-1] += grow
-				result.BackupUnits += grow * demand
-			}
-			ps.members = append(ps.members, req)
-			admittedAt = j
-			break
-		}
-		if admittedAt < 0 {
+		p, ok := r.propose(req)
+		if !ok {
 			result.Rejected++
 			continue
 		}
+		if err := r.commit(req, p); err != nil {
+			return nil, err
+		}
 		result.Admitted++
 		result.Revenue += req.Payment
-		result.Admissions = append(result.Admissions, Admission{Request: req.ID, Cloudlet: admittedAt})
+		result.Admissions = append(result.Admissions, Admission{Request: req.ID, Cloudlet: p.cloudlet})
 		// Dedicated comparison: Eq. (3) backups for this request alone.
+		demand := inst.Network.Catalog[req.VNF].Demand
 		n, err := core.OnsiteInstances(inst.Network.Catalog[req.VNF].Reliability,
-			inst.Network.Cloudlets[admittedAt].Reliability, req.Reliability)
+			inst.Network.Cloudlets[p.cloudlet].Reliability, req.Reliability)
 		if err == nil {
 			result.DedicatedBackupUnits += (n - 1) * demand * req.Duration
 		}
 	}
 	result.Utilization = ledger.Utilization()
-	if err := verifyPools(inst, pools); err != nil {
+	if err := verifyPools(inst, r.pools); err != nil {
 		return nil, err
 	}
 	return result, nil

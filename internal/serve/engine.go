@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"revnf/internal/core"
@@ -82,12 +83,24 @@ type TickReport struct {
 type Stats struct {
 	// Slot is the current slot; Horizon the served horizon T.
 	Slot, Horizon int
-	// QueueDepth and QueueCapacity describe the ingest queue.
+	// Workers is the decision concurrency: 1 in serial mode, the shard
+	// count in sharded mode.
+	Workers int
+	// QueueDepth and QueueCapacity describe the ingest queue. In sharded
+	// mode QueueDepth counts submissions accepted into the engine but not
+	// yet decided (waiting for a worker token or deciding right now).
 	QueueDepth, QueueCapacity int
+	// InFlight counts decisions executing at snapshot time (sharded mode;
+	// 0 or 1 in serial mode is not tracked and reported as 0).
+	InFlight int
 	// Admitted and Expired count decisions and released placements.
 	Admitted, Expired uint64
 	// Rejections counts rejected submissions by reason.
 	Rejections map[string]uint64
+	// ConflictRetries counts ledger reservation refusals under concurrent
+	// commit races (each triggers a re-propose, not necessarily a
+	// rejection).
+	ConflictRetries uint64
 	// Revenue is the summed payment of admitted requests (objective (6)).
 	Revenue float64
 	// ActivePlacements counts admitted, not-yet-expired placements.
@@ -96,7 +109,10 @@ type Stats struct {
 	// the current slot (zero usage once the slot passes the horizon).
 	CloudletUsed, CloudletCapacity []int
 	// Latency is a snapshot of the admission latency histogram (seconds,
-	// submission to decision).
+	// submission to decision). Serial mode observes every decision;
+	// sharded mode samples one decision in latencySampleRate, so Count is
+	// a fraction of the decisions made but the quantiles estimate the
+	// same distribution.
 	Latency *metrics.Histogram
 }
 
@@ -115,39 +131,102 @@ type job struct {
 	done     chan AdmissionResult
 }
 
-// Engine is the thread-safe admission core of the daemon. All scheduler
-// and ledger access is serialized: submissions flow through a bounded
-// queue into a single decision goroutine, and the slot clock and read
-// endpoints share one mutex with it.
+// Engine is the thread-safe admission core of the daemon. It runs in one
+// of two modes, selected at New time:
+//
+// Serial mode (Workers ≤ 1, or a scheduler without concurrent two-phase
+// support): submissions flow through a bounded queue into a single
+// decision goroutine, and all scheduler and ledger access is serialized
+// under one mutex — the original architecture, preserved bit-for-bit.
+//
+// Sharded mode (Workers > 1 and a core.TwoPhaseScheduler whose
+// ConcurrentPropose reports true): submissions execute their own decision
+// inline, bounded by a token semaphore of Workers slots. Each decision is
+// Propose (concurrent, lock-free against other proposals) followed by an
+// atomic ledger reservation of the whole footprint; the concurrent ledger
+// arbitrates capacity races, and a refusal (another commit consumed the
+// capacity first) triggers a bounded re-propose before rejecting with
+// ReasonConflict. Commit runs only after the ledger accepted the
+// footprint, so scheduler state never moves for a request that did not
+// get its capacity. Placement and revenue bookkeeping stays under the
+// engine mutex (admissions are rare once capacity binds); rejection
+// counters are atomics and latency lands in per-shard histograms, so the
+// rejection path never touches the engine mutex.
 type Engine struct {
 	cfg     Config
 	network *core.Network
 	horizon int
+	workers int
 	now     func() time.Time
+
+	// twoPhase is non-nil exactly in sharded mode.
+	twoPhase core.TwoPhaseScheduler
 
 	mu         sync.Mutex
 	sched      core.Scheduler
 	ledger     *timeslot.Ledger
 	slot       int
-	nextID     int
 	placements map[int]*PlacementRecord
 	expiry     *simulate.WindowIndex
 	admitted   uint64
 	expired    uint64
-	rejections map[string]uint64
 	revenue    float64
 	latency    *metrics.Histogram
 
-	queue chan *job
-	quit  chan struct{}
-	wg    sync.WaitGroup
+	// rejections maps every defined reason to its counter. The key set is
+	// fixed at New, so concurrent reads of the map are safe and every
+	// increment is a lock-free atomic — rejections are the sharded hot
+	// path and must not funnel through the engine mutex.
+	rejections map[string]*atomic.Uint64
 
-	closeMu sync.RWMutex
-	closed  bool
+	// shards holds one latency histogram per worker token in sharded mode
+	// (nil in serial mode). The holder of token i owns shards[i]; the
+	// per-shard mutex only arbitrates against Stats snapshots.
+	shards []*shardHist
+
+	// slotNow mirrors slot for lock-free reads on the sharded path.
+	slotNow atomic.Int64
+	// lastID is the atomic ID allocator (IDs start at 1).
+	lastID atomic.Int64
+	// waiting counts submissions accepted but not yet decided (sharded).
+	waiting atomic.Int64
+	// conflicts counts ledger reservation refusals (sharded).
+	conflicts atomic.Uint64
+
+	// queue and the queue worker exist only in serial mode; sem only in
+	// sharded mode. sem is preloaded with the shard indices 0..workers-1:
+	// a decision acquires a token by receiving and returns it by sending,
+	// so len(sem) counts idle tokens.
+	queue    chan *job
+	queueCap int
+	sem      chan int
+	quit     chan struct{}
+	wg       sync.WaitGroup
+	// inflight counts sharded decisions so Shutdown can drain them. An
+	// atomic (rather than a WaitGroup behind closeMu) keeps the sharded
+	// submit path free of the read-write mutex.
+	inflight atomic.Int64
+
+	// closeMu exists for the serial queue: senders hold the read lock
+	// across the closed-check-and-send so Shutdown's close(queue) cannot
+	// race a send. The sharded path never touches it — it coordinates
+	// with Shutdown through closedFlag and inflight alone.
+	closeMu    sync.RWMutex
+	closedFlag atomic.Bool
+}
+
+// shardHist is one worker token's latency histogram. Only the goroutine
+// holding the token observes into it, so the mutex is uncontended except
+// against Stats snapshots.
+type shardHist struct {
+	mu sync.Mutex
+	h  *metrics.Histogram
 }
 
 // New validates the config, builds the engine, and starts its decision
-// worker (and, when SlotDuration > 0, its real-time slot clock) at slot 1.
+// worker (serial mode) and, when SlotDuration > 0, its real-time slot
+// clock at slot 1. Workers > 1 requests sharded mode; it degrades to
+// serial mode when the scheduler does not support concurrent proposals.
 func New(cfg Config) (*Engine, error) {
 	if cfg.Scheduler == nil {
 		return nil, fmt.Errorf("%w: nil scheduler", ErrBadConfig)
@@ -164,9 +243,26 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.QueueSize < 0 {
 		return nil, fmt.Errorf("%w: queue size %d", ErrBadConfig, cfg.QueueSize)
 	}
+	if cfg.Workers < 0 {
+		return nil, fmt.Errorf("%w: workers %d", ErrBadConfig, cfg.Workers)
+	}
 	queueSize := cfg.QueueSize
 	if queueSize == 0 {
 		queueSize = DefaultQueueSize
+	}
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	var twoPhase core.TwoPhaseScheduler
+	if workers > 1 {
+		if tp, ok := cfg.Scheduler.(core.TwoPhaseScheduler); ok && tp.ConcurrentPropose() {
+			twoPhase = tp
+		} else {
+			// Graceful degradation: the scheduler cannot run proposals
+			// concurrently, so sharding would not be safe.
+			workers = 1
+		}
 	}
 	caps := make([]int, len(cfg.Network.Cloudlets))
 	for j, cl := range cfg.Network.Cloudlets {
@@ -178,9 +274,15 @@ func New(cfg Config) (*Engine, error) {
 	}
 	// Buckets from 10µs to ~10s cover in-process decisions through loaded
 	// network round-trips.
-	latency, err := metrics.NewHistogram(metrics.ExponentialBounds(10e-6, 4, 11)...)
+	latencyBounds := metrics.ExponentialBounds(10e-6, 4, 11)
+	latency, err := metrics.NewHistogram(latencyBounds...)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
+	}
+	rejections := make(map[string]*atomic.Uint64, 8)
+	for _, reason := range []string{ReasonInvalid, ReasonStale, ReasonHorizon, ReasonDeclined,
+		ReasonOverbooked, ReasonConflict, ReasonQueueFull, ReasonClosed} {
+		rejections[reason] = new(atomic.Uint64)
 	}
 	nowFn := cfg.Now
 	if nowFn == nil {
@@ -190,20 +292,36 @@ func New(cfg Config) (*Engine, error) {
 		cfg:        cfg,
 		network:    cfg.Network,
 		horizon:    cfg.Horizon,
+		workers:    workers,
 		now:        nowFn,
 		sched:      cfg.Scheduler,
+		twoPhase:   twoPhase,
 		ledger:     ledger,
 		slot:       1,
-		nextID:     1, // 1-based like slots; id 0 never exists
 		placements: make(map[int]*PlacementRecord),
 		expiry:     simulate.NewWindowIndex(),
-		rejections: make(map[string]uint64),
+		rejections: rejections,
 		latency:    latency,
-		queue:      make(chan *job, queueSize),
+		queueCap:   queueSize,
 		quit:       make(chan struct{}),
 	}
-	e.wg.Add(1)
-	go e.worker()
+	e.slotNow.Store(1)
+	if twoPhase != nil {
+		e.sem = make(chan int, workers)
+		e.shards = make([]*shardHist, workers)
+		for i := 0; i < workers; i++ {
+			h, err := metrics.NewHistogram(latencyBounds...)
+			if err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
+			}
+			e.shards[i] = &shardHist{h: h}
+			e.sem <- i
+		}
+	} else {
+		e.queue = make(chan *job, queueSize)
+		e.wg.Add(1)
+		go e.worker()
+	}
 	if cfg.SlotDuration > 0 {
 		e.wg.Add(1)
 		go e.runClock(cfg.SlotDuration)
@@ -211,14 +329,23 @@ func New(cfg Config) (*Engine, error) {
 	return e, nil
 }
 
+// Workers returns the decision concurrency the engine settled on (1 in
+// serial mode; the configured shard count in sharded mode).
+func (e *Engine) Workers() int { return e.workers }
+
 // Submit enqueues one admission request and waits for the decision. It
-// fails fast with ErrQueueFull when the bounded queue is at capacity and
-// with ErrClosed after Shutdown began; ctx cancellation abandons the wait
-// (the decision still happens and is recorded).
+// fails fast with ErrQueueFull when the engine is at capacity and with
+// ErrClosed after Shutdown began; ctx cancellation abandons the wait. In
+// serial mode an abandoned decision still happens and is recorded; in
+// sharded mode cancellation while waiting for a worker token abandons the
+// decision entirely.
 func (e *Engine) Submit(ctx context.Context, req AdmissionRequest) (AdmissionResult, error) {
+	if e.sem != nil {
+		return e.submitSharded(ctx, req)
+	}
 	j := &job{req: req, enqueued: e.now(), done: make(chan AdmissionResult, 1)}
 	e.closeMu.RLock()
-	if e.closed {
+	if e.closedFlag.Load() {
 		e.closeMu.RUnlock()
 		e.countRejection(ReasonClosed)
 		return AdmissionResult{}, ErrClosed
@@ -239,8 +366,61 @@ func (e *Engine) Submit(ctx context.Context, req AdmissionRequest) (AdmissionRes
 	}
 }
 
-// worker is the single decision goroutine; it drains the queue until
-// Shutdown closes it.
+// submitSharded runs the decision inline on the caller's goroutine,
+// bounded by the worker-token semaphore. The waiting counter imposes the
+// same backpressure bound as the serial queue: at most queueCap
+// submissions may be waiting for a token beyond the workers deciding.
+func (e *Engine) submitSharded(ctx context.Context, req AdmissionRequest) (AdmissionResult, error) {
+	if int(e.waiting.Add(1)) > e.queueCap+e.workers {
+		e.waiting.Add(-1)
+		e.countRejection(ReasonQueueFull)
+		return AdmissionResult{}, ErrQueueFull
+	}
+	defer e.waiting.Add(-1)
+	// Registering in inflight before checking closedFlag closes the race
+	// with Shutdown: either this decision's increment is visible to the
+	// drain loop (which then waits it out), or closedFlag's store is
+	// visible here and the submission bails.
+	e.inflight.Add(1)
+	defer e.inflight.Add(-1)
+	if e.closedFlag.Load() {
+		e.countRejection(ReasonClosed)
+		return AdmissionResult{}, ErrClosed
+	}
+	// Latency is sampled (1 in latencySampleRate) in sharded mode: two
+	// clock reads per decision were the largest single cost on the hot
+	// path, and a sampled histogram estimates the same quantiles. The ID
+	// allocation doubles as the sampling counter.
+	id := int(e.lastID.Add(1))
+	var enqueued time.Time
+	sampled := id&(latencySampleRate-1) == 0
+	if sampled {
+		enqueued = e.now()
+	}
+	// Fast path first: a non-blocking receive skips the generic select
+	// machinery whenever a token is free, which is the common case (a
+	// token is held only for the duration of one inline decision).
+	var shard int
+	select {
+	case shard = <-e.sem:
+	default:
+		select {
+		case shard = <-e.sem:
+		case <-ctx.Done():
+			return AdmissionResult{}, ctx.Err()
+		}
+	}
+	res := e.decideSharded(req, id, enqueued, sampled, shard)
+	e.sem <- shard
+	return res, nil
+}
+
+// latencySampleRate is the sharded-mode latency sampling interval; it
+// must be a power of two. Serial mode observes every decision.
+const latencySampleRate = 8
+
+// worker is the single decision goroutine of serial mode; it drains the
+// queue until Shutdown closes it.
 func (e *Engine) worker() {
 	defer e.wg.Done()
 	for j := range e.queue {
@@ -248,21 +428,14 @@ func (e *Engine) worker() {
 	}
 }
 
-// decide makes one admission decision under the engine lock.
-func (e *Engine) decide(ar AdmissionRequest, enqueued time.Time) AdmissionResult {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	defer func() {
-		e.latency.Observe(e.now().Sub(enqueued).Seconds())
-	}()
-
-	id := e.nextID
-	e.nextID++
+// buildRequest materializes the core.Request under the given ID,
+// defaulting the arrival to the given slot.
+func (e *Engine) buildRequest(ar AdmissionRequest, id, slot int) core.Request {
 	arrival := ar.Arrival
 	if arrival == 0 {
-		arrival = e.slot
+		arrival = slot
 	}
-	req := core.Request{
+	return core.Request{
 		ID:          id,
 		VNF:         ar.VNF,
 		Reliability: ar.Reliability,
@@ -270,11 +443,23 @@ func (e *Engine) decide(ar AdmissionRequest, enqueued time.Time) AdmissionResult
 		Duration:    ar.Duration,
 		Payment:     ar.Payment,
 	}
+}
+
+// decide makes one admission decision under the engine lock (serial mode).
+func (e *Engine) decide(ar AdmissionRequest, enqueued time.Time) AdmissionResult {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	defer func() {
+		e.latency.Observe(e.now().Sub(enqueued).Seconds())
+	}()
+
+	req := e.buildRequest(ar, int(e.lastID.Add(1)), e.slot)
+	id := req.ID
 	reject := func(reason string) AdmissionResult {
-		e.rejections[reason]++
+		e.rejections[reason].Add(1)
 		return AdmissionResult{ID: id, Reason: reason, Slot: e.slot}
 	}
-	if arrival < e.slot {
+	if req.Arrival < e.slot {
 		return reject(ReasonStale)
 	}
 	if req.End() > e.horizon {
@@ -310,23 +495,124 @@ func (e *Engine) decide(ar AdmissionRequest, enqueued time.Time) AdmissionResult
 		}
 		reserved = append(reserved, a)
 	}
-	e.placements[id] = &PlacementRecord{
-		ID:          id,
-		Request:     req,
-		Placement:   placement,
-		DecidedSlot: e.slot,
-		State:       StateScheduled,
-	}
-	e.expiry.Add(id, req.End())
-	e.admitted++
-	e.revenue += req.Payment
+	e.recordAdmissionLocked(req, placement, e.slot)
 	return AdmissionResult{ID: id, Admitted: true, Slot: e.slot, Placement: placement}
 }
 
+// decideSharded makes one admission decision without holding the engine
+// lock across the scheduler or the ledger (sharded mode). The protocol:
+//
+//  1. Propose concurrently (the scheduler only reads its prices);
+//  2. reserve the whole footprint in the concurrent ledger, which
+//     arbitrates races between decisions atomically per cloudlet;
+//  3. on refusal, abort the proposal and re-propose (bounded retries) —
+//     prices and capacity have moved under a competing commit;
+//  4. on success, Commit the scheduler state, then record the books
+//     under the engine mutex.
+func (e *Engine) decideSharded(ar AdmissionRequest, id int, enqueued time.Time, sampled bool, shard int) AdmissionResult {
+	slot := int(e.slotNow.Load())
+	req := e.buildRequest(ar, id, slot)
+	reject := func(reason string) AdmissionResult {
+		e.rejections[reason].Add(1)
+		if sampled {
+			e.observeShard(shard, enqueued)
+		}
+		return AdmissionResult{ID: id, Reason: reason, Slot: slot}
+	}
+	if req.Arrival < slot {
+		return reject(ReasonStale)
+	}
+	if req.End() > e.horizon {
+		return reject(ReasonHorizon)
+	}
+	if err := e.network.ValidateRequest(req, e.horizon); err != nil {
+		return reject(ReasonInvalid)
+	}
+	demand := e.network.Catalog[req.VNF].Demand
+	// maxAttempts bounds the re-propose loop: the first attempt plus two
+	// retries after ledger refusals. Livelock is impossible (each refusal
+	// means some other decision committed) but unbounded retry under
+	// shrinking capacity is wasted work — after two losses the request is
+	// rejected as conflicted.
+	const maxAttempts = 3
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		placement, ok := e.twoPhase.Propose(req, e.ledger)
+		if !ok {
+			return reject(ReasonDeclined)
+		}
+		if err := placement.Validate(e.network, req); err != nil {
+			e.twoPhase.Abort(req, placement)
+			return reject(ReasonInvalid)
+		}
+		if e.reserveAll(req, placement, demand) {
+			e.twoPhase.Commit(req, placement)
+			e.mu.Lock()
+			e.recordAdmissionLocked(req, placement, slot)
+			e.mu.Unlock()
+			if sampled {
+				e.observeShard(shard, enqueued)
+			}
+			return AdmissionResult{ID: id, Admitted: true, Slot: slot, Placement: placement}
+		}
+		// The ledger refused: a concurrent commit consumed the capacity
+		// the proposal saw. Abort and re-propose against the new state.
+		e.conflicts.Add(1)
+		e.twoPhase.Abort(req, placement)
+	}
+	return reject(ReasonConflict)
+}
+
+// reserveAll reserves the placement's whole footprint, rolling back on the
+// first refusal. Each per-cloudlet reservation is atomic in the ledger;
+// the rollback makes the multi-cloudlet footprint all-or-nothing.
+func (e *Engine) reserveAll(req core.Request, placement core.Placement, demand int) bool {
+	reserved := placement.Assignments[:0:0]
+	for _, a := range placement.Assignments {
+		if e.cfg.AllowViolations {
+			if err := e.ledger.ForceReserve(a.Cloudlet, req.Arrival, req.Duration, a.Units(demand)); err != nil {
+				return false
+			}
+		} else {
+			ok, err := e.ledger.ReserveWindow(a.Cloudlet, req.Arrival, req.Duration, a.Units(demand))
+			if err != nil || !ok {
+				for _, r := range reserved {
+					_ = e.ledger.Release(r.Cloudlet, req.Arrival, req.Duration, r.Units(demand))
+				}
+				return false
+			}
+		}
+		reserved = append(reserved, a)
+	}
+	return true
+}
+
+// recordAdmissionLocked books one admitted placement. Caller holds e.mu.
+func (e *Engine) recordAdmissionLocked(req core.Request, placement core.Placement, slot int) {
+	e.placements[req.ID] = &PlacementRecord{
+		ID:          req.ID,
+		Request:     req,
+		Placement:   placement,
+		DecidedSlot: slot,
+		State:       StateScheduled,
+	}
+	e.expiry.Add(req.ID, req.End())
+	e.admitted++
+	e.revenue += req.Payment
+}
+
 func (e *Engine) countRejection(reason string) {
-	e.mu.Lock()
-	e.rejections[reason]++
-	e.mu.Unlock()
+	e.rejections[reason].Add(1)
+}
+
+// observeShard records one decision latency into the caller's shard
+// histogram. The caller holds worker token `shard`, so the only possible
+// contention on the shard mutex is a concurrent Stats snapshot.
+func (e *Engine) observeShard(shard int, enqueued time.Time) {
+	sh := e.shards[shard]
+	v := e.now().Sub(enqueued).Seconds()
+	sh.mu.Lock()
+	sh.h.Observe(v)
+	sh.mu.Unlock()
 }
 
 // Tick advances the slot clock by one and releases every placement whose
@@ -338,6 +624,7 @@ func (e *Engine) Tick() TickReport {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.slot++
+	e.slotNow.Store(int64(e.slot))
 	expired := e.expiry.ExpireBefore(e.slot)
 	demandOf := func(req core.Request) int { return e.network.Catalog[req.VNF].Demand }
 	for _, id := range expired {
@@ -372,9 +659,7 @@ func (e *Engine) runClock(d time.Duration) {
 
 // Slot returns the current slot.
 func (e *Engine) Slot() int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.slot
+	return int(e.slotNow.Load())
 }
 
 // Horizon returns the served horizon T.
@@ -445,19 +730,35 @@ func (e *Engine) Stats() Stats {
 	s := Stats{
 		Slot:             e.slot,
 		Horizon:          e.horizon,
-		QueueDepth:       len(e.queue),
-		QueueCapacity:    cap(e.queue),
+		Workers:          e.workers,
+		QueueCapacity:    e.queueCap,
 		Admitted:         e.admitted,
 		Expired:          e.expired,
 		Rejections:       make(map[string]uint64, len(e.rejections)),
+		ConflictRetries:  e.conflicts.Load(),
 		Revenue:          e.revenue,
 		ActivePlacements: e.expiry.Len(),
 		CloudletUsed:     make([]int, len(e.network.Cloudlets)),
 		CloudletCapacity: make([]int, len(e.network.Cloudlets)),
 		Latency:          e.latency.Clone(),
 	}
+	if e.sem != nil {
+		s.QueueDepth = int(e.waiting.Load())
+		// The semaphore is preloaded with tokens; a missing token is a
+		// decision in flight.
+		s.InFlight = e.workers - len(e.sem)
+		for _, sh := range e.shards {
+			sh.mu.Lock()
+			// Merge cannot fail: every shard histogram shares the serial
+			// histogram's bounds.
+			_ = s.Latency.Merge(sh.h)
+			sh.mu.Unlock()
+		}
+	} else {
+		s.QueueDepth = len(e.queue)
+	}
 	for reason, n := range e.rejections {
-		s.Rejections[reason] = n
+		s.Rejections[reason] = n.Load()
 	}
 	for j, cl := range e.network.Cloudlets {
 		s.CloudletCapacity[j] = cl.Capacity
@@ -468,24 +769,32 @@ func (e *Engine) Stats() Stats {
 	return s
 }
 
-// Shutdown stops intake, drains every queued admission (each waiting
+// Shutdown stops intake, drains every in-flight admission (each waiting
 // caller receives its decision), stops the clock, and waits for the
 // workers to exit or the context to expire. It is idempotent.
 func (e *Engine) Shutdown(ctx context.Context) error {
 	e.closeMu.Lock()
-	if e.closed {
+	if !e.closedFlag.CompareAndSwap(false, true) {
 		e.closeMu.Unlock()
 		return nil
 	}
-	e.closed = true
 	close(e.quit)
-	// No Submit can be sending now: senders hold closeMu.RLock and check
-	// closed first, so closing the queue is safe.
-	close(e.queue)
+	if e.queue != nil {
+		// No Submit can be sending now: senders hold closeMu.RLock and
+		// check closedFlag first, so closing the queue is safe.
+		close(e.queue)
+	}
 	e.closeMu.Unlock()
 
 	done := make(chan struct{})
 	go func() {
+		// Sharded decisions registered in inflight before they observed
+		// closedFlag; poll until the last one finished. Shutdown is cold,
+		// so a short sleep loop beats putting a WaitGroup (and the mutex
+		// it would need against the closed check) on the hot path.
+		for e.inflight.Load() != 0 {
+			time.Sleep(200 * time.Microsecond)
+		}
 		e.wg.Wait()
 		close(done)
 	}()
@@ -499,7 +808,5 @@ func (e *Engine) Shutdown(ctx context.Context) error {
 
 // Closed reports whether Shutdown has begun.
 func (e *Engine) Closed() bool {
-	e.closeMu.RLock()
-	defer e.closeMu.RUnlock()
-	return e.closed
+	return e.closedFlag.Load()
 }

@@ -32,6 +32,13 @@ func (e *Engine) WriteMetrics(w io.Writer) error {
 			"Admissions waiting in the bounded ingest queue.", float64(s.QueueDepth)),
 		metrics.Gauge("revnfd_queue_capacity",
 			"Capacity of the bounded ingest queue.", float64(s.QueueCapacity)),
+		metrics.Gauge("revnfd_workers",
+			"Decision concurrency: 1 in serial mode, the shard count in sharded mode.", float64(s.Workers)),
+		metrics.Gauge("revnfd_inflight_decisions",
+			"Decisions executing right now (sharded mode).", float64(s.InFlight)),
+		metrics.Counter("revnfd_conflict_retries_total",
+			"Ledger reservation refusals under concurrent commit races; each triggers a re-propose.",
+			float64(s.ConflictRetries)),
 		utilizationFamily(s),
 		s.Latency.Metric("revnfd_admission_latency_seconds",
 			"Latency from submission to admission decision."),
@@ -47,7 +54,7 @@ func rejectionFamily(rejections map[string]uint64) metrics.PromMetric {
 	}
 	// Every defined reason is always exposed so scrapes see stable series.
 	reasons := []string{ReasonInvalid, ReasonStale, ReasonHorizon, ReasonDeclined,
-		ReasonOverbooked, ReasonQueueFull, ReasonClosed}
+		ReasonOverbooked, ReasonConflict, ReasonQueueFull, ReasonClosed}
 	for r := range rejections {
 		found := false
 		for _, known := range reasons {

@@ -1,12 +1,18 @@
 // Package serve turns the repo's online admission algorithms into a
 // long-running service. The paper's Algorithms 1–2 are online by
 // construction — each request must be accepted or rejected the moment it
-// arrives — but every core.Scheduler implementation is single-goroutine
-// state machine. This package supplies the concurrency shell around one:
+// arrives. This package supplies the concurrency shell around a
+// scheduler:
 //
-//   - an Engine that serializes all scheduler and ledger access behind a
-//     bounded ingest queue with backpressure (a full queue rejects rather
-//     than buffering without bound);
+//   - an Engine with two decision modes: a serial mode that funnels all
+//     scheduler and ledger access through a bounded ingest queue into one
+//     decision goroutine, and a sharded mode (Config.Workers > 1, for
+//     schedulers implementing core.TwoPhaseScheduler with concurrent
+//     proposals) in which up to Workers decisions run concurrently —
+//     Propose in parallel, capacity arbitrated atomically by the
+//     concurrent timeslot.Ledger, scheduler Commit only after the ledger
+//     accepted the footprint. Both modes apply backpressure (a full
+//     engine rejects rather than buffering without bound);
 //   - a slot clock that maps the paper's discrete time slots onto wall
 //     time (or onto manual Tick calls in tests) and releases every
 //     placement's capacity back to the ledger exactly when its window
@@ -49,8 +55,18 @@ type Config struct {
 	Scheduler core.Scheduler
 	// Horizon is the number of time slots T the daemon serves.
 	Horizon int
-	// QueueSize bounds the ingest queue; 0 selects DefaultQueueSize.
+	// QueueSize bounds the ingest queue; 0 selects DefaultQueueSize. In
+	// sharded mode the same bound caps submissions waiting for a worker
+	// token.
 	QueueSize int
+	// Workers selects the decision concurrency. 0 or 1 is the serial
+	// mode. Values above 1 request sharded mode: decisions execute
+	// concurrently (bounded by Workers) using the propose/commit protocol
+	// of core.TwoPhaseScheduler with the ledger arbitrating capacity. If
+	// the scheduler does not support concurrent proposals the engine
+	// silently degrades to serial mode; Engine.Workers reports the
+	// effective value.
+	Workers int
 	// SlotDuration is the wall-clock length of one paper time slot. Zero
 	// disables the real-time clock: the slot advances only on manual Tick
 	// calls, which is the deterministic mode tests use.
@@ -80,6 +96,11 @@ const (
 	// ReasonOverbooked marks scheduler placements the ledger refused; it
 	// indicates a scheduler violating its feasibility contract.
 	ReasonOverbooked = "overbooked"
+	// ReasonConflict marks sharded-mode requests whose proposals kept
+	// losing the capacity race to concurrent commits: the ledger refused
+	// the reservation on every bounded retry. It is the concurrency
+	// analogue of ReasonDeclined, not a scheduler bug.
+	ReasonConflict = "conflict"
 	// ReasonQueueFull marks submissions dropped by backpressure.
 	ReasonQueueFull = "queue-full"
 	// ReasonClosed marks submissions after shutdown began.

@@ -112,8 +112,21 @@ func Run(inst *workload.Instance, sched core.Scheduler, opts ...Option) (*Result
 		req := inst.Trace[p.Request]
 		return a.Units(inst.Network.Catalog[req.VNF].Demand)
 	}
+	// Two-phase schedulers are driven through Propose → validate → reserve
+	// → Commit, so the dual update happens only after the ledger accepted
+	// the footprint. Both orders are decision-identical for this serial
+	// loop (every error path aborts the whole run), but the two-phase order
+	// is the one the concurrent serve engine relies on, so the batch
+	// simulator exercises the same protocol.
+	twoPhase, _ := sched.(core.TwoPhaseScheduler)
 	for _, req := range inst.Trace {
-		placement, admitted := sched.Decide(req, ledger)
+		var placement core.Placement
+		var admitted bool
+		if twoPhase != nil {
+			placement, admitted = twoPhase.Propose(req, ledger)
+		} else {
+			placement, admitted = sched.Decide(req, ledger)
+		}
 		if !admitted {
 			result.Rejected++
 			result.Decisions = append(result.Decisions, Decision{Request: req.ID})
@@ -136,6 +149,9 @@ func Run(inst *workload.Instance, sched core.Scheduler, opts ...Option) (*Result
 			if err != nil {
 				return nil, fmt.Errorf("simulate: reserve for request %d: %w", req.ID, err)
 			}
+		}
+		if twoPhase != nil {
+			twoPhase.Commit(req, placement)
 		}
 		result.Admitted++
 		result.Revenue += req.Payment

@@ -1,14 +1,47 @@
 // Package timeslot tracks per-cloudlet, per-slot computing resource usage
 // over a finite horizon of discrete time slots. The Ledger is the
-// authoritative record used by the simulation engine: feasible schedulers
-// reserve through it and are refused when capacity would be exceeded, while
-// the raw primal-dual algorithm (whose analysis permits bounded violations)
-// force-reserves and has its overcommitment measured.
+// authoritative record used by the simulation engine and the admission
+// daemon: feasible schedulers reserve through it and are refused when
+// capacity would be exceeded, while the raw primal-dual algorithm (whose
+// analysis permits bounded violations) force-reserves and has its
+// overcommitment measured.
+//
+// # Concurrency
+//
+// The Ledger is safe for concurrent use. Each cloudlet's usage row is
+// guarded by its own reader/writer lock, so reads and reservations against
+// different cloudlets never contend, and a reservation over a window
+// [a, a+d-1] is checked and committed in one critical section: two
+// concurrent ReserveWindow calls can never jointly oversubscribe cap_j.
+// Whole-ledger aggregates (Violations, Utilization, Clone, ...) lock one
+// cloudlet at a time; each row is internally consistent but the aggregate
+// is not a single point-in-time snapshot while writers are active — call
+// them after reservations quiesce (as the batch engine does) when an exact
+// global snapshot matters.
+//
+// # Out-of-range reads
+//
+// The read accessors (Used, Residual, ResidualWindow, Capacity, PeakUsage)
+// return 0 for an unknown cloudlet, a slot outside [1, T], or a window
+// leaving the horizon, rather than panicking or returning an error. The
+// sentinel is deliberately fail-safe in both directions:
+//
+//   - Residual/ResidualWindow = 0 reads as "no free capacity", so every
+//     capacity-checking caller (all feasible schedulers gate on
+//     ResidualWindow ≥ demand) rejects placements against out-of-range
+//     cells instead of admitting them;
+//   - Used = 0 reads as "no usage", so metrics and read endpoints report
+//     an idle cell once the clock passes the horizon.
+//
+// Callers that must distinguish "empty/full" from "out of range" use
+// InRange/WindowInRange explicitly; the mutating methods always report
+// out-of-range arguments as errors (ErrBadCloudlet/ErrBadSlot).
 package timeslot
 
 import (
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // Errors returned by the ledger.
@@ -22,11 +55,13 @@ var (
 
 // Ledger records the computing units in use in each cloudlet at each slot.
 // Slots are 1-based, matching the paper's T = {1..T}. The zero value is not
-// usable; construct with New.
+// usable; construct with New. All methods are safe for concurrent use; see
+// the package comment for the consistency model.
 type Ledger struct {
 	horizon int
 	caps    []int
-	used    [][]int // used[cloudlet][slot-1]
+	mus     []sync.RWMutex // mus[cloudlet] guards used[cloudlet]
+	used    [][]int        // used[cloudlet][slot-1]
 }
 
 // New creates a ledger for the given per-cloudlet capacities and horizon.
@@ -46,7 +81,7 @@ func New(capacities []int, horizon int) (*Ledger, error) {
 		caps[j] = c
 		used[j] = make([]int, horizon)
 	}
-	return &Ledger{horizon: horizon, caps: caps, used: used}, nil
+	return &Ledger{horizon: horizon, caps: caps, mus: make([]sync.RWMutex, len(caps)), used: used}, nil
 }
 
 // Horizon returns the number of slots T.
@@ -54,6 +89,18 @@ func (l *Ledger) Horizon() int { return l.horizon }
 
 // Cloudlets returns the number of cloudlets tracked.
 func (l *Ledger) Cloudlets() int { return len(l.caps) }
+
+// InRange reports whether (cloudlet, slot) addresses a tracked cell.
+func (l *Ledger) InRange(cloudlet, slot int) bool {
+	return cloudlet >= 0 && cloudlet < len(l.caps) && slot >= 1 && slot <= l.horizon
+}
+
+// WindowInRange reports whether the window [start, start+duration-1] of the
+// cloudlet lies fully inside the horizon.
+func (l *Ledger) WindowInRange(cloudlet, start, duration int) bool {
+	return cloudlet >= 0 && cloudlet < len(l.caps) &&
+		start >= 1 && duration >= 1 && start+duration-1 <= l.horizon
+}
 
 // Capacity returns cap_j for cloudlet j, or 0 for an unknown cloudlet.
 func (l *Ledger) Capacity(cloudlet int) int {
@@ -63,30 +110,47 @@ func (l *Ledger) Capacity(cloudlet int) int {
 	return l.caps[cloudlet]
 }
 
-// Used returns the units in use in cloudlet j at slot t, or 0 when out of
-// range.
+// Used returns the units in use in cloudlet j at slot t, or the fail-safe
+// sentinel 0 ("no usage") when out of range; use InRange to distinguish.
 func (l *Ledger) Used(cloudlet, slot int) int {
-	if cloudlet < 0 || cloudlet >= len(l.caps) || slot < 1 || slot > l.horizon {
+	if !l.InRange(cloudlet, slot) {
 		return 0
 	}
+	l.mus[cloudlet].RLock()
+	defer l.mus[cloudlet].RUnlock()
 	return l.used[cloudlet][slot-1]
 }
 
 // Residual returns the free units of cloudlet j at slot t. It can be
-// negative after forced reservations.
+// negative after forced reservations. Out of range it returns the
+// fail-safe sentinel 0 ("no free capacity"), so capacity-gated callers
+// reject rather than admit; use InRange to distinguish.
 func (l *Ledger) Residual(cloudlet, slot int) int {
-	if cloudlet < 0 || cloudlet >= len(l.caps) || slot < 1 || slot > l.horizon {
+	if !l.InRange(cloudlet, slot) {
 		return 0
 	}
+	l.mus[cloudlet].RLock()
+	defer l.mus[cloudlet].RUnlock()
 	return l.caps[cloudlet] - l.used[cloudlet][slot-1]
 }
 
 // ResidualWindow returns the minimum residual capacity of cloudlet j over
-// slots [start, start+duration-1]. It returns 0 for invalid arguments.
+// slots [start, start+duration-1]. For invalid arguments (unknown cloudlet
+// or a window leaving the horizon) it returns the fail-safe sentinel 0
+// ("no free capacity"), which makes schedulers reject such windows; use
+// WindowInRange to distinguish.
 func (l *Ledger) ResidualWindow(cloudlet, start, duration int) int {
-	if cloudlet < 0 || cloudlet >= len(l.caps) || start < 1 || duration < 1 || start+duration-1 > l.horizon {
+	if !l.WindowInRange(cloudlet, start, duration) {
 		return 0
 	}
+	l.mus[cloudlet].RLock()
+	defer l.mus[cloudlet].RUnlock()
+	return l.residualWindowLocked(cloudlet, start, duration)
+}
+
+// residualWindowLocked computes the window minimum with cloudlet's lock
+// held (in either mode).
+func (l *Ledger) residualWindowLocked(cloudlet, start, duration int) int {
 	minFree := l.caps[cloudlet] - l.used[cloudlet][start-1]
 	for t := start + 1; t <= start+duration-1; t++ {
 		if free := l.caps[cloudlet] - l.used[cloudlet][t-1]; free < minFree {
@@ -97,7 +161,9 @@ func (l *Ledger) ResidualWindow(cloudlet, start, duration int) int {
 }
 
 // CanReserve reports whether units fit in cloudlet j over the window
-// without exceeding capacity.
+// without exceeding capacity. A true result is advisory under concurrency:
+// another reservation may land first. Use ReserveWindow for an atomic
+// check-and-commit.
 func (l *Ledger) CanReserve(cloudlet, start, duration, units int) bool {
 	if units <= 0 {
 		return false
@@ -105,19 +171,40 @@ func (l *Ledger) CanReserve(cloudlet, start, duration, units int) bool {
 	return l.ResidualWindow(cloudlet, start, duration) >= units
 }
 
+// ReserveWindow atomically checks and books units in cloudlet j over slots
+// [start, start+duration-1]: the capacity test and the commit happen in one
+// critical section, so concurrent callers can never jointly oversubscribe
+// cap_j. It returns (true, nil) when the reservation was committed,
+// (false, nil) when it was refused for lack of capacity — the arbitration
+// signal concurrent admitters retry or reject on — and (false, err) for
+// out-of-range arguments.
+func (l *Ledger) ReserveWindow(cloudlet, start, duration, units int) (bool, error) {
+	if err := l.checkArgs(cloudlet, start, duration, units); err != nil {
+		return false, err
+	}
+	l.mus[cloudlet].Lock()
+	defer l.mus[cloudlet].Unlock()
+	if l.residualWindowLocked(cloudlet, start, duration) < units {
+		return false, nil
+	}
+	l.addLocked(cloudlet, start, duration, units)
+	return true, nil
+}
+
 // Reserve books units in cloudlet j over slots [start, start+duration-1].
 // It fails with ErrOverCapacity (leaving the ledger unchanged) when any slot
-// would exceed capacity.
+// would exceed capacity. The check and the commit are atomic, as in
+// ReserveWindow.
 func (l *Ledger) Reserve(cloudlet, start, duration, units int) error {
-	if err := l.checkArgs(cloudlet, start, duration, units); err != nil {
+	ok, err := l.ReserveWindow(cloudlet, start, duration, units)
+	if err != nil {
 		return err
 	}
-	if l.ResidualWindow(cloudlet, start, duration) < units {
+	if !ok {
 		return fmt.Errorf("%w: cloudlet %d window [%d,%d] units %d free %d",
 			ErrOverCapacity, cloudlet, start, start+duration-1, units,
 			l.ResidualWindow(cloudlet, start, duration))
 	}
-	l.add(cloudlet, start, duration, units)
 	return nil
 }
 
@@ -128,24 +215,29 @@ func (l *Ledger) ForceReserve(cloudlet, start, duration, units int) error {
 	if err := l.checkArgs(cloudlet, start, duration, units); err != nil {
 		return err
 	}
-	l.add(cloudlet, start, duration, units)
+	l.mus[cloudlet].Lock()
+	defer l.mus[cloudlet].Unlock()
+	l.addLocked(cloudlet, start, duration, units)
 	return nil
 }
 
 // Release returns previously reserved units. It fails with ErrUnderflow
 // (leaving the ledger unchanged) when more units would be released than are
-// in use at any covered slot.
+// in use at any covered slot. The underflow check and the release are one
+// critical section, pairing with ReserveWindow for concurrent use.
 func (l *Ledger) Release(cloudlet, start, duration, units int) error {
 	if err := l.checkArgs(cloudlet, start, duration, units); err != nil {
 		return err
 	}
+	l.mus[cloudlet].Lock()
+	defer l.mus[cloudlet].Unlock()
 	for t := start; t <= start+duration-1; t++ {
 		if l.used[cloudlet][t-1] < units {
 			return fmt.Errorf("%w: cloudlet %d slot %d used %d release %d",
 				ErrUnderflow, cloudlet, t, l.used[cloudlet][t-1], units)
 		}
 	}
-	l.add(cloudlet, start, duration, -units)
+	l.addLocked(cloudlet, start, duration, -units)
 	return nil
 }
 
@@ -162,7 +254,8 @@ func (l *Ledger) checkArgs(cloudlet, start, duration, units int) error {
 	return nil
 }
 
-func (l *Ledger) add(cloudlet, start, duration, units int) {
+// addLocked mutates cloudlet's row; the caller holds its write lock.
+func (l *Ledger) addLocked(cloudlet, start, duration, units int) {
 	for t := start; t <= start+duration-1; t++ {
 		l.used[cloudlet][t-1] += units
 	}
@@ -186,11 +279,13 @@ func (v Violation) Ratio() float64 { return float64(v.Used) / float64(v.Capacity
 func (l *Ledger) Violations() []Violation {
 	var out []Violation
 	for j := range l.caps {
+		l.mus[j].RLock()
 		for t := 1; t <= l.horizon; t++ {
 			if u := l.used[j][t-1]; u > l.caps[j] {
 				out = append(out, Violation{Cloudlet: j, Slot: t, Used: u, Capacity: l.caps[j]})
 			}
 		}
+		l.mus[j].RUnlock()
 	}
 	return out
 }
@@ -201,11 +296,13 @@ func (l *Ledger) Violations() []Violation {
 func (l *Ledger) MaxViolationRatio() float64 {
 	maxRatio := 0.0
 	for j := range l.caps {
+		l.mus[j].RLock()
 		for t := 0; t < l.horizon; t++ {
 			if r := float64(l.used[j][t]) / float64(l.caps[j]); r > maxRatio {
 				maxRatio = r
 			}
 		}
+		l.mus[j].RUnlock()
 	}
 	return maxRatio
 }
@@ -218,19 +315,23 @@ func (l *Ledger) Utilization() float64 {
 	}
 	total := 0.0
 	for j := range l.caps {
+		l.mus[j].RLock()
 		for t := 0; t < l.horizon; t++ {
 			total += float64(l.used[j][t]) / float64(l.caps[j])
 		}
+		l.mus[j].RUnlock()
 	}
 	return total / float64(len(l.caps)*l.horizon)
 }
 
 // PeakUsage returns the maximum units in use in cloudlet j across all
-// slots.
+// slots, or 0 for an unknown cloudlet.
 func (l *Ledger) PeakUsage(cloudlet int) int {
 	if cloudlet < 0 || cloudlet >= len(l.caps) {
 		return 0
 	}
+	l.mus[cloudlet].RLock()
+	defer l.mus[cloudlet].RUnlock()
 	peak := 0
 	for _, u := range l.used[cloudlet] {
 		if u > peak {
@@ -241,14 +342,17 @@ func (l *Ledger) PeakUsage(cloudlet int) int {
 }
 
 // Clone returns an independent deep copy of the ledger, used by solvers
-// that explore hypothetical schedules.
+// that explore hypothetical schedules. Rows are copied one cloudlet at a
+// time; clone with writers quiesced when an exact global snapshot matters.
 func (l *Ledger) Clone() *Ledger {
 	caps := make([]int, len(l.caps))
 	copy(caps, l.caps)
 	used := make([][]int, len(l.used))
 	for j := range l.used {
+		l.mus[j].RLock()
 		used[j] = make([]int, len(l.used[j]))
 		copy(used[j], l.used[j])
+		l.mus[j].RUnlock()
 	}
-	return &Ledger{horizon: l.horizon, caps: caps, used: used}
+	return &Ledger{horizon: l.horizon, caps: caps, mus: make([]sync.RWMutex, len(caps)), used: used}
 }

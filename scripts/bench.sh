@@ -1,0 +1,36 @@
+#!/usr/bin/env sh
+# Admission-throughput benchmark harness: runs BenchmarkParallelAdmission
+# (serial vs sharded engine at 1, 2 and 4 workers) and records the series
+# in BENCH_admission.json. BENCHTIME overrides the per-benchmark budget.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+out=BENCH_admission.json
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+echo "==> go test -bench BenchmarkParallelAdmission"
+go test -run '^$' -bench 'BenchmarkParallelAdmission' -benchtime "${BENCHTIME:-1s}" . | tee "$tmp"
+
+awk '
+BEGIN { printf "[\n" }
+/^BenchmarkParallelAdmission\// {
+    name = $1
+    sub(/-[0-9]+$/, "", name) # strip the -GOMAXPROCS suffix when present
+    workers = name
+    sub(/^.*workers=/, "", workers)
+    ns = ""; dps = ""
+    for (i = 2; i < NF; i++) {
+        if ($(i+1) == "ns/op") ns = $i
+        if ($(i+1) == "decisions/sec") dps = $i
+    }
+    if (ns == "" || dps == "") next
+    if (n++) printf ",\n"
+    printf "  {\"name\": \"%s\", \"workers\": %s, \"ns_per_op\": %s, \"decisions_per_sec\": %s}", name, workers, ns, dps
+}
+END { printf "\n]\n" }
+' "$tmp" > "$out"
+
+echo "==> wrote $out"
+cat "$out"
