@@ -1,0 +1,91 @@
+// Command revnfvet is the multichecker for the repository's invariant
+// suite (internal/analysis): it loads the packages matched by its
+// arguments, runs every registered analyzer, and prints one line per
+// finding. A non-empty finding set exits 1, so scripts/check.sh and CI can
+// gate on it.
+//
+// Usage:
+//
+//	go run ./cmd/revnfvet ./...          # whole tree (what check.sh runs)
+//	go run ./cmd/revnfvet -list          # show registered analyzers
+//	go run ./cmd/revnfvet -run floateq,walltime ./internal/...
+//
+// Test files are never loaded: the invariants govern library code, and
+// tests (golden traces pinning exact floats, deadline loops on time.Now)
+// are exempt by design. Individual non-test lines opt out with a
+// "//lint:allow <analyzer>" comment on, or directly above, the flagged
+// line.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"revnf/internal/analysis"
+	"revnf/internal/analysis/framework"
+	"revnf/internal/analysis/load"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("revnfvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list registered analyzers and exit")
+	only := fs.String("run", "", "comma-separated subset of analyzers to run (default: all)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, firstLine(a.Doc))
+		}
+		return 0
+	}
+	analyzers := analysis.All()
+	if *only != "" {
+		analyzers = analysis.ByName(strings.Split(*only, ",")...)
+		if analyzers == nil {
+			fmt.Fprintf(stderr, "revnfvet: unknown analyzer in -run=%s\n", *only)
+			return 2
+		}
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := load.Packages(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "revnfvet: %v\n", err)
+		return 2
+	}
+	units := make([]*framework.Unit, 0, len(pkgs))
+	for _, p := range pkgs {
+		units = append(units, &framework.Unit{Fset: p.Fset, Files: p.Files, Pkg: p.Types, Info: p.Info})
+	}
+	findings, err := framework.Run(units, analyzers)
+	for _, f := range findings {
+		fmt.Fprintln(stdout, f)
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "revnfvet: %v\n", err)
+		return 2
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "revnfvet: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

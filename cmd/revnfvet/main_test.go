@@ -1,0 +1,56 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestListNamesEveryAnalyzer(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("run(-list) = %d, stderr: %s", code, errOut.String())
+	}
+	for _, name := range []string{"floateq", "ledgerapi", "norand", "purepropose", "walltime"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing analyzer %q:\n%s", name, out.String())
+		}
+	}
+}
+
+// TestCleanPackages runs the full suite over real repository packages; the
+// tree is kept clean, so the driver must exit 0 with no findings.
+func TestCleanPackages(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"revnf/internal/analysis/...", "revnf/internal/core", "revnf/internal/timeslot"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("run = %d\nstdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("unexpected findings:\n%s", out.String())
+	}
+}
+
+func TestRunSubset(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-run", "floateq,walltime", "revnf/internal/core"}, &out, &errOut); code != 0 {
+		t.Fatalf("run(-run floateq,walltime) = %d, stderr: %s", code, errOut.String())
+	}
+}
+
+func TestUnknownAnalyzer(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-run", "nosuchpass", "revnf/internal/core"}, &out, &errOut); code != 2 {
+		t.Fatalf("run(-run nosuchpass) = %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "unknown analyzer") {
+		t.Errorf("stderr missing unknown-analyzer message: %s", errOut.String())
+	}
+}
+
+func TestBadPattern(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"./no/such/dir/..."}, &out, &errOut); code != 2 {
+		t.Fatalf("run(bad pattern) = %d, want 2", code)
+	}
+}

@@ -1,0 +1,95 @@
+// Package floateq forbids exact equality on revenue/reliability-flavored
+// floating point values.
+//
+// Invariant: revenue sums, reliability products, and payments accumulate
+// rounding error along the admission pipeline, so == / != on them is a
+// latent heisenbug — two mathematically equal revenues can differ in the
+// last ulp depending on summation order (which the sharded serve engine
+// does not fix). Comparisons must go through core.FloatEq (or an explicit
+// tolerance). Golden tests pin exact float values on purpose and are
+// exempt because the revnfvet driver never loads test files; non-test code
+// with a justified exact comparison can opt out with a
+// "//lint:allow floateq" comment on the flagged line.
+package floateq
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+
+	"revnf/internal/analysis/framework"
+)
+
+// NamePattern selects the value names the invariant covers. An equality
+// where either operand's identifiers, field names, or named type match is
+// flagged.
+var NamePattern = regexp.MustCompile(`(?i)revenue|reliab|payment`)
+
+// Analyzer is the floateq pass.
+var Analyzer = &framework.Analyzer{
+	Name: "floateq",
+	Doc:  "forbid ==/!= on revenue/reliability/payment float64 values; use core.FloatEq",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			bin, ok := n.(*ast.BinaryExpr)
+			if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(pass, bin.X) || !isFloat(pass, bin.Y) {
+				return true
+			}
+			name, ok := matchedName(pass, bin.X)
+			if !ok {
+				name, ok = matchedName(pass, bin.Y)
+			}
+			if !ok {
+				return true
+			}
+			pass.Reportf(bin.OpPos,
+				"exact float comparison (%s) on %q; use core.FloatEq or //lint:allow floateq with a reason",
+				bin.Op, name)
+			return true
+		})
+	}
+	return nil
+}
+
+// isFloat reports whether the expression has floating-point type.
+func isFloat(pass *framework.Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.Types[e].Type
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// matchedName returns the first identifier, selector, or named-type name
+// in the expression that matches NamePattern.
+func matchedName(pass *framework.Pass, e ast.Expr) (string, bool) {
+	var found string
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found != "" {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && NamePattern.MatchString(id.Name) {
+			found = id.Name
+			return false
+		}
+		return true
+	})
+	if found != "" {
+		return found, true
+	}
+	if t := pass.TypesInfo.Types[e].Type; t != nil {
+		if named, ok := t.(*types.Named); ok && NamePattern.MatchString(named.Obj().Name()) {
+			return named.Obj().Name(), true
+		}
+	}
+	return "", false
+}

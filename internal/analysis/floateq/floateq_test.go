@@ -1,0 +1,12 @@
+package floateq_test
+
+import (
+	"testing"
+
+	"revnf/internal/analysis/analysistest"
+	"revnf/internal/analysis/floateq"
+)
+
+func TestFloateq(t *testing.T) {
+	analysistest.Run(t, "testdata", floateq.Analyzer, "fe")
+}

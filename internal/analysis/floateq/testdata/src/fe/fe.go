@@ -1,0 +1,47 @@
+// Package fe exercises the floateq invariant: no ==/!= on
+// revenue/reliability/payment-flavored float64 values.
+package fe
+
+type Result struct {
+	Revenue     float64
+	Reliability float64
+	Count       int
+}
+
+// Revenue is a named float type; comparisons match on the type name even
+// when the identifiers do not.
+type Revenue float64
+
+func exactRevenue(r Result, want float64) bool {
+	return r.Revenue == want // want `exact float comparison \(==\) on "Revenue"`
+}
+
+func exactPayment(a, b float64) bool {
+	payment := a
+	return payment != b // want `exact float comparison \(!=\) on "payment"`
+}
+
+func exactNamedType(x, y Revenue) bool {
+	return x == y // want `exact float comparison \(==\) on "Revenue"`
+}
+
+// intCompare is fine: the operands are not floats.
+func intCompare(r Result, n int) bool {
+	return r.Count == n
+}
+
+// unrelatedNames is fine: neither operand smells of revenue or reliability.
+func unrelatedNames(a, b float64) bool {
+	return a == b
+}
+
+// reliabilityTolerant is the blessed pattern: an explicit tolerance.
+func reliabilityTolerant(r Result, want, tol float64) bool {
+	d := r.Reliability - want
+	return d < tol && d > -tol
+}
+
+// pinned opts out with the uniform escape hatch.
+func pinned(r Result) bool {
+	return r.Revenue == 0 //lint:allow floateq pinned sentinel value
+}

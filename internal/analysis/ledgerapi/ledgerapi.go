@@ -1,0 +1,394 @@
+// Package ledgerapi enforces that the timeslot.Ledger is only touched
+// through its atomic reserve/release API and that reservations do not leak
+// out of helper functions unaccounted.
+//
+// Two checks:
+//
+//  1. Field access: outside package timeslot, no code may select a struct
+//     field of timeslot.Ledger (method calls only). The ledger's rows are
+//     guarded by per-cloudlet locks; a direct field read or write bypasses
+//     the check-and-commit critical section that makes concurrent
+//     admission sound. Today every field is unexported, so this pass
+//     guards against the day one is exported for convenience.
+//
+//  2. Reserve/Release pairing: inside one function, a call to a reserving
+//     method (Reserve, ReserveWindow, ForceReserve) must be followed, on
+//     every return path, by either a ledger Release (rollback) or a call
+//     whose name marks the admission as booked (Commit*, record*, admit*,
+//     book* — configurable via CoveringPattern). Returns taken only when
+//     the reservation itself failed (a branch conditioned on the error or
+//     ok variable assigned from the reserve call) are exempt, since a
+//     failed ReserveWindow books nothing. Functions whose own name says
+//     they reserve or commit on behalf of a caller (reserve*, commit*)
+//     are exempt — their contract is to hand the footprint to the caller.
+//
+// The pairing analysis is a deliberately optimistic single pass in source
+// order: a covering call in any branch counts for all later paths, and
+// loops are walked once. That keeps it free of false positives on the
+// engine's rollback patterns at the cost of missing some convoluted
+// leaks; "//lint:allow ledgerapi" on a flagged line opts out of the rest.
+package ledgerapi
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+
+	"revnf/internal/analysis/astq"
+	"revnf/internal/analysis/framework"
+)
+
+// LedgerPkgPath and LedgerTypeName locate the guarded type.
+var (
+	LedgerPkgPath  = "revnf/internal/timeslot"
+	LedgerTypeName = "Ledger"
+)
+
+// reserveMethods start a reservation; releaseMethods undo one.
+var (
+	reserveMethods = map[string]bool{"Reserve": true, "ReserveWindow": true, "ForceReserve": true}
+	releaseMethods = map[string]bool{"Release": true}
+)
+
+// CoveringPattern matches call names that account for a live reservation
+// (committing scheduler state or booking the admission).
+var CoveringPattern = regexp.MustCompile(`(?i)^(commit|record|admit|book)`)
+
+// SelfExemptPattern matches function names whose contract is to leave the
+// reservation live for their caller.
+var SelfExemptPattern = regexp.MustCompile(`(?i)^(commit|reserve)`)
+
+// Analyzer is the ledgerapi pass.
+var Analyzer = &framework.Analyzer{
+	Name: "ledgerapi",
+	Doc:  "timeslot.Ledger: no direct field access; reservations must be released or committed on every return path",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) error {
+	if pass.Pkg.Path() == LedgerPkgPath {
+		return nil // the ledger's own package owns its internals
+	}
+	checkFieldAccess(pass)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if SelfExemptPattern.MatchString(fd.Name.Name) {
+				continue
+			}
+			checkPairing(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+// checkFieldAccess flags any selection of a Ledger struct field.
+func checkFieldAccess(pass *framework.Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			selection, ok := pass.TypesInfo.Selections[sel]
+			if !ok || selection.Kind() != types.FieldVal {
+				return true
+			}
+			if astq.IsNamedType(selection.Recv(), LedgerPkgPath, LedgerTypeName) {
+				pass.Reportf(sel.Sel.Pos(),
+					"direct access to timeslot.Ledger field %s bypasses the atomic reserve/release API",
+					sel.Sel.Name)
+			}
+			return true
+		})
+	}
+}
+
+// pairState is the interpreter state for one function body.
+type pairState struct {
+	// pendingPos is the position of the latest unaccounted reserve call,
+	// or NoPos when every reservation so far is covered.
+	pendingPos token.Pos
+	// errVars are the variables assigned from the pending reserve call;
+	// branches conditioned on them are failure handling and exempt.
+	errVars map[types.Object]bool
+	// deferCovered is set once a covering call is deferred: it runs on
+	// every return path, so nothing can leak.
+	deferCovered bool
+}
+
+// checkPairing runs the interpreter over one function body and reports
+// escaping reservations. Function literals inside the body are analyzed
+// as functions of their own.
+func checkPairing(pass *framework.Pass, body *ast.BlockStmt) {
+	c := &pairChecker{pass: pass}
+	st := &pairState{}
+	c.walkStmts(body.List, st, false)
+	if st.pendingPos.IsValid() && !st.deferCovered && !endsInReturn(body) {
+		c.report(body.Rbrace, st.pendingPos)
+	}
+}
+
+func endsInReturn(body *ast.BlockStmt) bool {
+	if len(body.List) == 0 {
+		return false
+	}
+	_, ok := body.List[len(body.List)-1].(*ast.ReturnStmt)
+	return ok
+}
+
+type pairChecker struct {
+	pass *framework.Pass
+}
+
+func (c *pairChecker) report(at, reserve token.Pos) {
+	c.pass.Reportf(at,
+		"reservation made at line %d is neither released nor committed on this return path",
+		c.pass.Fset.Position(reserve).Line)
+}
+
+func (c *pairChecker) walkStmts(list []ast.Stmt, st *pairState, errBranch bool) {
+	for _, s := range list {
+		c.walkStmt(s, st, errBranch)
+	}
+}
+
+func (c *pairChecker) walkStmt(stmt ast.Stmt, st *pairState, errBranch bool) {
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		c.scanExpr(s.X, st)
+	case *ast.SendStmt:
+		c.scanExpr(s.Chan, st)
+		c.scanExpr(s.Value, st)
+	case *ast.IncDecStmt:
+		c.scanExpr(s.X, st)
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			c.scanExpr(rhs, st)
+		}
+		c.recordErrVars(s.Lhs, s.Rhs, st)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					var lhs []ast.Expr
+					for _, name := range vs.Names {
+						lhs = append(lhs, name)
+					}
+					for _, v := range vs.Values {
+						c.scanExpr(v, st)
+					}
+					c.recordErrVars(lhs, vs.Values, st)
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			c.scanExpr(r, st)
+		}
+		if st.pendingPos.IsValid() && !st.deferCovered && !errBranch {
+			c.report(s.Return, st.pendingPos)
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			c.walkStmt(s.Init, st, errBranch)
+		}
+		c.scanExpr(s.Cond, st)
+		condErr := errBranch || (st.pendingPos.IsValid() && mentionsAny(c.pass, s.Cond, st.errVars))
+		c.walkStmts(s.Body.List, st, condErr)
+		if s.Else != nil {
+			c.walkStmt(s.Else, st, errBranch)
+		}
+	case *ast.BlockStmt:
+		c.walkStmts(s.List, st, errBranch)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			c.walkStmt(s.Init, st, errBranch)
+		}
+		if s.Cond != nil {
+			c.scanExpr(s.Cond, st)
+		}
+		c.walkStmts(s.Body.List, st, errBranch)
+		if s.Post != nil {
+			c.walkStmt(s.Post, st, errBranch)
+		}
+	case *ast.RangeStmt:
+		c.scanExpr(s.X, st)
+		c.walkStmts(s.Body.List, st, errBranch)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			c.walkStmt(s.Init, st, errBranch)
+		}
+		if s.Tag != nil {
+			c.scanExpr(s.Tag, st)
+		}
+		for _, clause := range s.Body.List {
+			cc, ok := clause.(*ast.CaseClause)
+			if !ok {
+				continue
+			}
+			caseErr := errBranch
+			for _, e := range cc.List {
+				c.scanExpr(e, st)
+				if st.pendingPos.IsValid() && mentionsAny(c.pass, e, st.errVars) {
+					caseErr = true
+				}
+			}
+			c.walkStmts(cc.Body, st, caseErr)
+		}
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			c.walkStmt(s.Init, st, errBranch)
+		}
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CaseClause); ok {
+				c.walkStmts(cc.Body, st, errBranch)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CommClause); ok {
+				if cc.Comm != nil {
+					c.walkStmt(cc.Comm, st, errBranch)
+				}
+				c.walkStmts(cc.Body, st, errBranch)
+			}
+		}
+	case *ast.DeferStmt:
+		c.scanExpr(s.Call, st)
+		if c.isCovering(s.Call) || c.deferLitCovers(s.Call) {
+			st.deferCovered = true
+			st.pendingPos = token.NoPos
+		}
+	case *ast.GoStmt:
+		c.scanExpr(s.Call, st)
+	case *ast.LabeledStmt:
+		c.walkStmt(s.Stmt, st, errBranch)
+	}
+}
+
+// recordErrVars notes the variables bound to a reserve call's results so
+// branches testing them can be recognized as failure handling.
+func (c *pairChecker) recordErrVars(lhs, rhs []ast.Expr, st *pairState) {
+	if len(rhs) != 1 || !st.pendingPos.IsValid() {
+		return
+	}
+	call, ok := ast.Unparen(rhs[0]).(*ast.CallExpr)
+	if !ok || !c.isReserve(call) {
+		return
+	}
+	st.errVars = make(map[types.Object]bool)
+	for _, l := range lhs {
+		if id, ok := l.(*ast.Ident); ok {
+			if obj := identObj(c.pass, id); obj != nil {
+				st.errVars[obj] = true
+			}
+		}
+	}
+}
+
+// scanExpr updates the state for every call in the expression, skipping
+// function literals (each is analyzed as its own function).
+func (c *pairChecker) scanExpr(e ast.Expr, st *pairState) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			checkPairing(c.pass, fl.Body)
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if c.isReserve(call) {
+			st.pendingPos = call.Pos()
+			st.errVars = nil
+		} else if c.isCovering(call) {
+			st.pendingPos = token.NoPos
+		}
+		return true
+	})
+}
+
+// deferLitCovers reports whether a deferred function literal contains a
+// covering call — the `defer func() { ledger.Release(...) }()` rollback
+// pattern, whose outer call has no name for isCovering to match.
+func (c *pairChecker) deferLitCovers(call *ast.CallExpr) bool {
+	fl, ok := ast.Unparen(call.Fun).(*ast.FuncLit)
+	if !ok {
+		return false
+	}
+	covers := false
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		if inner, ok := n.(*ast.CallExpr); ok && c.isCovering(inner) {
+			covers = true
+		}
+		return !covers
+	})
+	return covers
+}
+
+// isReserve reports whether the call reserves ledger capacity.
+func (c *pairChecker) isReserve(call *ast.CallExpr) bool {
+	fn, _ := astq.MethodCallee(c.pass.TypesInfo, call)
+	if fn == nil {
+		return false
+	}
+	sig := fn.Type().(*types.Signature)
+	return sig.Recv() != nil && astq.IsNamedType(sig.Recv().Type(), LedgerPkgPath, LedgerTypeName) &&
+		reserveMethods[fn.Name()]
+}
+
+// isCovering reports whether the call accounts for a live reservation: a
+// ledger Release, or any call whose name marks booking/committing.
+func (c *pairChecker) isCovering(call *ast.CallExpr) bool {
+	if fn, _ := astq.MethodCallee(c.pass.TypesInfo, call); fn != nil {
+		sig := fn.Type().(*types.Signature)
+		if sig.Recv() != nil && astq.IsNamedType(sig.Recv().Type(), LedgerPkgPath, LedgerTypeName) &&
+			releaseMethods[fn.Name()] {
+			return true
+		}
+	}
+	return CoveringPattern.MatchString(calleeName(call))
+}
+
+// calleeName extracts the syntactic name of the called function.
+func calleeName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+// mentionsAny reports whether the expression references one of the vars.
+func mentionsAny(pass *framework.Pass, e ast.Expr, vars map[types.Object]bool) bool {
+	if len(vars) == 0 {
+		return false
+	}
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := identObj(pass, id); obj != nil && vars[obj] {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func identObj(pass *framework.Pass, id *ast.Ident) types.Object {
+	if obj := pass.TypesInfo.Uses[id]; obj != nil {
+		return obj
+	}
+	return pass.TypesInfo.Defs[id]
+}

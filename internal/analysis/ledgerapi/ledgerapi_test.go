@@ -1,0 +1,12 @@
+package ledgerapi_test
+
+import (
+	"testing"
+
+	"revnf/internal/analysis/analysistest"
+	"revnf/internal/analysis/ledgerapi"
+)
+
+func TestLedgerapi(t *testing.T) {
+	analysistest.Run(t, "testdata", ledgerapi.Analyzer, "lg")
+}

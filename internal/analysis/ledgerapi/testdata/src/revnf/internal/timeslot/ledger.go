@@ -1,0 +1,20 @@
+// Package timeslot is a stub of revnf/internal/timeslot. Unlike the real
+// ledger it exports a field, so the fixtures can exercise the field-access
+// check the pass keeps for the day a field is exported for convenience.
+package timeslot
+
+type Ledger struct {
+	Used [][]int
+}
+
+func (l *Ledger) Reserve(cloudlet, start, duration, units int) error { return nil }
+
+func (l *Ledger) ReserveWindow(cloudlet, start, duration, units int) (bool, error) {
+	return true, nil
+}
+
+func (l *Ledger) ForceReserve(cloudlet, start, duration, units int) error { return nil }
+
+func (l *Ledger) Release(cloudlet, start, duration, units int) error { return nil }
+
+func (l *Ledger) Residual(cloudlet, slot int) int { return 0 }

@@ -1,0 +1,72 @@
+// Package norand forbids the global math/rand (and math/rand/v2) source
+// in library packages.
+//
+// Invariant: every random draw in library code flows from an injected
+// *rand.Rand, so a run is a pure function of its seeds and golden decision
+// traces stay bit-identical. The package-level math/rand functions draw
+// from the process-global source (and math/rand/v2's cannot be seeded at
+// all), which silently breaks reproducibility. Constructors (rand.New,
+// rand.NewSource, rand.NewZipf, rand.NewPCG, rand.NewChaCha8) are allowed:
+// building a deterministic generator from an explicit seed is exactly the
+// injected pattern. Commands and examples are exempt (they own their
+// seeds); test files are never loaded by the revnfvet driver.
+package norand
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"revnf/internal/analysis/framework"
+)
+
+// AllowedPkgPrefixes exempts binaries and examples: package paths with one
+// of these prefixes may use the global source. The driver may override it.
+var AllowedPkgPrefixes = []string{"revnf/cmd/", "revnf/examples/"}
+
+// constructors are the package-level functions that build generators from
+// explicit state rather than drawing from the global source.
+var constructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+var randPkgs = map[string]bool{"math/rand": true, "math/rand/v2": true}
+
+// Analyzer is the norand pass.
+var Analyzer = &framework.Analyzer{
+	Name: "norand",
+	Doc:  "forbid the global math/rand source in library packages; inject a *rand.Rand",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, prefix := range AllowedPkgPrefixes {
+		if strings.HasPrefix(pass.Pkg.Path()+"/", prefix) {
+			return nil
+		}
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || !randPkgs[fn.Pkg().Path()] {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true // *rand.Rand method — the injected pattern
+			}
+			if constructors[fn.Name()] {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"use of global %s.%s in library package %s breaks trace reproducibility; draw from an injected *rand.Rand",
+				fn.Pkg().Path(), fn.Name(), pass.Pkg.Path())
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package norand_test
+
+import (
+	"testing"
+
+	"revnf/internal/analysis/analysistest"
+	"revnf/internal/analysis/norand"
+)
+
+func TestNorand(t *testing.T) {
+	analysistest.Run(t, "testdata", norand.Analyzer, "a", "revnf/cmd/tool")
+}

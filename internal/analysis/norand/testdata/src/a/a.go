@@ -1,0 +1,37 @@
+// Package a is a library package: the global math/rand source is banned.
+package a
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+)
+
+func globalDraw() int {
+	return rand.Intn(6) // want `use of global math/rand\.Intn`
+}
+
+func globalSeed() {
+	rand.Seed(42) // want `use of global math/rand\.Seed`
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `use of global math/rand\.Shuffle`
+}
+
+func globalV2() float64 {
+	return randv2.Float64() // want `use of global math/rand/v2\.Float64`
+}
+
+// injectedDraw is the blessed pattern: every draw comes from an explicit
+// generator, so nothing below should be flagged.
+func injectedDraw(rng *rand.Rand) int {
+	return rng.Intn(6)
+}
+
+func construct(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+func constructV2(a, b uint64) *randv2.Rand {
+	return randv2.New(randv2.NewPCG(a, b))
+}

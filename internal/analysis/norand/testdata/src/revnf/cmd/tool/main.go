@@ -1,0 +1,10 @@
+// Command tool sits under revnf/cmd/, which owns its seeds: the global
+// source is allowed here, so nothing in this file is flagged.
+package main
+
+import "math/rand"
+
+func main() {
+	rand.Seed(1)
+	_ = rand.Intn(6)
+}

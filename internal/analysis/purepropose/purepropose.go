@@ -1,0 +1,275 @@
+// Package purepropose enforces that Propose methods of two-phase
+// schedulers are side-effect free.
+//
+// Invariant: core.TwoPhaseScheduler requires Propose to leave scheduler
+// state untouched — the competitive-ratio argument for the primal-dual
+// algorithms assumes every dual-price (λ) mutation happens in serialized
+// Commit order, and the sharded serve engine runs any number of Propose
+// calls concurrently under only a read lock. A write that sneaks into
+// Propose is simultaneously a data race and a break in the paper's
+// analysis.
+//
+// The pass flags, inside any method named Propose whose receiver type
+// implements core.TwoPhaseScheduler:
+//
+//   - assignments (including compound assignment, ++/--, and writes
+//     through indexes such as s.lambda[j][t-1] = v) whose left-hand side
+//     is rooted in the receiver;
+//   - calls to the timeslot.Ledger mutators (Reserve, ReserveWindow,
+//     ForceReserve, Release) — reserving capacity is the engine's job,
+//     after arbitration;
+//   - calls to same-package methods reachable through the receiver (for
+//     example s.updateDuals(...), the λ update) that transitively do
+//     either of the above.
+//
+// Method calls that merely read, and calls into other packages (for
+// example the mutex RLock/RUnlock pair or a guarded rng draw, both
+// explicitly blessed by the core contract), are not flagged; the pass is
+// a syntactic under-approximation, not an escape-proof sandbox.
+package purepropose
+
+import (
+	"go/ast"
+	"go/types"
+
+	"revnf/internal/analysis/astq"
+	"revnf/internal/analysis/framework"
+)
+
+// CorePkgPath and InterfaceName locate the two-phase contract; the
+// analyzer is inert in packages that do not import it.
+var (
+	CorePkgPath   = "revnf/internal/core"
+	InterfaceName = "TwoPhaseScheduler"
+)
+
+// LedgerPkgPath, LedgerTypeName and LedgerMutators identify the ledger
+// API calls Propose must never make.
+var (
+	LedgerPkgPath  = "revnf/internal/timeslot"
+	LedgerTypeName = "Ledger"
+	LedgerMutators = map[string]bool{
+		"Reserve": true, "ReserveWindow": true, "ForceReserve": true, "Release": true,
+	}
+)
+
+// Analyzer is the purepropose pass.
+var Analyzer = &framework.Analyzer{
+	Name: "purepropose",
+	Doc:  "Propose methods of core.TwoPhaseScheduler implementations must not mutate scheduler or ledger state",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) error {
+	corePkg := astq.ImportedPackage(pass.Pkg, CorePkgPath)
+	if corePkg == nil && pass.Pkg.Path() != CorePkgPath {
+		return nil
+	}
+	scope := pass.Pkg.Scope()
+	if corePkg != nil {
+		scope = corePkg.Scope()
+	}
+	obj := scope.Lookup(InterfaceName)
+	if obj == nil {
+		return nil
+	}
+	iface, ok := obj.Type().Underlying().(*types.Interface)
+	if !ok {
+		return nil
+	}
+	c := &checker{pass: pass, decls: methodDecls(pass), mutCache: make(map[*types.Func]*mutation)}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Name.Name != "Propose" || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			recv := fn.Type().(*types.Signature).Recv()
+			if recv == nil || !implements(recv.Type(), iface) {
+				continue
+			}
+			c.checkPropose(fd)
+		}
+	}
+	return nil
+}
+
+// implements reports whether T or *T satisfies the interface.
+func implements(t types.Type, iface *types.Interface) bool {
+	if types.Implements(t, iface) {
+		return true
+	}
+	if _, isPtr := t.(*types.Pointer); !isPtr {
+		return types.Implements(types.NewPointer(t), iface)
+	}
+	return false
+}
+
+// methodDecls maps every method's types.Func to its declaration, so the
+// checker can walk transitive callees within the package.
+func methodDecls(pass *framework.Pass) map[*types.Func]*ast.FuncDecl {
+	out := make(map[*types.Func]*ast.FuncDecl)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Recv != nil && fd.Body != nil {
+				if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					out[fn] = fd
+				}
+			}
+		}
+	}
+	return out
+}
+
+// mutation describes why a method counts as state-mutating.
+type mutation struct {
+	what string // human description of the first mutation found
+}
+
+type checker struct {
+	pass     *framework.Pass
+	decls    map[*types.Func]*ast.FuncDecl
+	mutCache map[*types.Func]*mutation
+	visiting map[*types.Func]bool
+}
+
+// checkPropose reports every mutation reachable from one Propose body.
+func (c *checker) checkPropose(fd *ast.FuncDecl) {
+	recvVar := receiverVar(c.pass, fd)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				if c.rootedInReceiver(lhs, recvVar) {
+					c.pass.Reportf(lhs.Pos(),
+						"Propose writes receiver state; all scheduler mutation belongs in Commit (serialized)")
+				}
+			}
+		case *ast.IncDecStmt:
+			if c.rootedInReceiver(x.X, recvVar) {
+				c.pass.Reportf(x.X.Pos(),
+					"Propose writes receiver state; all scheduler mutation belongs in Commit (serialized)")
+			}
+		case *ast.CallExpr:
+			c.checkCall(x, recvVar)
+		}
+		return true
+	})
+}
+
+// checkCall flags ledger mutators and transitively mutating same-package
+// methods called through the receiver.
+func (c *checker) checkCall(call *ast.CallExpr, recvVar *types.Var) {
+	callee, recvExpr := astq.MethodCallee(c.pass.TypesInfo, call)
+	if callee == nil {
+		return
+	}
+	if sig, ok := callee.Type().(*types.Signature); ok && sig.Recv() != nil &&
+		astq.IsNamedType(sig.Recv().Type(), LedgerPkgPath, LedgerTypeName) && LedgerMutators[callee.Name()] {
+		c.pass.Reportf(call.Pos(),
+			"Propose calls %s.%s.%s; reserving capacity is the engine's job after ledger arbitration",
+			LedgerPkgPath, LedgerTypeName, callee.Name())
+		return
+	}
+	// Same-package method reached through the receiver: follow it.
+	if callee.Pkg() != c.pass.Pkg || recvVar == nil || !c.rootedInReceiver(recvExpr, recvVar) {
+		return
+	}
+	if mut := c.mutates(callee); mut != nil {
+		c.pass.Reportf(call.Pos(),
+			"Propose calls %s, which %s; all scheduler mutation belongs in Commit (serialized)",
+			callee.Name(), mut.what)
+	}
+}
+
+// mutates reports whether the method (or anything it calls through its own
+// receiver within this package) writes receiver state or mutates the
+// ledger. Results are memoized; cycles resolve to "no mutation" for the
+// back edge, which is sound for this use because any real write on the
+// cycle is found when its own frame is walked.
+func (c *checker) mutates(fn *types.Func) *mutation {
+	if mut, ok := c.mutCache[fn]; ok {
+		return mut
+	}
+	if c.visiting == nil {
+		c.visiting = make(map[*types.Func]bool)
+	}
+	if c.visiting[fn] {
+		return nil
+	}
+	c.visiting[fn] = true
+	defer delete(c.visiting, fn)
+	fd := c.decls[fn]
+	if fd == nil {
+		c.mutCache[fn] = nil
+		return nil
+	}
+	recvVar := receiverVar(c.pass, fd)
+	var found *mutation
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				if c.rootedInReceiver(lhs, recvVar) {
+					found = &mutation{what: "writes receiver state"}
+				}
+			}
+		case *ast.IncDecStmt:
+			if c.rootedInReceiver(x.X, recvVar) {
+				found = &mutation{what: "writes receiver state"}
+			}
+		case *ast.CallExpr:
+			callee, recvExpr := astq.MethodCallee(c.pass.TypesInfo, x)
+			if callee == nil {
+				return true
+			}
+			if sig, ok := callee.Type().(*types.Signature); ok && sig.Recv() != nil &&
+				astq.IsNamedType(sig.Recv().Type(), LedgerPkgPath, LedgerTypeName) && LedgerMutators[callee.Name()] {
+				found = &mutation{what: "mutates the timeslot ledger"}
+				return true
+			}
+			if callee.Pkg() == c.pass.Pkg && recvVar != nil && c.rootedInReceiver(recvExpr, recvVar) {
+				if mut := c.mutates(callee); mut != nil {
+					found = &mutation{what: "transitively " + mut.what + " (via " + callee.Name() + ")"}
+				}
+			}
+		}
+		return true
+	})
+	c.mutCache[fn] = found
+	return found
+}
+
+// rootedInReceiver reports whether the expression's leftmost identifier is
+// the method's receiver variable.
+func (c *checker) rootedInReceiver(e ast.Expr, recvVar *types.Var) bool {
+	if recvVar == nil {
+		return false
+	}
+	root := astq.RootIdent(e)
+	if root == nil {
+		return false
+	}
+	obj := c.pass.TypesInfo.Uses[root]
+	if obj == nil {
+		obj = c.pass.TypesInfo.Defs[root]
+	}
+	return obj == recvVar
+}
+
+// receiverVar returns the declared receiver variable, or nil for an
+// anonymous receiver (which the body cannot reference).
+func receiverVar(pass *framework.Pass, fd *ast.FuncDecl) *types.Var {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	v, _ := pass.TypesInfo.Defs[fd.Recv.List[0].Names[0]].(*types.Var)
+	return v
+}

@@ -1,0 +1,12 @@
+package purepropose_test
+
+import (
+	"testing"
+
+	"revnf/internal/analysis/analysistest"
+	"revnf/internal/analysis/purepropose"
+)
+
+func TestPurepropose(t *testing.T) {
+	analysistest.Run(t, "testdata", purepropose.Analyzer, "pp")
+}

@@ -1,0 +1,105 @@
+// Package pp exercises the purepropose invariant over stub
+// implementations of the core.TwoPhaseScheduler contract.
+package pp
+
+import (
+	"sync"
+
+	"revnf/internal/core"
+	"revnf/internal/timeslot"
+)
+
+// DirectWrite mutates its own fields inside Propose.
+type DirectWrite struct {
+	lambda []float64
+	count  int
+}
+
+func (s *DirectWrite) Propose(req core.Request, view core.CapacityView) (core.Placement, bool) {
+	s.lambda[0] = 1 // want `Propose writes receiver state`
+	s.count++       // want `Propose writes receiver state`
+	return core.Placement{}, true
+}
+
+func (s *DirectWrite) Commit(req core.Request, p core.Placement) {}
+func (s *DirectWrite) Abort(req core.Request, p core.Placement)  {}
+
+// Transitive reaches the write through a same-package helper method; the
+// diagnostic lands on the call site in Propose, not on the helper.
+type Transitive struct {
+	lambda []float64
+}
+
+func (s *Transitive) Propose(req core.Request, view core.CapacityView) (core.Placement, bool) {
+	s.updateDuals(req) // want `Propose calls updateDuals, which writes receiver state`
+	return core.Placement{}, true
+}
+
+func (s *Transitive) updateDuals(req core.Request) {
+	s.lambda[0] = 2
+}
+
+// Commit may call the same helper freely: mutation in Commit is the point.
+func (s *Transitive) Commit(req core.Request, p core.Placement) { s.updateDuals(req) }
+func (s *Transitive) Abort(req core.Request, p core.Placement)  {}
+
+// Deep reaches a write two method hops away.
+type Deep struct{ n int }
+
+func (s *Deep) Propose(req core.Request, view core.CapacityView) (core.Placement, bool) {
+	s.bump() // want `Propose calls bump, which transitively writes receiver state \(via inc\)`
+	return core.Placement{}, true
+}
+
+func (s *Deep) bump() { s.inc() }
+func (s *Deep) inc()  { s.n++ }
+
+func (s *Deep) Commit(req core.Request, p core.Placement) {}
+func (s *Deep) Abort(req core.Request, p core.Placement)  {}
+
+// LedgerTouch reserves capacity inside Propose — the engine's job.
+type LedgerTouch struct {
+	ledger *timeslot.Ledger
+}
+
+func (s *LedgerTouch) Propose(req core.Request, view core.CapacityView) (core.Placement, bool) {
+	_ = s.ledger.Reserve(0, 1, 1, 1) // want `reserving capacity is the engine's job`
+	return core.Placement{}, true
+}
+
+func (s *LedgerTouch) Commit(req core.Request, p core.Placement) {}
+func (s *LedgerTouch) Abort(req core.Request, p core.Placement)  {}
+
+// Pure is the blessed shape: price reads under the read lock, writes only
+// to locals, ledger reads through the capacity view. Nothing is flagged.
+type Pure struct {
+	mu     sync.RWMutex
+	lambda []float64
+}
+
+func (s *Pure) Propose(req core.Request, view core.CapacityView) (core.Placement, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	price := 0.0
+	for _, l := range s.lambda {
+		price += l
+	}
+	if price > 1 {
+		return core.Placement{}, false
+	}
+	return core.Placement{Cloudlet: view.Residual(0, 1)}, true
+}
+
+func (s *Pure) Commit(req core.Request, p core.Placement) {
+	s.mu.Lock()
+	s.lambda[0] = 3 // Commit owns mutation; not this analyzer's business
+	s.mu.Unlock()
+}
+
+func (s *Pure) Abort(req core.Request, p core.Placement) {}
+
+// NotAScheduler has a Propose method but does not implement the contract,
+// so its writes are out of scope.
+type NotAScheduler struct{ n int }
+
+func (s *NotAScheduler) Propose() { s.n++ }

@@ -1,0 +1,17 @@
+// Package core is a stub of revnf/internal/core declaring just enough of
+// the two-phase contract for the fixtures to implement it.
+package core
+
+type Request struct{ ID int }
+
+type Placement struct{ Cloudlet int }
+
+type CapacityView interface {
+	Residual(cloudlet, slot int) int
+}
+
+type TwoPhaseScheduler interface {
+	Propose(req Request, view CapacityView) (Placement, bool)
+	Commit(req Request, p Placement)
+	Abort(req Request, p Placement)
+}

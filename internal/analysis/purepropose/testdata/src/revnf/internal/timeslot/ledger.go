@@ -1,0 +1,19 @@
+// Package timeslot is a stub of revnf/internal/timeslot: the Ledger type
+// with the mutator method set the analyzer bans from Propose.
+package timeslot
+
+type Ledger struct {
+	used [][]int
+}
+
+func (l *Ledger) Reserve(cloudlet, start, duration, units int) error { return nil }
+
+func (l *Ledger) ReserveWindow(cloudlet, start, duration, units int) (bool, error) {
+	return true, nil
+}
+
+func (l *Ledger) ForceReserve(cloudlet, start, duration, units int) error { return nil }
+
+func (l *Ledger) Release(cloudlet, start, duration, units int) error { return nil }
+
+func (l *Ledger) Residual(cloudlet, slot int) int { return 0 }

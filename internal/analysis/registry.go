@@ -1,0 +1,42 @@
+// Package analysis registers the revnfvet invariant suite: the analyzers
+// that mechanically enforce the contracts PRs 1–2 established in prose.
+// See DESIGN.md "Enforced invariants" for the invariant each pass protects
+// and why it matters to the paper's guarantees.
+package analysis
+
+import (
+	"revnf/internal/analysis/floateq"
+	"revnf/internal/analysis/framework"
+	"revnf/internal/analysis/ledgerapi"
+	"revnf/internal/analysis/norand"
+	"revnf/internal/analysis/purepropose"
+	"revnf/internal/analysis/walltime"
+)
+
+// All returns every registered analyzer, in stable order.
+func All() []*framework.Analyzer {
+	return []*framework.Analyzer{
+		floateq.Analyzer,
+		ledgerapi.Analyzer,
+		norand.Analyzer,
+		purepropose.Analyzer,
+		walltime.Analyzer,
+	}
+}
+
+// ByName returns the named analyzers, or nil when any name is unknown.
+func ByName(names ...string) []*framework.Analyzer {
+	byName := make(map[string]*framework.Analyzer)
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	out := make([]*framework.Analyzer, 0, len(names))
+	for _, n := range names {
+		a, ok := byName[n]
+		if !ok {
+			return nil
+		}
+		out = append(out, a)
+	}
+	return out
+}

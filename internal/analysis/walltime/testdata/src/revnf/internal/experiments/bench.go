@@ -1,0 +1,13 @@
+// Package experiments is outside the deterministic set: measuring
+// wall-clock throughput is its job, so time.Now is allowed.
+package experiments
+
+import "time"
+
+func throughput(n int, f func()) float64 {
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		f()
+	}
+	return float64(n) / time.Since(start).Seconds()
+}

@@ -1,0 +1,20 @@
+// Package onsite impersonates revnf/internal/onsite, a member of the
+// deterministic set: wall-clock reads are banned.
+package onsite
+
+import "time"
+
+func deadline(start time.Time) bool {
+	now := time.Now()               // want `wall-clock read time\.Now`
+	return time.Since(start) > 0 && // want `wall-clock read time\.Since`
+		now.After(start)
+}
+
+// slotAdvance uses only slot arithmetic and duration constants — no
+// wall-clock read, nothing flagged.
+func slotAdvance(slot int, d time.Duration) int {
+	if d > time.Second {
+		return slot + 2
+	}
+	return slot + 1
+}

@@ -2,7 +2,6 @@ package chain
 
 import (
 	"errors"
-	"math"
 	"math/rand"
 	"testing"
 
@@ -117,7 +116,7 @@ func TestRunAllChainSchedulers(t *testing.T) {
 				want += inst.Trace[d.Request].Payment
 			}
 		}
-		if math.Abs(res.Revenue-want) > 1e-9 {
+		if !core.FloatEq(res.Revenue, want) {
 			t.Errorf("%s: revenue %v != %v", sched.Name(), res.Revenue, want)
 		}
 		if rate := res.AdmissionRate(); rate <= 0 || rate > 1 {

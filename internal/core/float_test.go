@@ -1,0 +1,62 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFloatEq(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b float64
+		want bool
+	}{
+		{"identical", 1.5, 1.5, true},
+		{"zero zero", 0, 0, true},
+		{"within tolerance small", 1, 1 + 1e-12, true},
+		{"within tolerance scaled", 1e6, 1e6 + 1e-4, true},
+		{"outside tolerance", 1, 1 + 1e-6, false},
+		{"outside tolerance scaled", 1e6, 1e6 + 1, false},
+		{"sign difference", 1e-12, -1e-12, true},
+		{"clear difference", 2, 3, false},
+		{"nan left", math.NaN(), 1, false},
+		{"nan both", math.NaN(), math.NaN(), false},
+		{"inf equal", math.Inf(1), math.Inf(1), true},
+		{"inf opposite", math.Inf(1), math.Inf(-1), false},
+		{"inf vs finite", math.Inf(1), 1e300, false},
+	}
+	for _, c := range cases {
+		if got := FloatEq(c.a, c.b); got != c.want {
+			t.Errorf("%s: FloatEq(%v, %v) = %v, want %v", c.name, c.a, c.b, got, c.want)
+		}
+		if got := FloatEq(c.b, c.a); got != c.want {
+			t.Errorf("%s: FloatEq(%v, %v) = %v, want %v (symmetry)", c.name, c.b, c.a, got, c.want)
+		}
+	}
+}
+
+func TestFloatEqTol(t *testing.T) {
+	if !FloatEqTol(1.0, 1.0+5e-13, 1e-12) {
+		t.Error("FloatEqTol(1, 1+5e-13, 1e-12) = false, want true")
+	}
+	if FloatEqTol(1.0, 1.0+2e-12, 1e-12) {
+		t.Error("FloatEqTol(1, 1+2e-12, 1e-12) = true, want false")
+	}
+	if !FloatEqTol(math.Inf(1), math.Inf(1), 0) {
+		t.Error("equal infinities must compare equal at any tolerance")
+	}
+	if FloatEqTol(math.NaN(), math.NaN(), 1) {
+		t.Error("NaN equals nothing")
+	}
+}
+
+func TestFloatEqScaledRelative(t *testing.T) {
+	// At magnitude 1e9, a 1e-1 absolute difference is within a 1e-9
+	// relative tolerance; at magnitude 1 it is far outside.
+	if !FloatEqScaled(1e9, 1e9+0.1, 1e-9) {
+		t.Error("FloatEqScaled(1e9, 1e9+0.1, 1e-9) = false, want true (relative)")
+	}
+	if FloatEqScaled(1, 1.1, 1e-9) {
+		t.Error("FloatEqScaled(1, 1.1, 1e-9) = true, want false")
+	}
+}

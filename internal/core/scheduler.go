@@ -142,5 +142,37 @@ func (a *SerialAdapter) Decide(req Request, view CapacityView) (Placement, bool)
 	return p, true
 }
 
+// Propose implements TwoPhaseScheduler by forwarding under the adapter's
+// mutex. The adapter therefore satisfies TwoPhaseScheduler itself, so an
+// engine that insists on the propose/commit protocol (for its explicit
+// abort path) can still drive a scheduler through full serialization:
+// ConcurrentPropose reports false, which such engines must honor by
+// keeping at most one Propose→Commit/Abort sequence in flight.
+func (a *SerialAdapter) Propose(req Request, view CapacityView) (Placement, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.s.Propose(req, view)
+}
+
+// Commit implements TwoPhaseScheduler, forwarding under the mutex.
+func (a *SerialAdapter) Commit(req Request, p Placement) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.s.Commit(req, p)
+}
+
+// Abort implements TwoPhaseScheduler, forwarding under the mutex. It must
+// leave the wrapped scheduler exactly as if the Propose had never
+// happened, which holds because the wrapped Abort promises the same.
+func (a *SerialAdapter) Abort(req Request, p Placement) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.s.Abort(req, p)
+}
+
+// ConcurrentPropose implements TwoPhaseScheduler: always false — the
+// adapter's entire purpose is serialization.
+func (a *SerialAdapter) ConcurrentPropose() bool { return false }
+
 // Unwrap returns the adapted two-phase scheduler.
 func (a *SerialAdapter) Unwrap() TwoPhaseScheduler { return a.s }

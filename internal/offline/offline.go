@@ -42,8 +42,10 @@ type Solution struct {
 
 // Gap returns the relative optimality gap of the solution.
 func (s *Solution) Gap() float64 {
-	if s.Revenue == 0 {
-		if s.UpperBound == 0 {
+	// The incumbent revenue is a sum of payments, so "empty incumbent" is
+	// a tolerance check, not exact zero (revnfvet: floateq).
+	if core.FloatEq(s.Revenue, 0) {
+		if core.FloatEq(s.UpperBound, 0) {
 			return 0
 		}
 		return 1

@@ -95,6 +95,9 @@ func onsiteGreedy(inst *workload.Instance, model *onsiteModel, smallestFootprint
 		}
 		x[bestVar] = 1
 	}
+	// The ledger here is a local feasibility counter for the greedy pack;
+	// it is discarded with the function, so its reservations are never
+	// released. //lint:allow ledgerapi
 	return x, nil
 }
 
@@ -150,6 +153,8 @@ func offsiteWarmStart(inst *workload.Instance, model *offsiteModel) ([]float64, 
 		}
 		x[model.xVar(i)] = 1
 	}
+	// Same as onsiteGreedy: the ledger is a throwaway feasibility counter,
+	// not the live admission ledger. //lint:allow ledgerapi
 	return x, nil
 }
 

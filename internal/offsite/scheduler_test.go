@@ -2,7 +2,6 @@ package offsite
 
 import (
 	"errors"
-	"math"
 	"testing"
 
 	"revnf/internal/core"
@@ -146,7 +145,7 @@ func TestDecideDualUpdateFormula(t *testing.T) {
 	ratio := needW * float64(n.Catalog[0].Demand) / (w * float64(n.Cloudlets[j].Capacity))
 	want := ratio * req.Payment / 2 // λ was zero → additive term only
 	for slot := 1; slot <= 2; slot++ {
-		if got := s.Lambda(j, slot); math.Abs(got-want) > 1e-12 {
+		if got := s.Lambda(j, slot); !core.FloatEqTol(got, want, 1e-12) {
 			t.Errorf("Lambda(%d,%d) = %v, want %v", j, slot, got, want)
 		}
 	}

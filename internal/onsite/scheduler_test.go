@@ -2,7 +2,6 @@ package onsite
 
 import (
 	"errors"
-	"math"
 	"testing"
 
 	"revnf/internal/core"
@@ -132,7 +131,7 @@ func TestDecideDualUpdateFormula(t *testing.T) {
 	// λ was 0, so after Eq. (34): λ = 0·(1+units/cap) + units·pay/(d·cap).
 	want := units * req.Payment / (2 * capj)
 	for slot := 2; slot <= 3; slot++ {
-		if got := s.Lambda(j, slot); math.Abs(got-want) > 1e-12 {
+		if got := s.Lambda(j, slot); !core.FloatEqTol(got, want, 1e-12) {
 			t.Errorf("Lambda(%d,%d) = %v, want %v", j, slot, got, want)
 		}
 	}

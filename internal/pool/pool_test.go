@@ -18,7 +18,7 @@ func TestSurvivalBasics(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Survival: %v", err)
 	}
-	if math.Abs(s-0.9) > 1e-12 {
+	if !core.FloatEqTol(s, 0.9, 1e-12) {
 		t.Errorf("Survival(1,0) = %v, want 0.9", s)
 	}
 	// One member, B backups: survival = 1-(1-r)·P(all backups dead ... )
@@ -28,7 +28,7 @@ func TestSurvivalBasics(t *testing.T) {
 		t.Fatalf("Survival: %v", err)
 	}
 	want := 1 - 0.1*math.Pow(0.1, 2)
-	if math.Abs(s-want) > 1e-12 {
+	if !core.FloatEqTol(s, want, 1e-12) {
 		t.Errorf("Survival(1,2) = %v, want %v", s, want)
 	}
 	// Monotone in backups.

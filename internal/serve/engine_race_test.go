@@ -2,9 +2,9 @@ package serve
 
 import (
 	"context"
-	"math"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"revnf/internal/core"
@@ -98,6 +98,83 @@ func TestShardedConflictRejection(t *testing.T) {
 	}
 	if s.Rejections[ReasonConflict] != 1 {
 		t.Errorf("conflict rejections = %d, want 1", s.Rejections[ReasonConflict])
+	}
+}
+
+// countingScheduler wraps blindScheduler with call accounting so tests can
+// check the Propose/Commit/Abort pairing the engine promises.
+type countingScheduler struct {
+	blindScheduler
+	proposes, commits, aborts atomic.Int64
+}
+
+func (c *countingScheduler) Propose(req core.Request, view core.CapacityView) (core.Placement, bool) {
+	c.proposes.Add(1)
+	return c.blindScheduler.Propose(req, view)
+}
+func (c *countingScheduler) Commit(core.Request, core.Placement) { c.commits.Add(1) }
+func (c *countingScheduler) Abort(core.Request, core.Placement)  { c.aborts.Add(1) }
+
+// TestShardedConflictExhaustion pins down the full exhaustion path: a
+// proposal that keeps losing the ledger reservation is re-proposed exactly
+// maxAttempts times, every losing Propose is paired with an Abort, no
+// Commit happens for the rejected request, and the ledger carries no
+// residue from the lost attempts — after the winner expires, usage returns
+// to zero.
+func TestShardedConflictExhaustion(t *testing.T) {
+	sched := &countingScheduler{}
+	e, err := New(Config{Network: testNetwork(), Scheduler: sched, Horizon: 10, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		_ = e.Shutdown(context.Background())
+	}()
+	if e.Workers() != 2 {
+		t.Fatalf("Workers() = %d, want 2 (sharded mode)", e.Workers())
+	}
+	ctx := context.Background()
+	first, err := e.Submit(ctx, AdmissionRequest{VNF: 0, Reliability: 0.9, Arrival: 1, Duration: 2, Payment: 5})
+	if err != nil || !first.Admitted {
+		t.Fatalf("first submission: %+v, %v", first, err)
+	}
+	second, err := e.Submit(ctx, AdmissionRequest{VNF: 0, Reliability: 0.9, Arrival: 2, Duration: 2, Payment: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Admitted || second.Reason != ReasonConflict {
+		t.Fatalf("overlapping submission = %+v, want %s", second, ReasonConflict)
+	}
+	// Pairing: 1 winning propose+commit, then 3 losing propose+abort.
+	if got := sched.proposes.Load(); got != 4 {
+		t.Errorf("proposes = %d, want 4 (1 admitted + 3 bounded attempts)", got)
+	}
+	if got := sched.commits.Load(); got != 1 {
+		t.Errorf("commits = %d, want 1 (only the admitted request)", got)
+	}
+	if got := sched.aborts.Load(); got != 3 {
+		t.Errorf("aborts = %d, want 3 (one per lost reservation)", got)
+	}
+	s := e.Stats()
+	if s.ConflictRetries != 3 {
+		t.Errorf("ConflictRetries = %d, want 3", s.ConflictRetries)
+	}
+	// Ledger cleanliness: only the winner's footprint is booked...
+	if got := s.CloudletUsed[0]; got != 10 {
+		t.Errorf("cloudlet 0 used = %d at slot 1, want 10 (winner's footprint)", got)
+	}
+	// ...and expiring it drains the ledger completely: a leaked reservation
+	// from a lost attempt would leave units behind forever.
+	e.Tick() // slot 2
+	e.Tick() // slot 3: winner (arrival 1, duration 2) expired
+	s = e.Stats()
+	if s.Expired != 1 {
+		t.Errorf("Expired = %d after winner's window, want 1", s.Expired)
+	}
+	for j, used := range s.CloudletUsed {
+		if used != 0 {
+			t.Errorf("cloudlet %d used = %d after expiry, want 0 (no leaked reservations)", j, used)
+		}
 	}
 }
 
@@ -226,7 +303,7 @@ func TestShardedEngineStress(t *testing.T) {
 	}
 	// Revenue is a float sum whose accumulation order differs across
 	// interleavings; compare with a tolerance, not bit-exactly.
-	if math.Abs(s.Revenue-wantRevenue) > 1e-6 {
+	if !core.FloatEqTol(s.Revenue, wantRevenue, 1e-6) {
 		t.Errorf("Stats.Revenue = %v, observed payment sum %v", s.Revenue, wantRevenue)
 	}
 	if s.QueueDepth != 0 || s.InFlight != 0 {

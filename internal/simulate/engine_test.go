@@ -2,7 +2,6 @@ package simulate
 
 import (
 	"errors"
-	"math"
 	"testing"
 
 	"revnf/internal/baseline"
@@ -67,7 +66,7 @@ func TestRunGreedy(t *testing.T) {
 			want += inst.Trace[d.Request].Payment
 		}
 	}
-	if math.Abs(res.Revenue-want) > 1e-9 {
+	if !core.FloatEq(res.Revenue, want) {
 		t.Errorf("Revenue = %v, want %v", res.Revenue, want)
 	}
 	if res.Admitted > 0 && res.Utilization <= 0 {

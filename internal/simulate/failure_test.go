@@ -27,7 +27,7 @@ func TestEstimateAvailabilityMatchesAnalytical(t *testing.T) {
 	}
 	ra := rep.PerRequest[0]
 	want := core.OnsiteReliability(0.95, 0.99, 2)
-	if math.Abs(ra.Analytical-want) > 1e-12 {
+	if !core.FloatEqTol(ra.Analytical, want, 1e-12) {
 		t.Errorf("Analytical = %v, want %v", ra.Analytical, want)
 	}
 	// 200k trials → standard error ~0.0006; allow 5σ.

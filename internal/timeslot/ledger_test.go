@@ -2,9 +2,10 @@ package timeslot
 
 import (
 	"errors"
-	"math"
 	"math/rand"
 	"testing"
+
+	"revnf/internal/core"
 )
 
 func newTestLedger(t *testing.T) *Ledger {
@@ -116,10 +117,10 @@ func TestForceReserveAndViolations(t *testing.T) {
 	if v.Excess() != 3 {
 		t.Errorf("Excess() = %d, want 3", v.Excess())
 	}
-	if math.Abs(v.Ratio()-1.6) > 1e-12 {
+	if !core.FloatEqTol(v.Ratio(), 1.6, 1e-12) {
 		t.Errorf("Ratio() = %v, want 1.6", v.Ratio())
 	}
-	if got := l.MaxViolationRatio(); math.Abs(got-1.6) > 1e-12 {
+	if got := l.MaxViolationRatio(); !core.FloatEqTol(got, 1.6, 1e-12) {
 		t.Errorf("MaxViolationRatio() = %v, want 1.6", got)
 	}
 }
@@ -177,7 +178,7 @@ func TestUtilizationAndPeak(t *testing.T) {
 	if err := l.Reserve(0, 1, 8, 5); err != nil {
 		t.Fatalf("Reserve: %v", err)
 	}
-	if got := l.Utilization(); math.Abs(got-0.25) > 1e-12 {
+	if got := l.Utilization(); !core.FloatEqTol(got, 0.25, 1e-12) {
 		t.Errorf("Utilization = %v, want 0.25", got)
 	}
 	if got := l.PeakUsage(0); got != 5 {

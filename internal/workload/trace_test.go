@@ -2,9 +2,10 @@ package workload
 
 import (
 	"errors"
-	"math"
 	"math/rand"
 	"testing"
+
+	"revnf/internal/core"
 )
 
 func baseTraceConfig() TraceConfig {
@@ -127,7 +128,7 @@ func TestGenerateTraceHEqualsOne(t *testing.T) {
 	for _, r := range trace {
 		f := cat[r.VNF]
 		rate := r.Payment / (float64(r.Duration) * float64(f.Demand) * r.Reliability)
-		if math.Abs(rate-cfg.MaxPaymentRate) > 1e-9 {
+		if !core.FloatEqTol(rate, cfg.MaxPaymentRate, 1e-9) {
 			t.Fatalf("H=1 payment rate = %v, want %v", rate, cfg.MaxPaymentRate)
 		}
 	}

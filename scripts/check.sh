@@ -19,6 +19,9 @@ go vet ./...
 echo "==> go build ./..."
 go build ./...
 
+echo "==> revnfvet ./... (invariant suite)"
+go run ./cmd/revnfvet ./...
+
 echo "==> go test -race ./..."
 go test -race ./...
 
