@@ -9,6 +9,7 @@
 //	revnfd -addr :8080 -algorithm pd -scheme onsite -slot 1s
 //	revnfd -addr :8080 -algorithm pd -scheme offsite -topology geant -cloudlets 10
 //	revnfd -instance trace.json -algorithm greedy -scheme onsite
+//	revnfd -trace 1024 -trace-sample 1 -pprof   # decision traces + profiling
 //
 // The network is drawn from the same generator as the simulators, so a
 // load generator started with the same -topology/-cloudlets/-seed flags
@@ -26,17 +27,17 @@ import (
 	"math/rand"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
-	"revnf/internal/baseline"
+	"revnf"
 	"revnf/internal/core"
 	"revnf/internal/experiments"
-	"revnf/internal/offsite"
-	"revnf/internal/onsite"
 	"revnf/internal/serve"
+	"revnf/internal/trace"
 	"revnf/internal/workload"
 )
 
@@ -52,18 +53,21 @@ func main() {
 func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("revnfd", flag.ContinueOnError)
 	var (
-		addr      = fs.String("addr", "127.0.0.1:8080", "listen address")
-		algorithm = fs.String("algorithm", "pd", "scheduler: pd|raw|greedy|firstfit|random")
-		scheme    = fs.String("scheme", "onsite", "redundancy scheme: onsite|offsite")
-		topo      = fs.String("topology", "", "embedded topology name")
-		cloudlets = fs.Int("cloudlets", 0, "cloudlet count")
-		horizon   = fs.Int("horizon", 0, "time horizon T in slots")
-		slot      = fs.Duration("slot", time.Second, "wall-clock duration of one slot (0 = frozen clock)")
-		queue     = fs.Int("queue", serve.DefaultQueueSize, "bounded ingest queue size")
-		workers   = fs.Int("workers", 1, "decision concurrency: 1 = serial, >1 = sharded propose/commit workers")
-		seed      = fs.Int64("seed", 1, "network generation seed")
-		instance  = fs.String("instance", "", "load instance JSON providing the network instead of generating")
-		drain     = fs.Duration("drain", 10*time.Second, "graceful shutdown budget")
+		addr        = fs.String("addr", "127.0.0.1:8080", "listen address")
+		algorithm   = fs.String("algorithm", "pd", "scheduler: pd|raw|greedy|firstfit|random")
+		scheme      = fs.String("scheme", "onsite", "redundancy scheme: onsite|offsite")
+		topo        = fs.String("topology", "", "embedded topology name")
+		cloudlets   = fs.Int("cloudlets", 0, "cloudlet count")
+		horizon     = fs.Int("horizon", 0, "time horizon T in slots")
+		slot        = fs.Duration("slot", time.Second, "wall-clock duration of one slot (0 = frozen clock)")
+		queue       = fs.Int("queue", serve.DefaultQueueSize, "bounded ingest queue size")
+		workers     = fs.Int("workers", 1, "decision concurrency: 1 = serial, >1 = sharded propose/commit workers")
+		seed        = fs.Int64("seed", 1, "network generation seed")
+		instance    = fs.String("instance", "", "load instance JSON providing the network instead of generating")
+		drain       = fs.Duration("drain", 10*time.Second, "graceful shutdown budget")
+		traceCap    = fs.Int("trace", 0, "decision-trace ring capacity; 0 disables tracing")
+		traceSample = fs.Int("trace-sample", 1, "trace one in N requests (1 = every request)")
+		pprofOn     = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -73,7 +77,13 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	sched, allowViolations, err := buildScheduler(*algorithm, *scheme, inst, *seed)
+	var store *trace.Store
+	var rec trace.Recorder
+	if *traceCap > 0 {
+		store = trace.NewStore(*traceCap)
+		rec = trace.NewSampling(store, *traceSample)
+	}
+	sched, allowViolations, err := buildScheduler(*algorithm, *scheme, inst, *seed, rec)
 	if err != nil {
 		return err
 	}
@@ -85,6 +95,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		Workers:         *workers,
 		SlotDuration:    *slot,
 		AllowViolations: allowViolations,
+		Traces:          store,
+		Recorder:        rec,
 	})
 	if err != nil {
 		return err
@@ -97,7 +109,11 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	srv := &http.Server{Handler: serve.NewHandler(engine)}
+	handler := serve.NewHandler(engine)
+	if *pprofOn {
+		handler = withPprof(handler)
+	}
+	srv := &http.Server{Handler: handler}
 	fmt.Fprintf(out, "revnfd: %s/%s over %d cloudlets, horizon %d, slot %s, workers %d, listening on http://%s\n",
 		sched.Name(), sched.Scheme(), len(inst.Network.Cloudlets), inst.Horizon, *slot, engine.Workers(), ln.Addr())
 
@@ -159,37 +175,44 @@ func loadNetwork(path, topo string, cloudlets, horizon int, seed int64) (*worklo
 	return setup.Instance(1, setup.H, setup.K, seed)
 }
 
-func buildScheduler(algorithm, scheme string, inst *workload.Instance, seed int64) (core.Scheduler, bool, error) {
+// buildScheduler maps the -algorithm/-scheme flags onto the public
+// functional-options constructor. The flag values are the
+// revnf.Algorithm constants verbatim.
+func buildScheduler(algorithm, scheme string, inst *workload.Instance, seed int64, rec trace.Recorder) (core.Scheduler, bool, error) {
+	var sch core.Scheme
 	switch scheme {
 	case "onsite":
-		switch algorithm {
-		case "pd":
-			s, err := onsite.NewScheduler(inst.Network, inst.Horizon, onsite.WithCapacityEnforcement())
-			return s, false, err
-		case "raw":
-			s, err := onsite.NewScheduler(inst.Network, inst.Horizon)
-			return s, true, err
-		case "greedy":
-			s, err := baseline.NewGreedyOnsite(inst.Network)
-			return s, false, err
-		case "firstfit":
-			s, err := baseline.NewFirstFitOnsite(inst.Network)
-			return s, false, err
-		case "random":
-			s, err := baseline.NewRandomOnsite(inst.Network, rand.New(rand.NewSource(seed)))
-			return s, false, err
-		}
+		sch = core.OnSite
 	case "offsite":
-		switch algorithm {
-		case "pd":
-			s, err := offsite.NewScheduler(inst.Network, inst.Horizon)
-			return s, false, err
-		case "greedy":
-			s, err := baseline.NewGreedyOffsite(inst.Network)
-			return s, false, err
-		}
+		sch = core.OffSite
 	default:
 		return nil, false, fmt.Errorf("unknown -scheme %q (want onsite|offsite)", scheme)
 	}
-	return nil, false, fmt.Errorf("algorithm %q not available under scheme %q", algorithm, scheme)
+	alg := revnf.Algorithm(algorithm)
+	if !alg.Valid() {
+		return nil, false, fmt.Errorf("unknown -algorithm %q (want pd|raw|greedy|firstfit|random)", algorithm)
+	}
+	s, err := revnf.NewScheduler(inst.Network, sch,
+		revnf.WithAlgorithm(alg),
+		revnf.WithHorizon(inst.Horizon),
+		revnf.WithRecorder(rec),
+		revnf.WithRNG(rand.New(rand.NewSource(seed))))
+	if err != nil {
+		return nil, false, err
+	}
+	return s, alg.AllowsViolations(), nil
+}
+
+// withPprof mounts the net/http/pprof handlers beside the API mux. Opt-in
+// via -pprof: profiling endpoints expose heap contents and timing oracles,
+// so they stay off by default.
+func withPprof(api http.Handler) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/", api)
+	return mux
 }

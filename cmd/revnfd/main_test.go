@@ -155,3 +155,115 @@ func TestDaemonOffsiteScheme(t *testing.T) {
 		t.Errorf("cloudlets payload = %+v", body)
 	}
 }
+
+// TestDaemonTraceSmoke starts the daemon with tracing and pprof enabled,
+// admits one request, and walks the new observability surface end to end:
+// the decision trace endpoint, the error envelope for an untraced ID, the
+// trace counters and λ gauges on /metrics, and the pprof index.
+func TestDaemonTraceSmoke(t *testing.T) {
+	url, _, _ := startDaemon(t, "-trace", "64", "-trace-sample", "1", "-pprof")
+
+	resp, err := http.Post(url+"/v1/requests", "application/json",
+		strings.NewReader(`{"vnf":0,"reliability":0.9,"duration":2,"payment":50}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dec struct {
+		ID       int  `json:"id"`
+		Admitted bool `json:"admitted"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&dec); err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if !dec.Admitted {
+		t.Fatalf("request not admitted: %+v", dec)
+	}
+
+	tr, err := http.Get(fmt.Sprintf("%s/v1/decisions/%d/trace", url, dec.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = tr.Body.Close() }()
+	if tr.StatusCode != http.StatusOK {
+		t.Fatalf("trace status = %d, want 200", tr.StatusCode)
+	}
+	var dt struct {
+		Request  int    `json:"request"`
+		Admitted bool   `json:"admitted"`
+		Outcome  string `json:"outcome"`
+		Attempts []struct {
+			BestCloudlet int     `json:"best_cloudlet"`
+			BestCost     float64 `json:"best_cost"`
+			Payment      float64 `json:"payment"`
+			Admit        bool    `json:"admit"`
+		} `json:"attempts"`
+	}
+	if err := json.NewDecoder(tr.Body).Decode(&dt); err != nil {
+		t.Fatal(err)
+	}
+	if dt.Request != dec.ID || !dt.Admitted || dt.Outcome != "admitted" {
+		t.Errorf("trace = %+v, want admitted outcome", dt)
+	}
+	if len(dt.Attempts) == 0 || !dt.Attempts[0].Admit ||
+		dt.Attempts[0].BestCloudlet < 0 || dt.Attempts[0].Payment <= dt.Attempts[0].BestCost {
+		t.Errorf("trace attempts = %+v, want a winning payment test", dt.Attempts)
+	}
+
+	// Untraced ID: the structured error envelope.
+	er, err := http.Get(url + "/v1/decisions/424242/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var env struct {
+		Code   int    `json:"code"`
+		Reason string `json:"reason"`
+		Detail string `json:"detail"`
+	}
+	if err := json.NewDecoder(er.Body).Decode(&env); err != nil {
+		t.Fatal(err)
+	}
+	_ = er.Body.Close()
+	if er.StatusCode != http.StatusNotFound || env.Code != 404 || env.Reason != "not-found" || env.Detail == "" {
+		t.Errorf("envelope = %d %+v, want 404/not-found with detail", er.StatusCode, env)
+	}
+
+	mr, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb := &bytes.Buffer{}
+	_, _ = mb.ReadFrom(mr.Body)
+	_ = mr.Body.Close()
+	for _, want := range []string{
+		"revnfd_trace_recorded_total",
+		"revnfd_trace_store_capacity 64",
+		`revnfd_dual_price{cloudlet="0",window="current"}`,
+	} {
+		if !strings.Contains(mb.String(), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+
+	pr, err := http.Get(url + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = pr.Body.Close()
+	if pr.StatusCode != http.StatusOK {
+		t.Errorf("pprof index status = %d, want 200", pr.StatusCode)
+	}
+}
+
+// TestDaemonPprofOffByDefault keeps the profiling surface opt-in.
+func TestDaemonPprofOffByDefault(t *testing.T) {
+	url, _, _ := startDaemon(t)
+	pr, err := http.Get(url + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = pr.Body.Close()
+	if pr.StatusCode == http.StatusOK {
+		t.Error("pprof served without -pprof")
+	}
+}

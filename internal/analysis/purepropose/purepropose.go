@@ -26,6 +26,15 @@
 // example the mutex RLock/RUnlock pair or a guarded rng draw, both
 // explicitly blessed by the core contract), are not flagged; the pass is
 // a syntactic under-approximation, not an escape-proof sandbox.
+//
+// Observability carve-out: emitting a decision trace from Propose into an
+// injected trace.Recorder (Sample/Record) is explicitly allowed — the
+// core.TwoPhaseScheduler contract blesses it because traces never feed
+// back into admission decisions. The pass accepts it naturally: the
+// Recorder's methods belong to revnf/internal/trace, not the scheduler's
+// package, so the transitive-mutation walk never descends into them, and
+// trace-assembly helpers that write only locals are clean by the same
+// rules as any other read-only helper.
 package purepropose
 
 import (

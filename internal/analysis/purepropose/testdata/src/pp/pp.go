@@ -7,6 +7,7 @@ import (
 
 	"revnf/internal/core"
 	"revnf/internal/timeslot"
+	"revnf/internal/trace"
 )
 
 // DirectWrite mutates its own fields inside Propose.
@@ -97,6 +98,40 @@ func (s *Pure) Commit(req core.Request, p core.Placement) {
 }
 
 func (s *Pure) Abort(req core.Request, p core.Placement) {}
+
+// RecorderEmit is the observability carve-out: emitting a decision trace
+// into an injected trace.Recorder from Propose — directly or through a
+// same-package helper — is NOT state mutation (the core contract blesses
+// it: traces never feed back into admission decisions). Nothing here is
+// flagged; the Recorder methods live in another package, and the helper
+// writes only locals.
+type RecorderEmit struct {
+	mu     sync.RWMutex
+	lambda []float64
+	rec    trace.Recorder
+}
+
+func (s *RecorderEmit) Propose(req core.Request, view core.CapacityView) (core.Placement, bool) {
+	tracing := s.rec.Sample(req.ID)
+	s.mu.RLock()
+	price := 0.0
+	for _, l := range s.lambda {
+		price += l
+	}
+	s.mu.RUnlock()
+	if tracing {
+		s.recordPropose(req, price)
+	}
+	return core.Placement{Cloudlet: view.Residual(0, 1)}, price <= 1
+}
+
+func (s *RecorderEmit) recordPropose(req core.Request, price float64) {
+	dt := &trace.DecisionTrace{Request: req.ID}
+	s.rec.Record(dt)
+}
+
+func (s *RecorderEmit) Commit(req core.Request, p core.Placement) {}
+func (s *RecorderEmit) Abort(req core.Request, p core.Placement)  {}
 
 // NotAScheduler has a Propose method but does not implement the contract,
 // so its writes are out of scope.

@@ -1,0 +1,19 @@
+// Package trace is a stub of revnf/internal/trace declaring just enough
+// of the Recorder protocol for the fixtures to emit decision traces.
+package trace
+
+type DecisionTrace struct {
+	Request int
+}
+
+type Recorder interface {
+	Sample(requestID int) bool
+	Record(t *DecisionTrace)
+}
+
+var Nop Recorder = nopRecorder{}
+
+type nopRecorder struct{}
+
+func (nopRecorder) Sample(int) bool       { return false }
+func (nopRecorder) Record(*DecisionTrace) {}

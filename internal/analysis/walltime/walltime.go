@@ -29,6 +29,7 @@ var DeterministicPkgs = map[string]bool{
 	"revnf/internal/simulate": true,
 	"revnf/internal/core":     true,
 	"revnf/internal/timeslot": true,
+	"revnf/internal/trace":    true,
 }
 
 // forbidden lists the package-level time functions that read the wall

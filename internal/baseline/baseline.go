@@ -22,12 +22,41 @@ import (
 	"sync"
 
 	"revnf/internal/core"
+	"revnf/internal/trace"
 )
 
 // Errors returned by constructors.
 var (
 	ErrBadNetwork = errors.New("baseline: invalid network")
 )
+
+// options collects optional constructor configuration shared by every
+// baseline scheduler.
+type options struct {
+	rec trace.Recorder
+}
+
+// Option configures a baseline scheduler.
+type Option func(*options)
+
+// WithRecorder injects the decision-trace sink Propose emits into. A nil
+// recorder keeps the no-op default. Tracing never changes decisions.
+func WithRecorder(r trace.Recorder) Option {
+	return func(o *options) {
+		if r != nil {
+			o.rec = r
+		}
+	}
+}
+
+// applyOptions folds opts over the defaults.
+func applyOptions(opts []Option) options {
+	o := options{rec: trace.Nop}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
+}
 
 // GreedyOnsite admits every request it can, choosing the most reliable
 // cloudlet with sufficient residual capacity (on-site scheme).
@@ -36,15 +65,17 @@ type GreedyOnsite struct {
 	rel     *core.ReliabilityTable
 	// order is the cloudlet IDs sorted by reliability descending.
 	order []int
+	rec   trace.Recorder
 }
 
 // NewGreedyOnsite creates the paper's greedy on-site baseline.
-func NewGreedyOnsite(network *core.Network) (*GreedyOnsite, error) {
+func NewGreedyOnsite(network *core.Network, opts ...Option) (*GreedyOnsite, error) {
 	rel, err := buildTable(network)
 	if err != nil {
 		return nil, err
 	}
-	return &GreedyOnsite{network: network, rel: rel, order: byReliability(network)}, nil
+	o := applyOptions(opts)
+	return &GreedyOnsite{network: network, rel: rel, order: byReliability(network), rec: o.rec}, nil
 }
 
 // Name implements core.Scheduler.
@@ -61,21 +92,41 @@ func (g *GreedyOnsite) Decide(req core.Request, view core.CapacityView) (core.Pl
 // Propose implements core.TwoPhaseScheduler; it is a pure function of the
 // request and the view.
 func (g *GreedyOnsite) Propose(req core.Request, view core.CapacityView) (core.Placement, bool) {
+	tracing := g.rec.Sample(req.ID)
+	var cands []trace.Candidate
 	vnf := g.network.Catalog[req.VNF]
 	for _, j := range g.order {
 		n, ok := g.rel.OnsiteInstancesOK(req.VNF, j, req.Reliability)
 		if !ok {
 			// Cloudlets are reliability-sorted: all later ones fail too.
+			if tracing {
+				cands = append(cands, trace.Candidate{Cloudlet: j, Skip: trace.SkipReliability})
+			}
 			break
 		}
-		if view.ResidualWindow(j, req.Arrival, req.Duration) < n*vnf.Demand {
+		resid := view.ResidualWindow(j, req.Arrival, req.Duration)
+		if resid < n*vnf.Demand {
+			if tracing {
+				cands = append(cands, trace.Candidate{Cloudlet: j, Instances: n,
+					Residual: resid, Skip: trace.SkipCapacity})
+			}
 			continue
+		}
+		if tracing {
+			cands = append(cands, trace.Candidate{Cloudlet: j, Instances: n,
+				Residual: resid, Chosen: true})
+			recordBaseline(g.rec, req, g.Name(), core.OnSite, cands, j,
+				[]core.Assignment{{Cloudlet: j, Instances: n}}, trace.ReasonAdmitted)
 		}
 		return core.Placement{
 			Request:     req.ID,
 			Scheme:      core.OnSite,
 			Assignments: []core.Assignment{{Cloudlet: j, Instances: n}},
 		}, true
+	}
+	if tracing {
+		recordBaseline(g.rec, req, g.Name(), core.OnSite, cands, -1, nil,
+			trace.ReasonNoFeasibleCloudlet)
 	}
 	return core.Placement{}, false
 }
@@ -96,15 +147,17 @@ type GreedyOffsite struct {
 	network *core.Network
 	rel     *core.ReliabilityTable
 	order   []int
+	rec     trace.Recorder
 }
 
 // NewGreedyOffsite creates the paper's greedy off-site baseline.
-func NewGreedyOffsite(network *core.Network) (*GreedyOffsite, error) {
+func NewGreedyOffsite(network *core.Network, opts ...Option) (*GreedyOffsite, error) {
 	rel, err := buildTable(network)
 	if err != nil {
 		return nil, err
 	}
-	return &GreedyOffsite{network: network, rel: rel, order: byReliability(network)}, nil
+	o := applyOptions(opts)
+	return &GreedyOffsite{network: network, rel: rel, order: byReliability(network), rec: o.rec}, nil
 }
 
 // Name implements core.Scheduler.
@@ -121,19 +174,45 @@ func (g *GreedyOffsite) Decide(req core.Request, view core.CapacityView) (core.P
 // Propose implements core.TwoPhaseScheduler; it is a pure function of the
 // request and the view.
 func (g *GreedyOffsite) Propose(req core.Request, view core.CapacityView) (core.Placement, bool) {
+	tracing := g.rec.Sample(req.ID)
+	var cands []trace.Candidate
 	vnf := g.network.Catalog[req.VNF]
 	needWeight := core.RequirementWeight(req.Reliability)
 	totalWeight := 0.0
 	var assignments []core.Assignment
 	for _, j := range g.order {
-		if view.ResidualWindow(j, req.Arrival, req.Duration) < vnf.Demand {
+		resid := view.ResidualWindow(j, req.Arrival, req.Duration)
+		if resid < vnf.Demand {
+			if tracing {
+				cands = append(cands, trace.Candidate{Cloudlet: j,
+					Weight: g.rel.OffsiteWeight(req.VNF, j), Residual: resid,
+					Skip: trace.SkipCapacity})
+			}
 			continue
 		}
 		assignments = append(assignments, core.Assignment{Cloudlet: j, Instances: 1})
 		totalWeight += g.rel.OffsiteWeight(req.VNF, j)
+		if tracing {
+			cands = append(cands, trace.Candidate{Cloudlet: j, Instances: 1,
+				Weight: g.rel.OffsiteWeight(req.VNF, j), Residual: resid, Chosen: true})
+		}
 		if core.WeightsSatisfy(totalWeight, needWeight) {
+			if tracing {
+				recordWeighted(g.rec, req, g.Name(), cands, assignments[0].Cloudlet,
+					assignments, needWeight, totalWeight, trace.ReasonAdmitted)
+			}
 			return core.Placement{Request: req.ID, Scheme: core.OffSite, Assignments: assignments}, true
 		}
+	}
+	if tracing {
+		reason := trace.ReasonInsufficientWeight
+		best := -1
+		if len(assignments) == 0 {
+			reason = trace.ReasonNoFeasibleCloudlet
+		} else {
+			best = assignments[0].Cloudlet
+		}
+		recordWeighted(g.rec, req, g.Name(), cands, best, nil, needWeight, totalWeight, reason)
 	}
 	return core.Placement{}, false
 }
@@ -153,15 +232,17 @@ func (g *GreedyOffsite) ConcurrentPropose() bool { return true }
 type FirstFitOnsite struct {
 	network *core.Network
 	rel     *core.ReliabilityTable
+	rec     trace.Recorder
 }
 
 // NewFirstFitOnsite creates the first-fit baseline.
-func NewFirstFitOnsite(network *core.Network) (*FirstFitOnsite, error) {
+func NewFirstFitOnsite(network *core.Network, opts ...Option) (*FirstFitOnsite, error) {
 	rel, err := buildTable(network)
 	if err != nil {
 		return nil, err
 	}
-	return &FirstFitOnsite{network: network, rel: rel}, nil
+	o := applyOptions(opts)
+	return &FirstFitOnsite{network: network, rel: rel, rec: o.rec}, nil
 }
 
 // Name implements core.Scheduler.
@@ -178,20 +259,40 @@ func (f *FirstFitOnsite) Decide(req core.Request, view core.CapacityView) (core.
 // Propose implements core.TwoPhaseScheduler; it is a pure function of the
 // request and the view.
 func (f *FirstFitOnsite) Propose(req core.Request, view core.CapacityView) (core.Placement, bool) {
+	tracing := f.rec.Sample(req.ID)
+	var cands []trace.Candidate
 	vnf := f.network.Catalog[req.VNF]
 	for j := range f.network.Cloudlets {
 		n, ok := f.rel.OnsiteInstancesOK(req.VNF, j, req.Reliability)
 		if !ok {
+			if tracing {
+				cands = append(cands, trace.Candidate{Cloudlet: j, Skip: trace.SkipReliability})
+			}
 			continue
 		}
-		if view.ResidualWindow(j, req.Arrival, req.Duration) < n*vnf.Demand {
+		resid := view.ResidualWindow(j, req.Arrival, req.Duration)
+		if resid < n*vnf.Demand {
+			if tracing {
+				cands = append(cands, trace.Candidate{Cloudlet: j, Instances: n,
+					Residual: resid, Skip: trace.SkipCapacity})
+			}
 			continue
+		}
+		if tracing {
+			cands = append(cands, trace.Candidate{Cloudlet: j, Instances: n,
+				Residual: resid, Chosen: true})
+			recordBaseline(f.rec, req, f.Name(), core.OnSite, cands, j,
+				[]core.Assignment{{Cloudlet: j, Instances: n}}, trace.ReasonAdmitted)
 		}
 		return core.Placement{
 			Request:     req.ID,
 			Scheme:      core.OnSite,
 			Assignments: []core.Assignment{{Cloudlet: j, Instances: n}},
 		}, true
+	}
+	if tracing {
+		recordBaseline(f.rec, req, f.Name(), core.OnSite, cands, -1, nil,
+			trace.ReasonNoFeasibleCloudlet)
 	}
 	return core.Placement{}, false
 }
@@ -216,11 +317,12 @@ type RandomOnsite struct {
 	// exists to provide.
 	mu  sync.Mutex
 	rng *rand.Rand
+	rec trace.Recorder
 }
 
 // NewRandomOnsite creates the random baseline with an injected RNG for
 // reproducibility.
-func NewRandomOnsite(network *core.Network, rng *rand.Rand) (*RandomOnsite, error) {
+func NewRandomOnsite(network *core.Network, rng *rand.Rand, opts ...Option) (*RandomOnsite, error) {
 	rel, err := buildTable(network)
 	if err != nil {
 		return nil, err
@@ -228,7 +330,8 @@ func NewRandomOnsite(network *core.Network, rng *rand.Rand) (*RandomOnsite, erro
 	if rng == nil {
 		return nil, fmt.Errorf("%w: nil RNG", ErrBadNetwork)
 	}
-	return &RandomOnsite{network: network, rel: rel, rng: rng}, nil
+	o := applyOptions(opts)
+	return &RandomOnsite{network: network, rel: rel, rng: rng, rec: o.rec}, nil
 }
 
 // Name implements core.Scheduler.
@@ -245,25 +348,52 @@ func (r *RandomOnsite) Decide(req core.Request, view core.CapacityView) (core.Pl
 // Propose implements core.TwoPhaseScheduler. The RNG draw happens under
 // the scheduler's mutex; everything else is pure.
 func (r *RandomOnsite) Propose(req core.Request, view core.CapacityView) (core.Placement, bool) {
+	tracing := r.rec.Sample(req.ID)
+	var cands []trace.Candidate
 	vnf := r.network.Catalog[req.VNF]
 	type option struct{ cloudlet, instances int }
-	var options []option
+	var choices []option
 	for j := range r.network.Cloudlets {
 		n, ok := r.rel.OnsiteInstancesOK(req.VNF, j, req.Reliability)
 		if !ok {
+			if tracing {
+				cands = append(cands, trace.Candidate{Cloudlet: j, Skip: trace.SkipReliability})
+			}
 			continue
 		}
-		if view.ResidualWindow(j, req.Arrival, req.Duration) < n*vnf.Demand {
+		resid := view.ResidualWindow(j, req.Arrival, req.Duration)
+		if resid < n*vnf.Demand {
+			if tracing {
+				cands = append(cands, trace.Candidate{Cloudlet: j, Instances: n,
+					Residual: resid, Skip: trace.SkipCapacity})
+			}
 			continue
 		}
-		options = append(options, option{cloudlet: j, instances: n})
+		choices = append(choices, option{cloudlet: j, instances: n})
+		if tracing {
+			cands = append(cands, trace.Candidate{Cloudlet: j, Instances: n, Residual: resid})
+		}
 	}
-	if len(options) == 0 {
+	if len(choices) == 0 {
+		if tracing {
+			recordBaseline(r.rec, req, r.Name(), core.OnSite, cands, -1, nil,
+				trace.ReasonNoFeasibleCloudlet)
+		}
 		return core.Placement{}, false
 	}
 	r.mu.Lock()
-	pick := options[r.rng.Intn(len(options))]
+	pick := choices[r.rng.Intn(len(choices))]
 	r.mu.Unlock()
+	if tracing {
+		for i := range cands {
+			if cands[i].Cloudlet == pick.cloudlet {
+				cands[i].Chosen = true
+			}
+		}
+		recordBaseline(r.rec, req, r.Name(), core.OnSite, cands, pick.cloudlet,
+			[]core.Assignment{{Cloudlet: pick.cloudlet, Instances: pick.instances}},
+			trace.ReasonAdmitted)
+	}
 	return core.Placement{
 		Request:     req.ID,
 		Scheme:      core.OnSite,
@@ -320,6 +450,56 @@ func (r *RejectAll) Abort(core.Request, core.Placement) {}
 
 // ConcurrentPropose implements core.TwoPhaseScheduler.
 func (r *RejectAll) ConcurrentPropose() bool { return true }
+
+// recordBaseline emits one single-attempt decision trace for a baseline
+// scheduler. Baselines carry no dual prices, so BestCost stays zero; the
+// reason ReasonAdmitted marks an admit (the attempt's Reason field is left
+// empty then, matching the primal-dual schedulers).
+func recordBaseline(rec trace.Recorder, req core.Request, name string,
+	scheme core.Scheme, cands []trace.Candidate, best int,
+	assignments []core.Assignment, reason trace.Reason) {
+	admit := reason == trace.ReasonAdmitted
+	pt := trace.ProposeTrace{
+		Scheduler:    name,
+		Scheme:       scheme.String(),
+		Candidates:   cands,
+		BestCloudlet: best,
+		Payment:      req.Payment,
+		Admit:        admit,
+	}
+	if !admit {
+		pt.Reason = reason
+	}
+	dt := trace.NewDecision(req, name, scheme.String())
+	dt.Attempts = []trace.ProposeTrace{pt}
+	dt.Assignments = assignments
+	rec.Record(dt)
+}
+
+// recordWeighted is recordBaseline for the off-site weight-accumulation
+// baselines, carrying the weight target and the weight reached.
+func recordWeighted(rec trace.Recorder, req core.Request, name string,
+	cands []trace.Candidate, best int, assignments []core.Assignment,
+	needWeight, totalWeight float64, reason trace.Reason) {
+	admit := reason == trace.ReasonAdmitted
+	pt := trace.ProposeTrace{
+		Scheduler:    name,
+		Scheme:       core.OffSite.String(),
+		Candidates:   cands,
+		BestCloudlet: best,
+		NeedWeight:   needWeight,
+		TotalWeight:  totalWeight,
+		Payment:      req.Payment,
+		Admit:        admit,
+	}
+	if !admit {
+		pt.Reason = reason
+	}
+	dt := trace.NewDecision(req, name, core.OffSite.String())
+	dt.Attempts = []trace.ProposeTrace{pt}
+	dt.Assignments = assignments
+	rec.Record(dt)
+}
 
 func validate(network *core.Network) error {
 	if network == nil {

@@ -6,10 +6,10 @@ import "fmt"
 // cloudlet.
 type Assignment struct {
 	// Cloudlet is the target cloudlet ID.
-	Cloudlet int
+	Cloudlet int `json:"cloudlet"`
 	// Instances is the number of primary plus backup instances placed
 	// there. Under the off-site scheme this is always 1.
-	Instances int
+	Instances int `json:"instances"`
 }
 
 // Units returns the computing units the assignment consumes per slot for a

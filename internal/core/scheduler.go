@@ -83,6 +83,13 @@ type Scheduler interface {
 // Abort releases nothing by default (no scheduler here acquires state in
 // Propose) but is part of the contract so engines can pair every Propose
 // with exactly one Commit or Abort.
+//
+// Observability carve-out: emitting a decision trace from Propose into an
+// injected trace.Recorder is NOT state mutation under this contract.
+// Traces never feed back into any admission decision, so recording keeps
+// Propose semantically pure; the purepropose analyzer encodes the same
+// allowance. Recorder implementations must be safe for concurrent use so
+// concurrent proposals may emit without coordination.
 type TwoPhaseScheduler interface {
 	Scheduler
 	// Propose computes the placement the scheduler would admit for req
@@ -102,6 +109,17 @@ type TwoPhaseScheduler interface {
 	// concurrently. Engines must treat false as "serialize everything",
 	// falling back to the Decide contract.
 	ConcurrentPropose() bool
+}
+
+// LambdaReader is implemented by the primal-dual schedulers (Algorithm 1
+// on-site, Algorithm 2 off-site, and their variants), exposing the
+// current dual price λ_{tj} for observability: the serve layer exports
+// λ summary gauges, and the experiment harness plots dual trajectories.
+// Lambda must be safe to call concurrently with Decide/Propose/Commit and
+// must return 0 for out-of-range indices.
+type LambdaReader interface {
+	// Lambda returns the dual price λ_{tj} for (slot t, cloudlet j).
+	Lambda(cloudlet, slot int) float64
 }
 
 // SerialAdapter drives a TwoPhaseScheduler through the serialized Decide

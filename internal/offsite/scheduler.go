@@ -23,6 +23,7 @@ import (
 
 	"revnf/internal/core"
 	"revnf/internal/topology"
+	"revnf/internal/trace"
 )
 
 // Errors returned by the constructor.
@@ -52,6 +53,8 @@ type Scheduler struct {
 	latencyGraph  *topology.Graph
 	latencyWeight float64
 	latency       [][]float64
+	// rec receives decision traces from Propose; trace.Nop by default.
+	rec trace.Recorder
 }
 
 // SortKey selects how Algorithm 2 orders candidate cloudlets before the
@@ -79,6 +82,16 @@ type Option func(*Scheduler)
 // WithName overrides the reported algorithm name.
 func WithName(name string) Option {
 	return func(s *Scheduler) { s.name = name }
+}
+
+// WithRecorder injects the decision-trace sink Propose emits into. A nil
+// recorder keeps the no-op default. Tracing never changes decisions.
+func WithRecorder(r trace.Recorder) Option {
+	return func(s *Scheduler) {
+		if r != nil {
+			s.rec = r
+		}
+	}
 }
 
 // WithSortKey overrides the candidate ordering (default SortByPrice).
@@ -116,6 +129,7 @@ func NewScheduler(network *core.Network, horizon int, opts ...Option) (*Schedule
 		lambda:  make([][]float64, len(network.Cloudlets)),
 		sortKey: SortByPrice,
 		name:    "pd-offsite",
+		rec:     trace.Nop,
 	}
 	for j := range s.lambda {
 		s.lambda[j] = make([]float64, horizon)
@@ -168,13 +182,24 @@ func (s *Scheduler) Decide(req core.Request, view core.CapacityView) (core.Place
 // ordering, and greedy weight accumulation of Algorithm 2, reading the
 // dual prices under the read lock and leaving scheduler state untouched.
 func (s *Scheduler) Propose(req core.Request, view core.CapacityView) (core.Placement, bool) {
+	tracing := s.rec.Sample(req.ID)
 	if req.Arrival < 1 || req.End() > s.horizon {
+		if tracing {
+			s.recordHorizon(req)
+		}
 		return core.Placement{}, false
 	}
 	vnf := s.network.Catalog[req.VNF]
 	needWeight := core.RequirementWeight(req.Reliability)
 	demand := float64(vnf.Demand)
 	candidates := make([]candidate, 0, len(s.network.Cloudlets))
+	// cands[j] is cloudlet j's trace entry (indexed by cloudlet, so the
+	// accumulation loop can mark skips/chosen after sorting reorders the
+	// working set).
+	var cands []trace.Candidate
+	if tracing {
+		cands = make([]trace.Candidate, len(s.network.Cloudlets))
+	}
 	s.mu.RLock()
 	for j := range s.network.Cloudlets {
 		w := s.rel.OffsiteWeight(req.VNF, j)
@@ -183,10 +208,16 @@ func (s *Scheduler) Propose(req core.Request, view core.CapacityView) (core.Plac
 			sumLambda += s.lambda[j][t-1]
 		}
 		price := sumLambda / w
+		if tracing {
+			cands[j] = trace.Candidate{Cloudlet: j, Weight: w, DualCost: price}
+		}
 		// Payment filter (line 5): place no instance at cloudlets whose
 		// dual cost already exceeds the request's value:
 		// pay + ln(1-R)·c(f)·price ≤ 0  ⇔  pay ≤ W·c(f)·price.
 		if req.Payment-needWeight*demand*price <= 0 {
+			if tracing {
+				cands[j].Skip = trace.SkipPricedOut
+			}
 			continue
 		}
 		candidates = append(candidates, candidate{cloudlet: j, weight: w, price: price})
@@ -242,16 +273,31 @@ func (s *Scheduler) Propose(req core.Request, view core.CapacityView) (core.Plac
 	var chosen []candidate
 	totalWeight := 0.0
 	for _, c := range candidates {
-		if view.ResidualWindow(c.cloudlet, req.Arrival, req.Duration) < vnf.Demand {
+		resid := view.ResidualWindow(c.cloudlet, req.Arrival, req.Duration)
+		if tracing {
+			cands[c.cloudlet].Residual = resid
+		}
+		if resid < vnf.Demand {
+			if tracing {
+				cands[c.cloudlet].Skip = trace.SkipCapacity
+			}
 			continue
 		}
 		chosen = append(chosen, c)
 		totalWeight += c.weight
+		if tracing {
+			cands[c.cloudlet].Instances = 1
+			cands[c.cloudlet].Chosen = true
+		}
 		if core.WeightsSatisfy(totalWeight, needWeight) {
 			break
 		}
 	}
-	if !core.WeightsSatisfy(totalWeight, needWeight) {
+	admit := core.WeightsSatisfy(totalWeight, needWeight)
+	if tracing {
+		s.recordPropose(req, cands, chosen, needWeight, totalWeight, admit)
+	}
+	if !admit {
 		return core.Placement{}, false
 	}
 	assignments := make([]core.Assignment, len(chosen))
@@ -259,6 +305,69 @@ func (s *Scheduler) Propose(req core.Request, view core.CapacityView) (core.Plac
 		assignments[i] = core.Assignment{Cloudlet: c.cloudlet, Instances: 1}
 	}
 	return core.Placement{Request: req.ID, Scheme: core.OffSite, Assignments: assignments}, true
+}
+
+// recordHorizon emits the trace for a request rejected before the
+// candidate scan: its window does not fit the scheduler's horizon.
+func (s *Scheduler) recordHorizon(req core.Request) {
+	dt := trace.NewDecision(req, s.name, core.OffSite.String())
+	dt.Attempts = []trace.ProposeTrace{{
+		Scheduler: s.name, Scheme: core.OffSite.String(),
+		BestCloudlet: -1, Payment: req.Payment, Reason: trace.ReasonHorizon,
+	}}
+	s.rec.Record(dt)
+}
+
+// recordPropose emits the trace for one completed Algorithm 2 evaluation.
+// The off-site admission test is weight accumulation, not a single argmin:
+// BestCloudlet is the first cloudlet of the greedy set (-1 when empty) and
+// BestCost its normalized price; Admit ⇔ TotalWeight ≥ NeedWeight.
+func (s *Scheduler) recordPropose(req core.Request, cands []trace.Candidate,
+	chosen []candidate, needWeight, totalWeight float64, admit bool) {
+	pt := trace.ProposeTrace{
+		Scheduler:    s.name,
+		Scheme:       core.OffSite.String(),
+		Candidates:   cands,
+		BestCloudlet: -1,
+		NeedWeight:   needWeight,
+		TotalWeight:  totalWeight,
+		Payment:      req.Payment,
+		Admit:        admit,
+	}
+	if len(chosen) > 0 {
+		pt.BestCloudlet = chosen[0].cloudlet
+		pt.BestCost = chosen[0].price
+	}
+	if !admit {
+		switch {
+		case len(cands) > 0 && !anySurvived(cands):
+			// Every cloudlet fell to the line-5 payment filter.
+			pt.Reason = trace.ReasonPricedOut
+		case len(chosen) == 0:
+			pt.Reason = trace.ReasonNoFeasibleCloudlet
+		default:
+			pt.Reason = trace.ReasonInsufficientWeight
+		}
+	}
+	dt := trace.NewDecision(req, s.name, core.OffSite.String())
+	dt.Attempts = []trace.ProposeTrace{pt}
+	if admit {
+		dt.Assignments = make([]core.Assignment, len(chosen))
+		for i, c := range chosen {
+			dt.Assignments[i] = core.Assignment{Cloudlet: c.cloudlet, Instances: 1}
+		}
+	}
+	s.rec.Record(dt)
+}
+
+// anySurvived reports whether any candidate passed the payment filter.
+func anySurvived(cands []trace.Candidate) bool {
+	for i := range cands {
+		if cands[i].Skip != trace.SkipPricedOut {
+			return true
+		}
+	}
+	return false
 }
 
 // Commit implements core.TwoPhaseScheduler: it applies the Eq. (67) dual

@@ -26,6 +26,7 @@ import (
 	"sync"
 
 	"revnf/internal/core"
+	"revnf/internal/trace"
 )
 
 // Errors returned by the constructor.
@@ -55,6 +56,11 @@ type Scheduler struct {
 	additive bool
 	scale    float64
 	name     string
+	// rec receives decision traces from Propose; trace.Nop by default, so
+	// the hot path pays one interface call when tracing is off. Recording
+	// is observability, not state mutation (see the TwoPhaseScheduler
+	// contract's carve-out).
+	rec trace.Recorder
 }
 
 // Option configures the scheduler.
@@ -81,6 +87,17 @@ func WithScale(scale float64) Option {
 // WithName overrides the reported algorithm name.
 func WithName(name string) Option {
 	return func(s *Scheduler) { s.name = name }
+}
+
+// WithRecorder injects the decision-trace sink Propose emits into. A nil
+// recorder keeps the no-op default. Tracing never changes decisions: the
+// recorder only observes the candidate evaluation Propose performs anyway.
+func WithRecorder(r trace.Recorder) Option {
+	return func(s *Scheduler) {
+		if r != nil {
+			s.rec = r
+		}
+	}
 }
 
 // WithAdditiveDuals replaces the multiplicative λ update of Eq. (34) with a
@@ -117,6 +134,7 @@ func NewScheduler(network *core.Network, horizon int, opts ...Option) (*Schedule
 		lambda:  make([][]float64, len(network.Cloudlets)),
 		scale:   1,
 		name:    "pd-onsite-raw",
+		rec:     trace.Nop,
 	}
 	for j := range s.lambda {
 		s.lambda[j] = make([]float64, horizon)
@@ -160,35 +178,64 @@ func (s *Scheduler) Decide(req core.Request, view core.CapacityView) (core.Place
 
 // Propose implements core.TwoPhaseScheduler: the argmin over cloudlets and
 // the payment test of Algorithm 1, reading the dual prices under the read
-// lock and leaving all scheduler state untouched.
+// lock and leaving all scheduler state untouched. When the recorder
+// samples the request, Propose additionally assembles a decision trace —
+// extra reads only (the dual cost of capacity-skipped cloudlets, residual
+// windows); the admit/reject decision is bit-identical with tracing on or
+// off.
 func (s *Scheduler) Propose(req core.Request, view core.CapacityView) (core.Placement, bool) {
+	tracing := s.rec.Sample(req.ID)
 	if req.Arrival < 1 || req.End() > s.horizon {
+		if tracing {
+			s.recordHorizon(req)
+		}
 		return core.Placement{}, false
 	}
 	vnf := s.network.Catalog[req.VNF]
 	bestCloudlet, bestInstances := -1, 0
 	bestPrice := math.Inf(1)
+	var cands []trace.Candidate
+	if tracing {
+		cands = make([]trace.Candidate, 0, len(s.network.Cloudlets))
+	}
 	s.mu.RLock()
 	for j := range s.network.Cloudlets {
 		n, ok := s.rel.OnsiteInstancesOK(req.VNF, j, req.Reliability)
 		if !ok {
-			continue // r(c_j) ≤ R_i: this cloudlet cannot serve the request
-		}
-		units := n * vnf.Demand
-		if s.enforce && view.ResidualWindow(j, req.Arrival, req.Duration) < units {
+			// r(c_j) ≤ R_i: this cloudlet cannot serve the request.
+			if tracing {
+				cands = append(cands, trace.Candidate{Cloudlet: j, Skip: trace.SkipReliability})
+			}
 			continue
 		}
-		price := 0.0
-		scaled := float64(units) * s.scale
-		for t := req.Arrival; t <= req.End(); t++ {
-			price += scaled * s.lambda[j][t-1]
+		units := n * vnf.Demand
+		residual := 0
+		if s.enforce || tracing {
+			residual = view.ResidualWindow(j, req.Arrival, req.Duration)
+		}
+		if s.enforce && residual < units {
+			if tracing {
+				cands = append(cands, trace.Candidate{Cloudlet: j, Instances: n,
+					DualCost: s.priceLocked(j, req, units), Residual: residual,
+					Skip: trace.SkipCapacity})
+			}
+			continue
+		}
+		price := s.priceLocked(j, req, units)
+		if tracing {
+			cands = append(cands, trace.Candidate{Cloudlet: j, Instances: n,
+				DualCost: price, Residual: residual})
 		}
 		if price < bestPrice {
 			bestPrice, bestCloudlet, bestInstances = price, j, n
 		}
 	}
 	s.mu.RUnlock()
-	if bestCloudlet < 0 || req.Payment-bestPrice <= 0 {
+	admit := bestCloudlet >= 0 && req.Payment-bestPrice > 0
+	if tracing {
+		s.recordPropose(req, cands, bestCloudlet, bestInstances, bestPrice, admit)
+	}
+	if !admit {
 		return core.Placement{}, false
 	}
 	return core.Placement{
@@ -196,6 +243,61 @@ func (s *Scheduler) Propose(req core.Request, view core.CapacityView) (core.Plac
 		Scheme:      core.OnSite,
 		Assignments: []core.Assignment{{Cloudlet: bestCloudlet, Instances: bestInstances}},
 	}, true
+}
+
+// priceLocked computes the dual cost Σ_t V_i[t]·N_ij·c(f_i)·λ_{tj} for
+// cloudlet j (with demand scaling), exactly as the pre-trace inline loop
+// did. Caller holds the read side of mu.
+func (s *Scheduler) priceLocked(j int, req core.Request, units int) float64 {
+	price := 0.0
+	scaled := float64(units) * s.scale
+	for t := req.Arrival; t <= req.End(); t++ {
+		price += scaled * s.lambda[j][t-1]
+	}
+	return price
+}
+
+// recordHorizon emits the trace for a request rejected before the argmin:
+// its window does not fit the scheduler's horizon.
+func (s *Scheduler) recordHorizon(req core.Request) {
+	dt := trace.NewDecision(req, s.name, core.OnSite.String())
+	dt.Attempts = []trace.ProposeTrace{{
+		Scheduler: s.name, Scheme: core.OnSite.String(),
+		BestCloudlet: -1, Payment: req.Payment, Reason: trace.ReasonHorizon,
+	}}
+	s.rec.Record(dt)
+}
+
+// recordPropose emits the trace for one completed argmin evaluation.
+func (s *Scheduler) recordPropose(req core.Request, cands []trace.Candidate,
+	best, instances int, bestPrice float64, admit bool) {
+	pt := trace.ProposeTrace{
+		Scheduler:    s.name,
+		Scheme:       core.OnSite.String(),
+		Candidates:   cands,
+		BestCloudlet: best,
+		Payment:      req.Payment,
+		Admit:        admit,
+	}
+	if best >= 0 {
+		pt.BestCost = bestPrice
+		for i := range cands {
+			if cands[i].Cloudlet == best && cands[i].Skip == "" {
+				cands[i].Chosen = admit
+			}
+		}
+		if !admit {
+			pt.Reason = trace.ReasonPricedOut
+		}
+	} else {
+		pt.Reason = trace.ReasonNoFeasibleCloudlet
+	}
+	dt := trace.NewDecision(req, s.name, core.OnSite.String())
+	dt.Attempts = []trace.ProposeTrace{pt}
+	if admit {
+		dt.Assignments = []core.Assignment{{Cloudlet: best, Instances: instances}}
+	}
+	s.rec.Record(dt)
 }
 
 // Commit implements core.TwoPhaseScheduler: it applies the Eq. (34) dual

@@ -11,6 +11,7 @@ import (
 	"revnf/internal/metrics"
 	"revnf/internal/simulate"
 	"revnf/internal/timeslot"
+	"revnf/internal/trace"
 )
 
 // AdmissionRequest is one service request submitted to the daemon. It is
@@ -126,7 +127,10 @@ func (s Stats) RejectedTotal() uint64 {
 }
 
 type job struct {
-	req      AdmissionRequest
+	req AdmissionRequest
+	// ctx is the submitter's context: the worker skips jobs whose caller
+	// has already gone away instead of deciding into the void.
+	ctx      context.Context
 	enqueued time.Time
 	done     chan AdmissionResult
 }
@@ -161,6 +165,13 @@ type Engine struct {
 
 	// twoPhase is non-nil exactly in sharded mode.
 	twoPhase core.TwoPhaseScheduler
+
+	// rec receives engine-level decision records (pre-scheduler rejections
+	// and final outcomes); trace.Nop unless Config provides a sink. traces
+	// is the store behind the /v1/decisions/{id}/trace endpoint (nil when
+	// tracing is off).
+	rec    trace.Recorder
+	traces *trace.Store
 
 	mu         sync.Mutex
 	sched      core.Scheduler
@@ -279,14 +290,22 @@ func New(cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
 	}
-	rejections := make(map[string]*atomic.Uint64, 8)
+	rejections := make(map[string]*atomic.Uint64, 9)
 	for _, reason := range []string{ReasonInvalid, ReasonStale, ReasonHorizon, ReasonDeclined,
-		ReasonOverbooked, ReasonConflict, ReasonQueueFull, ReasonClosed} {
+		ReasonOverbooked, ReasonConflict, ReasonQueueFull, ReasonClosed, ReasonCanceled} {
 		rejections[reason] = new(atomic.Uint64)
 	}
 	nowFn := cfg.Now
 	if nowFn == nil {
 		nowFn = time.Now
+	}
+	rec := cfg.Recorder
+	if rec == nil {
+		if cfg.Traces != nil {
+			rec = cfg.Traces
+		} else {
+			rec = trace.Nop
+		}
 	}
 	e := &Engine{
 		cfg:        cfg,
@@ -296,6 +315,8 @@ func New(cfg Config) (*Engine, error) {
 		now:        nowFn,
 		sched:      cfg.Scheduler,
 		twoPhase:   twoPhase,
+		rec:        rec,
+		traces:     cfg.Traces,
 		ledger:     ledger,
 		slot:       1,
 		placements: make(map[int]*PlacementRecord),
@@ -335,15 +356,16 @@ func (e *Engine) Workers() int { return e.workers }
 
 // Submit enqueues one admission request and waits for the decision. It
 // fails fast with ErrQueueFull when the engine is at capacity and with
-// ErrClosed after Shutdown began; ctx cancellation abandons the wait. In
-// serial mode an abandoned decision still happens and is recorded; in
-// sharded mode cancellation while waiting for a worker token abandons the
-// decision entirely.
+// ErrClosed after Shutdown began; ctx cancellation abandons the wait and
+// the decision. In serial mode the worker skips jobs whose submitter's
+// context already ended (counted as ReasonCanceled); in sharded mode
+// cancellation while waiting for a worker token or between retry attempts
+// abandons the decision entirely.
 func (e *Engine) Submit(ctx context.Context, req AdmissionRequest) (AdmissionResult, error) {
 	if e.sem != nil {
 		return e.submitSharded(ctx, req)
 	}
-	j := &job{req: req, enqueued: e.now(), done: make(chan AdmissionResult, 1)}
+	j := &job{req: req, ctx: ctx, enqueued: e.now(), done: make(chan AdmissionResult, 1)}
 	e.closeMu.RLock()
 	if e.closedFlag.Load() {
 		e.closeMu.RUnlock()
@@ -410,9 +432,9 @@ func (e *Engine) submitSharded(ctx context.Context, req AdmissionRequest) (Admis
 			return AdmissionResult{}, ctx.Err()
 		}
 	}
-	res := e.decideSharded(req, id, enqueued, sampled, shard)
+	res, err := e.decideSharded(ctx, req, id, enqueued, sampled, shard)
 	e.sem <- shard
-	return res, nil
+	return res, err
 }
 
 // latencySampleRate is the sharded-mode latency sampling interval; it
@@ -424,6 +446,13 @@ const latencySampleRate = 8
 func (e *Engine) worker() {
 	defer e.wg.Done()
 	for j := range e.queue {
+		if j.ctx != nil && j.ctx.Err() != nil {
+			// The submitter already abandoned the wait; deciding would
+			// mutate scheduler state for a caller that will never see the
+			// answer.
+			e.countRejection(ReasonCanceled)
+			continue
+		}
 		j.done <- e.decide(j.req, j.enqueued)
 	}
 }
@@ -457,6 +486,7 @@ func (e *Engine) decide(ar AdmissionRequest, enqueued time.Time) AdmissionResult
 	id := req.ID
 	reject := func(reason string) AdmissionResult {
 		e.rejections[reason].Add(1)
+		e.recordOutcome(req, e.slot, trace.Reason(reason), core.Placement{})
 		return AdmissionResult{ID: id, Reason: reason, Slot: e.slot}
 	}
 	if req.Arrival < e.slot {
@@ -496,7 +526,26 @@ func (e *Engine) decide(ar AdmissionRequest, enqueued time.Time) AdmissionResult
 		reserved = append(reserved, a)
 	}
 	e.recordAdmissionLocked(req, placement, e.slot)
+	e.recordOutcome(req, e.slot, trace.ReasonAdmitted, placement)
 	return AdmissionResult{ID: id, Admitted: true, Slot: e.slot, Placement: placement}
+}
+
+// recordOutcome emits the engine-level finalization record for one decided
+// request: the outcome reason, the decision slot, and (for admissions) the
+// placement footprint. Merged by the trace store with the scheduler's own
+// Propose attempts for the same request ID.
+func (e *Engine) recordOutcome(req core.Request, slot int, outcome trace.Reason, p core.Placement) {
+	if !e.rec.Sample(req.ID) {
+		return
+	}
+	dt := trace.NewDecision(req, e.sched.Name(), e.sched.Scheme().String())
+	dt.Slot = slot
+	dt.Outcome = outcome
+	if outcome == trace.ReasonAdmitted {
+		dt.Admitted = true
+		dt.Assignments = p.Assignments
+	}
+	e.rec.Record(dt)
 }
 
 // decideSharded makes one admission decision without holding the engine
@@ -509,24 +558,29 @@ func (e *Engine) decide(ar AdmissionRequest, enqueued time.Time) AdmissionResult
 //     prices and capacity have moved under a competing commit;
 //  4. on success, Commit the scheduler state, then record the books
 //     under the engine mutex.
-func (e *Engine) decideSharded(ar AdmissionRequest, id int, enqueued time.Time, sampled bool, shard int) AdmissionResult {
+//
+// The caller's context is honored between retry attempts: a canceled
+// submitter stops the loop before the next Propose (counted as
+// ReasonCanceled) rather than committing work nobody waits for.
+func (e *Engine) decideSharded(ctx context.Context, ar AdmissionRequest, id int, enqueued time.Time, sampled bool, shard int) (AdmissionResult, error) {
 	slot := int(e.slotNow.Load())
 	req := e.buildRequest(ar, id, slot)
 	reject := func(reason string) AdmissionResult {
 		e.rejections[reason].Add(1)
+		e.recordOutcome(req, slot, trace.Reason(reason), core.Placement{})
 		if sampled {
 			e.observeShard(shard, enqueued)
 		}
 		return AdmissionResult{ID: id, Reason: reason, Slot: slot}
 	}
 	if req.Arrival < slot {
-		return reject(ReasonStale)
+		return reject(ReasonStale), nil
 	}
 	if req.End() > e.horizon {
-		return reject(ReasonHorizon)
+		return reject(ReasonHorizon), nil
 	}
 	if err := e.network.ValidateRequest(req, e.horizon); err != nil {
-		return reject(ReasonInvalid)
+		return reject(ReasonInvalid), nil
 	}
 	demand := e.network.Catalog[req.VNF].Demand
 	// maxAttempts bounds the re-propose loop: the first attempt plus two
@@ -536,30 +590,36 @@ func (e *Engine) decideSharded(ar AdmissionRequest, id int, enqueued time.Time, 
 	// rejected as conflicted.
 	const maxAttempts = 3
 	for attempt := 0; attempt < maxAttempts; attempt++ {
+		if attempt > 0 && ctx.Err() != nil {
+			e.countRejection(ReasonCanceled)
+			e.recordOutcome(req, slot, trace.ReasonCanceled, core.Placement{})
+			return AdmissionResult{}, ctx.Err()
+		}
 		placement, ok := e.twoPhase.Propose(req, e.ledger)
 		if !ok {
-			return reject(ReasonDeclined)
+			return reject(ReasonDeclined), nil
 		}
 		if err := placement.Validate(e.network, req); err != nil {
 			e.twoPhase.Abort(req, placement)
-			return reject(ReasonInvalid)
+			return reject(ReasonInvalid), nil
 		}
 		if e.reserveAll(req, placement, demand) {
 			e.twoPhase.Commit(req, placement)
 			e.mu.Lock()
 			e.recordAdmissionLocked(req, placement, slot)
 			e.mu.Unlock()
+			e.recordOutcome(req, slot, trace.ReasonAdmitted, placement)
 			if sampled {
 				e.observeShard(shard, enqueued)
 			}
-			return AdmissionResult{ID: id, Admitted: true, Slot: slot, Placement: placement}
+			return AdmissionResult{ID: id, Admitted: true, Slot: slot, Placement: placement}, nil
 		}
 		// The ledger refused: a concurrent commit consumed the capacity
 		// the proposal saw. Abort and re-propose against the new state.
 		e.conflicts.Add(1)
 		e.twoPhase.Abort(req, placement)
 	}
-	return reject(ReasonConflict)
+	return reject(ReasonConflict), nil
 }
 
 // reserveAll reserves the placement's whole footprint, rolling back on the
@@ -664,6 +724,10 @@ func (e *Engine) Slot() int {
 
 // Horizon returns the served horizon T.
 func (e *Engine) Horizon() int { return e.horizon }
+
+// Traces returns the engine's decision-trace store; nil when tracing is
+// disabled.
+func (e *Engine) Traces() *trace.Store { return e.traces }
 
 // Network returns the served network (read-only by convention).
 func (e *Engine) Network() *core.Network { return e.network }

@@ -509,3 +509,37 @@ func TestEngineSubmitContextCancel(t *testing.T) {
 		time.Sleep(time.Millisecond)
 	}
 }
+
+// TestEngineCanceledJobSkipped submits with an already-canceled context:
+// the serial worker must drop the job without touching the scheduler —
+// deciding would mutate dual prices for a caller that abandoned the wait —
+// and account for it under the "canceled" rejection reason.
+func TestEngineCanceledJobSkipped(t *testing.T) {
+	e := newTestEngine(t, 10)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := e.Submit(ctx, AdmissionRequest{VNF: 0, Reliability: 0.9, Duration: 1, Payment: 5})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	deadline := time.Now().Add(time.Second)
+	for {
+		s := e.Stats()
+		if s.Rejections[ReasonCanceled] == 1 {
+			if s.Admitted != 0 {
+				t.Fatalf("canceled job reached the scheduler: %+v", s)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("canceled rejection never counted: %+v", e.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// A live context still gets a decision afterwards: the worker loop
+	// survives the skip.
+	res := submit(t, e, AdmissionRequest{VNF: 0, Reliability: 0.9, Duration: 1, Payment: 5})
+	if !res.Admitted {
+		t.Fatalf("follow-up submission not admitted: %+v", res)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"strconv"
 
 	"revnf/internal/core"
+	"revnf/internal/trace"
 )
 
 // HTTP wire shapes. Kept separate from the engine types so the JSON field
@@ -44,17 +45,33 @@ type placementRecordDTO struct {
 	Placement   *placementDTO `json:"placement"`
 }
 
+// errorDTO is the v1 error envelope, used by every endpoint: code repeats
+// the HTTP status, reason is a machine-readable code from the trace.Reason
+// vocabulary (the same enum decision traces and the rejection metrics
+// use), and detail is an optional human-readable elaboration.
 type errorDTO struct {
-	Error string `json:"error"`
+	Code   int    `json:"code"`
+	Reason string `json:"reason"`
+	Detail string `json:"detail,omitempty"`
 }
 
-// NewHandler exposes the engine over HTTP/JSON:
+// writeError sends the v1 error envelope.
+func writeError(w http.ResponseWriter, status int, reason, detail string) {
+	writeJSON(w, status, errorDTO{Code: status, Reason: reason, Detail: detail})
+}
+
+// NewHandler exposes the engine over HTTP/JSON (API version v1):
 //
-//	POST /v1/requests        admit or reject one request (503 on backpressure)
-//	GET  /v1/placements/{id} look up an admitted placement
-//	GET  /v1/cloudlets       residual capacity per cloudlet per slot
-//	GET  /healthz            liveness (503 once shutdown begins)
-//	GET  /metrics            Prometheus text exposition
+//	POST /v1/requests            admit or reject one request (503 on backpressure)
+//	GET  /v1/placements/{id}     look up an admitted placement
+//	GET  /v1/decisions/{id}/trace decision trace for a request (tracing on)
+//	GET  /v1/cloudlets           residual capacity per cloudlet per slot
+//	GET  /healthz                liveness (503 once shutdown begins)
+//	GET  /metrics                Prometheus text exposition
+//
+// Every error response carries the JSON envelope
+// {"code": <http status>, "reason": "<machine code>", "detail": "..."};
+// the reason values are the trace.Reason vocabulary.
 func NewHandler(e *Engine) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/requests", func(w http.ResponseWriter, r *http.Request) {
@@ -62,20 +79,20 @@ func NewHandler(e *Engine) http.Handler {
 		dec := json.NewDecoder(r.Body)
 		dec.DisallowUnknownFields()
 		if err := dec.Decode(&ar); err != nil {
-			writeJSON(w, http.StatusBadRequest, errorDTO{Error: fmt.Sprintf("decode request: %v", err)})
+			writeError(w, http.StatusBadRequest, ReasonInvalid, fmt.Sprintf("decode request: %v", err))
 			return
 		}
 		res, err := e.Submit(r.Context(), ar)
 		switch {
 		case errors.Is(err, ErrQueueFull):
 			w.Header().Set("Retry-After", "1")
-			writeJSON(w, http.StatusServiceUnavailable, errorDTO{Error: ReasonQueueFull})
+			writeError(w, http.StatusServiceUnavailable, ReasonQueueFull, "ingest queue at capacity")
 			return
 		case errors.Is(err, ErrClosed):
-			writeJSON(w, http.StatusServiceUnavailable, errorDTO{Error: ReasonClosed})
+			writeError(w, http.StatusServiceUnavailable, ReasonClosed, "engine shutting down")
 			return
 		case err != nil: // context cancellation: the client went away
-			writeJSON(w, http.StatusServiceUnavailable, errorDTO{Error: err.Error()})
+			writeError(w, http.StatusServiceUnavailable, ReasonCanceled, err.Error())
 			return
 		}
 		out := decisionDTO{ID: res.ID, Admitted: res.Admitted, Reason: res.Reason, Slot: res.Slot}
@@ -94,12 +111,12 @@ func NewHandler(e *Engine) http.Handler {
 	mux.HandleFunc("GET /v1/placements/{id}", func(w http.ResponseWriter, r *http.Request) {
 		id, err := strconv.Atoi(r.PathValue("id"))
 		if err != nil {
-			writeJSON(w, http.StatusBadRequest, errorDTO{Error: "placement id must be an integer"})
+			writeError(w, http.StatusBadRequest, ReasonInvalid, "placement id must be an integer")
 			return
 		}
 		rec, ok := e.Placement(id)
 		if !ok {
-			writeJSON(w, http.StatusNotFound, errorDTO{Error: fmt.Sprintf("no placement %d", id)})
+			writeError(w, http.StatusNotFound, string(trace.ReasonNotFound), fmt.Sprintf("no placement %d", id))
 			return
 		}
 		writeJSON(w, http.StatusOK, placementRecordDTO{
@@ -115,6 +132,27 @@ func NewHandler(e *Engine) http.Handler {
 		})
 	})
 
+	mux.HandleFunc("GET /v1/decisions/{id}/trace", func(w http.ResponseWriter, r *http.Request) {
+		id, err := strconv.Atoi(r.PathValue("id"))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, ReasonInvalid, "decision id must be an integer")
+			return
+		}
+		store := e.Traces()
+		if store == nil {
+			writeError(w, http.StatusNotFound, string(trace.ReasonNotFound),
+				"decision tracing is disabled (start revnfd with -trace)")
+			return
+		}
+		dt, ok := store.Get(id)
+		if !ok {
+			writeError(w, http.StatusNotFound, string(trace.ReasonNotFound),
+				fmt.Sprintf("no trace for decision %d (not sampled, or evicted from the ring)", id))
+			return
+		}
+		writeJSON(w, http.StatusOK, dt)
+	})
+
 	mux.HandleFunc("GET /v1/cloudlets", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, struct {
 			Slot      int              `json:"slot"`
@@ -125,7 +163,7 @@ func NewHandler(e *Engine) http.Handler {
 
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		if e.Closed() {
-			http.Error(w, "shutting down", http.StatusServiceUnavailable)
+			writeError(w, http.StatusServiceUnavailable, ReasonClosed, "shutting down")
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -135,7 +173,7 @@ func NewHandler(e *Engine) http.Handler {
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		if err := e.WriteMetrics(w); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
+			writeError(w, http.StatusInternalServerError, string(trace.ReasonInternal), err.Error())
 		}
 	})
 

@@ -14,6 +14,8 @@ import (
 	"time"
 
 	"revnf/internal/offsite"
+	"revnf/internal/onsite"
+	"revnf/internal/trace"
 )
 
 func newTestServer(t *testing.T, horizon int, opts ...func(*Config)) (*Engine, *httptest.Server) {
@@ -304,6 +306,160 @@ func TestHTTPMethodNotAllowed(t *testing.T) {
 	_ = resp.Body.Close()
 	if resp.StatusCode != http.StatusMethodNotAllowed {
 		t.Errorf("GET /v1/requests = %d, want 405", resp.StatusCode)
+	}
+}
+
+// getError performs a request and decodes the v1 error envelope.
+func getError(t *testing.T, method, url string, body io.Reader) (int, errorDTO) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "application/json") {
+		t.Errorf("%s %s: error content type = %q, want JSON envelope", method, url, ct)
+	}
+	var env errorDTO
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatalf("%s %s: decode error envelope: %v", method, url, err)
+	}
+	return resp.StatusCode, env
+}
+
+// TestHTTPErrorEnvelope pins the unified {"code","reason","detail"} error
+// shape across endpoints: reason codes come from the trace.Reason enum and
+// code always repeats the HTTP status.
+func TestHTTPErrorEnvelope(t *testing.T) {
+	_, srv := newTestServer(t, 20)
+	cases := []struct {
+		method, path string
+		body         string
+		status       int
+		reason       string
+	}{
+		{"POST", "/v1/requests", `{not json`, http.StatusBadRequest, ReasonInvalid},
+		{"GET", "/v1/placements/abc", "", http.StatusBadRequest, ReasonInvalid},
+		{"GET", "/v1/placements/9999", "", http.StatusNotFound, string(trace.ReasonNotFound)},
+		{"GET", "/v1/decisions/abc/trace", "", http.StatusBadRequest, ReasonInvalid},
+		// Tracing is off for this server: the endpoint 404s with detail.
+		{"GET", "/v1/decisions/0/trace", "", http.StatusNotFound, string(trace.ReasonNotFound)},
+	}
+	for _, tc := range cases {
+		var body io.Reader
+		if tc.body != "" {
+			body = strings.NewReader(tc.body)
+		}
+		status, env := getError(t, tc.method, srv.URL+tc.path, body)
+		if status != tc.status || env.Code != tc.status || env.Reason != tc.reason {
+			t.Errorf("%s %s: status %d envelope %+v, want %d/%s",
+				tc.method, tc.path, status, env, tc.status, tc.reason)
+		}
+		if env.Detail == "" {
+			t.Errorf("%s %s: envelope missing detail", tc.method, tc.path)
+		}
+	}
+}
+
+// TestHTTPDecisionTrace wires a trace store into the engine, submits one
+// admitted and one declined request, and reads both decisions back through
+// GET /v1/decisions/{id}/trace: the scheduler attempt and the engine
+// outcome must be merged into one trace, and the trace counters must show
+// up on /metrics.
+func TestHTTPDecisionTrace(t *testing.T) {
+	store := trace.NewStore(16)
+	n := testNetwork()
+	sched, err := onsite.NewScheduler(n, 20,
+		onsite.WithCapacityEnforcement(), onsite.WithRecorder(store))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(Config{Network: n, Scheduler: sched, Horizon: 20, Traces: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		_ = e.Shutdown(ctx)
+	})
+	srv := httptest.NewServer(NewHandler(e))
+	t.Cleanup(srv.Close)
+
+	_, admitted := postRequest(t, srv.URL, `{"vnf":0,"reliability":0.9,"duration":3,"payment":12.5}`)
+	if !admitted.Admitted {
+		t.Fatalf("decision = %+v, want admitted", admitted)
+	}
+	_, declined := postRequest(t, srv.URL, `{"vnf":0,"reliability":0.995,"duration":3,"payment":12.5}`)
+	if declined.Admitted || declined.Reason != ReasonDeclined {
+		t.Fatalf("decision = %+v, want declined", declined)
+	}
+
+	var dt trace.DecisionTrace
+	resp, err := http.Get(fmt.Sprintf("%s/v1/decisions/%d/trace", srv.URL, admitted.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace status = %d, want 200", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&dt); err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if dt.Request != admitted.ID || !dt.Admitted || dt.Outcome != trace.ReasonAdmitted {
+		t.Errorf("trace = %+v, want admitted outcome for %d", dt, admitted.ID)
+	}
+	if len(dt.Attempts) != 1 || !dt.Attempts[0].Admit || dt.Attempts[0].Attempt != 1 {
+		t.Errorf("attempts = %+v, want one admitting attempt", dt.Attempts)
+	}
+	if len(dt.Assignments) == 0 {
+		t.Errorf("admitted trace has no assignments: %+v", dt)
+	}
+
+	resp, err = http.Get(fmt.Sprintf("%s/v1/decisions/%d/trace", srv.URL, declined.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&dt); err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if dt.Admitted || dt.Outcome != trace.ReasonDeclined {
+		t.Errorf("declined trace = %+v, want declined outcome", dt)
+	}
+	if dt.FinalReason() != trace.ReasonDeclined {
+		t.Errorf("FinalReason = %q, want declined", dt.FinalReason())
+	}
+	if len(dt.Attempts) != 1 || dt.Attempts[0].Admit || dt.Attempts[0].Reason == "" {
+		t.Errorf("declined attempt = %+v, want scheduler-level reason", dt.Attempts)
+	}
+
+	// Unknown ID: envelope 404 with the not-sampled detail.
+	status, env := getError(t, "GET", srv.URL+"/v1/decisions/424242/trace", nil)
+	if status != http.StatusNotFound || env.Reason != string(trace.ReasonNotFound) {
+		t.Errorf("unknown trace: %d %+v", status, env)
+	}
+
+	// Trace counters and the λ gauge ride the same scrape.
+	resp, err = http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	for _, want := range []string{
+		"revnfd_trace_recorded_total",
+		"revnfd_trace_store_capacity 16\n",
+		`revnfd_dual_price{cloudlet="0",window="current"}`,
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("metrics missing %q", want)
+		}
 	}
 }
 

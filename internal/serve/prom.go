@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strconv"
 
+	"revnf/internal/core"
 	"revnf/internal/metrics"
 )
 
@@ -43,7 +44,56 @@ func (e *Engine) WriteMetrics(w io.Writer) error {
 		s.Latency.Metric("revnfd_admission_latency_seconds",
 			"Latency from submission to admission decision."),
 	}
+	if e.traces != nil {
+		st := e.traces.Stats()
+		families = append(families,
+			metrics.Counter("revnfd_trace_recorded_total",
+				"Decision-trace records accepted by the ring store.", float64(st.Recorded)),
+			metrics.Counter("revnfd_trace_evicted_total",
+				"Decision traces evicted from the ring store to make room.", float64(st.Evicted)),
+			metrics.Gauge("revnfd_trace_store_entries",
+				"Decision traces currently resident in the ring store.", float64(st.Len)),
+			metrics.Gauge("revnfd_trace_store_capacity",
+				"Capacity of the decision-trace ring store.", float64(st.Capacity)),
+		)
+	}
+	if lr, ok := e.sched.(core.LambdaReader); ok {
+		families = append(families, lambdaFamily(lr, len(e.network.Cloudlets), s.Slot, e.horizon))
+	}
 	return metrics.WriteProm(w, families)
+}
+
+// lambdaFamily summarizes the primal-dual scheduler's dual prices: per
+// cloudlet, the price λ_{tj} at the current slot and the maximum over the
+// remaining horizon. The full T×K surface would be an unbounded label
+// space; these two gauges track how congestion pricing is building up.
+func lambdaFamily(lr core.LambdaReader, cloudlets, slot, horizon int) metrics.PromMetric {
+	fam := metrics.PromMetric{
+		Name: "revnfd_dual_price",
+		Help: "Dual price lambda of each cloudlet: at the current slot, and the max over the remaining horizon.",
+		Type: "gauge",
+	}
+	for j := 0; j < cloudlets; j++ {
+		now := lr.Lambda(j, slot)
+		max := 0.0
+		for t := slot; t <= horizon; t++ {
+			if v := lr.Lambda(j, t); v > max {
+				max = v
+			}
+		}
+		label := strconv.Itoa(j)
+		fam.Samples = append(fam.Samples,
+			metrics.PromSample{
+				Labels: []metrics.LabelPair{{Name: "cloudlet", Value: label}, {Name: "window", Value: "current"}},
+				Value:  now,
+			},
+			metrics.PromSample{
+				Labels: []metrics.LabelPair{{Name: "cloudlet", Value: label}, {Name: "window", Value: "max"}},
+				Value:  max,
+			},
+		)
+	}
+	return fam
 }
 
 func rejectionFamily(rejections map[string]uint64) metrics.PromMetric {
@@ -54,7 +104,7 @@ func rejectionFamily(rejections map[string]uint64) metrics.PromMetric {
 	}
 	// Every defined reason is always exposed so scrapes see stable series.
 	reasons := []string{ReasonInvalid, ReasonStale, ReasonHorizon, ReasonDeclined,
-		ReasonOverbooked, ReasonConflict, ReasonQueueFull, ReasonClosed}
+		ReasonOverbooked, ReasonConflict, ReasonQueueFull, ReasonClosed, ReasonCanceled}
 	for r := range rejections {
 		found := false
 		for _, known := range reasons {

@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"revnf/internal/core"
+	"revnf/internal/trace"
 )
 
 // Errors returned by the engine.
@@ -77,32 +78,48 @@ type Config struct {
 	AllowViolations bool
 	// Now overrides the clock used for latency measurement (tests).
 	Now func() time.Time
+	// Traces, when non-nil, stores decision traces and enables the
+	// GET /v1/decisions/{id}/trace endpoint. The engine records its
+	// pre-scheduler rejections and final outcomes into it; pass the same
+	// store to the scheduler (WithRecorder) so Propose attempts land in
+	// the same merged trace.
+	Traces *trace.Store
+	// Recorder overrides the sink the engine records into; nil selects
+	// Traces, or the no-op recorder when Traces is nil too. Wrap the
+	// store in trace.NewSampling to thin the stream.
+	Recorder trace.Recorder
 }
 
 // DefaultQueueSize is the ingest queue bound when Config.QueueSize is 0.
 const DefaultQueueSize = 256
 
-// Rejection reasons reported in results and metrics.
+// Rejection reasons reported in results, metrics, and the HTTP error
+// envelope. They alias the trace.Reason enum so the decision traces, the
+// /metrics label values, and the error envelope's "reason" field all speak
+// one vocabulary.
 const (
 	// ReasonInvalid marks requests that fail model validation.
-	ReasonInvalid = "invalid"
+	ReasonInvalid = string(trace.ReasonInvalid)
 	// ReasonStale marks requests whose arrival slot has already passed.
-	ReasonStale = "stale"
+	ReasonStale = string(trace.ReasonStale)
 	// ReasonHorizon marks windows extending beyond the served horizon.
-	ReasonHorizon = "horizon"
+	ReasonHorizon = string(trace.ReasonHorizon)
 	// ReasonDeclined marks requests the scheduler priced out or could not
 	// place — the paper's genuine online rejection.
-	ReasonDeclined = "declined"
+	ReasonDeclined = string(trace.ReasonDeclined)
 	// ReasonOverbooked marks scheduler placements the ledger refused; it
 	// indicates a scheduler violating its feasibility contract.
-	ReasonOverbooked = "overbooked"
+	ReasonOverbooked = string(trace.ReasonOverbooked)
 	// ReasonConflict marks sharded-mode requests whose proposals kept
 	// losing the capacity race to concurrent commits: the ledger refused
 	// the reservation on every bounded retry. It is the concurrency
 	// analogue of ReasonDeclined, not a scheduler bug.
-	ReasonConflict = "conflict"
+	ReasonConflict = string(trace.ReasonConflict)
 	// ReasonQueueFull marks submissions dropped by backpressure.
-	ReasonQueueFull = "queue-full"
+	ReasonQueueFull = string(trace.ReasonQueueFull)
 	// ReasonClosed marks submissions after shutdown began.
-	ReasonClosed = "closed"
+	ReasonClosed = string(trace.ReasonClosed)
+	// ReasonCanceled marks submissions abandoned because the caller's
+	// context ended (client disconnect or deadline) before a decision.
+	ReasonCanceled = string(trace.ReasonCanceled)
 )

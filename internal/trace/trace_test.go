@@ -1,0 +1,209 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+
+	"revnf/internal/core"
+)
+
+func req(id int) core.Request {
+	return core.Request{ID: id, VNF: 1, Reliability: 0.95, Arrival: 1, Duration: 2, Payment: 10}
+}
+
+func attemptRecord(id int, admit bool, reason Reason) *DecisionTrace {
+	dt := NewDecision(req(id), "test-sched", "onsite")
+	pt := ProposeTrace{Scheduler: "test-sched", Scheme: "onsite", Admit: admit}
+	if !admit {
+		pt.Reason = reason
+	}
+	dt.Attempts = []ProposeTrace{pt}
+	return dt
+}
+
+func TestNopRecorder(t *testing.T) {
+	if Nop.Sample(0) || Nop.Sample(7) {
+		t.Fatal("Nop.Sample must always be false")
+	}
+	Nop.Record(nil) // must not panic
+}
+
+func TestSamplingDeterminism(t *testing.T) {
+	s := NewSampling(NewStore(8), 10)
+	for id := 0; id < 100; id++ {
+		want := id%10 == 0
+		if got := s.Sample(id); got != want {
+			t.Fatalf("Sample(%d) = %v, want %v", id, got, want)
+		}
+		// Deterministic: same answer on every call.
+		if got := s.Sample(id); got != (id%10 == 0) {
+			t.Fatalf("Sample(%d) not deterministic", id)
+		}
+	}
+}
+
+func TestSamplingEveryOneReturnsInner(t *testing.T) {
+	st := NewStore(4)
+	if got := NewSampling(st, 1); got != Recorder(st) {
+		t.Fatalf("NewSampling(st, 1) = %v, want the inner store", got)
+	}
+	if got := NewSampling(st, 0); got != Recorder(st) {
+		t.Fatalf("NewSampling(st, 0) = %v, want the inner store", got)
+	}
+}
+
+func TestStoreEvictionFIFO(t *testing.T) {
+	s := NewStore(3)
+	for id := 1; id <= 5; id++ {
+		s.Record(attemptRecord(id, false, ReasonPricedOut))
+	}
+	// Capacity 3, five inserts: 1 and 2 evicted, 3..5 resident.
+	for _, id := range []int{1, 2} {
+		if _, ok := s.Get(id); ok {
+			t.Fatalf("request %d should have been evicted", id)
+		}
+	}
+	for _, id := range []int{3, 4, 5} {
+		if _, ok := s.Get(id); !ok {
+			t.Fatalf("request %d should be resident", id)
+		}
+	}
+	st := s.Stats()
+	if st.Evicted != 2 || st.Len != 3 || st.Recorded != 5 || st.Capacity != 3 {
+		t.Fatalf("stats = %+v, want Evicted 2, Len 3, Recorded 5, Capacity 3", st)
+	}
+}
+
+func TestStoreReRecordDoesNotRefreshEvictionOrder(t *testing.T) {
+	s := NewStore(2)
+	s.Record(attemptRecord(1, false, ReasonPricedOut))
+	s.Record(attemptRecord(2, false, ReasonPricedOut))
+	// Re-record 1 (a retry attempt): must not move it to the back.
+	s.Record(attemptRecord(1, false, ReasonPricedOut))
+	s.Record(attemptRecord(3, false, ReasonPricedOut))
+	if _, ok := s.Get(1); ok {
+		t.Fatal("request 1 should have been evicted as the oldest insertion")
+	}
+	if _, ok := s.Get(2); !ok {
+		t.Fatal("request 2 should still be resident")
+	}
+	dt, _ := s.Get(3)
+	if dt.Request != 3 {
+		t.Fatalf("Get(3).Request = %d", dt.Request)
+	}
+}
+
+func TestStoreMergeAttemptsAndOutcome(t *testing.T) {
+	s := NewStore(4)
+	// Two scheduler attempts (a sharded retry), then the engine outcome.
+	s.Record(attemptRecord(7, false, ReasonPricedOut))
+	s.Record(attemptRecord(7, true, ""))
+	fin := NewDecision(req(7), "test-sched", "onsite")
+	fin.Slot = 3
+	fin.Outcome = ReasonAdmitted
+	fin.Admitted = true
+	fin.Assignments = []core.Assignment{{Cloudlet: 2, Instances: 1}}
+	s.Record(fin)
+
+	dt, ok := s.Get(7)
+	if !ok {
+		t.Fatal("trace 7 missing")
+	}
+	if len(dt.Attempts) != 2 {
+		t.Fatalf("attempts = %d, want 2", len(dt.Attempts))
+	}
+	if dt.Attempts[0].Attempt != 1 || dt.Attempts[1].Attempt != 2 {
+		t.Fatalf("attempt numbering = %d,%d, want 1,2", dt.Attempts[0].Attempt, dt.Attempts[1].Attempt)
+	}
+	if !dt.Admitted || dt.Outcome != ReasonAdmitted || dt.Slot != 3 {
+		t.Fatalf("outcome not finalized: %+v", dt)
+	}
+	if len(dt.Assignments) != 1 || dt.Assignments[0].Cloudlet != 2 {
+		t.Fatalf("assignments = %+v", dt.Assignments)
+	}
+	if dt.FinalReason() != ReasonAdmitted {
+		t.Fatalf("FinalReason = %q", dt.FinalReason())
+	}
+}
+
+func TestStoreBatchPathAdmitFromLastAttempt(t *testing.T) {
+	s := NewStore(4)
+	s.Record(attemptRecord(9, true, ""))
+	dt, _ := s.Get(9)
+	if !dt.Admitted {
+		t.Fatal("batch path should set Admitted from the attempt verdict")
+	}
+	if dt.Outcome != "" {
+		t.Fatalf("batch path must leave Outcome empty, got %q", dt.Outcome)
+	}
+	if dt.FinalReason() != ReasonAdmitted {
+		t.Fatalf("FinalReason = %q, want admitted", dt.FinalReason())
+	}
+}
+
+func TestFinalReason(t *testing.T) {
+	empty := &DecisionTrace{}
+	if empty.FinalReason() != "" {
+		t.Fatalf("empty trace FinalReason = %q", empty.FinalReason())
+	}
+	rejected := attemptRecord(1, false, ReasonInsufficientWeight)
+	if rejected.FinalReason() != ReasonInsufficientWeight {
+		t.Fatalf("FinalReason = %q, want insufficient-weight", rejected.FinalReason())
+	}
+	rejected.Outcome = ReasonDeclined
+	if rejected.FinalReason() != ReasonDeclined {
+		t.Fatalf("engine outcome must win: %q", rejected.FinalReason())
+	}
+}
+
+func TestGetReturnsCopy(t *testing.T) {
+	s := NewStore(2)
+	fin := NewDecision(req(4), "test-sched", "onsite")
+	fin.Outcome = ReasonAdmitted
+	fin.Admitted = true
+	fin.Assignments = []core.Assignment{{Cloudlet: 1, Instances: 2}}
+	s.Record(fin)
+	a, _ := s.Get(4)
+	a.Assignments[0].Cloudlet = 99
+	b, _ := s.Get(4)
+	if b.Assignments[0].Cloudlet != 1 {
+		t.Fatal("Get must return an isolated copy of Assignments")
+	}
+}
+
+// TestStoreConcurrentWriters hammers the store from many goroutines; run
+// under -race this is the data-race check for the ring and the merge path.
+func TestStoreConcurrentWriters(t *testing.T) {
+	s := NewStore(64)
+	const writers = 8
+	const perWriter = 200
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				id := w*perWriter + i
+				s.Record(attemptRecord(id, i%2 == 0, ReasonPricedOut))
+				if i%3 == 0 {
+					_, _ = s.Get(id)
+				}
+				if i%17 == 0 {
+					_ = s.Stats()
+					_ = s.Len()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := s.Stats()
+	if st.Recorded != writers*perWriter {
+		t.Fatalf("recorded = %d, want %d", st.Recorded, writers*perWriter)
+	}
+	if st.Len != 64 {
+		t.Fatalf("len = %d, want full ring 64", st.Len)
+	}
+	if st.Evicted != writers*perWriter-64 {
+		t.Fatalf("evicted = %d, want %d", st.Evicted, writers*perWriter-64)
+	}
+}

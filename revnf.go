@@ -19,20 +19,27 @@
 // Quick start:
 //
 //	inst, err := revnf.NewInstance(revnf.DefaultInstanceConfig(200), 1)
-//	sched, err := revnf.NewOnsiteScheduler(inst.Network, inst.Horizon)
+//	sched, err := revnf.NewScheduler(inst.Network, revnf.OnSite,
+//		revnf.WithHorizon(inst.Horizon))
 //	res, err := revnf.Run(inst, sched)
 //	fmt.Println(res.Revenue, res.AdmissionRate())
+//
+// Decision tracing (why was a request admitted or priced out?):
+//
+//	store := revnf.NewTraceStore(1024)
+//	sched, err := revnf.NewScheduler(inst.Network, revnf.OnSite,
+//		revnf.WithHorizon(inst.Horizon), revnf.WithRecorder(store))
+//	... run ...
+//	dt, ok := store.Get(requestID) // candidates, dual costs, reason code
 package revnf
 
 import (
 	"math/rand"
 
-	"revnf/internal/baseline"
 	"revnf/internal/core"
 	"revnf/internal/experiments"
 	"revnf/internal/mip"
 	"revnf/internal/offline"
-	"revnf/internal/offsite"
 	"revnf/internal/onsite"
 	"revnf/internal/simulate"
 	"revnf/internal/workload"
@@ -141,32 +148,43 @@ func NewInstance(cfg InstanceConfig, seed int64) (*Instance, error) {
 
 // NewOnsiteScheduler returns Algorithm 1 in its evaluated form: dual-price
 // admission with capacity enforcement, so no violations occur.
+//
+// Deprecated: use NewScheduler(n, OnSite, WithHorizon(horizon)).
 func NewOnsiteScheduler(n *Network, horizon int) (Scheduler, error) {
-	return onsite.NewScheduler(n, horizon, onsite.WithCapacityEnforcement())
+	return NewScheduler(n, OnSite, WithHorizon(horizon))
 }
 
 // NewRawOnsiteScheduler returns the theory-faithful Algorithm 1: it
 // achieves the (1+a_max) competitive ratio but may overcommit cloudlets
 // within the bound of Lemma 8. Run it with AllowViolations.
+//
+// Deprecated: use NewScheduler(n, OnSite, WithAlgorithm(RawPrimalDual),
+// WithHorizon(horizon)).
 func NewRawOnsiteScheduler(n *Network, horizon int) (Scheduler, error) {
-	return onsite.NewScheduler(n, horizon)
+	return NewScheduler(n, OnSite, WithAlgorithm(RawPrimalDual), WithHorizon(horizon))
 }
 
 // NewOffsiteScheduler returns Algorithm 2: the off-site primal-dual
 // heuristic. It never violates capacity.
+//
+// Deprecated: use NewScheduler(n, OffSite, WithHorizon(horizon)).
 func NewOffsiteScheduler(n *Network, horizon int) (Scheduler, error) {
-	return offsite.NewScheduler(n, horizon)
+	return NewScheduler(n, OffSite, WithHorizon(horizon))
 }
 
 // NewGreedyOnsite returns the paper's greedy on-site baseline (most
 // reliable cloudlet first).
+//
+// Deprecated: use NewScheduler(n, OnSite, WithAlgorithm(Greedy)).
 func NewGreedyOnsite(n *Network) (Scheduler, error) {
-	return baseline.NewGreedyOnsite(n)
+	return NewScheduler(n, OnSite, WithAlgorithm(Greedy))
 }
 
 // NewGreedyOffsite returns the paper's greedy off-site baseline.
+//
+// Deprecated: use NewScheduler(n, OffSite, WithAlgorithm(Greedy)).
 func NewGreedyOffsite(n *Network) (Scheduler, error) {
-	return baseline.NewGreedyOffsite(n)
+	return NewScheduler(n, OffSite, WithAlgorithm(Greedy))
 }
 
 // Run simulates the scheduler over the instance's trace with full

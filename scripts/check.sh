@@ -25,4 +25,7 @@ go run ./cmd/revnfvet ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
+echo "==> daemon smoke test (tracing + pprof enabled)"
+go test ./cmd/revnfd -run 'TestDaemonTraceSmoke|TestDaemonPprofOffByDefault' -count=1
+
 echo "OK"
