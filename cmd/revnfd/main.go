@@ -10,6 +10,7 @@
 //	revnfd -addr :8080 -algorithm pd -scheme offsite -topology geant -cloudlets 10
 //	revnfd -instance trace.json -algorithm greedy -scheme onsite
 //	revnfd -trace 1024 -trace-sample 1 -pprof   # decision traces + profiling
+//	revnfd -chaos -chaos-seed 7 -slot 500ms     # failure injection + SLO-tracked repair
 //
 // The network is drawn from the same generator as the simulators, so a
 // load generator started with the same -topology/-cloudlets/-seed flags
@@ -34,6 +35,7 @@ import (
 	"time"
 
 	"revnf"
+	"revnf/internal/chaos"
 	"revnf/internal/core"
 	"revnf/internal/experiments"
 	"revnf/internal/serve"
@@ -68,6 +70,11 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		traceCap    = fs.Int("trace", 0, "decision-trace ring capacity; 0 disables tracing")
 		traceSample = fs.Int("trace-sample", 1, "trace one in N requests (1 = every request)")
 		pprofOn     = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		chaosOn     = fs.Bool("chaos", false, "enable the failure runtime: seeded chaos injection, repair, SLO accounting")
+		chaosSeed   = fs.Int64("chaos-seed", 0, "chaos injection seed (0 = derive from -seed)")
+		chaosCMTTR  = fs.Float64("chaos-cloudlet-mttr", 4, "mean slots a failed cloudlet stays down")
+		chaosIMTTR  = fs.Float64("chaos-instance-mttr", 2, "mean slots a failed instance stays down")
+		repairTries = fs.Int("repair-attempts", 3, "repair attempts per failure episode before a placement degrades")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -87,6 +94,24 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	var inj *chaos.Injector
+	if *chaosOn {
+		cseed := *chaosSeed
+		if cseed == 0 {
+			cseed = *seed
+		}
+		// The injector's true rates default to the catalog, so the fleet
+		// fails at exactly the reliability the scheduler prices against.
+		inj, err = chaos.New(chaos.Config{
+			Network:      inst.Network,
+			CloudletMTTR: *chaosCMTTR,
+			InstanceMTTR: *chaosIMTTR,
+			Seed:         cseed,
+		})
+		if err != nil {
+			return fmt.Errorf("chaos: %w", err)
+		}
+	}
 	engine, err := serve.New(serve.Config{
 		Network:         inst.Network,
 		Scheduler:       sched,
@@ -97,6 +122,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		AllowViolations: allowViolations,
 		Traces:          store,
 		Recorder:        rec,
+		Chaos:           inj,
+		RepairAttempts:  *repairTries,
 	})
 	if err != nil {
 		return err
@@ -114,8 +141,12 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		handler = withPprof(handler)
 	}
 	srv := &http.Server{Handler: handler}
-	fmt.Fprintf(out, "revnfd: %s/%s over %d cloudlets, horizon %d, slot %s, workers %d, listening on http://%s\n",
-		sched.Name(), sched.Scheme(), len(inst.Network.Cloudlets), inst.Horizon, *slot, engine.Workers(), ln.Addr())
+	mode := ""
+	if inj != nil {
+		mode = ", chaos on"
+	}
+	fmt.Fprintf(out, "revnfd: %s/%s over %d cloudlets, horizon %d, slot %s, workers %d%s, listening on http://%s\n",
+		sched.Name(), sched.Scheme(), len(inst.Network.Cloudlets), inst.Horizon, *slot, engine.Workers(), mode, ln.Addr())
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()

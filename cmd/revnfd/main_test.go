@@ -127,6 +127,7 @@ func TestDaemonFlagValidation(t *testing.T) {
 		{"-algorithm", "bogus"},
 		{"-algorithm", "raw", "-scheme", "offsite"},
 		{"-instance", "/nonexistent/trace.json"},
+		{"-chaos", "-chaos-cloudlet-mttr", "0"},
 	} {
 		if err := run(ctx, args, &bytes.Buffer{}); err == nil {
 			t.Errorf("run(%v) succeeded, want error", args)
@@ -252,6 +253,95 @@ func TestDaemonTraceSmoke(t *testing.T) {
 	_ = pr.Body.Close()
 	if pr.StatusCode != http.StatusOK {
 		t.Errorf("pprof index status = %d, want 200", pr.StatusCode)
+	}
+}
+
+// TestDaemonChaosSmoke starts the daemon with the failure runtime enabled,
+// admits one request, and checks the per-placement health surface plus the
+// chaos metric families appear.
+func TestDaemonChaosSmoke(t *testing.T) {
+	url, _, _ := startDaemon(t, "-chaos", "-chaos-seed", "42")
+
+	resp, err := http.Post(url+"/v1/requests", "application/json",
+		strings.NewReader(`{"vnf":0,"reliability":0.9,"duration":3,"payment":50}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dec struct {
+		ID       int  `json:"id"`
+		Admitted bool `json:"admitted"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&dec); err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if !dec.Admitted {
+		t.Fatalf("request not admitted: %+v", dec)
+	}
+
+	hr, err := http.Get(fmt.Sprintf("%s/v1/placements/%d/health", url, dec.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = hr.Body.Close() }()
+	if hr.StatusCode != http.StatusOK {
+		t.Fatalf("health status = %d, want 200", hr.StatusCode)
+	}
+	var health struct {
+		ID          int     `json:"id"`
+		State       string  `json:"state"`
+		Required    float64 `json:"required"`
+		Provisioned float64 `json:"provisioned"`
+		SLOMet      bool    `json:"slo_met"`
+	}
+	if err := json.NewDecoder(hr.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	if health.ID != dec.ID || health.State != "active" || health.Required != 0.9 {
+		t.Errorf("health = %+v, want active placement requiring 0.9", health)
+	}
+	if health.Provisioned < health.Required {
+		t.Errorf("provisioned %v below requirement %v", health.Provisioned, health.Required)
+	}
+	if !health.SLOMet {
+		t.Errorf("fresh placement reports SLO missed: %+v", health)
+	}
+
+	mr, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb := &bytes.Buffer{}
+	_, _ = mb.ReadFrom(mr.Body)
+	_ = mr.Body.Close()
+	for _, want := range []string{
+		"revnfd_chaos_slots_total",
+		"revnfd_repairs_total",
+		`revnfd_estimated_reliability{cloudlet="0"}`,
+	} {
+		if !strings.Contains(mb.String(), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// TestDaemonHealthWithoutChaos keeps the health endpoint an explicit 404
+// when the failure runtime is disabled, steering operators to -chaos.
+func TestDaemonHealthWithoutChaos(t *testing.T) {
+	url, _, _ := startDaemon(t)
+	hr, err := http.Get(url + "/v1/placements/1/health")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var env struct {
+		Detail string `json:"detail"`
+	}
+	if err := json.NewDecoder(hr.Body).Decode(&env); err != nil {
+		t.Fatal(err)
+	}
+	_ = hr.Body.Close()
+	if hr.StatusCode != http.StatusNotFound || !strings.Contains(env.Detail, "-chaos") {
+		t.Errorf("health without chaos = %d %+v, want 404 pointing at -chaos", hr.StatusCode, env)
 	}
 }
 

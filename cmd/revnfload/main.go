@@ -215,10 +215,13 @@ func report(out io.Writer, results []result, elapsed time.Duration) {
 		latencies = append(latencies, r.latency)
 	}
 	decided := admitted + rejected
+	// Sort once up front: the throughput line quotes the p99 tail so a
+	// rate number is never read without its latency cost.
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
 	fmt.Fprintf(out, "requests:    %d in %s\n", len(results), elapsed.Round(time.Millisecond))
 	if elapsed > 0 {
-		fmt.Fprintf(out, "throughput:  %.0f decisions/sec (%d decided)\n",
-			float64(decided)/elapsed.Seconds(), decided)
+		fmt.Fprintf(out, "throughput:  %.0f decisions/sec (%d decided, p99 %s)\n",
+			float64(decided)/elapsed.Seconds(), decided, quantile(latencies, 0.99))
 	}
 	fmt.Fprintf(out, "admitted:    %d\n", admitted)
 	fmt.Fprintf(out, "rejected:    %d %v\n", rejected, reasonList(reasons))
@@ -227,7 +230,6 @@ func report(out io.Writer, results []result, elapsed time.Duration) {
 		fmt.Fprintf(out, "failed:      %d (transport or decode errors)\n", failed)
 	}
 	if len(latencies) > 0 {
-		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
 		fmt.Fprintf(out, "latency:     p50 %s  p95 %s  p99 %s  max %s\n",
 			quantile(latencies, 0.50), quantile(latencies, 0.95),
 			quantile(latencies, 0.99), latencies[len(latencies)-1])

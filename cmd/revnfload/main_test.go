@@ -69,6 +69,10 @@ func TestLoadGeneratorReplay(t *testing.T) {
 	if !strings.Contains(text, "latency:     p50") {
 		t.Errorf("report missing latency line: %q", text)
 	}
+	// The throughput line quotes the p99 tail beside the rate.
+	if !regexp.MustCompile(`throughput:  \d+ decisions/sec \(\d+ decided, p99 \S+\)`).MatchString(text) {
+		t.Errorf("report missing p99 on throughput line: %q", text)
+	}
 }
 
 func TestLoadGeneratorThrottled(t *testing.T) {

@@ -8,5 +8,6 @@ import (
 )
 
 func TestNorand(t *testing.T) {
-	analysistest.Run(t, "testdata", norand.Analyzer, "a", "revnf/cmd/tool")
+	analysistest.Run(t, "testdata", norand.Analyzer, "a", "revnf/cmd/tool",
+		"revnf/internal/chaos")
 }

@@ -1,0 +1,19 @@
+// Package chaos impersonates revnf/internal/chaos, a library package: the
+// injector's two RNG streams are built from explicit seeds, so every draw
+// must flow from an injected *rand.Rand — the global source is banned.
+package chaos
+
+import "math/rand"
+
+// streams is the blessed pattern: two generators from explicit seeds.
+func streams(seed int64) (*rand.Rand, *rand.Rand) {
+	return rand.New(rand.NewSource(seed)), rand.New(rand.NewSource(seed + 1))
+}
+
+func draw(rng *rand.Rand, rate float64) bool {
+	return rng.Float64() < rate
+}
+
+func globalDraw(rate float64) bool {
+	return rand.Float64() < rate // want `use of global math/rand\.Float64`
+}

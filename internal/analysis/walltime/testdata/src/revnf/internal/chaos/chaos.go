@@ -1,0 +1,21 @@
+// Package chaos impersonates revnf/internal/chaos, a member of the
+// deterministic set: the injector advances on the engine's slot clock,
+// so wall-clock reads are banned.
+package chaos
+
+import "time"
+
+func stepAt(slot int) int {
+	if time.Now().Unix() > 0 { // want `wall-clock read time\.Now`
+		return slot + 1
+	}
+	return slot
+}
+
+// mttrWindow is pure slot arithmetic on a duration constant — allowed.
+func mttrWindow(mttr float64, d time.Duration) float64 {
+	if d > time.Second {
+		return mttr * 2
+	}
+	return mttr
+}

@@ -1,0 +1,14 @@
+// Package repair impersonates revnf/internal/repair: episode latencies
+// are measured in slots, never in wall time.
+package repair
+
+import "time"
+
+func episodeLatency(openedAt time.Time) time.Duration {
+	return time.Since(openedAt) // want `wall-clock read time\.Since`
+}
+
+// slotLatency is the blessed pattern: latency as slot arithmetic.
+func slotLatency(failedAt, repairedAt int) int {
+	return repairedAt - failedAt
+}

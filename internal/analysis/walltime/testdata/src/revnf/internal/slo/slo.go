@@ -1,0 +1,17 @@
+// Package slo impersonates revnf/internal/slo: availability accounting
+// counts observed slots, never wall-clock intervals.
+package slo
+
+import "time"
+
+func pollUntil(deadline time.Time) bool {
+	return time.Until(deadline) > 0 // want `wall-clock read time\.Until`
+}
+
+// observed is the blessed pattern: availability from slot counters.
+func observed(up, total int) float64 {
+	if total == 0 {
+		return 1
+	}
+	return float64(up) / float64(total)
+}

@@ -30,6 +30,12 @@ var DeterministicPkgs = map[string]bool{
 	"revnf/internal/core":     true,
 	"revnf/internal/timeslot": true,
 	"revnf/internal/trace":    true,
+	// The failure runtime is driven by the serve engine's slot clock: a
+	// wall-clock read in the injector, repair controller, or SLO books
+	// would decouple failures from the slots they are accounted against.
+	"revnf/internal/chaos":  true,
+	"revnf/internal/repair": true,
+	"revnf/internal/slo":    true,
 }
 
 // forbidden lists the package-level time functions that read the wall

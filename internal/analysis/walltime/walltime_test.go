@@ -9,5 +9,6 @@ import (
 
 func TestWalltime(t *testing.T) {
 	analysistest.Run(t, "testdata", walltime.Analyzer,
-		"revnf/internal/onsite", "revnf/internal/experiments")
+		"revnf/internal/onsite", "revnf/internal/experiments",
+		"revnf/internal/chaos", "revnf/internal/repair", "revnf/internal/slo")
 }

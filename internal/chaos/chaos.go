@@ -1,0 +1,258 @@
+// Package chaos injects deterministic, seeded failures into a running
+// admission engine, using the same two-state Markov failure-timeline
+// model the batch simulator replays (internal/simulate): cloudlets crash
+// and recover with a configured MTTR, and every placed VNF instance
+// fails and recovers independently on top of its cloudlet.
+//
+// The injector is clocked by the serve engine's slot clock: the engine
+// calls Step once per Tick, so injection works identically in real-time
+// mode (the wall-clock slot ticker) and in the manual-clock mode the
+// hermetic soak tests use. Determinism comes from two dedicated seeded
+// RNG streams: cloudlet chains draw from one stream in cloudlet order,
+// instance chains from another in (placement ID, instance) order, so the
+// cloudlet failure timeline is a pure function of the seed regardless of
+// which placements happen to be admitted.
+//
+// The injector holds no locks: every method is called under the serve
+// engine's mutex (Watch/Rewatch/Unwatch from admission bookkeeping, Step
+// from Tick), which serializes all access.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+
+	"revnf/internal/core"
+	"revnf/internal/simulate"
+)
+
+// Config assembles an Injector.
+type Config struct {
+	// Network supplies the cloudlet fleet and the VNF catalog whose
+	// reliabilities parameterize the failure chains.
+	Network *core.Network
+	// CloudletMTTR and InstanceMTTR are mean repair times in slots (≥ 1),
+	// as in simulate.TimelineConfig.
+	CloudletMTTR, InstanceMTTR float64
+	// CloudletRates optionally overrides the catalog r(c_j) with the
+	// injector's true availability rates — the daemon then provisions
+	// against catalog values while failures follow these, which is the
+	// scenario the online estimator exists for. Nil uses catalog values;
+	// otherwise the length must match the cloudlet count and every rate
+	// must lie in (0,1).
+	CloudletRates []float64
+	// Seed derives the injector's two RNG streams.
+	Seed int64
+}
+
+// Injector drives the failure model against a live set of placements.
+type Injector struct {
+	network  *core.Network
+	cfg      Config
+	cloudlet []*simulate.Markov
+	rates    []float64 // the true cloudlet rates the chains run on
+	instRng  *rand.Rand
+	watched  map[int]*watched
+	order    []int // watched IDs, ascending; nil when stale
+}
+
+// watched is one admitted placement's live instance set.
+type watched struct {
+	id, vnf      int
+	arrival, end int
+	instances    []instance
+}
+
+type instance struct {
+	cloudlet int
+	chain    *simulate.Markov
+}
+
+// New validates the config and builds the injector with every cloudlet
+// chain initialized from its stationary distribution.
+func New(cfg Config) (*Injector, error) {
+	if cfg.Network == nil {
+		return nil, fmt.Errorf("chaos: nil network")
+	}
+	if err := cfg.Network.Validate(); err != nil {
+		return nil, fmt.Errorf("chaos: %v", err)
+	}
+	if err := (simulate.TimelineConfig{CloudletMTTR: cfg.CloudletMTTR, InstanceMTTR: cfg.InstanceMTTR}).Validate(); err != nil {
+		return nil, fmt.Errorf("chaos: %v", err)
+	}
+	rates := make([]float64, len(cfg.Network.Cloudlets))
+	for j, cl := range cfg.Network.Cloudlets {
+		rates[j] = cl.Reliability
+	}
+	if cfg.CloudletRates != nil {
+		if len(cfg.CloudletRates) != len(rates) {
+			return nil, fmt.Errorf("chaos: %d rate overrides for %d cloudlets", len(cfg.CloudletRates), len(rates))
+		}
+		for j, r := range cfg.CloudletRates {
+			if r <= 0 || r >= 1 {
+				return nil, fmt.Errorf("chaos: cloudlet %d rate %v outside (0,1)", j, r)
+			}
+			rates[j] = r
+		}
+	}
+	// Two independent streams: cloudlet chains must consume the same draw
+	// sequence whatever placements exist, so the cloudlet timeline (and
+	// with it the estimator's convergence target) is fixed by the seed.
+	cloudletRng := rand.New(rand.NewSource(cfg.Seed))
+	in := &Injector{
+		network:  cfg.Network,
+		cfg:      cfg,
+		cloudlet: make([]*simulate.Markov, len(rates)),
+		rates:    rates,
+		instRng:  rand.New(rand.NewSource(cfg.Seed + 1)),
+		watched:  make(map[int]*watched),
+	}
+	for j, r := range rates {
+		in.cloudlet[j] = simulate.NewMarkov(r, cfg.CloudletMTTR, cloudletRng)
+	}
+	return in, nil
+}
+
+// Cloudlets returns the number of cloudlet chains.
+func (in *Injector) Cloudlets() int { return len(in.cloudlet) }
+
+// TrueRate returns the stationary availability cloudlet j's chain
+// actually realizes — the convergence target for an online estimator.
+func (in *Injector) TrueRate(j int) float64 {
+	if j < 0 || j >= len(in.cloudlet) {
+		return 0
+	}
+	return in.cloudlet[j].StationaryRate()
+}
+
+// Watch registers an admitted placement: one failure chain per instance,
+// each drawn from its stationary distribution, observed over the window
+// [arrival, end]. Re-watching an ID replaces its instance set.
+func (in *Injector) Watch(id, vnf, arrival, end int, assignments []core.Assignment) {
+	w := &watched{id: id, vnf: vnf, arrival: arrival, end: end}
+	w.instances = in.buildInstances(vnf, assignments, false)
+	if _, ok := in.watched[id]; !ok {
+		in.order = nil
+	}
+	in.watched[id] = w
+}
+
+// Rewatch replaces a watched placement's instance set after a repair:
+// the new instances start up (a freshly placed instance is operational),
+// so a successful repair restores service within the repairing slot.
+func (in *Injector) Rewatch(id int, assignments []core.Assignment) {
+	w, ok := in.watched[id]
+	if !ok {
+		return
+	}
+	w.instances = in.buildInstances(w.vnf, assignments, true)
+}
+
+func (in *Injector) buildInstances(vnf int, assignments []core.Assignment, up bool) []instance {
+	rf := in.network.Catalog[vnf].Reliability
+	var out []instance
+	for _, a := range assignments {
+		for k := 0; k < a.Instances; k++ {
+			var chain *simulate.Markov
+			if up {
+				chain = simulate.NewMarkovIn(rf, in.cfg.InstanceMTTR, true, in.instRng)
+			} else {
+				chain = simulate.NewMarkov(rf, in.cfg.InstanceMTTR, in.instRng)
+			}
+			out = append(out, instance{cloudlet: a.Cloudlet, chain: chain})
+		}
+	}
+	return out
+}
+
+// Unwatch drops a placement (its window expired).
+func (in *Injector) Unwatch(id int) {
+	if _, ok := in.watched[id]; ok {
+		delete(in.watched, id)
+		in.order = nil
+	}
+}
+
+// PlacementHealth is one watched placement's failure picture for a slot.
+type PlacementHealth struct {
+	// ID is the placement (request) ID.
+	ID int
+	// Up reports whether at least one instance is live this slot (its
+	// own chain up and its cloudlet up) — the delivered-service notion of
+	// SimulateTimeline.
+	Up bool
+	// AliveInstances and TotalInstances count live instances against the
+	// placed footprint.
+	AliveInstances, TotalInstances int
+	// Alive is the surviving footprint: per-cloudlet live instance
+	// counts, ascending by cloudlet, omitting cloudlets with none. The
+	// repair controller evaluates this against the reliability target.
+	Alive []core.Assignment
+}
+
+// StepReport is one slot's injected state.
+type StepReport struct {
+	// Slot echoes the stepped slot.
+	Slot int
+	// CloudletUp holds each cloudlet's state this slot, by cloudlet ID.
+	CloudletUp []bool
+	// Placements reports every watched placement whose window covers the
+	// slot, ascending by ID.
+	Placements []PlacementHealth
+}
+
+// Step advances every chain by one slot and reports the resulting state.
+// Cloudlet chains advance unconditionally (their timeline is global);
+// instance chains advance only while their placement's window covers the
+// slot, so out-of-window placements keep their state frozen.
+func (in *Injector) Step(slot int) StepReport {
+	rep := StepReport{Slot: slot, CloudletUp: make([]bool, len(in.cloudlet))}
+	for j, m := range in.cloudlet {
+		rep.CloudletUp[j] = m.Step()
+	}
+	if in.order == nil {
+		in.order = make([]int, 0, len(in.watched))
+		for id := range in.watched {
+			in.order = append(in.order, id)
+		}
+		sortInts(in.order)
+	}
+	for _, id := range in.order {
+		w := in.watched[id]
+		if slot < w.arrival || slot > w.end {
+			continue
+		}
+		ph := PlacementHealth{ID: id, TotalInstances: len(w.instances)}
+		aliveBy := map[int]int{}
+		for _, inst := range w.instances {
+			instUp := inst.chain.Step()
+			if instUp && rep.CloudletUp[inst.cloudlet] {
+				ph.AliveInstances++
+				aliveBy[inst.cloudlet]++
+			}
+		}
+		ph.Up = ph.AliveInstances > 0
+		if len(aliveBy) > 0 {
+			cls := make([]int, 0, len(aliveBy))
+			for c := range aliveBy {
+				cls = append(cls, c)
+			}
+			sortInts(cls)
+			for _, c := range cls {
+				ph.Alive = append(ph.Alive, core.Assignment{Cloudlet: c, Instances: aliveBy[c]})
+			}
+		}
+		rep.Placements = append(rep.Placements, ph)
+	}
+	return rep
+}
+
+// sortInts is insertion sort: the slices here are small (cloudlets per
+// placement, watched IDs already mostly ordered by admission).
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

@@ -1,0 +1,224 @@
+package chaos
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"revnf/internal/core"
+)
+
+func chaosNetwork() *core.Network {
+	return &core.Network{
+		Catalog: []core.VNF{{ID: 0, Name: "fw", Demand: 2, Reliability: 0.8}},
+		Cloudlets: []core.Cloudlet{
+			{ID: 0, Node: -1, Capacity: 10, Reliability: 0.99},
+			{ID: 1, Node: -1, Capacity: 10, Reliability: 0.95},
+		},
+	}
+}
+
+func chaosConfig(seed int64) Config {
+	return Config{Network: chaosNetwork(), CloudletMTTR: 3, InstanceMTTR: 2, Seed: seed}
+}
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"nil network", Config{CloudletMTTR: 2, InstanceMTTR: 2}},
+		{"bad mttr", Config{Network: chaosNetwork(), CloudletMTTR: 0.5, InstanceMTTR: 2}},
+		{"rate count", Config{Network: chaosNetwork(), CloudletMTTR: 2, InstanceMTTR: 2, CloudletRates: []float64{0.9}}},
+		{"rate range", Config{Network: chaosNetwork(), CloudletMTTR: 2, InstanceMTTR: 2, CloudletRates: []float64{0.9, 1.0}}},
+	}
+	for _, tc := range cases {
+		if _, err := New(tc.cfg); err == nil {
+			t.Errorf("%s: New accepted invalid config", tc.name)
+		}
+	}
+	if _, err := New(chaosConfig(1)); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}
+
+func TestTrueRateFollowsOverrides(t *testing.T) {
+	cfg := chaosConfig(1)
+	cfg.CloudletRates = []float64{0.9, 0.85}
+	in, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := in.TrueRate(0); got != 0.9 {
+		t.Errorf("TrueRate(0) = %v, want override 0.9", got)
+	}
+	if got := in.TrueRate(1); got != 0.85 {
+		t.Errorf("TrueRate(1) = %v, want override 0.85", got)
+	}
+	if got := in.TrueRate(2); got != 0 {
+		t.Errorf("TrueRate(2) = %v, want 0 out of range", got)
+	}
+	// Saturated chain: TrueRate reports the realized rate, not the target.
+	sat := chaosConfig(1)
+	sat.CloudletMTTR = 4
+	sat.CloudletRates = []float64{0.1, 0.1}
+	in, err = New(sat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := in.TrueRate(0), 1.0/5.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("saturated TrueRate = %v, want %v", got, want)
+	}
+}
+
+// TestStepDeterministicBySeed replays the same watch sequence through two
+// injectors with the same seed and demands identical reports, while a
+// different seed must diverge.
+func TestStepDeterministicBySeed(t *testing.T) {
+	run := func(seed int64) []StepReport {
+		in, err := New(chaosConfig(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		in.Watch(10, 0, 0, 49, []core.Assignment{{Cloudlet: 0, Instances: 2}})
+		var out []StepReport
+		for slot := 0; slot < 50; slot++ {
+			if slot == 10 {
+				in.Watch(11, 0, 10, 39, []core.Assignment{{Cloudlet: 1, Instances: 3}})
+			}
+			if slot == 30 {
+				in.Unwatch(11)
+			}
+			out = append(out, in.Step(slot))
+		}
+		return out
+	}
+	a, b := run(42), run(42)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced diverging reports")
+	}
+	c := run(43)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical reports")
+	}
+}
+
+// TestCloudletTimelineIndependentOfChurn pins the stream split: the
+// cloudlet timeline is a function of the seed alone, whatever placements
+// come and go.
+func TestCloudletTimelineIndependentOfChurn(t *testing.T) {
+	const slots = 200
+	quiet, err := New(chaosConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	busy, err := New(chaosConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for slot := 0; slot < slots; slot++ {
+		if slot%5 == 0 {
+			busy.Watch(slot, 0, slot, slot+3, []core.Assignment{{Cloudlet: slot % 2, Instances: 2}})
+		}
+		if slot%7 == 0 {
+			busy.Unwatch(slot - 7)
+		}
+		q, b := quiet.Step(slot), busy.Step(slot)
+		if !reflect.DeepEqual(q.CloudletUp, b.CloudletUp) {
+			t.Fatalf("slot %d: cloudlet timeline diverged under churn: %v vs %v", slot, q.CloudletUp, b.CloudletUp)
+		}
+	}
+}
+
+func TestStepWindowAndFootprint(t *testing.T) {
+	in, err := New(chaosConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.Watch(5, 0, 2, 4, []core.Assignment{{Cloudlet: 1, Instances: 1}, {Cloudlet: 0, Instances: 2}})
+	for slot := 0; slot < 8; slot++ {
+		rep := in.Step(slot)
+		inWindow := slot >= 2 && slot <= 4
+		if got := len(rep.Placements) == 1; got != inWindow {
+			t.Fatalf("slot %d: reported=%v, want in-window=%v", slot, len(rep.Placements) == 1, inWindow)
+		}
+		if !inWindow {
+			continue
+		}
+		ph := rep.Placements[0]
+		if ph.ID != 5 || ph.TotalInstances != 3 {
+			t.Fatalf("slot %d: health = %+v", slot, ph)
+		}
+		sum := 0
+		for i, a := range ph.Alive {
+			sum += a.Instances
+			if i > 0 && ph.Alive[i-1].Cloudlet >= a.Cloudlet {
+				t.Fatalf("Alive not ascending by cloudlet: %+v", ph.Alive)
+			}
+		}
+		if sum != ph.AliveInstances {
+			t.Fatalf("Alive sums to %d, AliveInstances %d", sum, ph.AliveInstances)
+		}
+		if ph.Up != (ph.AliveInstances > 0) {
+			t.Fatalf("Up inconsistent with AliveInstances: %+v", ph)
+		}
+	}
+}
+
+// TestRewatchStartsUp: after a repair, the replacement instances begin in
+// the up state, so with its cloudlet up the placement is alive in the
+// repairing slot.
+func TestRewatchStartsUp(t *testing.T) {
+	cfg := chaosConfig(9)
+	// Near-perfect cloudlets and instances so the only question is the
+	// pinned initial state.
+	cfg.CloudletRates = []float64{0.9999, 0.9999}
+	cfg.Network.Catalog[0].Reliability = 0.9999
+	in, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.Watch(1, 0, 0, 99, []core.Assignment{{Cloudlet: 0, Instances: 1}})
+	in.Rewatch(1, []core.Assignment{{Cloudlet: 1, Instances: 2}})
+	rep := in.Step(0)
+	if len(rep.Placements) != 1 {
+		t.Fatal("placement missing from report")
+	}
+	ph := rep.Placements[0]
+	if !ph.Up || ph.AliveInstances != 2 || ph.TotalInstances != 2 {
+		t.Fatalf("rewatched placement not fully up: %+v", ph)
+	}
+	if len(ph.Alive) != 1 || ph.Alive[0].Cloudlet != 1 {
+		t.Fatalf("footprint did not move to cloudlet 1: %+v", ph.Alive)
+	}
+	// Rewatch of an unknown ID is a no-op.
+	in.Rewatch(99, []core.Assignment{{Cloudlet: 0, Instances: 1}})
+}
+
+// TestEmpiricalCloudletRate checks the injected cloudlet timeline realizes
+// its stationary rate.
+func TestEmpiricalCloudletRate(t *testing.T) {
+	cfg := chaosConfig(11)
+	cfg.CloudletRates = []float64{0.95, 0.9}
+	in, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const slots = 30000
+	up := make([]int, in.Cloudlets())
+	for slot := 0; slot < slots; slot++ {
+		rep := in.Step(slot)
+		for j, u := range rep.CloudletUp {
+			if u {
+				up[j]++
+			}
+		}
+	}
+	for j := range up {
+		got := float64(up[j]) / slots
+		want := in.TrueRate(j)
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("cloudlet %d empirical rate %v, want %v ± 0.01", j, got, want)
+		}
+	}
+}

@@ -1,0 +1,178 @@
+package repair
+
+import (
+	"math"
+	"testing"
+
+	"revnf/internal/core"
+)
+
+func repairNetwork() *core.Network {
+	return &core.Network{
+		Catalog: []core.VNF{{ID: 0, Name: "fw", Demand: 2, Reliability: 0.8}},
+		Cloudlets: []core.Cloudlet{
+			{ID: 0, Node: -1, Capacity: 10, Reliability: 0.99},
+			{ID: 1, Node: -1, Capacity: 10, Reliability: 0.95},
+		},
+	}
+}
+
+func TestMeetsMatchesCoreFormulas(t *testing.T) {
+	n := repairNetwork()
+	req := core.Request{ID: 1, VNF: 0, Reliability: 0.9, Arrival: 1, Duration: 2}
+
+	// One cloudlet, k instances: the on-site formula.
+	alive := []core.Assignment{{Cloudlet: 0, Instances: 2}}
+	got, ok := Meets(n, req, alive, nil)
+	want := core.OnsiteReliability(0.8, 0.99, 2)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("onsite footprint availability = %v, want %v", got, want)
+	}
+	if !ok {
+		t.Error("0.9504 footprint must meet 0.9")
+	}
+
+	// One instance per cloudlet: the off-site formula.
+	alive = []core.Assignment{{Cloudlet: 0, Instances: 1}, {Cloudlet: 1, Instances: 1}}
+	got, _ = Meets(n, req, alive, nil)
+	want = core.OffsiteReliability(0.8, []float64{0.99, 0.95})
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("offsite footprint availability = %v, want %v", got, want)
+	}
+
+	// Degraded footprint below target.
+	alive = []core.Assignment{{Cloudlet: 1, Instances: 1}}
+	got, ok = Meets(n, req, alive, nil)
+	if want = 0.95 * 0.8; math.Abs(got-want) > 1e-12 {
+		t.Errorf("single-instance availability = %v, want %v", got, want)
+	}
+	if ok {
+		t.Error("0.76 footprint must not meet 0.9")
+	}
+
+	// Empty footprint never meets.
+	if avail, ok := Meets(n, req, nil, nil); avail != 0 || ok {
+		t.Errorf("empty footprint = (%v, %v), want (0, false)", avail, ok)
+	}
+
+	// A learned source replaces catalog rates.
+	alive = []core.Assignment{{Cloudlet: 0, Instances: 2}}
+	got, ok = Meets(n, req, alive, fixedSource{0: 0.5})
+	if want = core.OnsiteReliability(0.8, 0.5, 2); math.Abs(got-want) > 1e-12 || ok {
+		t.Errorf("learned-rate availability = (%v, %v), want (%v, false)", got, ok, want)
+	}
+}
+
+type fixedSource map[int]float64
+
+func (s fixedSource) CloudletReliability(j int) float64 { return s[j] }
+
+func TestEpisodeLifecycle(t *testing.T) {
+	c := New(0)
+	if c.MaxAttempts() != DefaultMaxAttempts {
+		t.Fatalf("MaxAttempts = %d, want default %d", c.MaxAttempts(), DefaultMaxAttempts)
+	}
+
+	// Healthy observations are free.
+	if act, opened := c.Observe(1, 0, true); act != ActionNone || opened {
+		t.Fatalf("healthy observe = (%v, %v)", act, opened)
+	}
+	if c.State(1) != StateHealthy {
+		t.Fatalf("state = %v", c.State(1))
+	}
+
+	// Failure opens exactly one episode.
+	if act, opened := c.Observe(1, 3, false); act != ActionRepair || !opened {
+		t.Fatalf("first failing observe = (%v, %v), want (repair, opened)", act, opened)
+	}
+	if act, opened := c.Observe(1, 4, false); act != ActionRepair || opened {
+		t.Fatalf("second failing observe = (%v, %v), want (repair, !opened)", act, opened)
+	}
+	if c.State(1) != StateFailed {
+		t.Fatalf("state = %v, want failed", c.State(1))
+	}
+
+	// Success closes the episode with the latency since it opened.
+	if lat := c.RepairSucceeded(1, 5); lat != 2 {
+		t.Fatalf("latency = %d, want 2", lat)
+	}
+	if c.State(1) != StateHealthy {
+		t.Fatalf("state after repair = %v", c.State(1))
+	}
+	st := c.Stats()
+	if st.Episodes != 1 || st.Repairs != 1 || st.FailedAttempts != 0 || st.Degraded != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestSelfRecoveryClosesWithoutRepair(t *testing.T) {
+	c := New(3)
+	c.Observe(7, 2, false)
+	// The cloudlet came back: meets again, no repair recorded.
+	if act, opened := c.Observe(7, 3, true); act != ActionNone || opened {
+		t.Fatalf("recovery observe = (%v, %v)", act, opened)
+	}
+	if c.State(7) != StateHealthy {
+		t.Fatalf("state = %v", c.State(7))
+	}
+	st := c.Stats()
+	if st.Episodes != 1 || st.Repairs != 0 {
+		t.Fatalf("stats = %+v, want one episode, zero repairs", st)
+	}
+	// A later failure opens a fresh episode with a fresh budget.
+	if _, opened := c.Observe(7, 5, false); !opened {
+		t.Fatal("second episode did not open")
+	}
+	if st := c.Stats(); st.Episodes != 2 {
+		t.Fatalf("episodes = %d, want 2", st.Episodes)
+	}
+}
+
+func TestDegradedAfterBudgetExhausted(t *testing.T) {
+	c := New(2)
+	c.Observe(4, 1, false)
+	if s := c.RepairFailed(4, 1); s != StateFailed {
+		t.Fatalf("after 1 failed attempt: %v, want failed", s)
+	}
+	if s := c.RepairFailed(4, 2); s != StateDegraded {
+		t.Fatalf("after 2 failed attempts: %v, want degraded", s)
+	}
+	// Degraded is sticky: no more repair requests, even when still failing
+	// or when the footprint recovers.
+	if act, opened := c.Observe(4, 3, false); act != ActionNone || opened {
+		t.Fatalf("degraded observe = (%v, %v)", act, opened)
+	}
+	if act, _ := c.Observe(4, 4, true); act != ActionNone {
+		t.Fatalf("degraded observe (meets) = %v", act)
+	}
+	if c.State(4) != StateDegraded {
+		t.Fatalf("state = %v", c.State(4))
+	}
+	st := c.Stats()
+	if st.FailedAttempts != 2 || st.Degraded != 1 || st.Tracked != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+
+	// Forget drops the placement entirely.
+	c.Forget(4)
+	if c.State(4) != StateHealthy {
+		t.Fatal("forgotten placement should read healthy")
+	}
+	if st := c.Stats(); st.Tracked != 0 {
+		t.Fatalf("tracked = %d, want 0", st.Tracked)
+	}
+}
+
+func TestStrayTransitionsAreNoOps(t *testing.T) {
+	c := New(3)
+	// Success/failure without an open episode must not corrupt counters.
+	if lat := c.RepairSucceeded(9, 4); lat != 0 {
+		t.Fatalf("stray success latency = %d", lat)
+	}
+	if s := c.RepairFailed(9, 4); s != StateHealthy {
+		t.Fatalf("stray failure state = %v", s)
+	}
+	if st := c.Stats(); st.Repairs != 0 || st.FailedAttempts != 0 {
+		t.Fatalf("stats = %+v, want zeros", st)
+	}
+}

@@ -56,6 +56,11 @@ const (
 	StateActive PlacementState = "active"
 	// StateExpired means the window ended and the capacity was released.
 	StateExpired PlacementState = "expired"
+	// StateDegraded means the failure runtime exhausted the placement's
+	// repair budget: the surviving instances no longer meet the
+	// reliability target and re-placement kept failing. The capacity still
+	// held is released normally at expiry.
+	StateDegraded PlacementState = "degraded"
 )
 
 // PlacementRecord is the engine's book entry for one admitted request.
@@ -70,6 +75,11 @@ type PlacementRecord struct {
 	DecidedSlot int
 	// State is the lifecycle state as of the last read.
 	State PlacementState
+	// ReservedFrom is the first slot of the live ledger reservation: the
+	// request's arrival at admission, moved forward when the failure
+	// runtime re-places the request mid-window (the repair reserves
+	// [repair slot, end] and releases the old footprint).
+	ReservedFrom int
 }
 
 // TickReport summarizes one slot advance.
@@ -172,6 +182,10 @@ type Engine struct {
 	// tracing is off).
 	rec    trace.Recorder
 	traces *trace.Store
+
+	// runtime is the failure-aware subsystem (chaos injection, repair,
+	// SLO accounting, rate estimation); nil unless Config.Chaos is set.
+	runtime *failureRuntime
 
 	mu         sync.Mutex
 	sched      core.Scheduler
@@ -307,6 +321,13 @@ func New(cfg Config) (*Engine, error) {
 			rec = trace.Nop
 		}
 	}
+	var runtime *failureRuntime
+	if cfg.Chaos != nil {
+		runtime, err = newFailureRuntime(cfg)
+		if err != nil {
+			return nil, err
+		}
+	}
 	e := &Engine{
 		cfg:        cfg,
 		network:    cfg.Network,
@@ -317,6 +338,7 @@ func New(cfg Config) (*Engine, error) {
 		twoPhase:   twoPhase,
 		rec:        rec,
 		traces:     cfg.Traces,
+		runtime:    runtime,
 		ledger:     ledger,
 		slot:       1,
 		placements: make(map[int]*PlacementRecord),
@@ -649,15 +671,19 @@ func (e *Engine) reserveAll(req core.Request, placement core.Placement, demand i
 // recordAdmissionLocked books one admitted placement. Caller holds e.mu.
 func (e *Engine) recordAdmissionLocked(req core.Request, placement core.Placement, slot int) {
 	e.placements[req.ID] = &PlacementRecord{
-		ID:          req.ID,
-		Request:     req,
-		Placement:   placement,
-		DecidedSlot: slot,
-		State:       StateScheduled,
+		ID:           req.ID,
+		Request:      req,
+		Placement:    placement,
+		DecidedSlot:  slot,
+		State:        StateScheduled,
+		ReservedFrom: req.Arrival,
 	}
 	e.expiry.Add(req.ID, req.End())
 	e.admitted++
 	e.revenue += req.Payment
+	if e.runtime != nil {
+		e.watchAdmissionLocked(req, placement)
+	}
 }
 
 func (e *Engine) countRejection(reason string) {
@@ -689,15 +715,24 @@ func (e *Engine) Tick() TickReport {
 	demandOf := func(req core.Request) int { return e.network.Catalog[req.VNF].Demand }
 	for _, id := range expired {
 		rec := e.placements[id]
+		// The live reservation runs [ReservedFrom, end]: the full window at
+		// admission, the remaining window after a mid-window repair.
+		duration := rec.Request.End() - rec.ReservedFrom + 1
 		for _, a := range rec.Placement.Assignments {
 			// Release can only fail on arguments the engine itself
 			// reserved; a failure here would be an engine bug.
-			if err := e.ledger.Release(a.Cloudlet, rec.Request.Arrival, rec.Request.Duration, a.Units(demandOf(rec.Request))); err != nil {
+			if err := e.ledger.Release(a.Cloudlet, rec.ReservedFrom, duration, a.Units(demandOf(rec.Request))); err != nil {
 				panic(fmt.Sprintf("serve: release placement %d: %v", id, err))
 			}
 		}
 		rec.State = StateExpired
 		e.expired++
+		if e.runtime != nil {
+			e.finalizeExpiredLocked(id)
+		}
+	}
+	if e.runtime != nil {
+		e.runtimeTickLocked()
 	}
 	return TickReport{Slot: e.slot, Expired: len(expired)}
 }
@@ -742,7 +777,7 @@ func (e *Engine) Placement(id int) (PlacementRecord, bool) {
 		return PlacementRecord{}, false
 	}
 	out := *rec
-	if out.State != StateExpired {
+	if out.State != StateExpired && out.State != StateDegraded {
 		if e.slot < out.Request.Arrival {
 			out.State = StateScheduled
 		} else {

@@ -45,6 +45,33 @@ type placementRecordDTO struct {
 	Placement   *placementDTO `json:"placement"`
 }
 
+// placementHealthDTO reports the failure runtime's SLO account for one
+// admitted placement.
+type placementHealthDTO struct {
+	ID    int    `json:"id"`
+	State string `json:"state"`
+	// Required is the request's reliability requirement R; Provisioned the
+	// availability promised at admission; Observed the delivered fraction
+	// of scored slots with live service.
+	Required    float64 `json:"required"`
+	Provisioned float64 `json:"provisioned"`
+	Observed    float64 `json:"observed"`
+	// WindowSlots is the request window; ObservedSlots how many of them
+	// the failure runtime has scored so far.
+	WindowSlots   int `json:"window_slots"`
+	ObservedSlots int `json:"observed_slots"`
+	UpSlots       int `json:"up_slots"`
+	DownSlots     int `json:"down_slots"`
+	// Repairs counts successful re-placements; RepairLatencySlots the
+	// summed slots their failure episodes stayed open.
+	Repairs            int `json:"repairs"`
+	RepairLatencySlots int `json:"repair_latency_slots"`
+	// Degraded marks an exhausted repair budget or a window that ended
+	// below Required; SLOMet whether delivery currently meets Required.
+	Degraded bool `json:"degraded"`
+	SLOMet   bool `json:"slo_met"`
+}
+
 // errorDTO is the v1 error envelope, used by every endpoint: code repeats
 // the HTTP status, reason is a machine-readable code from the trace.Reason
 // vocabulary (the same enum decision traces and the rejection metrics
@@ -64,6 +91,7 @@ func writeError(w http.ResponseWriter, status int, reason, detail string) {
 //
 //	POST /v1/requests            admit or reject one request (503 on backpressure)
 //	GET  /v1/placements/{id}     look up an admitted placement
+//	GET  /v1/placements/{id}/health SLO account under the failure runtime (chaos on)
 //	GET  /v1/decisions/{id}/trace decision trace for a request (tracing on)
 //	GET  /v1/cloudlets           residual capacity per cloudlet per slot
 //	GET  /healthz                liveness (503 once shutdown begins)
@@ -129,6 +157,44 @@ func NewHandler(e *Engine) http.Handler {
 			Payment:     rec.Request.Payment,
 			DecidedSlot: rec.DecidedSlot,
 			Placement:   toPlacementDTO(e.Network(), rec.Request, rec.Placement),
+		})
+	})
+
+	mux.HandleFunc("GET /v1/placements/{id}/health", func(w http.ResponseWriter, r *http.Request) {
+		id, err := strconv.Atoi(r.PathValue("id"))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, ReasonInvalid, "placement id must be an integer")
+			return
+		}
+		tracker := e.SLO()
+		if tracker == nil {
+			writeError(w, http.StatusNotFound, string(trace.ReasonNotFound),
+				"failure runtime is disabled (start revnfd with -chaos)")
+			return
+		}
+		entry, ok := tracker.Get(id)
+		if !ok {
+			writeError(w, http.StatusNotFound, string(trace.ReasonNotFound), fmt.Sprintf("no SLO account for placement %d", id))
+			return
+		}
+		state := ""
+		if rec, ok := e.Placement(id); ok {
+			state = string(rec.State)
+		}
+		writeJSON(w, http.StatusOK, placementHealthDTO{
+			ID:                 entry.ID,
+			State:              state,
+			Required:           entry.Required,
+			Provisioned:        entry.Provisioned,
+			Observed:           entry.Observed(),
+			WindowSlots:        entry.WindowSlots,
+			ObservedSlots:      entry.ObservedSlots,
+			UpSlots:            entry.UpSlots,
+			DownSlots:          entry.DownSlots,
+			Repairs:            entry.Repairs,
+			RepairLatencySlots: entry.RepairLatencySlots,
+			Degraded:           entry.Degraded,
+			SLOMet:             entry.Met(),
 		})
 	})
 

@@ -57,10 +57,62 @@ func (e *Engine) WriteMetrics(w io.Writer) error {
 				"Capacity of the decision-trace ring store.", float64(st.Capacity)),
 		)
 	}
+	if e.runtime != nil {
+		families = append(families, e.runtimeFamilies()...)
+	}
 	if lr, ok := e.sched.(core.LambdaReader); ok {
 		families = append(families, lambdaFamily(lr, len(e.network.Cloudlets), s.Slot, e.horizon))
 	}
 	return metrics.WriteProm(w, families)
+}
+
+// runtimeFamilies renders the failure runtime: chaos progress, repair
+// outcomes, SLO delivery, and the online reliability estimates.
+func (e *Engine) runtimeFamilies() []metrics.PromMetric {
+	rt := e.runtime
+	rs := rt.ctrl.Stats()
+	ss := rt.slo.Stats()
+	est := metrics.PromMetric{
+		Name: "revnfd_estimated_reliability",
+		Help: "Online Beta-posterior estimate of each cloudlet's availability r(c_j).",
+		Type: "gauge",
+	}
+	for j := 0; j < rt.est.Cloudlets(); j++ {
+		est.Samples = append(est.Samples, metrics.PromSample{
+			Labels: []metrics.LabelPair{{Name: "cloudlet", Value: strconv.Itoa(j)}},
+			Value:  rt.est.CloudletReliability(j),
+		})
+	}
+	return []metrics.PromMetric{
+		metrics.Counter("revnfd_chaos_slots_total",
+			"Slots the chaos injector has stepped.", float64(rt.slots.Load())),
+		metrics.Counter("revnfd_failure_episodes_total",
+			"Failure episodes opened: placements whose surviving instances dropped below their reliability target.",
+			float64(rs.Episodes)),
+		metrics.Counter("revnfd_repairs_total",
+			"Failure episodes closed by a successful re-placement through the admission pipeline.",
+			float64(rs.Repairs)),
+		metrics.Counter("revnfd_repair_failures_total",
+			"Repair attempts that could not be placed (declined, priced out, or out of capacity).",
+			float64(rs.FailedAttempts)),
+		metrics.Counter("revnfd_degraded_placements_total",
+			"Placements whose repair budget was exhausted or whose window ended below its SLO.",
+			float64(ss.Degraded)),
+		metrics.Counter("revnfd_downtime_slots_total",
+			"Placement-slots with no live instance, summed over all tracked placements.",
+			float64(ss.DowntimeSlots)),
+		metrics.Counter("revnfd_slo_met_total",
+			"Expired placements that delivered their required availability.", float64(ss.Met)),
+		metrics.Counter("revnfd_slo_missed_total",
+			"Expired placements that delivered below their required availability.", float64(ss.Missed)),
+		metrics.Gauge("revnfd_slo_mean_provisioned_availability",
+			"Mean availability promised at admission across expired placements.", ss.MeanProvisioned),
+		metrics.Gauge("revnfd_slo_mean_observed_availability",
+			"Mean availability delivered across expired placements.", ss.MeanObserved),
+		rt.slo.RepairLatency().Metric("revnfd_repair_latency_slots",
+			"Slots failure episodes stayed open before a successful repair."),
+		est,
+	}
 }
 
 // lambdaFamily summarizes the primal-dual scheduler's dual prices: per

@@ -1,0 +1,221 @@
+package serve
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"revnf/internal/chaos"
+	"revnf/internal/core"
+	"revnf/internal/repair"
+	"revnf/internal/slo"
+	"revnf/internal/trace"
+)
+
+// failureRuntime bundles the failure-aware subsystem the engine runs when
+// Config.Chaos is set: the chaos injector driving the failure model on
+// the slot clock, the repair controller deciding which placements to
+// re-place, the SLO tracker accounting promise vs delivery, and the
+// online failure-rate estimator learning r(c_j) from the injected slot
+// states. All mutation happens under the engine mutex inside Tick; the
+// tracker, controller, and estimator carry their own locks only so the
+// metrics and HTTP paths can read them concurrently.
+type failureRuntime struct {
+	injector *chaos.Injector
+	ctrl     *repair.Controller
+	slo      *slo.Tracker
+	est      *slo.RateEstimator
+	// tp re-places repaired requests through the normal propose/commit
+	// pipeline. Non-nil whenever the runtime exists (enforced at New);
+	// distinct from Engine.twoPhase, which is non-nil only in sharded
+	// mode.
+	tp core.TwoPhaseScheduler
+	// slots counts chaos-stepped slots; atomic because metrics read it
+	// without the engine mutex.
+	slots atomic.Uint64
+}
+
+// estimatorPriorStrength is the pseudo-slot weight of the catalog prior
+// in the online rate estimator: after this many observed slots, evidence
+// and prior weigh equally, so estimates leave the catalog quickly without
+// starting at the uninformative 1/2.
+const estimatorPriorStrength = 4
+
+// newFailureRuntime validates the chaos wiring at New time.
+func newFailureRuntime(cfg Config) (*failureRuntime, error) {
+	tp, ok := cfg.Scheduler.(core.TwoPhaseScheduler)
+	if !ok {
+		return nil, fmt.Errorf("%w: chaos injection needs a two-phase scheduler (repairs go through propose/commit); %T is not one", ErrBadConfig, cfg.Scheduler)
+	}
+	if got, want := cfg.Chaos.Cloudlets(), len(cfg.Network.Cloudlets); got != want {
+		return nil, fmt.Errorf("%w: chaos injector models %d cloudlets, network has %d", ErrBadConfig, got, want)
+	}
+	return &failureRuntime{
+		injector: cfg.Chaos,
+		ctrl:     repair.New(cfg.RepairAttempts),
+		slo:      slo.NewTracker(),
+		est:      slo.NewCatalogEstimator(cfg.Network, estimatorPriorStrength),
+		tp:       tp,
+	}, nil
+}
+
+// SLO returns the engine's SLO tracker, nil when chaos is disabled.
+func (e *Engine) SLO() *slo.Tracker {
+	if e.runtime == nil {
+		return nil
+	}
+	return e.runtime.slo
+}
+
+// Estimator returns the online failure-rate estimator (a
+// core.ReliabilitySource), nil when chaos is disabled.
+func (e *Engine) Estimator() *slo.RateEstimator {
+	if e.runtime == nil {
+		return nil
+	}
+	return e.runtime.est
+}
+
+// RepairStats snapshots the repair controller; zero when chaos is
+// disabled.
+func (e *Engine) RepairStats() repair.Stats {
+	if e.runtime == nil {
+		return repair.Stats{}
+	}
+	return e.runtime.ctrl.Stats()
+}
+
+// watchAdmissionLocked registers a fresh admission with the failure
+// runtime. Caller holds e.mu.
+func (e *Engine) watchAdmissionLocked(req core.Request, placement core.Placement) {
+	rt := e.runtime
+	rt.injector.Watch(req.ID, req.VNF, req.Arrival, req.End(), placement.Assignments)
+	rt.slo.Register(req.ID, req.Reliability, placement.Availability(e.network, req), req.Duration)
+}
+
+// finalizeExpiredLocked closes a placement's runtime accounts when its
+// window ends. Caller holds e.mu.
+func (e *Engine) finalizeExpiredLocked(id int) {
+	rt := e.runtime
+	rt.injector.Unwatch(id)
+	alreadyDegraded := rt.ctrl.State(id) == repair.StateDegraded
+	rt.ctrl.Forget(id)
+	fin, ok := rt.slo.Finalize(id)
+	if !ok {
+		return
+	}
+	// Finalize degrades any account that ended below its requirement, so
+	// every closed window either met its SLO or carries an explicit
+	// degraded mark — and the trace says so, unless the repair controller
+	// already emitted the degraded event for this placement.
+	if fin.Degraded && !alreadyDegraded {
+		e.recordRuntimeEvent(id, e.slot, trace.ReasonDegraded)
+	}
+}
+
+// runtimeTickLocked advances the failure model by one slot: step the
+// injector, feed the estimator, score every in-window placement, and
+// repair the ones whose surviving footprint no longer meets their
+// reliability target. Caller holds e.mu; the slot has already advanced
+// and expired placements are already released and unwatched.
+func (e *Engine) runtimeTickLocked() {
+	rt := e.runtime
+	if e.slot > e.horizon {
+		return
+	}
+	rep := rt.injector.Step(e.slot)
+	rt.slots.Add(1)
+	for j, up := range rep.CloudletUp {
+		rt.est.Observe(j, up)
+	}
+	for _, ph := range rep.Placements {
+		rec, ok := e.placements[ph.ID]
+		if !ok {
+			continue
+		}
+		if rec.State == StateDegraded {
+			// Past repairing: keep scoring delivered service only.
+			rt.slo.ObserveSlot(ph.ID, ph.Up)
+			continue
+		}
+		// Health is checked against the catalog rates the placement was
+		// provisioned under: repair restores the promised redundancy. (The
+		// estimator's learned rates are exported for observability and for
+		// rebuilding schedulers, not for second-guessing live footprints.)
+		_, meets := repair.Meets(e.network, rec.Request, ph.Alive, nil)
+		act, opened := rt.ctrl.Observe(ph.ID, e.slot, meets)
+		if opened {
+			e.recordRuntimeEvent(ph.ID, e.slot, trace.ReasonFailed)
+		}
+		up := ph.Up
+		if act == repair.ActionRepair {
+			if e.repairLocked(rec) {
+				latency := rt.ctrl.RepairSucceeded(ph.ID, e.slot)
+				rt.slo.AddRepair(ph.ID, latency)
+				e.recordRuntimeEvent(ph.ID, e.slot, trace.ReasonRepaired)
+				// The re-placed instances come up within this slot.
+				up = true
+			} else if rt.ctrl.RepairFailed(ph.ID, e.slot) == repair.StateDegraded {
+				rt.slo.MarkDegraded(ph.ID)
+				rec.State = StateDegraded
+				e.recordRuntimeEvent(ph.ID, e.slot, trace.ReasonDegraded)
+			}
+		}
+		rt.slo.ObserveSlot(ph.ID, up)
+	}
+}
+
+// repairLocked re-places one failed request through the normal admission
+// pipeline: Propose against the live ledger, reserve the new footprint
+// all-or-nothing, Commit the scheduler state, and only then release the
+// old footprint (make-before-break — the new reservation must fit on top
+// of the surviving one, so a refused repair leaves the books exactly as
+// they were). The repair request keeps the original ID and payment (no
+// revenue is re-counted) and covers the remaining window only. Caller
+// holds e.mu; returns whether the re-placement landed.
+func (e *Engine) repairLocked(rec *PlacementRecord) bool {
+	rt := e.runtime
+	end := rec.Request.End()
+	req := rec.Request
+	req.Arrival = e.slot
+	req.Duration = end - e.slot + 1
+	if req.Duration < 1 {
+		return false
+	}
+	placement, ok := rt.tp.Propose(req, e.ledger)
+	if !ok {
+		return false
+	}
+	if err := placement.Validate(e.network, req); err != nil {
+		rt.tp.Abort(req, placement)
+		return false
+	}
+	demand := e.network.Catalog[req.VNF].Demand
+	if !e.reserveAll(req, placement, demand) {
+		rt.tp.Abort(req, placement)
+		return false
+	}
+	rt.tp.Commit(req, placement)
+	// The new footprint is booked; release the old one over its live
+	// window. Release cannot fail on windows the engine reserved itself.
+	oldDuration := end - rec.ReservedFrom + 1
+	for _, a := range rec.Placement.Assignments {
+		if err := e.ledger.Release(a.Cloudlet, rec.ReservedFrom, oldDuration, a.Units(demand)); err != nil {
+			panic("serve: repair release: " + err.Error())
+		}
+	}
+	rec.Placement = placement
+	rec.ReservedFrom = e.slot
+	rt.injector.Rewatch(rec.ID, placement.Assignments)
+	return true
+}
+
+// recordRuntimeEvent annotates a decision trace with a runtime outcome
+// (failed/repaired/degraded). The record carries no attempts and no
+// request metadata, so the store merges it into the resident trace and
+// drops it if the decision was already evicted.
+func (e *Engine) recordRuntimeEvent(id, slot int, reason trace.Reason) {
+	if !e.rec.Sample(id) {
+		return
+	}
+	e.rec.Record(&trace.DecisionTrace{Request: id, Slot: slot, Outcome: reason, Admitted: true})
+}

@@ -32,6 +32,7 @@ import (
 	"errors"
 	"time"
 
+	"revnf/internal/chaos"
 	"revnf/internal/core"
 	"revnf/internal/trace"
 )
@@ -88,6 +89,18 @@ type Config struct {
 	// Traces, or the no-op recorder when Traces is nil too. Wrap the
 	// store in trace.NewSampling to thin the stream.
 	Recorder trace.Recorder
+	// Chaos, when non-nil, turns on the failure-aware runtime: the
+	// injector's Markov failure chains advance on every Tick, failed
+	// placements are re-placed through the propose/commit pipeline, SLO
+	// delivery is accounted per request (GET /v1/placements/{id}/health
+	// and /metrics), and per-cloudlet failure rates are estimated online.
+	// Requires a Scheduler implementing core.TwoPhaseScheduler and an
+	// injector built over the same cloudlet fleet.
+	Chaos *chaos.Injector
+	// RepairAttempts bounds re-placement attempts per failure episode
+	// before a placement is marked degraded; 0 selects
+	// repair.DefaultMaxAttempts. Only meaningful with Chaos set.
+	RepairAttempts int
 }
 
 // DefaultQueueSize is the ingest queue bound when Config.QueueSize is 0.

@@ -1,0 +1,88 @@
+package simulate
+
+import "math/rand"
+
+// Markov is one component's two-state (up/down) availability chain,
+// stepped one slot at a time. It is the incremental form of the timeline
+// model used by SimulateTimeline, exported so the chaos injector can
+// drive a live engine with exactly the same failure dynamics the batch
+// simulator replays.
+//
+// The transition probabilities are chosen so the chain's stationary
+// up-probability is r and its mean down spell is mttr slots:
+//
+//	repair = P(down→up) = 1/MTTR
+//	fail   = P(up→down) = repair·(1-r)/r
+//
+// Stationary availability is repair/(fail+repair), which equals r when
+// fail is within [0,1]. Saturation: fail exceeds 1 exactly when
+// r < 1/(1+MTTR) — a component that unreliable with a repair that fast
+// cannot hold the stationary target, because even failing on every up
+// slot it spends 1/(1+MTTR) > r of its time up. The chain then clamps
+// fail to 1 and its stationary availability becomes
+//
+//	repair/(1+repair) = 1/(MTTR+1) > r
+//
+// erring on the safe (more available) side. StationaryRate reports the
+// rate actually realized, clamped or not.
+type Markov struct {
+	fail, repair float64
+	up           bool
+	rng          *rand.Rand
+}
+
+// NewMarkov builds a chain with stationary up-probability r (in (0,1))
+// and mean repair time mttr slots (≥ 1), drawing the initial state from
+// the stationary distribution. The chain consumes one rng draw here and
+// one per Step, so a seeded rng makes the whole timeline deterministic.
+func NewMarkov(r, mttr float64, rng *rand.Rand) *Markov {
+	m := newMarkovParams(r, mttr, rng)
+	m.up = rng.Float64() < r
+	return m
+}
+
+// NewMarkovIn builds the same chain but pins the initial state instead
+// of drawing it — a freshly (re)placed instance starts up, whatever the
+// stationary distribution says. No rng draw is consumed here.
+func NewMarkovIn(r, mttr float64, up bool, rng *rand.Rand) *Markov {
+	m := newMarkovParams(r, mttr, rng)
+	m.up = up
+	return m
+}
+
+func newMarkovParams(r, mttr float64, rng *rand.Rand) *Markov {
+	repair := 1 / mttr
+	fail := repair * (1 - r) / r
+	if fail > 1 {
+		// Saturation branch: r < 1/(1+MTTR), see the type comment for the
+		// formula. The realized stationary availability rises to
+		// 1/(MTTR+1), above the requested r.
+		fail = 1
+	}
+	return &Markov{fail: fail, repair: repair, rng: rng}
+}
+
+// Up reports the chain's current state without advancing it.
+func (m *Markov) Up() bool { return m.up }
+
+// Step returns the state for the current slot, then draws the transition
+// into the next slot (one rng draw per call).
+func (m *Markov) Step() bool {
+	cur := m.up
+	if m.up {
+		if m.rng.Float64() < m.fail {
+			m.up = false
+		}
+	} else {
+		if m.rng.Float64() < m.repair {
+			m.up = true
+		}
+	}
+	return cur
+}
+
+// StationaryRate returns the chain's long-run up fraction: r when the
+// failure rate is unsaturated, 1/(MTTR+1) when clamped.
+func (m *Markov) StationaryRate() float64 {
+	return m.repair / (m.fail + m.repair)
+}

@@ -153,28 +153,15 @@ func SimulateTimeline(network *core.Network, horizon int, trace []core.Request, 
 // markovTimeline samples a two-state availability chain of the given
 // length whose stationary up-probability is r and mean down-spell is mttr
 // slots. The initial state is drawn from the stationary distribution.
+// When r < 1/(1+mttr) the failure rate saturates and the realized
+// stationary availability rises to 1/(mttr+1); see Markov for the
+// derivation. Draw order (one initial draw, one transition draw per
+// slot) is pinned by the seeded tests.
 func markovTimeline(length int, r, mttr float64, rng *rand.Rand) []bool {
-	repair := 1 / mttr
-	fail := repair * (1 - r) / r
-	if fail > 1 {
-		// Very low reliabilities with short MTTRs cannot hold the
-		// stationary target; saturate the failure rate (the stationary
-		// availability then exceeds r, erring on the safe side).
-		fail = 1
-	}
-	up := rng.Float64() < r
+	m := NewMarkov(r, mttr, rng)
 	out := make([]bool, length)
-	for t := 0; t < length; t++ {
-		out[t] = up
-		if up {
-			if rng.Float64() < fail {
-				up = false
-			}
-		} else {
-			if rng.Float64() < repair {
-				up = true
-			}
-		}
+	for t := range out {
+		out[t] = m.Step()
 	}
 	return out
 }

@@ -41,6 +41,61 @@ func TestMarkovTimelineStationary(t *testing.T) {
 	}
 }
 
+// TestMarkovTimelineSaturation pins the MTTR-saturation branch: when
+// r < 1/(1+mttr) the per-slot failure probability (1-r)/(r·mttr) exceeds
+// 1 and is clamped, so the realized stationary availability is
+// 1/(mttr+1) — above the requested r, never below it.
+func TestMarkovTimelineSaturation(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, tc := range []struct{ r, mttr float64 }{
+		{0.3, 1},  // fail = (0.7/0.3) ≈ 2.33 > 1 → stationary 1/2
+		{0.1, 4},  // fail = (0.9/0.4) = 2.25 > 1 → stationary 1/5
+		{0.05, 2}, // fail = (0.95/0.1) = 9.5 > 1 → stationary 1/3
+	} {
+		want := 1 / (tc.mttr + 1)
+		m := NewMarkovIn(tc.r, tc.mttr, true, rng)
+		if got := m.StationaryRate(); math.Abs(got-want) > 1e-12 {
+			t.Errorf("r=%v mttr=%v: StationaryRate = %v, want %v", tc.r, tc.mttr, got, want)
+		}
+		up := 0
+		const length = 200000
+		for _, u := range markovTimeline(length, tc.r, tc.mttr, rng) {
+			if u {
+				up++
+			}
+		}
+		got := float64(up) / length
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("r=%v mttr=%v: saturated availability %v, want ≈ %v", tc.r, tc.mttr, got, want)
+		}
+		if got < tc.r {
+			t.Errorf("r=%v mttr=%v: saturation fell below the target (%v < %v)", tc.r, tc.mttr, got, tc.r)
+		}
+	}
+}
+
+// TestMarkovStepperMatchesTimeline pins that the exported incremental
+// chain and the batch timeline consume draws identically, so the chaos
+// injector and SimulateTimeline produce the same failure sequences from
+// the same seed.
+func TestMarkovStepperMatchesTimeline(t *testing.T) {
+	const length = 5000
+	batch := markovTimeline(length, 0.95, 4, rand.New(rand.NewSource(7)))
+	m := NewMarkov(0.95, 4, rand.New(rand.NewSource(7)))
+	for i := 0; i < length; i++ {
+		if up := m.Up(); up != batch[i] {
+			t.Fatalf("slot %d: stepper %v, timeline %v", i, up, batch[i])
+		}
+		if stepped := m.Step(); stepped != batch[i] {
+			t.Fatalf("slot %d: Step returned %v, want the pre-step state %v", i, stepped, batch[i])
+		}
+	}
+	// Unsaturated chains report the requested rate.
+	if got := m.StationaryRate(); math.Abs(got-0.95) > 1e-12 {
+		t.Errorf("StationaryRate = %v, want 0.95", got)
+	}
+}
+
 func TestMarkovTimelineBurstiness(t *testing.T) {
 	// Larger MTTR must produce longer down spells at the same stationary
 	// availability.

@@ -13,7 +13,11 @@ import "sync"
 // capacity, the oldest traced request is dropped. Re-recording an ID
 // already in the store (a retry attempt, the outcome) does not refresh
 // its eviction position — a decision's records arrive within one
-// submission, so insertion order is decision order.
+// submission, so insertion order is decision order. The exception is the
+// failure runtime's event-only annotations (failed/repaired/degraded),
+// which arrive slots after the decision: they merge into resident traces
+// but never create an entry, so a merge racing FIFO eviction cannot
+// resurrect an already-evicted trace.
 type Store struct {
 	mu      sync.Mutex
 	entries map[int]*DecisionTrace
@@ -25,6 +29,7 @@ type Store struct {
 
 	recorded uint64
 	evicted  uint64
+	dropped  uint64
 }
 
 // StoreStats is a consistent snapshot of the store's counters.
@@ -33,6 +38,11 @@ type StoreStats struct {
 	Recorded uint64
 	// Evicted counts traces dropped to make room.
 	Evicted uint64
+	// Dropped counts event-only records (runtime annotations with no
+	// attempts and no request metadata) refused because their decision was
+	// no longer resident — merging them would have resurrected an evicted
+	// trace.
+	Dropped uint64
 	// Len and Capacity describe current occupancy.
 	Len, Capacity int
 }
@@ -61,9 +71,19 @@ func (s *Store) Record(t *DecisionTrace) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.recorded++
 	e, ok := s.entries[t.Request]
 	if !ok {
+		if len(t.Attempts) == 0 && t.Duration == 0 {
+			// Event-only record: no Propose attempts and no request
+			// metadata, i.e. a runtime annotation (failed/repaired/
+			// degraded) for a decision traced earlier. Such records may
+			// arrive long after the decision — inserting one for an ID the
+			// ring already evicted would resurrect the trace as an empty
+			// shell and evict a live one, so they only merge into resident
+			// entries and are dropped otherwise.
+			s.dropped++
+			return
+		}
 		if s.count == len(s.ring) {
 			oldest := s.ring[s.head]
 			delete(s.entries, oldest)
@@ -76,6 +96,7 @@ func (s *Store) Record(t *DecisionTrace) {
 		e = &DecisionTrace{Request: t.Request}
 		s.entries[t.Request] = e
 	}
+	s.recorded++
 	mergeInto(e, t)
 }
 
@@ -145,5 +166,5 @@ func (s *Store) Capacity() int { return len(s.ring) }
 func (s *Store) Stats() StoreStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return StoreStats{Recorded: s.recorded, Evicted: s.evicted, Len: s.count, Capacity: len(s.ring)}
+	return StoreStats{Recorded: s.recorded, Evicted: s.evicted, Dropped: s.dropped, Len: s.count, Capacity: len(s.ring)}
 }

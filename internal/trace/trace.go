@@ -101,6 +101,24 @@ const (
 	ReasonInternal Reason = "internal"
 )
 
+// Runtime reasons, produced by the failure-aware runtime after admission.
+// Unlike the reasons above they describe events in an admitted placement's
+// life, so the records carrying them annotate an existing decision trace
+// (Outcome overwrites, Admitted stays true) rather than finalizing a fresh
+// one.
+const (
+	// ReasonFailed marks a placement whose surviving instances no longer
+	// meet its reliability target after injected failures.
+	ReasonFailed Reason = "failed"
+	// ReasonRepaired marks a placement the repair controller re-placed
+	// through the normal propose/reserve/commit pipeline.
+	ReasonRepaired Reason = "repaired"
+	// ReasonDegraded marks a placement explicitly downgraded: the repair
+	// retry budget ran out, or the window ended with the observed
+	// availability below the requirement.
+	ReasonDegraded Reason = "degraded"
+)
+
 // Candidate records one cloudlet's evaluation inside a Propose attempt.
 type Candidate struct {
 	// Cloudlet is the cloudlet index j.

@@ -93,6 +93,86 @@ func TestStoreReRecordDoesNotRefreshEvictionOrder(t *testing.T) {
 	}
 }
 
+// eventRecord is a runtime annotation: outcome only, no attempts, no
+// request metadata — the shape the serve engine emits for failure/repair
+// events slots after the decision.
+func eventRecord(id int, outcome Reason) *DecisionTrace {
+	return &DecisionTrace{Request: id, Outcome: outcome, Admitted: true}
+}
+
+func TestStoreEventMergeDoesNotResurrectEvicted(t *testing.T) {
+	s := NewStore(2)
+	s.Record(attemptRecord(1, true, ""))
+	s.Record(attemptRecord(2, true, ""))
+	s.Record(attemptRecord(3, true, "")) // evicts 1
+	if _, ok := s.Get(1); ok {
+		t.Fatal("request 1 should have been evicted")
+	}
+	// A late runtime annotation for the evicted decision must be dropped,
+	// not inserted as a fresh (empty-shell) trace.
+	s.Record(eventRecord(1, ReasonRepaired))
+	if _, ok := s.Get(1); ok {
+		t.Fatal("event-only record resurrected an evicted trace")
+	}
+	// ...and must not have evicted a live trace to make room.
+	for _, id := range []int{2, 3} {
+		if _, ok := s.Get(id); !ok {
+			t.Fatalf("request %d evicted by a dropped event record", id)
+		}
+	}
+	st := s.Stats()
+	if st.Dropped != 1 {
+		t.Fatalf("Dropped = %d, want 1", st.Dropped)
+	}
+	if st.Recorded != 3 {
+		t.Fatalf("Recorded = %d, want 3 (dropped events are not recorded)", st.Recorded)
+	}
+	// The same annotation for a resident decision merges normally.
+	s.Record(eventRecord(3, ReasonDegraded))
+	dt, ok := s.Get(3)
+	if !ok || dt.Outcome != ReasonDegraded || !dt.Admitted {
+		t.Fatalf("resident event merge: %+v, %v", dt, ok)
+	}
+}
+
+// TestStoreEventMergeRacesEviction drives concurrent decision inserts
+// (which evict FIFO) against event annotations for old IDs; under -race
+// this is the data-race check for the drop path, and the final state must
+// hold no empty-shell entries (every resident trace has attempts).
+func TestStoreEventMergeRacesEviction(t *testing.T) {
+	s := NewStore(16)
+	const writers = 4
+	const perWriter = 300
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				id := w*perWriter + i
+				s.Record(attemptRecord(id, true, ""))
+				if old := id - 64; old >= 0 {
+					// Annotate a decision likely evicted by now.
+					s.Record(eventRecord(old, ReasonFailed))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for id := 0; id < writers*perWriter; id++ {
+		dt, ok := s.Get(id)
+		if !ok {
+			continue
+		}
+		if len(dt.Attempts) == 0 {
+			t.Fatalf("request %d resident as an empty shell: %+v", id, dt)
+		}
+	}
+	if st := s.Stats(); st.Len != 16 {
+		t.Fatalf("Len = %d, want full ring 16", st.Len)
+	}
+}
+
 func TestStoreMergeAttemptsAndOutcome(t *testing.T) {
 	s := NewStore(4)
 	// Two scheduler attempts (a sharded retry), then the engine outcome.

@@ -28,4 +28,11 @@ go test -race ./...
 echo "==> daemon smoke test (tracing + pprof enabled)"
 go test ./cmd/revnfd -run 'TestDaemonTraceSmoke|TestDaemonPprofOffByDefault' -count=1
 
+# The soak already ran inside 'go test -race ./...' above; this explicit
+# step re-runs it verbosely so a failure names the failure-runtime
+# acceptance criteria (SLO delivery, ledger balance, estimator
+# convergence) rather than disappearing into the package list.
+echo "==> failure-runtime soak (chaos + repair + SLO, race detector)"
+go test ./internal/serve -run 'TestSoakFailureRuntime' -race -count=1 -v
+
 echo "OK"
