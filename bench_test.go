@@ -502,44 +502,50 @@ func BenchmarkParallelAdmission(b *testing.B) {
 		reqs[i] = serve.AdmissionRequest{VNF: r.VNF, Reliability: r.Reliability,
 			Arrival: r.Arrival, Duration: r.Duration, Payment: r.Payment}
 	}
-	for _, workers := range []int{1, 2, 4} {
-		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
-			sched, err := NewOnsiteScheduler(inst.Network, inst.Horizon)
-			if err != nil {
-				b.Fatal(err)
-			}
-			e, err := serve.New(serve.Config{
-				Network: inst.Network, Scheduler: sched, Horizon: inst.Horizon,
-				Workers: workers, QueueSize: 4096,
-			})
-			if err != nil {
-				b.Fatal(err)
-			}
-			defer func() {
-				ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-				defer cancel()
-				_ = e.Shutdown(ctx)
-			}()
-			var next atomic.Int64
-			// Four concurrent submitters for every engine mode: enough to
-			// keep the serial queue saturated and to hand every sharded
-			// worker token a client, without drowning the single-CPU
-			// scheduler in idle goroutines.
-			b.SetParallelism(4)
-			b.ResetTimer()
-			start := time.Now()
-			b.RunParallel(func(pb *testing.PB) {
-				ctx := context.Background()
-				for pb.Next() {
-					i := int(next.Add(1)) - 1
-					if _, err := e.Submit(ctx, reqs[i%len(reqs)]); err != nil {
-						b.Error(err)
-						return
-					}
+	modes := []struct {
+		name    string
+		rolling bool
+	}{{"fixed", false}, {"rolling", true}}
+	for _, mode := range modes {
+		for _, workers := range []int{1, 2, 4} {
+			b.Run(fmt.Sprintf("%s/workers=%d", mode.name, workers), func(b *testing.B) {
+				sched, err := NewOnsiteScheduler(inst.Network, inst.Horizon)
+				if err != nil {
+					b.Fatal(err)
 				}
+				e, err := serve.New(serve.Config{
+					Network: inst.Network, Scheduler: sched, Horizon: inst.Horizon,
+					Rolling: mode.rolling, Workers: workers, QueueSize: 4096,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer func() {
+					ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+					defer cancel()
+					_ = e.Shutdown(ctx)
+				}()
+				var next atomic.Int64
+				// Four concurrent submitters for every engine mode: enough to
+				// keep the serial queue saturated and to hand every sharded
+				// worker token a client, without drowning the single-CPU
+				// scheduler in idle goroutines.
+				b.SetParallelism(4)
+				b.ResetTimer()
+				start := time.Now()
+				b.RunParallel(func(pb *testing.PB) {
+					ctx := context.Background()
+					for pb.Next() {
+						i := int(next.Add(1)) - 1
+						if _, err := e.Submit(ctx, reqs[i%len(reqs)]); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				})
+				b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "decisions/sec")
 			})
-			b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "decisions/sec")
-		})
+		}
 	}
 }
 

@@ -11,6 +11,7 @@
 //	revnfd -instance trace.json -algorithm greedy -scheme onsite
 //	revnfd -trace 1024 -trace-sample 1 -pprof   # decision traces + profiling
 //	revnfd -chaos -chaos-seed 7 -slot 500ms     # failure injection + SLO-tracked repair
+//	revnfd -horizon-mode rolling -horizon 64    # continuous operation: a 64-slot rolling window
 //
 // The network is drawn from the same generator as the simulators, so a
 // load generator started with the same -topology/-cloudlets/-seed flags
@@ -60,7 +61,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		scheme      = fs.String("scheme", "onsite", "redundancy scheme: onsite|offsite")
 		topo        = fs.String("topology", "", "embedded topology name")
 		cloudlets   = fs.Int("cloudlets", 0, "cloudlet count")
-		horizon     = fs.Int("horizon", 0, "time horizon T in slots")
+		horizon     = fs.Int("horizon", 0, "time horizon T in slots (rolling mode: the window width W)")
+		horizonMode = fs.String("horizon-mode", "fixed", "horizon mode: fixed (serve [1,T] and stop admitting) or rolling (a W-slot window follows the clock; admit forever)")
 		slot        = fs.Duration("slot", time.Second, "wall-clock duration of one slot (0 = frozen clock)")
 		queue       = fs.Int("queue", serve.DefaultQueueSize, "bounded ingest queue size")
 		workers     = fs.Int("workers", 1, "decision concurrency: 1 = serial, >1 = sharded propose/commit workers")
@@ -78,6 +80,14 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	var rolling bool
+	switch *horizonMode {
+	case "fixed":
+	case "rolling":
+		rolling = true
+	default:
+		return fmt.Errorf("unknown -horizon-mode %q (want fixed|rolling)", *horizonMode)
 	}
 
 	inst, err := loadNetwork(*instance, *topo, *cloudlets, *horizon, *seed)
@@ -116,6 +126,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		Network:         inst.Network,
 		Scheduler:       sched,
 		Horizon:         inst.Horizon,
+		Rolling:         rolling,
 		QueueSize:       *queue,
 		Workers:         *workers,
 		SlotDuration:    *slot,
@@ -145,8 +156,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if inj != nil {
 		mode = ", chaos on"
 	}
-	fmt.Fprintf(out, "revnfd: %s/%s over %d cloudlets, horizon %d, slot %s, workers %d%s, listening on http://%s\n",
-		sched.Name(), sched.Scheme(), len(inst.Network.Cloudlets), inst.Horizon, *slot, engine.Workers(), mode, ln.Addr())
+	fmt.Fprintf(out, "revnfd: %s/%s over %d cloudlets, horizon %d (%s), slot %s, workers %d%s, listening on http://%s\n",
+		sched.Name(), sched.Scheme(), len(inst.Network.Cloudlets), inst.Horizon, *horizonMode, *slot, engine.Workers(), mode, ln.Addr())
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()

@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"regexp"
 	"strings"
@@ -128,6 +129,7 @@ func TestDaemonFlagValidation(t *testing.T) {
 		{"-algorithm", "raw", "-scheme", "offsite"},
 		{"-instance", "/nonexistent/trace.json"},
 		{"-chaos", "-chaos-cloudlet-mttr", "0"},
+		{"-horizon-mode", "bogus"},
 	} {
 		if err := run(ctx, args, &bytes.Buffer{}); err == nil {
 			t.Errorf("run(%v) succeeded, want error", args)
@@ -154,6 +156,63 @@ func TestDaemonOffsiteScheme(t *testing.T) {
 	}
 	if body.Horizon < 1 || len(body.Cloudlets) == 0 {
 		t.Errorf("cloudlets payload = %+v", body)
+	}
+}
+
+// TestDaemonRollingSmoke starts the daemon in rolling-horizon mode and
+// checks the mode is visible end to end: the startup banner, the
+// /v1/cloudlets window fields, an admission, and the window gauges on
+// /metrics.
+func TestDaemonRollingSmoke(t *testing.T) {
+	url, out, _ := startDaemon(t, "-horizon-mode", "rolling", "-horizon", "16")
+	if !strings.Contains(out.String(), "(rolling)") {
+		t.Errorf("banner does not mention rolling mode: %q", out.String())
+	}
+
+	resp, err := http.Get(url + "/v1/cloudlets")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body struct {
+		Horizon     int    `json:"horizon"`
+		HorizonMode string `json:"horizon_mode"`
+		WindowBase  int    `json:"window_base"`
+		WindowSize  int    `json:"window_size"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if body.HorizonMode != "rolling" || body.WindowBase != 1 || body.WindowSize != 16 || body.Horizon != 16 {
+		t.Fatalf("cloudlets window fields = %+v, want rolling base 1 size 16", body)
+	}
+
+	req := strings.NewReader(`{"vnf": 0, "reliability": 0.9, "duration": 4, "payment": 50}`)
+	resp, err = http.Post(url+"/v1/requests", "application/json", req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dec struct {
+		Admitted bool `json:"admitted"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&dec); err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if !dec.Admitted {
+		t.Fatal("rolling daemon rejected a trivially satisfiable request")
+	}
+
+	resp, err = http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	for _, want := range []string{"revnfd_window_base 1", "revnfd_window_size 16"} {
+		if !strings.Contains(string(b), want) {
+			t.Errorf("metrics missing %q", want)
+		}
 	}
 }
 

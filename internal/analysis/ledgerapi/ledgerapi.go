@@ -2,7 +2,7 @@
 // through its atomic reserve/release API and that reservations do not leak
 // out of helper functions unaccounted.
 //
-// Two checks:
+// Three checks:
 //
 //  1. Field access: outside package timeslot, no code may select a struct
 //     field of timeslot.Ledger (method calls only). The ledger's rows are
@@ -21,6 +21,13 @@
 //     failed ReserveWindow books nothing. Functions whose own name says
 //     they reserve or commit on behalf of a caller (reserve*, commit*)
 //     are exempt — their contract is to hand the footprint to the caller.
+//
+//  3. Window-base ownership: Advance moves the rolling window's base and
+//     recycles every retired slot, so it is a clock operation, not a
+//     capacity operation. Outside package timeslot only functions whose
+//     name marks them as the per-tick advance path (AdvanceOwnerPattern:
+//     advance*, tick*) may call it; anywhere else a stray Advance would
+//     silently retire slots that concurrent admissions still address.
 //
 // The pairing analysis is a deliberately optimistic single pass in source
 // order: a covering call in any branch counts for all later paths, and
@@ -45,11 +52,17 @@ var (
 	LedgerTypeName = "Ledger"
 )
 
-// reserveMethods start a reservation; releaseMethods undo one.
+// reserveMethods start a reservation; releaseMethods undo one;
+// advanceMethods move the rolling window base.
 var (
 	reserveMethods = map[string]bool{"Reserve": true, "ReserveWindow": true, "ForceReserve": true}
 	releaseMethods = map[string]bool{"Release": true}
+	advanceMethods = map[string]bool{"Advance": true}
 )
+
+// AdvanceOwnerPattern matches function names entitled to move the rolling
+// window base — the slot clock's advance path.
+var AdvanceOwnerPattern = regexp.MustCompile(`(?i)^(advance|tick)`)
 
 // CoveringPattern matches call names that account for a live reservation
 // (committing scheduler state or booking the admission).
@@ -77,6 +90,7 @@ func run(pass *framework.Pass) error {
 			if !ok || fd.Body == nil {
 				continue
 			}
+			checkAdvanceOwnership(pass, fd)
 			if SelfExemptPattern.MatchString(fd.Name.Name) {
 				continue
 			}
@@ -106,6 +120,27 @@ func checkFieldAccess(pass *framework.Pass) {
 			return true
 		})
 	}
+}
+
+// checkAdvanceOwnership flags Ledger.Advance calls from functions outside
+// the slot clock's advance path.
+func checkAdvanceOwnership(pass *framework.Pass, fd *ast.FuncDecl) {
+	if AdvanceOwnerPattern.MatchString(fd.Name.Name) {
+		return
+	}
+	c := &pairChecker{pass: pass}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if c.isAdvance(call) {
+			pass.Reportf(call.Pos(),
+				"window-base manipulation: only an advance/tick path may call timeslot.Ledger.Advance, not %s",
+				fd.Name.Name)
+		}
+		return true
+	})
 }
 
 // pairState is the interpreter state for one function body.
@@ -340,6 +375,17 @@ func (c *pairChecker) isReserve(call *ast.CallExpr) bool {
 	sig := fn.Type().(*types.Signature)
 	return sig.Recv() != nil && astq.IsNamedType(sig.Recv().Type(), LedgerPkgPath, LedgerTypeName) &&
 		reserveMethods[fn.Name()]
+}
+
+// isAdvance reports whether the call moves the ledger's window base.
+func (c *pairChecker) isAdvance(call *ast.CallExpr) bool {
+	fn, _ := astq.MethodCallee(c.pass.TypesInfo, call)
+	if fn == nil {
+		return false
+	}
+	sig := fn.Type().(*types.Signature)
+	return sig.Recv() != nil && astq.IsNamedType(sig.Recv().Type(), LedgerPkgPath, LedgerTypeName) &&
+		advanceMethods[fn.Name()]
 }
 
 // isCovering reports whether the call accounts for a live reservation: a

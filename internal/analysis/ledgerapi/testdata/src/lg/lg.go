@@ -87,3 +87,25 @@ func escapeHatch(l *timeslot.Ledger) bool {
 	_ = l.Reserve(0, 1, 1, 1)
 	return true //lint:allow ledgerapi throwaway ledger, dies with the function
 }
+
+// advanceWindow is the slot clock's advance path: entitled to move the
+// rolling window base.
+func advanceWindow(l *timeslot.Ledger) {
+	_ = l.Advance(5)
+}
+
+// tickClock also owns the base (tick* matches the owner pattern).
+func tickClock(l *timeslot.Ledger) {
+	_ = l.Advance(5)
+}
+
+// rebaseSneakily moves the window base from an admission-shaped helper:
+// retired slots would vanish under concurrent reservations.
+func rebaseSneakily(l *timeslot.Ledger) {
+	_ = l.Advance(5) // want `window-base manipulation: only an advance/tick path may call timeslot\.Ledger\.Advance, not rebaseSneakily`
+}
+
+// allowedRebase opts out with the uniform lint:allow comment.
+func allowedRebase(l *timeslot.Ledger) {
+	_ = l.Advance(5) //lint:allow ledgerapi test harness rewinds its private ledger
+}

@@ -17,4 +17,6 @@ func (l *Ledger) ForceReserve(cloudlet, start, duration, units int) error { retu
 
 func (l *Ledger) Release(cloudlet, start, duration, units int) error { return nil }
 
+func (l *Ledger) Advance(base int) error { return nil }
+
 func (l *Ledger) Residual(cloudlet, slot int) int { return 0 }

@@ -122,6 +122,25 @@ type LambdaReader interface {
 	Lambda(cloudlet, slot int) float64
 }
 
+// WindowAdvancer is implemented by schedulers whose per-slot state (the
+// dual prices λ_{tj}) can follow a rolling ledger window. AdvanceWindow
+// moves the scheduler's live window so it starts at base: state for
+// retired slots (slots below base) is re-initialized — the slot entering
+// at the far edge of the window starts at the same initial price a fresh
+// horizon would give it, rather than inheriting the retired slot's
+// accumulated value — and state for slots still inside the window is left
+// untouched. Calls with base at or behind the current window start are
+// no-ops, so the engine may call it unconditionally each tick.
+//
+// AdvanceWindow must be safe to call concurrently with Propose/Commit
+// (the primal-dual schedulers take the λ write lock). Engines advance the
+// scheduler only after the ledger's own Advance succeeded, so the two
+// window positions never disagree by more than the in-flight tick.
+type WindowAdvancer interface {
+	// AdvanceWindow moves the live window so it starts at base.
+	AdvanceWindow(base int)
+}
+
 // SerialAdapter drives a TwoPhaseScheduler through the serialized Decide
 // contract: every Decide is Propose immediately followed by Commit under
 // one adapter-owned mutex. The adapter reproduces the scheduler's own
@@ -191,6 +210,18 @@ func (a *SerialAdapter) Abort(req Request, p Placement) {
 // ConcurrentPropose implements TwoPhaseScheduler: always false — the
 // adapter's entire purpose is serialization.
 func (a *SerialAdapter) ConcurrentPropose() bool { return false }
+
+// AdvanceWindow forwards to the wrapped scheduler when it implements
+// WindowAdvancer (under the adapter's mutex, like every other call) and is
+// a no-op otherwise, so engines can advance through the adapter without
+// re-discovering the wrapped type.
+func (a *SerialAdapter) AdvanceWindow(base int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if wa, ok := a.s.(WindowAdvancer); ok {
+		wa.AdvanceWindow(base)
+	}
+}
 
 // Unwrap returns the adapted two-phase scheduler.
 func (a *SerialAdapter) Unwrap() TwoPhaseScheduler { return a.s }

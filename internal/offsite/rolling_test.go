@@ -1,0 +1,141 @@
+package offsite
+
+import (
+	"testing"
+
+	"revnf/internal/core"
+	"revnf/internal/timeslot"
+)
+
+var _ core.WindowAdvancer = (*Scheduler)(nil)
+
+// newRollingLedger builds a rolling ledger advanced to base.
+func newRollingLedger(t *testing.T, n *core.Network, window, base int) *timeslot.Ledger {
+	t.Helper()
+	caps := make([]int, len(n.Cloudlets))
+	for j, c := range n.Cloudlets {
+		caps[j] = c.Capacity
+	}
+	l, err := timeslot.NewRolling(caps, window)
+	if err != nil {
+		t.Fatalf("timeslot.NewRolling: %v", err)
+	}
+	if err := l.Advance(base); err != nil {
+		t.Fatalf("Advance(%d): %v", base, err)
+	}
+	return l
+}
+
+func offsiteAgingRequest(id, arrival, duration int) core.Request {
+	return core.Request{
+		ID: id, VNF: 0, Reliability: 0.98, Payment: 60,
+		Arrival: arrival, Duration: duration,
+	}
+}
+
+// TestAdvanceWindowAgesLambda mirrors the onsite λ-aging test for the
+// Algorithm 2 duals: retired slots re-initialize, in-window prices are
+// bit-identical across the advance, entering slots start fresh.
+func TestAdvanceWindowAgesLambda(t *testing.T) {
+	n := testNetwork()
+	s, err := NewScheduler(n, 6)
+	if err != nil {
+		t.Fatalf("NewScheduler: %v", err)
+	}
+	view := newRollingLedger(t, n, 6, 1)
+	p, ok := s.Decide(offsiteAgingRequest(1, 1, 4), view)
+	if !ok {
+		t.Fatal("request rejected")
+	}
+	j := p.Assignments[0].Cloudlet
+	if s.Lambda(j, 1) <= 0 || s.Lambda(j, 4) <= 0 {
+		t.Fatalf("λ not raised over admitted window: λ1=%v λ4=%v", s.Lambda(j, 1), s.Lambda(j, 4))
+	}
+	l3, l4 := s.Lambda(j, 3), s.Lambda(j, 4)
+
+	s.AdvanceWindow(3)
+	if err := view.Advance(3); err != nil {
+		t.Fatalf("view.Advance: %v", err)
+	}
+	if s.WindowBase() != 3 {
+		t.Fatalf("WindowBase = %d, want 3", s.WindowBase())
+	}
+	if s.Lambda(j, 1) != 0 || s.Lambda(j, 2) != 0 {
+		t.Fatalf("retired λ = %v,%v, want 0,0", s.Lambda(j, 1), s.Lambda(j, 2))
+	}
+	if s.Lambda(j, 3) != l3 || s.Lambda(j, 4) != l4 {
+		t.Fatalf("in-window λ changed across advance: %v,%v vs %v,%v",
+			s.Lambda(j, 3), s.Lambda(j, 4), l3, l4)
+	}
+	if s.Lambda(j, 7) != 0 || s.Lambda(j, 8) != 0 {
+		t.Fatalf("entering λ = %v,%v, want fresh 0,0", s.Lambda(j, 7), s.Lambda(j, 8))
+	}
+	if _, ok := s.Propose(offsiteAgingRequest(2, 2, 2), view); ok {
+		t.Fatal("request behind window base admitted")
+	}
+	if _, ok := s.Propose(offsiteAgingRequest(3, 7, 2), view); !ok {
+		t.Fatal("request in advanced window rejected")
+	}
+}
+
+// TestRollingFixedDecisionEquivalence: the shifted stream through an
+// advanced off-site scheduler must reproduce the fixed-horizon decisions
+// and dual prices bit-for-bit.
+func TestRollingFixedDecisionEquivalence(t *testing.T) {
+	const T = 8
+	const shift = 11
+	n := testNetwork()
+	fixed, err := NewScheduler(n, T)
+	if err != nil {
+		t.Fatalf("NewScheduler: %v", err)
+	}
+	rolling, err := NewScheduler(n, T)
+	if err != nil {
+		t.Fatalf("NewScheduler: %v", err)
+	}
+	rolling.AdvanceWindow(1 + shift)
+	fixedView := newLedger(t, n, T)
+	rollingView := newRollingLedger(t, n, T, 1+shift)
+
+	reqs := []core.Request{
+		offsiteAgingRequest(1, 1, 3), offsiteAgingRequest(2, 2, 4),
+		offsiteAgingRequest(3, 1, 8), offsiteAgingRequest(4, 4, 2),
+		offsiteAgingRequest(5, 6, 3), offsiteAgingRequest(6, 3, 5),
+	}
+	for _, r := range reqs {
+		pF, okF := fixed.Decide(r, fixedView)
+		rs := r
+		rs.Arrival += shift
+		pR, okR := rolling.Decide(rs, rollingView)
+		if okF != okR {
+			t.Fatalf("req %d: fixed admit %v, rolling admit %v", r.ID, okF, okR)
+		}
+		if !okF {
+			continue
+		}
+		if len(pF.Assignments) != len(pR.Assignments) {
+			t.Fatalf("req %d: assignment counts diverged %d vs %d",
+				r.ID, len(pF.Assignments), len(pR.Assignments))
+		}
+		for i := range pF.Assignments {
+			if pF.Assignments[i] != pR.Assignments[i] {
+				t.Fatalf("req %d: assignment %d diverged %+v vs %+v",
+					r.ID, i, pF.Assignments[i], pR.Assignments[i])
+			}
+			units := pF.Assignments[i].Instances * n.Catalog[r.VNF].Demand
+			if err := fixedView.Reserve(pF.Assignments[i].Cloudlet, r.Arrival, r.Duration, units); err != nil {
+				t.Fatalf("fixed reserve: %v", err)
+			}
+			if err := rollingView.Reserve(pR.Assignments[i].Cloudlet, rs.Arrival, rs.Duration, units); err != nil {
+				t.Fatalf("rolling reserve: %v", err)
+			}
+		}
+	}
+	for j := range n.Cloudlets {
+		for slot := 1; slot <= T; slot++ {
+			if lf, lr := fixed.Lambda(j, slot), rolling.Lambda(j, slot+shift); lf != lr {
+				t.Fatalf("λ(%d,%d) fixed %v, rolling shifted %v — not bit-identical", j, slot, lf, lr)
+			}
+		}
+	}
+}

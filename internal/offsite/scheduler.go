@@ -42,10 +42,17 @@ type Scheduler struct {
 	horizon int
 	// rel caches the per-(VNF, cloudlet) off-site weights.
 	rel *core.ReliabilityTable
-	// mu guards lambda: Propose reads, Commit writes.
+	// mu guards lambda, base, and lstart: Propose reads, Commit and
+	// AdvanceWindow write.
 	mu sync.RWMutex
-	// lambda[j][t-1] is the dual price λ_{tj}.
-	lambda  [][]float64
+	// lambda[j] is a ring of dual prices: λ_{tj} lives at ring index
+	// lstart + (t - base) mod horizon. With base pinned at 1 (every fixed
+	// -horizon caller) the index is exactly t-1, the historical layout.
+	lambda [][]float64
+	// base is the first slot of the live window; lstart its ring index.
+	// AdvanceWindow moves them forward, re-initializing retired prices.
+	base    int
+	lstart  int
 	sortKey SortKey
 	name    string
 	// Latency awareness (WithLatencyPenalty): normalized cloudlet-pair
@@ -130,6 +137,7 @@ func NewScheduler(network *core.Network, horizon int, opts ...Option) (*Schedule
 		sortKey: SortByPrice,
 		name:    "pd-offsite",
 		rec:     trace.Nop,
+		base:    1,
 	}
 	for j := range s.lambda {
 		s.lambda[j] = make([]float64, horizon)
@@ -149,15 +157,67 @@ func (s *Scheduler) Name() string { return s.name }
 // Scheme implements core.Scheduler.
 func (s *Scheduler) Scheme() core.Scheme { return core.OffSite }
 
-// Lambda returns the current dual price λ_{tj}; exported for tests and
+// Lambda returns the current dual price λ_{tj}, or 0 for a slot outside
+// the live window [base, base+horizon-1]; exported for tests and
 // diagnostics.
 func (s *Scheduler) Lambda(cloudlet, slot int) float64 {
-	if cloudlet < 0 || cloudlet >= len(s.lambda) || slot < 1 || slot > s.horizon {
+	if cloudlet < 0 || cloudlet >= len(s.lambda) {
 		return 0
 	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return s.lambda[cloudlet][slot-1]
+	if slot < s.base || slot > s.base+s.horizon-1 {
+		return 0
+	}
+	return s.lambda[cloudlet][s.lidx(slot)]
+}
+
+// WindowBase returns the first slot of the live dual-price window (always
+// 1 until AdvanceWindow is called).
+func (s *Scheduler) WindowBase() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.base
+}
+
+// lidx maps an in-window absolute slot onto its λ ring index. Caller holds
+// mu (either side) and has range-checked slot.
+func (s *Scheduler) lidx(slot int) int {
+	i := s.lstart + (slot - s.base)
+	if i >= s.horizon {
+		i -= s.horizon
+	}
+	return i
+}
+
+// AdvanceWindow implements core.WindowAdvancer: it moves the dual-price
+// window forward so it starts at base, re-initializing λ for each retired
+// slot to zero so the slot entering at the far edge starts at a fresh
+// initial price instead of inheriting the retired slot's accumulated one.
+// In-window prices are untouched (the bit-identity argument of DESIGN.md
+// §10). Moving backward or not at all is a no-op.
+func (s *Scheduler) AdvanceWindow(base int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if base <= s.base {
+		return
+	}
+	retire := base - s.base
+	n := retire
+	if n > s.horizon {
+		n = s.horizon
+	}
+	for j := range s.lambda {
+		i := s.lstart
+		for k := 0; k < n; k++ {
+			s.lambda[j][i] = 0
+			if i++; i == s.horizon {
+				i = 0
+			}
+		}
+	}
+	s.lstart = (s.lstart + retire%s.horizon) % s.horizon
+	s.base = base
 }
 
 // candidate is one cloudlet surviving the payment filter.
@@ -183,12 +243,6 @@ func (s *Scheduler) Decide(req core.Request, view core.CapacityView) (core.Place
 // dual prices under the read lock and leaving scheduler state untouched.
 func (s *Scheduler) Propose(req core.Request, view core.CapacityView) (core.Placement, bool) {
 	tracing := s.rec.Sample(req.ID)
-	if req.Arrival < 1 || req.End() > s.horizon {
-		if tracing {
-			s.recordHorizon(req)
-		}
-		return core.Placement{}, false
-	}
 	vnf := s.network.Catalog[req.VNF]
 	needWeight := core.RequirementWeight(req.Reliability)
 	demand := float64(vnf.Demand)
@@ -201,11 +255,26 @@ func (s *Scheduler) Propose(req core.Request, view core.CapacityView) (core.Plac
 		cands = make([]trace.Candidate, len(s.network.Cloudlets))
 	}
 	s.mu.RLock()
+	// The window check lives inside the same read-side critical section as
+	// the candidate scan so one proposal sees one consistent base even
+	// while AdvanceWindow races it. With base pinned at 1 (fixed horizon)
+	// this is the historical [1, horizon] check.
+	if req.Arrival < s.base || req.End() > s.base+s.horizon-1 {
+		s.mu.RUnlock()
+		if tracing {
+			s.recordHorizon(req)
+		}
+		return core.Placement{}, false
+	}
 	for j := range s.network.Cloudlets {
 		w := s.rel.OffsiteWeight(req.VNF, j)
 		sumLambda := 0.0
+		i := s.lidx(req.Arrival)
 		for t := req.Arrival; t <= req.End(); t++ {
-			sumLambda += s.lambda[j][t-1]
+			sumLambda += s.lambda[j][i]
+			if i++; i == s.horizon {
+				i = 0
+			}
 		}
 		price := sumLambda / w
 		if tracing {
@@ -402,13 +471,30 @@ func (s *Scheduler) updateDuals(req core.Request, vnf core.VNF, chosen []candida
 	demand := float64(vnf.Demand)
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	// Clamp to the live window: in fixed mode the proposal already proved
+	// [Arrival, End] ⊆ [1, horizon] so the clamp never bites; in rolling
+	// mode it guards a commit racing an AdvanceWindow past its arrival.
+	lo, hi := req.Arrival, req.End()
+	if lo < s.base {
+		lo = s.base
+	}
+	if max := s.base + s.horizon - 1; hi > max {
+		hi = max
+	}
+	if lo > hi {
+		return
+	}
 	for _, c := range chosen {
 		capj := float64(s.network.Cloudlets[c.cloudlet].Capacity)
 		ratio := needWeight * demand / (c.weight * capj)
 		growth := 1 + ratio
 		additive := ratio * req.Payment / float64(req.Duration)
-		for t := req.Arrival; t <= req.End(); t++ {
-			s.lambda[c.cloudlet][t-1] = s.lambda[c.cloudlet][t-1]*growth + additive
+		i := s.lidx(lo)
+		for t := lo; t <= hi; t++ {
+			s.lambda[c.cloudlet][i] = s.lambda[c.cloudlet][i]*growth + additive
+			if i++; i == s.horizon {
+				i = 0
+			}
 		}
 	}
 }

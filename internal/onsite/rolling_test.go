@@ -1,0 +1,172 @@
+package onsite
+
+import (
+	"testing"
+
+	"revnf/internal/core"
+	"revnf/internal/timeslot"
+)
+
+// request returns a simple in-window request for the λ-aging tests.
+func agingRequest(id, arrival, duration int) core.Request {
+	return core.Request{
+		ID: id, VNF: 0, Reliability: 0.97, Payment: 50,
+		Arrival: arrival, Duration: duration,
+	}
+}
+
+var _ core.WindowAdvancer = (*Scheduler)(nil)
+
+// newRollingLedger builds a rolling ledger advanced to base.
+func newRollingLedger(t *testing.T, n *core.Network, window, base int) *timeslot.Ledger {
+	t.Helper()
+	caps := make([]int, len(n.Cloudlets))
+	for j, c := range n.Cloudlets {
+		caps[j] = c.Capacity
+	}
+	l, err := timeslot.NewRolling(caps, window)
+	if err != nil {
+		t.Fatalf("timeslot.NewRolling: %v", err)
+	}
+	if err := l.Advance(base); err != nil {
+		t.Fatalf("Advance(%d): %v", base, err)
+	}
+	return l
+}
+
+// TestAdvanceWindowAgesLambda checks that retiring a slot re-initializes
+// its dual price while in-window prices are untouched — the λ-aging half
+// of the rolling-horizon equivalence argument.
+func TestAdvanceWindowAgesLambda(t *testing.T) {
+	n := testNetwork()
+	s, err := NewScheduler(n, 6, WithCapacityEnforcement())
+	if err != nil {
+		t.Fatalf("NewScheduler: %v", err)
+	}
+	view := newRollingLedger(t, n, 6, 1)
+	req := agingRequest(1, 1, 4)
+	p, ok := s.Decide(req, view)
+	if !ok {
+		t.Fatal("request rejected")
+	}
+	j := p.Assignments[0].Cloudlet
+	if s.Lambda(j, 1) <= 0 || s.Lambda(j, 4) <= 0 {
+		t.Fatalf("λ not raised over admitted window: λ1=%v λ4=%v", s.Lambda(j, 1), s.Lambda(j, 4))
+	}
+	l3, l4 := s.Lambda(j, 3), s.Lambda(j, 4)
+
+	s.AdvanceWindow(3)
+	if err := view.Advance(3); err != nil {
+		t.Fatalf("view.Advance: %v", err)
+	}
+	if s.WindowBase() != 3 {
+		t.Fatalf("WindowBase = %d, want 3", s.WindowBase())
+	}
+	// Retired slots read as the out-of-range sentinel.
+	if s.Lambda(j, 1) != 0 || s.Lambda(j, 2) != 0 {
+		t.Fatalf("retired λ = %v,%v, want 0,0", s.Lambda(j, 1), s.Lambda(j, 2))
+	}
+	// In-window prices are bit-identical to before the advance.
+	if s.Lambda(j, 3) != l3 || s.Lambda(j, 4) != l4 {
+		t.Fatalf("in-window λ changed across advance: %v,%v vs %v,%v",
+			s.Lambda(j, 3), s.Lambda(j, 4), l3, l4)
+	}
+	// Entering slots 7 and 8 start at the fresh initial price, not at slot
+	// 1/2's accumulated price.
+	if s.Lambda(j, 7) != 0 || s.Lambda(j, 8) != 0 {
+		t.Fatalf("entering λ = %v,%v, want fresh 0,0", s.Lambda(j, 7), s.Lambda(j, 8))
+	}
+
+	// Requests behind the base are rejected; requests in the moved window
+	// are admitted and price against the recycled (fresh) slots.
+	if _, ok := s.Propose(agingRequest(2, 2, 2), view); ok {
+		t.Fatal("request behind window base admitted")
+	}
+	if _, ok := s.Propose(agingRequest(3, 7, 2), view); !ok {
+		t.Fatal("request in advanced window rejected")
+	}
+	// Backward / no-op advances leave the base alone.
+	s.AdvanceWindow(2)
+	if s.WindowBase() != 3 {
+		t.Fatalf("backward AdvanceWindow moved base to %d", s.WindowBase())
+	}
+}
+
+// TestAdvanceWindowBeyondHorizon retires the whole ring at once.
+func TestAdvanceWindowBeyondHorizon(t *testing.T) {
+	n := testNetwork()
+	s, err := NewScheduler(n, 4, WithCapacityEnforcement())
+	if err != nil {
+		t.Fatalf("NewScheduler: %v", err)
+	}
+	view := newLedger(t, n, 4)
+	if _, ok := s.Decide(agingRequest(1, 1, 4), view); !ok {
+		t.Fatal("request rejected")
+	}
+	s.AdvanceWindow(100)
+	for j := 0; j < 2; j++ {
+		for slot := 100; slot <= 103; slot++ {
+			if got := s.Lambda(j, slot); got != 0 {
+				t.Fatalf("λ(%d,%d) = %v after full-ring advance, want 0", j, slot, got)
+			}
+		}
+	}
+	if s.WindowBase() != 100 {
+		t.Fatalf("WindowBase = %d, want 100", s.WindowBase())
+	}
+}
+
+// TestRollingFixedDecisionEquivalence runs the same stream through a fixed
+// scheduler over [1, T] and a rolling scheduler that advanced to base b,
+// with the stream shifted by b-1 slots: decisions and dual prices must be
+// bit-identical — an advanced window is a fresh horizon under translation.
+func TestRollingFixedDecisionEquivalence(t *testing.T) {
+	const T = 8
+	const shift = 5 // rolling window becomes [6, 13]
+	n := testNetwork()
+	fixed, err := NewScheduler(n, T, WithCapacityEnforcement())
+	if err != nil {
+		t.Fatalf("NewScheduler: %v", err)
+	}
+	rolling, err := NewScheduler(n, T, WithCapacityEnforcement())
+	if err != nil {
+		t.Fatalf("NewScheduler: %v", err)
+	}
+	rolling.AdvanceWindow(1 + shift)
+	fixedView := newLedger(t, n, T)
+	rollingView := newRollingLedger(t, n, T, 1+shift)
+
+	reqs := []core.Request{
+		agingRequest(1, 1, 3), agingRequest(2, 2, 4), agingRequest(3, 1, 8),
+		agingRequest(4, 4, 2), agingRequest(5, 6, 3), agingRequest(6, 3, 5),
+	}
+	for _, r := range reqs {
+		pF, okF := fixed.Decide(r, fixedView)
+		rs := r
+		rs.Arrival += shift
+		pR, okR := rolling.Decide(rs, rollingView)
+		if okF != okR {
+			t.Fatalf("req %d: fixed admit %v, rolling admit %v", r.ID, okF, okR)
+		}
+		if okF {
+			if pF.Assignments[0] != pR.Assignments[0] {
+				t.Fatalf("req %d: placements diverged %+v vs %+v", r.ID, pF.Assignments, pR.Assignments)
+			}
+			// Mirror the admission in the views so later residual checks agree.
+			units := pF.Assignments[0].Instances * n.Catalog[r.VNF].Demand
+			if err := fixedView.Reserve(pF.Assignments[0].Cloudlet, r.Arrival, r.Duration, units); err != nil {
+				t.Fatalf("fixed reserve: %v", err)
+			}
+			if err := rollingView.Reserve(pR.Assignments[0].Cloudlet, rs.Arrival, rs.Duration, units); err != nil {
+				t.Fatalf("rolling reserve: %v", err)
+			}
+		}
+	}
+	for j := 0; j < 2; j++ {
+		for slot := 1; slot <= T; slot++ {
+			if lf, lr := fixed.Lambda(j, slot), rolling.Lambda(j, slot+shift); lf != lr {
+				t.Fatalf("λ(%d,%d) fixed %v, rolling shifted %v — not bit-identical", j, slot, lf, lr)
+			}
+		}
+	}
+}

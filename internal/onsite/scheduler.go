@@ -48,10 +48,18 @@ type Scheduler struct {
 	horizon int
 	// rel caches the per-(VNF, cloudlet) instance-count math.
 	rel *core.ReliabilityTable
-	// mu guards lambda: Propose reads, Commit writes.
+	// mu guards lambda, base, and lstart: Propose reads, Commit and
+	// AdvanceWindow write. Holding the read lock across the whole argmin
+	// means one proposal always sees one consistent window position.
 	mu sync.RWMutex
-	// lambda[j][t-1] is the dual price λ_{tj}.
-	lambda   [][]float64
+	// lambda[j] is a ring of dual prices: λ_{tj} lives at ring index
+	// lstart + (t - base) mod horizon. With base pinned at 1 (every fixed
+	// -horizon caller) the index is exactly t-1, the historical layout.
+	lambda [][]float64
+	// base is the first slot of the live window; lstart its ring index.
+	// AdvanceWindow moves them forward, re-initializing retired prices.
+	base     int
+	lstart   int
 	enforce  bool
 	additive bool
 	scale    float64
@@ -135,6 +143,7 @@ func NewScheduler(network *core.Network, horizon int, opts ...Option) (*Schedule
 		scale:   1,
 		name:    "pd-onsite-raw",
 		rec:     trace.Nop,
+		base:    1,
 	}
 	for j := range s.lambda {
 		s.lambda[j] = make([]float64, horizon)
@@ -154,15 +163,69 @@ func (s *Scheduler) Name() string { return s.name }
 // Scheme implements core.Scheduler.
 func (s *Scheduler) Scheme() core.Scheme { return core.OnSite }
 
-// Lambda returns the current dual price λ_{tj}; it is exported for tests
-// and the experiment harness's dual-trajectory diagnostics.
+// Lambda returns the current dual price λ_{tj}, or 0 for a slot outside
+// the live window [base, base+horizon-1]; it is exported for tests and the
+// experiment harness's dual-trajectory diagnostics.
 func (s *Scheduler) Lambda(cloudlet, slot int) float64 {
-	if cloudlet < 0 || cloudlet >= len(s.lambda) || slot < 1 || slot > s.horizon {
+	if cloudlet < 0 || cloudlet >= len(s.lambda) {
 		return 0
 	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return s.lambda[cloudlet][slot-1]
+	if slot < s.base || slot > s.base+s.horizon-1 {
+		return 0
+	}
+	return s.lambda[cloudlet][s.lidx(slot)]
+}
+
+// WindowBase returns the first slot of the live dual-price window (always
+// 1 until AdvanceWindow is called).
+func (s *Scheduler) WindowBase() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.base
+}
+
+// lidx maps an in-window absolute slot onto its λ ring index. Caller holds
+// mu (either side) and has range-checked slot.
+func (s *Scheduler) lidx(slot int) int {
+	i := s.lstart + (slot - s.base)
+	if i >= s.horizon {
+		i -= s.horizon
+	}
+	return i
+}
+
+// AdvanceWindow implements core.WindowAdvancer: it moves the dual-price
+// window forward so it starts at base, re-initializing λ for each retired
+// slot to zero — the entering slot at the far edge starts at the same
+// initial dual price a fresh horizon would give it, rather than inheriting
+// the retired slot's accumulated price. Prices for slots still inside the
+// window are untouched, which is what keeps rolling-mode decisions
+// bit-identical to fixed-horizon decisions for in-window request streams
+// (DESIGN.md §10). Moving backward or not at all is a no-op.
+func (s *Scheduler) AdvanceWindow(base int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if base <= s.base {
+		return
+	}
+	retire := base - s.base
+	n := retire
+	if n > s.horizon {
+		n = s.horizon
+	}
+	for j := range s.lambda {
+		i := s.lstart
+		for k := 0; k < n; k++ {
+			s.lambda[j][i] = 0
+			if i++; i == s.horizon {
+				i = 0
+			}
+		}
+	}
+	s.lstart = (s.lstart + retire%s.horizon) % s.horizon
+	s.base = base
 }
 
 // Decide implements core.Scheduler: Propose immediately followed by
@@ -185,12 +248,6 @@ func (s *Scheduler) Decide(req core.Request, view core.CapacityView) (core.Place
 // off.
 func (s *Scheduler) Propose(req core.Request, view core.CapacityView) (core.Placement, bool) {
 	tracing := s.rec.Sample(req.ID)
-	if req.Arrival < 1 || req.End() > s.horizon {
-		if tracing {
-			s.recordHorizon(req)
-		}
-		return core.Placement{}, false
-	}
 	vnf := s.network.Catalog[req.VNF]
 	bestCloudlet, bestInstances := -1, 0
 	bestPrice := math.Inf(1)
@@ -199,6 +256,17 @@ func (s *Scheduler) Propose(req core.Request, view core.CapacityView) (core.Plac
 		cands = make([]trace.Candidate, 0, len(s.network.Cloudlets))
 	}
 	s.mu.RLock()
+	// The window check lives inside the same read-side critical section as
+	// the argmin so one proposal sees one consistent base even while
+	// AdvanceWindow races it. With base pinned at 1 (fixed horizon) this is
+	// the historical [1, horizon] check.
+	if req.Arrival < s.base || req.End() > s.base+s.horizon-1 {
+		s.mu.RUnlock()
+		if tracing {
+			s.recordHorizon(req)
+		}
+		return core.Placement{}, false
+	}
 	for j := range s.network.Cloudlets {
 		n, ok := s.rel.OnsiteInstancesOK(req.VNF, j, req.Reliability)
 		if !ok {
@@ -251,8 +319,12 @@ func (s *Scheduler) Propose(req core.Request, view core.CapacityView) (core.Plac
 func (s *Scheduler) priceLocked(j int, req core.Request, units int) float64 {
 	price := 0.0
 	scaled := float64(units) * s.scale
+	i := s.lidx(req.Arrival)
 	for t := req.Arrival; t <= req.End(); t++ {
-		price += scaled * s.lambda[j][t-1]
+		price += scaled * s.lambda[j][i]
+		if i++; i == s.horizon {
+			i = 0
+		}
 	}
 	return price
 }
@@ -328,8 +400,24 @@ func (s *Scheduler) updateDuals(req core.Request, cloudlet, instances, demand in
 	}
 	additive := units * req.Payment / (float64(req.Duration) * capj)
 	s.mu.Lock()
-	for t := req.Arrival; t <= req.End(); t++ {
-		s.lambda[cloudlet][t-1] = s.lambda[cloudlet][t-1]*growth + additive
+	// Clamp to the live window: in fixed mode the proposal already proved
+	// [Arrival, End] ⊆ [1, horizon] so the clamp never bites; in rolling
+	// mode it guards a commit racing an AdvanceWindow past its arrival.
+	lo, hi := req.Arrival, req.End()
+	if lo < s.base {
+		lo = s.base
+	}
+	if max := s.base + s.horizon - 1; hi > max {
+		hi = max
+	}
+	if lo <= hi {
+		i := s.lidx(lo)
+		for t := lo; t <= hi; t++ {
+			s.lambda[cloudlet][i] = s.lambda[cloudlet][i]*growth + additive
+			if i++; i == s.horizon {
+				i = 0
+			}
+		}
 	}
 	s.mu.Unlock()
 }

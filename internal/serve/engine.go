@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -80,6 +81,11 @@ type PlacementRecord struct {
 	// runtime re-places the request mid-window (the repair reserves
 	// [repair slot, end] and releases the old footprint).
 	ReservedFrom int
+	// released records that the ledger reservation has been returned, so
+	// expiry can never release a footprint twice (degraded placements
+	// keep their state mark at expiry but release exactly once like every
+	// other placement).
+	released bool
 }
 
 // TickReport summarizes one slot advance.
@@ -92,8 +98,13 @@ type TickReport struct {
 
 // Stats is a consistent snapshot of the engine's counters.
 type Stats struct {
-	// Slot is the current slot; Horizon the served horizon T.
+	// Slot is the current slot; Horizon the served horizon (the fixed T,
+	// or the rolling window width W).
 	Slot, Horizon int
+	// WindowBase is the first live slot of the ledger window (1 in fixed
+	// mode); Rolling reports the horizon mode.
+	WindowBase int
+	Rolling    bool
 	// Workers is the decision concurrency: 1 in serial mode, the shard
 	// count in sharded mode.
 	Workers int
@@ -173,6 +184,15 @@ type Engine struct {
 	workers int
 	now     func() time.Time
 
+	// rolling selects the rolling-horizon mode (Config.Rolling): the
+	// ledger is a circular window of horizon slots whose base Tick
+	// advances with the clock, pinned by the oldest live reservation.
+	rolling bool
+	// advancer is the scheduler's window-aging hook (non-nil when the
+	// scheduler implements core.WindowAdvancer); called after every
+	// successful ledger advance so dual prices retire with their slots.
+	advancer core.WindowAdvancer
+
 	// twoPhase is non-nil exactly in sharded mode.
 	twoPhase core.TwoPhaseScheduler
 
@@ -211,6 +231,9 @@ type Engine struct {
 
 	// slotNow mirrors slot for lock-free reads on the sharded path.
 	slotNow atomic.Int64
+	// baseNow mirrors the ledger's window base for lock-free reads
+	// (sharded horizon checks, metrics); pinned at 1 in fixed mode.
+	baseNow atomic.Int64
 	// lastID is the atomic ID allocator (IDs start at 1).
 	lastID atomic.Int64
 	// waiting counts submissions accepted but not yet decided (sharded).
@@ -293,7 +316,13 @@ func New(cfg Config) (*Engine, error) {
 	for j, cl := range cfg.Network.Cloudlets {
 		caps[j] = cl.Capacity
 	}
-	ledger, err := timeslot.New(caps, cfg.Horizon)
+	var ledger *timeslot.Ledger
+	var err error
+	if cfg.Rolling {
+		ledger, err = timeslot.NewRolling(caps, cfg.Horizon)
+	} else {
+		ledger, err = timeslot.New(caps, cfg.Horizon)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
 	}
@@ -328,12 +357,20 @@ func New(cfg Config) (*Engine, error) {
 			return nil, err
 		}
 	}
+	var advancer core.WindowAdvancer
+	if cfg.Rolling {
+		// The dual prices follow the window when the scheduler supports it;
+		// stateless schedulers (baselines) have nothing to age.
+		advancer, _ = cfg.Scheduler.(core.WindowAdvancer)
+	}
 	e := &Engine{
 		cfg:        cfg,
 		network:    cfg.Network,
 		horizon:    cfg.Horizon,
 		workers:    workers,
 		now:        nowFn,
+		rolling:    cfg.Rolling,
+		advancer:   advancer,
 		sched:      cfg.Scheduler,
 		twoPhase:   twoPhase,
 		rec:        rec,
@@ -349,6 +386,7 @@ func New(cfg Config) (*Engine, error) {
 		quit:       make(chan struct{}),
 	}
 	e.slotNow.Store(1)
+	e.baseNow.Store(1)
 	if twoPhase != nil {
 		e.sem = make(chan int, workers)
 		e.shards = make([]*shardHist, workers)
@@ -514,10 +552,11 @@ func (e *Engine) decide(ar AdmissionRequest, enqueued time.Time) AdmissionResult
 	if req.Arrival < e.slot {
 		return reject(ReasonStale)
 	}
-	if req.End() > e.horizon {
+	maxSlot := e.maxSlotLocked()
+	if req.End() > maxSlot {
 		return reject(ReasonHorizon)
 	}
-	if err := e.network.ValidateRequest(req, e.horizon); err != nil {
+	if err := e.network.ValidateRequest(req, maxSlot); err != nil {
 		return reject(ReasonInvalid)
 	}
 	placement, ok := e.sched.Decide(req, e.ledger)
@@ -598,10 +637,18 @@ func (e *Engine) decideSharded(ctx context.Context, ar AdmissionRequest, id int,
 	if req.Arrival < slot {
 		return reject(ReasonStale), nil
 	}
-	if req.End() > e.horizon {
+	// In rolling mode the admissible window follows the base mirror; the
+	// ledger re-checks atomically at reservation time, so a stale read
+	// here can only cause a rejection or a conflict retry, never an
+	// out-of-window reservation.
+	maxSlot := e.horizon
+	if e.rolling {
+		maxSlot = int(e.baseNow.Load()) + e.horizon - 1
+	}
+	if req.End() > maxSlot {
 		return reject(ReasonHorizon), nil
 	}
-	if err := e.network.ValidateRequest(req, e.horizon); err != nil {
+	if err := e.network.ValidateRequest(req, maxSlot); err != nil {
 		return reject(ReasonInvalid), nil
 	}
 	demand := e.network.Catalog[req.VNF].Demand
@@ -678,7 +725,7 @@ func (e *Engine) recordAdmissionLocked(req core.Request, placement core.Placemen
 		State:        StateScheduled,
 		ReservedFrom: req.Arrival,
 	}
-	e.expiry.Add(req.ID, req.End())
+	e.expiry.Add(req.ID, req.Arrival, req.End())
 	e.admitted++
 	e.revenue += req.Payment
 	if e.runtime != nil {
@@ -715,26 +762,74 @@ func (e *Engine) Tick() TickReport {
 	demandOf := func(req core.Request) int { return e.network.Catalog[req.VNF].Demand }
 	for _, id := range expired {
 		rec := e.placements[id]
-		// The live reservation runs [ReservedFrom, end]: the full window at
-		// admission, the remaining window after a mid-window repair.
-		duration := rec.Request.End() - rec.ReservedFrom + 1
-		for _, a := range rec.Placement.Assignments {
-			// Release can only fail on arguments the engine itself
-			// reserved; a failure here would be an engine bug.
-			if err := e.ledger.Release(a.Cloudlet, rec.ReservedFrom, duration, a.Units(demandOf(rec.Request))); err != nil {
-				panic(fmt.Sprintf("serve: release placement %d: %v", id, err))
+		if !rec.released {
+			// The live reservation runs [ReservedFrom, end]: the full window
+			// at admission, the remaining window after a mid-window repair.
+			duration := rec.Request.End() - rec.ReservedFrom + 1
+			for _, a := range rec.Placement.Assignments {
+				// Release can only fail on arguments the engine itself
+				// reserved; a failure here would be an engine bug.
+				if err := e.ledger.Release(a.Cloudlet, rec.ReservedFrom, duration, a.Units(demandOf(rec.Request))); err != nil {
+					panic(fmt.Sprintf("serve: release placement %d: %v", id, err))
+				}
 			}
+			rec.released = true
 		}
-		rec.State = StateExpired
+		// Degraded placements keep their mark past expiry — the state
+		// records that the SLO was not met, which outliving the window must
+		// not erase.
+		if rec.State != StateDegraded {
+			rec.State = StateExpired
+		}
 		e.expired++
 		if e.runtime != nil {
 			e.finalizeExpiredLocked(id)
 		}
 	}
+	if e.rolling {
+		e.advanceWindowLocked()
+	}
 	if e.runtime != nil {
 		e.runtimeTickLocked()
 	}
 	return TickReport{Slot: e.slot, Expired: len(expired)}
+}
+
+// advanceWindowLocked moves the rolling window's base to the clock,
+// pinned by the oldest live reservation so every outstanding footprint
+// stays addressable until it releases. The ledger advances first and the
+// scheduler's dual window follows only on success, keeping the two bases
+// in lockstep. ErrNotDrained is tolerated: a sharded decision can commit
+// a reservation for the pre-tick slot after the expiry scan above, in
+// which case the advance simply waits for the next tick. Caller holds
+// e.mu.
+func (e *Engine) advanceWindowLocked() {
+	newBase := e.slot
+	if oldest, ok := e.expiry.OldestStart(); ok && oldest < newBase {
+		newBase = oldest
+	}
+	if newBase <= int(e.baseNow.Load()) {
+		return
+	}
+	if err := e.ledger.Advance(newBase); err != nil {
+		if errors.Is(err, timeslot.ErrNotDrained) {
+			return
+		}
+		panic(fmt.Sprintf("serve: advance window to %d: %v", newBase, err))
+	}
+	e.baseNow.Store(int64(newBase))
+	if e.advancer != nil {
+		e.advancer.AdvanceWindow(newBase)
+	}
+}
+
+// maxSlotLocked returns the last admissible slot: the horizon T in fixed
+// mode, the far edge of the rolling window otherwise. Caller holds e.mu.
+func (e *Engine) maxSlotLocked() int {
+	if e.rolling {
+		return int(e.baseNow.Load()) + e.horizon - 1
+	}
+	return e.horizon
 }
 
 // runClock maps wall time onto slots.
@@ -757,8 +852,16 @@ func (e *Engine) Slot() int {
 	return int(e.slotNow.Load())
 }
 
-// Horizon returns the served horizon T.
+// Horizon returns the served horizon: the fixed T, or the rolling window
+// width W.
 func (e *Engine) Horizon() int { return e.horizon }
+
+// Rolling reports whether the engine serves a rolling horizon.
+func (e *Engine) Rolling() bool { return e.rolling }
+
+// WindowBase returns the first live slot of the ledger window; always 1
+// in fixed mode.
+func (e *Engine) WindowBase() int { return int(e.baseNow.Load()) }
 
 // Traces returns the engine's decision-trace store; nil when tracing is
 // disabled.
@@ -795,11 +898,16 @@ type CloudletStatus struct {
 	Node        int     `json:"node"`
 	Capacity    int     `json:"capacity"`
 	Reliability float64 `json:"reliability"`
-	// FromSlot is the slot Residual[0] describes (the current slot).
-	FromSlot int `json:"from_slot"`
-	// Residual holds the free units per slot from FromSlot through the
-	// horizon; empty once the clock has passed the horizon. Entries can
-	// be negative when violations are allowed.
+	// FromSlot is the absolute slot Residual[0] describes (the current
+	// slot); FromOffset is the same position relative to WindowBase.
+	FromSlot   int `json:"from_slot"`
+	FromOffset int `json:"from_offset"`
+	// WindowBase is the first live slot of the ledger window (always 1 in
+	// fixed mode); absolute slot s maps to window offset s - WindowBase.
+	WindowBase int `json:"window_base"`
+	// Residual holds the free units per slot from FromSlot through the end
+	// of the live window; empty once the clock has passed a fixed horizon.
+	// Entries can be negative when violations are allowed.
 	Residual []int `json:"residual"`
 }
 
@@ -808,13 +916,15 @@ type CloudletStatus struct {
 func (e *Engine) Cloudlets() []CloudletStatus {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	base := int(e.baseNow.Load())
+	maxSlot := e.maxSlotLocked()
 	out := make([]CloudletStatus, len(e.network.Cloudlets))
 	for j, cl := range e.network.Cloudlets {
 		st := CloudletStatus{
 			ID: cl.ID, Node: cl.Node, Capacity: cl.Capacity, Reliability: cl.Reliability,
-			FromSlot: e.slot,
+			FromSlot: e.slot, FromOffset: e.slot - base, WindowBase: base,
 		}
-		for t := e.slot; t <= e.horizon; t++ {
+		for t := e.slot; t <= maxSlot; t++ {
 			st.Residual = append(st.Residual, e.ledger.Residual(j, t))
 		}
 		out[j] = st
@@ -829,6 +939,8 @@ func (e *Engine) Stats() Stats {
 	s := Stats{
 		Slot:             e.slot,
 		Horizon:          e.horizon,
+		WindowBase:       int(e.baseNow.Load()),
+		Rolling:          e.rolling,
 		Workers:          e.workers,
 		QueueCapacity:    e.queueCap,
 		Admitted:         e.admitted,
@@ -859,9 +971,10 @@ func (e *Engine) Stats() Stats {
 	for reason, n := range e.rejections {
 		s.Rejections[reason] = n.Load()
 	}
+	maxSlot := e.maxSlotLocked()
 	for j, cl := range e.network.Cloudlets {
 		s.CloudletCapacity[j] = cl.Capacity
-		if e.slot <= e.horizon {
+		if e.slot <= maxSlot {
 			s.CloudletUsed[j] = e.ledger.Used(j, e.slot)
 		}
 	}

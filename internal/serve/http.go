@@ -34,15 +34,21 @@ type decisionDTO struct {
 }
 
 type placementRecordDTO struct {
-	ID          int           `json:"id"`
-	State       string        `json:"state"`
-	VNF         int           `json:"vnf"`
-	Reliability float64       `json:"reliability"`
-	Arrival     int           `json:"arrival"`
-	Duration    int           `json:"duration"`
-	Payment     float64       `json:"payment"`
-	DecidedSlot int           `json:"decided_slot"`
-	Placement   *placementDTO `json:"placement"`
+	ID          int     `json:"id"`
+	State       string  `json:"state"`
+	VNF         int     `json:"vnf"`
+	Reliability float64 `json:"reliability"`
+	Arrival     int     `json:"arrival"`
+	Duration    int     `json:"duration"`
+	Payment     float64 `json:"payment"`
+	DecidedSlot int     `json:"decided_slot"`
+	// WindowBase is the ledger window base at read time (1 in fixed
+	// mode); ArrivalOffset is Arrival - WindowBase, the window-relative
+	// position of the placement's first slot (negative once the base has
+	// advanced past it).
+	WindowBase    int           `json:"window_base"`
+	ArrivalOffset int           `json:"arrival_offset"`
+	Placement     *placementDTO `json:"placement"`
 }
 
 // placementHealthDTO reports the failure runtime's SLO account for one
@@ -70,6 +76,9 @@ type placementHealthDTO struct {
 	// below Required; SLOMet whether delivery currently meets Required.
 	Degraded bool `json:"degraded"`
 	SLOMet   bool `json:"slo_met"`
+	// WindowBase is the ledger window base at read time (1 in fixed
+	// mode), anchoring the absolute slot numbers above.
+	WindowBase int `json:"window_base"`
 }
 
 // errorDTO is the v1 error envelope, used by every endpoint: code repeats
@@ -147,16 +156,19 @@ func NewHandler(e *Engine) http.Handler {
 			writeError(w, http.StatusNotFound, string(trace.ReasonNotFound), fmt.Sprintf("no placement %d", id))
 			return
 		}
+		base := e.WindowBase()
 		writeJSON(w, http.StatusOK, placementRecordDTO{
-			ID:          rec.ID,
-			State:       string(rec.State),
-			VNF:         rec.Request.VNF,
-			Reliability: rec.Request.Reliability,
-			Arrival:     rec.Request.Arrival,
-			Duration:    rec.Request.Duration,
-			Payment:     rec.Request.Payment,
-			DecidedSlot: rec.DecidedSlot,
-			Placement:   toPlacementDTO(e.Network(), rec.Request, rec.Placement),
+			ID:            rec.ID,
+			State:         string(rec.State),
+			VNF:           rec.Request.VNF,
+			Reliability:   rec.Request.Reliability,
+			Arrival:       rec.Request.Arrival,
+			Duration:      rec.Request.Duration,
+			Payment:       rec.Request.Payment,
+			DecidedSlot:   rec.DecidedSlot,
+			WindowBase:    base,
+			ArrivalOffset: rec.Request.Arrival - base,
+			Placement:     toPlacementDTO(e.Network(), rec.Request, rec.Placement),
 		})
 	})
 
@@ -195,6 +207,7 @@ func NewHandler(e *Engine) http.Handler {
 			RepairLatencySlots: entry.RepairLatencySlots,
 			Degraded:           entry.Degraded,
 			SLOMet:             entry.Met(),
+			WindowBase:         e.WindowBase(),
 		})
 	})
 
@@ -220,11 +233,21 @@ func NewHandler(e *Engine) http.Handler {
 	})
 
 	mux.HandleFunc("GET /v1/cloudlets", func(w http.ResponseWriter, r *http.Request) {
+		mode := "fixed"
+		if e.Rolling() {
+			mode = "rolling"
+		}
 		writeJSON(w, http.StatusOK, struct {
-			Slot      int              `json:"slot"`
-			Horizon   int              `json:"horizon"`
-			Cloudlets []CloudletStatus `json:"cloudlets"`
-		}{Slot: e.Slot(), Horizon: e.Horizon(), Cloudlets: e.Cloudlets()})
+			Slot int `json:"slot"`
+			// Horizon is the fixed T or the rolling window width; the live
+			// window is [window_base, window_base+horizon-1].
+			Horizon     int              `json:"horizon"`
+			HorizonMode string           `json:"horizon_mode"`
+			WindowBase  int              `json:"window_base"`
+			WindowSize  int              `json:"window_size"`
+			Cloudlets   []CloudletStatus `json:"cloudlets"`
+		}{Slot: e.Slot(), Horizon: e.Horizon(), HorizonMode: mode,
+			WindowBase: e.WindowBase(), WindowSize: e.Horizon(), Cloudlets: e.Cloudlets()})
 	})
 
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {

@@ -28,7 +28,13 @@ func (e *Engine) WriteMetrics(w io.Writer) error {
 		metrics.Gauge("revnfd_current_slot",
 			"Current time slot of the slot clock.", float64(s.Slot)),
 		metrics.Gauge("revnfd_horizon_slots",
-			"Served horizon T in slots.", float64(s.Horizon)),
+			"Served horizon in slots: the fixed T, or the rolling window width W.", float64(s.Horizon)),
+		metrics.Gauge("revnfd_window_base",
+			"First live slot of the ledger window; fixed at 1 without -horizon-mode rolling.",
+			float64(s.WindowBase)),
+		metrics.Gauge("revnfd_window_size",
+			"Width of the live ledger window in slots (equals revnfd_horizon_slots).",
+			float64(s.Horizon)),
 		metrics.Gauge("revnfd_queue_depth",
 			"Admissions waiting in the bounded ingest queue.", float64(s.QueueDepth)),
 		metrics.Gauge("revnfd_queue_capacity",
@@ -61,7 +67,11 @@ func (e *Engine) WriteMetrics(w io.Writer) error {
 		families = append(families, e.runtimeFamilies()...)
 	}
 	if lr, ok := e.sched.(core.LambdaReader); ok {
-		families = append(families, lambdaFamily(lr, len(e.network.Cloudlets), s.Slot, e.horizon))
+		maxSlot := s.WindowBase + e.horizon - 1
+		if !s.Rolling {
+			maxSlot = e.horizon
+		}
+		families = append(families, lambdaFamily(lr, len(e.network.Cloudlets), s.Slot, maxSlot))
 	}
 	return metrics.WriteProm(w, families)
 }
@@ -116,19 +126,21 @@ func (e *Engine) runtimeFamilies() []metrics.PromMetric {
 }
 
 // lambdaFamily summarizes the primal-dual scheduler's dual prices: per
-// cloudlet, the price λ_{tj} at the current slot and the maximum over the
-// remaining horizon. The full T×K surface would be an unbounded label
-// space; these two gauges track how congestion pricing is building up.
-func lambdaFamily(lr core.LambdaReader, cloudlets, slot, horizon int) metrics.PromMetric {
+// cloudlet, the price λ_{tj} at the current slot and the maximum from the
+// current slot to the end of the live window (maxSlot — the horizon T in
+// fixed mode, the window's far edge in rolling mode). The full T×K
+// surface would be an unbounded label space; these two gauges track how
+// congestion pricing is building up.
+func lambdaFamily(lr core.LambdaReader, cloudlets, slot, maxSlot int) metrics.PromMetric {
 	fam := metrics.PromMetric{
 		Name: "revnfd_dual_price",
-		Help: "Dual price lambda of each cloudlet: at the current slot, and the max over the remaining horizon.",
+		Help: "Dual price lambda of each cloudlet: at the current slot, and the max over the remaining window.",
 		Type: "gauge",
 	}
 	for j := 0; j < cloudlets; j++ {
 		now := lr.Lambda(j, slot)
 		max := 0.0
-		for t := slot; t <= horizon; t++ {
+		for t := slot; t <= maxSlot; t++ {
 			if v := lr.Lambda(j, t); v > max {
 				max = v
 			}

@@ -119,7 +119,9 @@ func (e *Engine) finalizeExpiredLocked(id int) {
 // and expired placements are already released and unwatched.
 func (e *Engine) runtimeTickLocked() {
 	rt := e.runtime
-	if e.slot > e.horizon {
+	// A fixed horizon ends: past slot T nothing can hold capacity, so the
+	// failure model stops. A rolling window never ends.
+	if !e.rolling && e.slot > e.horizon {
 		return
 	}
 	rep := rt.injector.Step(e.slot)
@@ -205,6 +207,10 @@ func (e *Engine) repairLocked(rec *PlacementRecord) bool {
 	}
 	rec.Placement = placement
 	rec.ReservedFrom = e.slot
+	// Re-base the expiry index entry: the released old footprint no longer
+	// pins the rolling window open, so the base may advance past it on the
+	// next tick.
+	e.expiry.Add(rec.ID, rec.ReservedFrom, end)
 	rt.injector.Rewatch(rec.ID, placement.Assignments)
 	return true
 }

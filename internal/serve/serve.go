@@ -55,8 +55,19 @@ type Config struct {
 	// exclusively from New onward and serializes every Decide call, per
 	// the core.Scheduler concurrency contract.
 	Scheduler core.Scheduler
-	// Horizon is the number of time slots T the daemon serves.
+	// Horizon is the number of time slots the daemon serves. In fixed mode
+	// (the default) it is the paper's horizon T: the clock can run past it,
+	// but no admission window may extend beyond slot T. With Rolling set it
+	// is the width W of a rolling window [base, base+W-1] that follows the
+	// clock, so the daemon admits forever.
 	Horizon int
+	// Rolling selects the rolling-horizon mode: the slot ledger becomes a
+	// circular window of Horizon slots whose base advances with the clock
+	// (never past a live reservation), retired slots are recycled, and the
+	// scheduler's dual prices age out with them (core.WindowAdvancer).
+	// Decisions for request streams fitting inside the window are
+	// bit-identical to fixed mode; fixed mode itself is untouched.
+	Rolling bool
 	// QueueSize bounds the ingest queue; 0 selects DefaultQueueSize. In
 	// sharded mode the same bound caps submissions waiting for a worker
 	// token.

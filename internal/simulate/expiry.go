@@ -26,22 +26,35 @@ func RequestFor(trace []core.Request, p core.Placement) (core.Request, error) {
 // every tick. The zero value is not usable; construct with
 // NewWindowIndex. Not safe for concurrent use.
 type WindowIndex struct {
-	byEnd map[int][]int
-	ends  map[int]int
+	byEnd  map[int][]int
+	ends   map[int]int
+	starts map[int]int
 }
 
 // NewWindowIndex returns an empty index.
 func NewWindowIndex() *WindowIndex {
-	return &WindowIndex{byEnd: make(map[int][]int), ends: make(map[int]int)}
+	return &WindowIndex{
+		byEnd:  make(map[int][]int),
+		ends:   make(map[int]int),
+		starts: make(map[int]int),
+	}
 }
 
-// Add registers id with the given last covered slot. Re-adding a live id
-// first removes the stale entry.
-func (x *WindowIndex) Add(id, end int) {
+// Add registers id holding resources over [start, end] (both covered
+// slots). The end drives expiry draining; the start is what a rolling
+// ledger's window base must not pass while the window is live (see
+// OldestStart). Re-adding a live id — a repair that re-based the footprint
+// — first removes the stale entry. Add panics on an inverted window, which
+// can only be a caller bug.
+func (x *WindowIndex) Add(id, start, end int) {
+	if start > end {
+		panic(fmt.Sprintf("simulate: WindowIndex.Add id %d inverted window [%d,%d]", id, start, end))
+	}
 	if _, ok := x.ends[id]; ok {
 		x.Remove(id)
 	}
 	x.ends[id] = end
+	x.starts[id] = start
 	x.byEnd[end] = append(x.byEnd[end], id)
 }
 
@@ -52,6 +65,7 @@ func (x *WindowIndex) Remove(id int) {
 		return
 	}
 	delete(x.ends, id)
+	delete(x.starts, id)
 	ids := x.byEnd[end]
 	for i, v := range ids {
 		if v == id {
@@ -77,6 +91,31 @@ func (x *WindowIndex) End(id int) (int, bool) {
 	return end, ok
 }
 
+// Start returns the registered first covered slot of id and whether it is
+// live.
+func (x *WindowIndex) Start(id int) (int, bool) {
+	start, ok := x.starts[id]
+	return start, ok
+}
+
+// OldestStart returns the smallest first-covered slot across all live
+// windows, and false when the index is empty. A rolling engine advances
+// its ledger base to min(clock, OldestStart): live reservations pin the
+// window open so their eventual release still addresses live slots.
+func (x *WindowIndex) OldestStart() (int, bool) {
+	if len(x.starts) == 0 {
+		return 0, false
+	}
+	first := true
+	oldest := 0
+	for _, s := range x.starts {
+		if first || s < oldest {
+			oldest, first = s, false
+		}
+	}
+	return oldest, true
+}
+
 // ExpireBefore removes and returns, in ascending id order, every id whose
 // window ended before slot now — that is, every window with end < now. A
 // window ending at slot e therefore expires exactly when the clock
@@ -88,6 +127,7 @@ func (x *WindowIndex) ExpireBefore(now int) []int {
 			out = append(out, ids...)
 			for _, id := range ids {
 				delete(x.ends, id)
+				delete(x.starts, id)
 			}
 			delete(x.byEnd, end)
 		}

@@ -23,9 +23,9 @@ func TestRequestFor(t *testing.T) {
 func TestWindowIndexExpireBefore(t *testing.T) {
 	x := NewWindowIndex()
 	// Three windows: [1,2], [1,4], [3,4]. End slots 2, 4, 4.
-	x.Add(10, 2)
-	x.Add(11, 4)
-	x.Add(12, 4)
+	x.Add(10, 1, 2)
+	x.Add(11, 1, 4)
+	x.Add(12, 3, 4)
 	if x.Len() != 3 {
 		t.Fatalf("Len = %d, want 3", x.Len())
 	}
@@ -51,8 +51,8 @@ func TestWindowIndexExpireBefore(t *testing.T) {
 
 func TestWindowIndexRemoveAndReAdd(t *testing.T) {
 	x := NewWindowIndex()
-	x.Add(1, 5)
-	x.Add(2, 5)
+	x.Add(1, 1, 5)
+	x.Add(2, 2, 5)
 	x.Remove(1)
 	x.Remove(99) // unknown: ignored
 	if x.Len() != 1 {
@@ -62,8 +62,8 @@ func TestWindowIndexRemoveAndReAdd(t *testing.T) {
 		t.Errorf("ExpireBefore(6) = %v, want [2]", got)
 	}
 	// Re-adding a live id moves its window instead of duplicating it.
-	x.Add(3, 4)
-	x.Add(3, 7)
+	x.Add(3, 2, 4)
+	x.Add(3, 6, 7)
 	if end, ok := x.End(3); !ok || end != 7 {
 		t.Errorf("End(3) = %d, %v, want 7, true", end, ok)
 	}
@@ -72,5 +72,38 @@ func TestWindowIndexRemoveAndReAdd(t *testing.T) {
 	}
 	if got := x.ExpireBefore(8); len(got) != 1 || got[0] != 3 {
 		t.Errorf("ExpireBefore(8) = %v, want [3]", got)
+	}
+}
+
+func TestWindowIndexOldestStart(t *testing.T) {
+	x := NewWindowIndex()
+	if _, ok := x.OldestStart(); ok {
+		t.Fatal("OldestStart on empty index reported a value")
+	}
+	x.Add(1, 4, 9)
+	x.Add(2, 2, 6)
+	x.Add(3, 7, 8)
+	if s, ok := x.OldestStart(); !ok || s != 2 {
+		t.Fatalf("OldestStart = %d, %v, want 2, true", s, ok)
+	}
+	if s, ok := x.Start(1); !ok || s != 4 {
+		t.Fatalf("Start(1) = %d, %v, want 4, true", s, ok)
+	}
+	// Draining the oldest window moves the pin forward.
+	if got := x.ExpireBefore(7); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("ExpireBefore(7) = %v, want [2]", got)
+	}
+	if s, ok := x.OldestStart(); !ok || s != 4 {
+		t.Fatalf("OldestStart after drain = %d, %v, want 4, true", s, ok)
+	}
+	// A repair re-basing a live id (re-Add) updates its pin.
+	x.Add(1, 6, 9)
+	if s, ok := x.OldestStart(); !ok || s != 6 {
+		t.Fatalf("OldestStart after re-add = %d, %v, want 6, true", s, ok)
+	}
+	x.Remove(1)
+	x.Remove(3)
+	if _, ok := x.OldestStart(); ok {
+		t.Fatal("OldestStart after removing all reported a value")
 	}
 }

@@ -1,10 +1,30 @@
 // Package timeslot tracks per-cloudlet, per-slot computing resource usage
-// over a finite horizon of discrete time slots. The Ledger is the
-// authoritative record used by the simulation engine and the admission
-// daemon: feasible schedulers reserve through it and are refused when
-// capacity would be exceeded, while the raw primal-dual algorithm (whose
-// analysis permits bounded violations) force-reserves and has its
-// overcommitment measured.
+// over a window of discrete time slots. The Ledger is the authoritative
+// record used by the simulation engine and the admission daemon: feasible
+// schedulers reserve through it and are refused when capacity would be
+// exceeded, while the raw primal-dual algorithm (whose analysis permits
+// bounded violations) force-reserves and has its overcommitment measured.
+//
+// # Horizon modes
+//
+// A ledger runs in one of two modes, chosen at construction:
+//
+//   - Fixed (New): the paper's finite horizon T = {1..T}. The live window
+//     is [1, T] forever; Advance is refused. This is the mode every batch
+//     simulator and offline solver uses, and its behavior is pinned
+//     bit-for-bit by the golden tests.
+//   - Rolling (NewRolling): a circular window of W slots anchored at a
+//     monotonically advancing base. The live window is [base, base+W-1];
+//     Advance(base') retires the slots in [base, base'-1], asserting each
+//     retired row drained back to zero usage, and recycles their storage
+//     for the slots entering the far edge of the window. This is the mode
+//     a continuously operating daemon runs: the clock never falls off the
+//     end of the horizon.
+//
+// All addressing is in absolute slot numbers in both modes; the ring
+// arithmetic is internal. A fixed ledger is exactly a rolling ledger whose
+// base never moves, so every method behaves identically across modes for
+// in-window arguments.
 //
 // # Concurrency
 //
@@ -13,6 +33,12 @@
 // different cloudlets never contend, and a reservation over a window
 // [a, a+d-1] is checked and committed in one critical section: two
 // concurrent ReserveWindow calls can never jointly oversubscribe cap_j.
+// In rolling mode the window geometry (base and ring origin) is guarded by
+// an additional reader/writer lock: row operations hold its read side for
+// their whole critical section, and Advance holds the write side, so a
+// reservation can never land on a row that is being recycled under it.
+// Fixed-mode ledgers never touch the geometry lock — their hot path is the
+// same as before rolling mode existed.
 // Whole-ledger aggregates (Violations, Utilization, Clone, ...) lock one
 // cloudlet at a time; each row is internally consistent but the aggregate
 // is not a single point-in-time snapshot while writers are active — call
@@ -22,8 +48,8 @@
 // # Out-of-range reads
 //
 // The read accessors (Used, Residual, ResidualWindow, Capacity, PeakUsage)
-// return 0 for an unknown cloudlet, a slot outside [1, T], or a window
-// leaving the horizon, rather than panicking or returning an error. The
+// return 0 for an unknown cloudlet, a slot outside the live window, or a
+// window leaving it, rather than panicking or returning an error. The
 // sentinel is deliberately fail-safe in both directions:
 //
 //   - Residual/ResidualWindow = 0 reads as "no free capacity", so every
@@ -31,9 +57,12 @@
 //     ResidualWindow ≥ demand) rejects placements against out-of-range
 //     cells instead of admitting them;
 //   - Used = 0 reads as "no usage", so metrics and read endpoints report
-//     an idle cell once the clock passes the horizon.
+//     an idle cell once the clock passes the window.
 //
-// Callers that must distinguish "empty/full" from "out of range" use
+// In rolling mode the sentinel boundary moves with the base: a retired
+// slot reads as out of range the moment Advance recycles it, and a slot
+// entering the window starts reading as live (and empty). Callers that
+// must distinguish "empty/full" from "out of range" use
 // InRange/WindowInRange explicitly; the mutating methods always report
 // out-of-range arguments as errors (ErrBadCloudlet/ErrBadSlot).
 package timeslot
@@ -46,28 +75,58 @@ import (
 
 // Errors returned by the ledger.
 var (
-	ErrBadSlot      = errors.New("timeslot: slot out of horizon")
+	ErrBadSlot      = errors.New("timeslot: slot outside the live window")
 	ErrBadCloudlet  = errors.New("timeslot: unknown cloudlet")
 	ErrBadUnits     = errors.New("timeslot: non-positive units")
 	ErrOverCapacity = errors.New("timeslot: reservation exceeds capacity")
 	ErrUnderflow    = errors.New("timeslot: release exceeds recorded usage")
+	// ErrFixedHorizon reports an Advance against a fixed-horizon ledger.
+	ErrFixedHorizon = errors.New("timeslot: ledger has a fixed horizon")
+	// ErrNotDrained reports an Advance that would recycle a slot still
+	// holding reservations. The ledger is left unchanged; the caller must
+	// release (or wait out) the straddling reservation before advancing.
+	ErrNotDrained = errors.New("timeslot: recycled slot has not drained to zero")
 )
 
-// Ledger records the computing units in use in each cloudlet at each slot.
-// Slots are 1-based, matching the paper's T = {1..T}. The zero value is not
-// usable; construct with New. All methods are safe for concurrent use; see
-// the package comment for the consistency model.
+// Ledger records the computing units in use in each cloudlet at each slot
+// of the live window. Slots are 1-based absolute slot numbers, matching
+// the paper's T = {1..T}; in rolling mode they keep counting upward
+// forever. The zero value is not usable; construct with New or NewRolling.
+// All methods are safe for concurrent use; see the package comment for the
+// consistency model.
 type Ledger struct {
-	horizon int
-	caps    []int
-	mus     []sync.RWMutex // mus[cloudlet] guards used[cloudlet]
-	used    [][]int        // used[cloudlet][slot-1]
+	window int // number of live slots (T in fixed mode, W in rolling mode)
+	caps   []int
+	mus    []sync.RWMutex // mus[cloudlet] guards used[cloudlet]
+	used   [][]int        // used[cloudlet][ring index]
+
+	// rolling selects the circular-window mode. In fixed mode base and
+	// start are immutably 1 and 0 and winMu is never touched.
+	rolling bool
+	// winMu guards base and start in rolling mode. Row operations hold the
+	// read side across their whole critical section (geometry read + row
+	// lock), Advance holds the write side; see the package comment.
+	winMu sync.RWMutex
+	// base is the absolute slot stored at ring index start.
+	base  int
+	start int
 }
 
-// New creates a ledger for the given per-cloudlet capacities and horizon.
+// New creates a fixed-horizon ledger for the given per-cloudlet capacities
+// and horizon T. Its live window is [1, T] forever; Advance is refused.
 func New(capacities []int, horizon int) (*Ledger, error) {
-	if horizon < 1 {
-		return nil, fmt.Errorf("%w: horizon %d", ErrBadSlot, horizon)
+	return build(capacities, horizon, false)
+}
+
+// NewRolling creates a rolling-window ledger of window slots anchored at
+// base slot 1. Advance moves the window forward, recycling retired rows.
+func NewRolling(capacities []int, window int) (*Ledger, error) {
+	return build(capacities, window, true)
+}
+
+func build(capacities []int, window int, rolling bool) (*Ledger, error) {
+	if window < 1 {
+		return nil, fmt.Errorf("%w: window %d", ErrBadSlot, window)
 	}
 	if len(capacities) == 0 {
 		return nil, fmt.Errorf("%w: no capacities", ErrBadCloudlet)
@@ -79,27 +138,100 @@ func New(capacities []int, horizon int) (*Ledger, error) {
 			return nil, fmt.Errorf("%w: cloudlet %d capacity %d", ErrBadUnits, j, c)
 		}
 		caps[j] = c
-		used[j] = make([]int, horizon)
+		used[j] = make([]int, window)
 	}
-	return &Ledger{horizon: horizon, caps: caps, mus: make([]sync.RWMutex, len(caps)), used: used}, nil
+	return &Ledger{
+		window:  window,
+		caps:    caps,
+		mus:     make([]sync.RWMutex, len(caps)),
+		used:    used,
+		rolling: rolling,
+		base:    1,
+	}, nil
 }
 
-// Horizon returns the number of slots T.
-func (l *Ledger) Horizon() int { return l.horizon }
+// Horizon returns the number of live slots: T for a fixed ledger, the
+// window length W for a rolling one. Alias of Window, kept for the many
+// fixed-horizon callers.
+func (l *Ledger) Horizon() int { return l.window }
+
+// Window returns the number of live slots (T fixed, W rolling).
+func (l *Ledger) Window() int { return l.window }
+
+// Rolling reports whether the ledger runs a rolling window.
+func (l *Ledger) Rolling() bool { return l.rolling }
+
+// Base returns the first slot of the live window: always 1 for a fixed
+// ledger, the current anchor for a rolling one.
+func (l *Ledger) Base() int {
+	if !l.rolling {
+		return 1
+	}
+	l.winMu.RLock()
+	defer l.winMu.RUnlock()
+	return l.base
+}
+
+// MaxSlot returns the last slot of the live window (Base + Window - 1).
+func (l *Ledger) MaxSlot() int {
+	return l.Base() + l.window - 1
+}
 
 // Cloudlets returns the number of cloudlets tracked.
 func (l *Ledger) Cloudlets() int { return len(l.caps) }
 
-// InRange reports whether (cloudlet, slot) addresses a tracked cell.
+// rlockWin takes the geometry read lock in rolling mode. Fixed-mode
+// ledgers have immutable geometry and skip the lock entirely, keeping
+// their hot path identical to the pre-rolling implementation.
+func (l *Ledger) rlockWin() {
+	if l.rolling {
+		l.winMu.RLock()
+	}
+}
+
+func (l *Ledger) runlockWin() {
+	if l.rolling {
+		l.winMu.RUnlock()
+	}
+}
+
+// idx maps an absolute in-window slot onto its ring index. Callers must
+// have range-checked slot (and hold the geometry read lock in rolling
+// mode).
+func (l *Ledger) idx(slot int) int {
+	i := l.start + (slot - l.base)
+	if i >= l.window {
+		i -= l.window
+	}
+	return i
+}
+
+// inRangeLocked is InRange with the geometry lock already held (or fixed).
+func (l *Ledger) inRangeLocked(cloudlet, slot int) bool {
+	return cloudlet >= 0 && cloudlet < len(l.caps) && slot >= l.base && slot <= l.base+l.window-1
+}
+
+// windowInRangeLocked is WindowInRange with the geometry lock already held.
+func (l *Ledger) windowInRangeLocked(cloudlet, start, duration int) bool {
+	return cloudlet >= 0 && cloudlet < len(l.caps) &&
+		start >= l.base && duration >= 1 && start+duration-1 <= l.base+l.window-1
+}
+
+// InRange reports whether (cloudlet, slot) addresses a live cell. In
+// rolling mode the answer moves with the base: retired slots fall out of
+// range, slots entering the window come into it.
 func (l *Ledger) InRange(cloudlet, slot int) bool {
-	return cloudlet >= 0 && cloudlet < len(l.caps) && slot >= 1 && slot <= l.horizon
+	l.rlockWin()
+	defer l.runlockWin()
+	return l.inRangeLocked(cloudlet, slot)
 }
 
 // WindowInRange reports whether the window [start, start+duration-1] of the
-// cloudlet lies fully inside the horizon.
+// cloudlet lies fully inside the live window.
 func (l *Ledger) WindowInRange(cloudlet, start, duration int) bool {
-	return cloudlet >= 0 && cloudlet < len(l.caps) &&
-		start >= 1 && duration >= 1 && start+duration-1 <= l.horizon
+	l.rlockWin()
+	defer l.runlockWin()
+	return l.windowInRangeLocked(cloudlet, start, duration)
 }
 
 // Capacity returns cap_j for cloudlet j, or 0 for an unknown cloudlet.
@@ -113,12 +245,14 @@ func (l *Ledger) Capacity(cloudlet int) int {
 // Used returns the units in use in cloudlet j at slot t, or the fail-safe
 // sentinel 0 ("no usage") when out of range; use InRange to distinguish.
 func (l *Ledger) Used(cloudlet, slot int) int {
-	if !l.InRange(cloudlet, slot) {
+	l.rlockWin()
+	defer l.runlockWin()
+	if !l.inRangeLocked(cloudlet, slot) {
 		return 0
 	}
 	l.mus[cloudlet].RLock()
 	defer l.mus[cloudlet].RUnlock()
-	return l.used[cloudlet][slot-1]
+	return l.used[cloudlet][l.idx(slot)]
 }
 
 // Residual returns the free units of cloudlet j at slot t. It can be
@@ -126,21 +260,25 @@ func (l *Ledger) Used(cloudlet, slot int) int {
 // fail-safe sentinel 0 ("no free capacity"), so capacity-gated callers
 // reject rather than admit; use InRange to distinguish.
 func (l *Ledger) Residual(cloudlet, slot int) int {
-	if !l.InRange(cloudlet, slot) {
+	l.rlockWin()
+	defer l.runlockWin()
+	if !l.inRangeLocked(cloudlet, slot) {
 		return 0
 	}
 	l.mus[cloudlet].RLock()
 	defer l.mus[cloudlet].RUnlock()
-	return l.caps[cloudlet] - l.used[cloudlet][slot-1]
+	return l.caps[cloudlet] - l.used[cloudlet][l.idx(slot)]
 }
 
 // ResidualWindow returns the minimum residual capacity of cloudlet j over
 // slots [start, start+duration-1]. For invalid arguments (unknown cloudlet
-// or a window leaving the horizon) it returns the fail-safe sentinel 0
+// or a window leaving the live window) it returns the fail-safe sentinel 0
 // ("no free capacity"), which makes schedulers reject such windows; use
 // WindowInRange to distinguish.
 func (l *Ledger) ResidualWindow(cloudlet, start, duration int) int {
-	if !l.WindowInRange(cloudlet, start, duration) {
+	l.rlockWin()
+	defer l.runlockWin()
+	if !l.windowInRangeLocked(cloudlet, start, duration) {
 		return 0
 	}
 	l.mus[cloudlet].RLock()
@@ -149,11 +287,15 @@ func (l *Ledger) ResidualWindow(cloudlet, start, duration int) int {
 }
 
 // residualWindowLocked computes the window minimum with cloudlet's lock
-// held (in either mode).
+// (in either mode) and the geometry read lock held.
 func (l *Ledger) residualWindowLocked(cloudlet, start, duration int) int {
-	minFree := l.caps[cloudlet] - l.used[cloudlet][start-1]
-	for t := start + 1; t <= start+duration-1; t++ {
-		if free := l.caps[cloudlet] - l.used[cloudlet][t-1]; free < minFree {
+	i := l.idx(start)
+	minFree := l.caps[cloudlet] - l.used[cloudlet][i]
+	for t := 1; t < duration; t++ {
+		if i++; i == l.window {
+			i = 0
+		}
+		if free := l.caps[cloudlet] - l.used[cloudlet][i]; free < minFree {
 			minFree = free
 		}
 	}
@@ -177,9 +319,12 @@ func (l *Ledger) CanReserve(cloudlet, start, duration, units int) bool {
 // cap_j. It returns (true, nil) when the reservation was committed,
 // (false, nil) when it was refused for lack of capacity — the arbitration
 // signal concurrent admitters retry or reject on — and (false, err) for
-// out-of-range arguments.
+// out-of-range arguments. In rolling mode a window that has been retired
+// (or not yet entered) reports ErrBadSlot.
 func (l *Ledger) ReserveWindow(cloudlet, start, duration, units int) (bool, error) {
-	if err := l.checkArgs(cloudlet, start, duration, units); err != nil {
+	l.rlockWin()
+	defer l.runlockWin()
+	if err := l.checkArgsLocked(cloudlet, start, duration, units); err != nil {
 		return false, err
 	}
 	l.mus[cloudlet].Lock()
@@ -212,7 +357,9 @@ func (l *Ledger) Reserve(cloudlet, start, duration, units int) error {
 // primal-dual algorithm whose bounded capacity violations are part of the
 // paper's analysis; the resulting overcommitment shows up in Violations.
 func (l *Ledger) ForceReserve(cloudlet, start, duration, units int) error {
-	if err := l.checkArgs(cloudlet, start, duration, units); err != nil {
+	l.rlockWin()
+	defer l.runlockWin()
+	if err := l.checkArgsLocked(cloudlet, start, duration, units); err != nil {
 		return err
 	}
 	l.mus[cloudlet].Lock()
@@ -223,30 +370,89 @@ func (l *Ledger) ForceReserve(cloudlet, start, duration, units int) error {
 
 // Release returns previously reserved units. It fails with ErrUnderflow
 // (leaving the ledger unchanged) when more units would be released than are
-// in use at any covered slot. The underflow check and the release are one
-// critical section, pairing with ReserveWindow for concurrent use.
+// in use at any covered slot, and with ErrBadSlot when the window is not
+// live — in rolling mode a release against a recycled slot is an
+// addressing error, never an underflow against the row now occupying its
+// ring position. The underflow check and the release are one critical
+// section, pairing with ReserveWindow for concurrent use.
 func (l *Ledger) Release(cloudlet, start, duration, units int) error {
-	if err := l.checkArgs(cloudlet, start, duration, units); err != nil {
+	l.rlockWin()
+	defer l.runlockWin()
+	if err := l.checkArgsLocked(cloudlet, start, duration, units); err != nil {
 		return err
 	}
 	l.mus[cloudlet].Lock()
 	defer l.mus[cloudlet].Unlock()
+	i := l.idx(start)
 	for t := start; t <= start+duration-1; t++ {
-		if l.used[cloudlet][t-1] < units {
+		if l.used[cloudlet][i] < units {
 			return fmt.Errorf("%w: cloudlet %d slot %d used %d release %d",
-				ErrUnderflow, cloudlet, t, l.used[cloudlet][t-1], units)
+				ErrUnderflow, cloudlet, t, l.used[cloudlet][i], units)
+		}
+		if i++; i == l.window {
+			i = 0
 		}
 	}
 	l.addLocked(cloudlet, start, duration, -units)
 	return nil
 }
 
-func (l *Ledger) checkArgs(cloudlet, start, duration, units int) error {
+// Advance moves a rolling ledger's window forward so it starts at base.
+// Every retired slot in [old base, base-1] must have drained back to zero
+// usage in every cloudlet — a retired row still holding units means a
+// reservation straddles the advancing base, and Advance refuses with
+// ErrNotDrained, leaving the ledger unchanged, so the caller can retry
+// after the straggler is released. Retired rows are recycled for the slots
+// entering at [old base+W, base+W-1], which therefore start empty. Moving
+// backward is an ErrBadSlot; advancing to the current base is a no-op; a
+// fixed-horizon ledger refuses with ErrFixedHorizon.
+func (l *Ledger) Advance(base int) error {
+	if !l.rolling {
+		return fmt.Errorf("%w: cannot advance to %d", ErrFixedHorizon, base)
+	}
+	l.winMu.Lock()
+	defer l.winMu.Unlock()
+	if base < l.base {
+		return fmt.Errorf("%w: advance to %d behind base %d", ErrBadSlot, base, l.base)
+	}
+	retire := base - l.base
+	if retire == 0 {
+		return nil
+	}
+	// Check every retired row drained before mutating anything: Advance is
+	// all-or-nothing. Advancing by ≥ W retires the whole ring once.
+	checked := retire
+	if checked > l.window {
+		checked = l.window
+	}
+	for k := 0; k < checked; k++ {
+		i := l.start + k
+		if i >= l.window {
+			i -= l.window
+		}
+		for j := range l.caps {
+			if u := l.used[j][i]; u != 0 {
+				return fmt.Errorf("%w: cloudlet %d slot %d still holds %d units",
+					ErrNotDrained, j, l.base+k, u)
+			}
+		}
+	}
+	// Retired rows are zero, so the slots entering the window reuse them
+	// as-is: re-basing is pure geometry.
+	l.start = (l.start + retire%l.window) % l.window
+	l.base = base
+	return nil
+}
+
+// checkArgsLocked validates mutating-call arguments; the caller holds the
+// geometry read lock (or the ledger is fixed).
+func (l *Ledger) checkArgsLocked(cloudlet, start, duration, units int) error {
 	if cloudlet < 0 || cloudlet >= len(l.caps) {
 		return fmt.Errorf("%w: %d", ErrBadCloudlet, cloudlet)
 	}
-	if start < 1 || duration < 1 || start+duration-1 > l.horizon {
-		return fmt.Errorf("%w: window [%d,%d] horizon %d", ErrBadSlot, start, start+duration-1, l.horizon)
+	if start < l.base || duration < 1 || start+duration-1 > l.base+l.window-1 {
+		return fmt.Errorf("%w: window [%d,%d] live window [%d,%d]",
+			ErrBadSlot, start, start+duration-1, l.base, l.base+l.window-1)
 	}
 	if units <= 0 {
 		return fmt.Errorf("%w: %d", ErrBadUnits, units)
@@ -254,16 +460,21 @@ func (l *Ledger) checkArgs(cloudlet, start, duration, units int) error {
 	return nil
 }
 
-// addLocked mutates cloudlet's row; the caller holds its write lock.
+// addLocked mutates cloudlet's row; the caller holds its write lock (and
+// the geometry read lock in rolling mode).
 func (l *Ledger) addLocked(cloudlet, start, duration, units int) {
-	for t := start; t <= start+duration-1; t++ {
-		l.used[cloudlet][t-1] += units
+	i := l.idx(start)
+	for t := 0; t < duration; t++ {
+		l.used[cloudlet][i] += units
+		if i++; i == l.window {
+			i = 0
+		}
 	}
 }
 
 // Violation describes one overcommitted (cloudlet, slot) cell.
 type Violation struct {
-	// Cloudlet and Slot locate the overcommitted cell.
+	// Cloudlet and Slot locate the overcommitted cell; Slot is absolute.
 	Cloudlet, Slot int
 	// Used and Capacity give the recorded usage and the limit.
 	Used, Capacity int
@@ -275,14 +486,21 @@ func (v Violation) Excess() int { return v.Used - v.Capacity }
 // Ratio returns Used / Capacity, the multiplicative overcommitment.
 func (v Violation) Ratio() float64 { return float64(v.Used) / float64(v.Capacity) }
 
-// Violations returns every overcommitted cell in cloudlet-then-slot order.
+// Violations returns every overcommitted live cell in cloudlet-then-slot
+// order.
 func (l *Ledger) Violations() []Violation {
+	l.rlockWin()
+	defer l.runlockWin()
 	var out []Violation
 	for j := range l.caps {
 		l.mus[j].RLock()
-		for t := 1; t <= l.horizon; t++ {
-			if u := l.used[j][t-1]; u > l.caps[j] {
+		i := l.start
+		for t := l.base; t <= l.base+l.window-1; t++ {
+			if u := l.used[j][i]; u > l.caps[j] {
 				out = append(out, Violation{Cloudlet: j, Slot: t, Used: u, Capacity: l.caps[j]})
+			}
+			if i++; i == l.window {
+				i = 0
 			}
 		}
 		l.mus[j].RUnlock()
@@ -290,14 +508,15 @@ func (l *Ledger) Violations() []Violation {
 	return out
 }
 
-// MaxViolationRatio returns the largest Used/Capacity across all cells
-// (1.0 or less means no violation; exactly 1.0 is returned for a full but
-// unviolated ledger as well as for an empty one with ratio below 1).
+// MaxViolationRatio returns the largest Used/Capacity across all live
+// cells (1.0 or less means no violation; exactly 1.0 is returned for a
+// full but unviolated ledger as well as for an empty one with ratio below
+// 1).
 func (l *Ledger) MaxViolationRatio() float64 {
 	maxRatio := 0.0
 	for j := range l.caps {
 		l.mus[j].RLock()
-		for t := 0; t < l.horizon; t++ {
+		for t := 0; t < l.window; t++ {
 			if r := float64(l.used[j][t]) / float64(l.caps[j]); r > maxRatio {
 				maxRatio = r
 			}
@@ -307,25 +526,25 @@ func (l *Ledger) MaxViolationRatio() float64 {
 	return maxRatio
 }
 
-// Utilization returns the mean of Used/Capacity over every (cloudlet, slot)
-// cell. Overcommitted cells contribute ratios above 1.
+// Utilization returns the mean of Used/Capacity over every live
+// (cloudlet, slot) cell. Overcommitted cells contribute ratios above 1.
 func (l *Ledger) Utilization() float64 {
-	if len(l.caps) == 0 || l.horizon == 0 {
+	if len(l.caps) == 0 || l.window == 0 {
 		return 0
 	}
 	total := 0.0
 	for j := range l.caps {
 		l.mus[j].RLock()
-		for t := 0; t < l.horizon; t++ {
+		for t := 0; t < l.window; t++ {
 			total += float64(l.used[j][t]) / float64(l.caps[j])
 		}
 		l.mus[j].RUnlock()
 	}
-	return total / float64(len(l.caps)*l.horizon)
+	return total / float64(len(l.caps)*l.window)
 }
 
-// PeakUsage returns the maximum units in use in cloudlet j across all
-// slots, or 0 for an unknown cloudlet.
+// PeakUsage returns the maximum units in use in cloudlet j across the live
+// window, or 0 for an unknown cloudlet.
 func (l *Ledger) PeakUsage(cloudlet int) int {
 	if cloudlet < 0 || cloudlet >= len(l.caps) {
 		return 0
@@ -341,10 +560,13 @@ func (l *Ledger) PeakUsage(cloudlet int) int {
 	return peak
 }
 
-// Clone returns an independent deep copy of the ledger, used by solvers
-// that explore hypothetical schedules. Rows are copied one cloudlet at a
-// time; clone with writers quiesced when an exact global snapshot matters.
+// Clone returns an independent deep copy of the ledger (same mode, same
+// window position), used by solvers that explore hypothetical schedules.
+// Rows are copied one cloudlet at a time; clone with writers quiesced when
+// an exact global snapshot matters.
 func (l *Ledger) Clone() *Ledger {
+	l.rlockWin()
+	defer l.runlockWin()
 	caps := make([]int, len(l.caps))
 	copy(caps, l.caps)
 	used := make([][]int, len(l.used))
@@ -354,5 +576,13 @@ func (l *Ledger) Clone() *Ledger {
 		copy(used[j], l.used[j])
 		l.mus[j].RUnlock()
 	}
-	return &Ledger{horizon: l.horizon, caps: caps, mus: make([]sync.RWMutex, len(caps)), used: used}
+	return &Ledger{
+		window:  l.window,
+		caps:    caps,
+		mus:     make([]sync.RWMutex, len(caps)),
+		used:    used,
+		rolling: l.rolling,
+		base:    l.base,
+		start:   l.start,
+	}
 }

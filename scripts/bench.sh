@@ -1,7 +1,8 @@
 #!/usr/bin/env sh
 # Admission-throughput benchmark harness: runs BenchmarkParallelAdmission
-# (serial vs sharded engine at 1, 2 and 4 workers) and records the series
-# in BENCH_admission.json. BENCHTIME overrides the per-benchmark budget.
+# (serial vs sharded engine at 1, 2 and 4 workers, fixed vs rolling
+# horizon) and records the series in BENCH_admission.json. BENCHTIME
+# overrides the per-benchmark budget.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -20,6 +21,9 @@ BEGIN { printf "[\n" }
     sub(/-[0-9]+$/, "", name) # strip the -GOMAXPROCS suffix when present
     workers = name
     sub(/^.*workers=/, "", workers)
+    mode = name
+    sub(/^BenchmarkParallelAdmission\//, "", mode)
+    sub(/\/workers=.*$/, "", mode)
     ns = ""; dps = ""
     for (i = 2; i < NF; i++) {
         if ($(i+1) == "ns/op") ns = $i
@@ -27,7 +31,7 @@ BEGIN { printf "[\n" }
     }
     if (ns == "" || dps == "") next
     if (n++) printf ",\n"
-    printf "  {\"name\": \"%s\", \"workers\": %s, \"ns_per_op\": %s, \"decisions_per_sec\": %s}", name, workers, ns, dps
+    printf "  {\"name\": \"%s\", \"mode\": \"%s\", \"workers\": %s, \"ns_per_op\": %s, \"decisions_per_sec\": %s}", name, mode, workers, ns, dps
 }
 END { printf "\n]\n" }
 ' "$tmp" > "$out"

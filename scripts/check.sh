@@ -35,4 +35,15 @@ go test ./cmd/revnfd -run 'TestDaemonTraceSmoke|TestDaemonPprofOffByDefault' -co
 echo "==> failure-runtime soak (chaos + repair + SLO, race detector)"
 go test ./internal/serve -run 'TestSoakFailureRuntime' -race -count=1 -v
 
+# Long-window rolling soak: more than five window lengths of continuous
+# operation with chaos on, proving slot recycling, λ aging, expiry, and
+# repair keep working past the old horizon. The soaks honor -short, so
+# SHORT=1 runs this step as a skip marker instead of dropping it.
+echo "==> rolling-horizon soak (window recycling + dual-price aging, race detector)"
+if [ "${SHORT:-0}" = "1" ]; then
+    go test ./internal/serve -run 'TestSoakRollingHorizon' -race -count=1 -v -short
+else
+    go test ./internal/serve -run 'TestSoakRollingHorizon' -race -count=1 -v
+fi
+
 echo "OK"
