@@ -12,6 +12,7 @@
 //	revnfd -trace 1024 -trace-sample 1 -pprof   # decision traces + profiling
 //	revnfd -chaos -chaos-seed 7 -slot 500ms     # failure injection + SLO-tracked repair
 //	revnfd -horizon-mode rolling -horizon 64    # continuous operation: a 64-slot rolling window
+//	revnfd -stream-listen :8081                 # streaming ingest (NDJSON or binary frames)
 //
 // The network is drawn from the same generator as the simulators, so a
 // load generator started with the same -topology/-cloudlets/-seed flags
@@ -57,6 +58,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("revnfd", flag.ContinueOnError)
 	var (
 		addr        = fs.String("addr", "127.0.0.1:8080", "listen address")
+		streamAddr  = fs.String("stream-listen", "", "streaming ingest listen address (NDJSON or binary frames on a persistent connection); empty disables")
 		algorithm   = fs.String("algorithm", "pd", "scheduler: pd|raw|greedy|firstfit|random")
 		scheme      = fs.String("scheme", "onsite", "redundancy scheme: onsite|offsite")
 		topo        = fs.String("topology", "", "embedded topology name")
@@ -159,8 +161,23 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	fmt.Fprintf(out, "revnfd: %s/%s over %d cloudlets, horizon %d (%s), slot %s, workers %d%s, listening on http://%s\n",
 		sched.Name(), sched.Scheme(), len(inst.Network.Cloudlets), inst.Horizon, *horizonMode, *slot, engine.Workers(), mode, ln.Addr())
 
-	errc := make(chan error, 1)
+	errc := make(chan error, 2)
 	go func() { errc <- srv.Serve(ln) }()
+
+	var stream *serve.StreamServer
+	if *streamAddr != "" {
+		sln, err := net.Listen("tcp", *streamAddr)
+		if err != nil {
+			return fmt.Errorf("stream listen: %w", err)
+		}
+		stream = serve.NewStreamServer(engine)
+		fmt.Fprintf(out, "revnfd: streaming ingest (ndjson, frame) listening on %s\n", sln.Addr())
+		go func() {
+			if err := stream.Serve(sln); err != nil {
+				errc <- fmt.Errorf("stream serve: %w", err)
+			}
+		}()
+	}
 
 	select {
 	case err := <-errc:
@@ -174,6 +191,11 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	// Stop accepting connections and wait for in-flight handlers, then
 	// drain the engine's queued admissions.
 	serr := srv.Shutdown(sctx)
+	if stream != nil {
+		if err := stream.Close(); err != nil {
+			return fmt.Errorf("close stream listener: %w", err)
+		}
+	}
 	if err := engine.Shutdown(sctx); err != nil {
 		return fmt.Errorf("drain engine: %w", err)
 	}

@@ -30,6 +30,10 @@ var DeterministicPkgs = map[string]bool{
 	"revnf/internal/core":     true,
 	"revnf/internal/timeslot": true,
 	"revnf/internal/trace":    true,
+	// Wire decode/encode is pure byte manipulation on the ingest hot
+	// path; any clock read there would be both nondeterministic and an
+	// allocation-free-path regression risk.
+	"revnf/internal/wire": true,
 	// The failure runtime is driven by the serve engine's slot clock: a
 	// wall-clock read in the injector, repair controller, or SLO books
 	// would decouple failures from the slots they are accounted against.

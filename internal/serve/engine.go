@@ -207,6 +207,10 @@ type Engine struct {
 	// SLO accounting, rate estimation); nil unless Config.Chaos is set.
 	runtime *failureRuntime
 
+	// ingest tracks the wire layer: per-protocol request/connection
+	// counters and the streaming batch-size distribution.
+	ingest *ingestStats
+
 	mu         sync.Mutex
 	sched      core.Scheduler
 	ledger     *timeslot.Ledger
@@ -357,6 +361,10 @@ func New(cfg Config) (*Engine, error) {
 			return nil, err
 		}
 	}
+	ingest, err := newIngestStats()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
+	}
 	var advancer core.WindowAdvancer
 	if cfg.Rolling {
 		// The dual prices follow the window when the scheduler supports it;
@@ -376,6 +384,7 @@ func New(cfg Config) (*Engine, error) {
 		rec:        rec,
 		traces:     cfg.Traces,
 		runtime:    runtime,
+		ingest:     ingest,
 		ledger:     ledger,
 		slot:       1,
 		placements: make(map[int]*PlacementRecord),
@@ -541,7 +550,13 @@ func (e *Engine) decide(ar AdmissionRequest, enqueued time.Time) AdmissionResult
 	defer func() {
 		e.latency.Observe(e.now().Sub(enqueued).Seconds())
 	}()
+	return e.decideLocked(ar)
+}
 
+// decideLocked is the serial decision body; the caller holds e.mu and owns
+// latency observation (per decision from Submit, per batch from
+// SubmitBatch).
+func (e *Engine) decideLocked(ar AdmissionRequest) AdmissionResult {
 	req := e.buildRequest(ar, int(e.lastID.Add(1)), e.slot)
 	id := req.ID
 	reject := func(reason string) AdmissionResult {

@@ -119,6 +119,7 @@ func NewHandler(e *Engine) http.Handler {
 			writeError(w, http.StatusBadRequest, ReasonInvalid, fmt.Sprintf("decode request: %v", err))
 			return
 		}
+		e.ingest.jsonReqs.Add(1)
 		res, err := e.Submit(r.Context(), ar)
 		switch {
 		case errors.Is(err, ErrQueueFull):

@@ -13,6 +13,7 @@ import (
 	"testing"
 	"time"
 
+	"revnf/internal/core"
 	"revnf/internal/offsite"
 	"revnf/internal/onsite"
 	"revnf/internal/trace"
@@ -490,5 +491,127 @@ func TestHandlerWithOffsiteScheduler(t *testing.T) {
 	}
 	if dec.Placement.Scheme != "off-site" || len(dec.Placement.Assignments) != 2 {
 		t.Errorf("off-site placement = %+v, want both cloudlets", dec.Placement)
+	}
+}
+
+// TestHTTPTransportErrorEnvelopes pins the v1 error envelope on the three
+// transport-level rejection paths of POST /v1/requests: engine shutdown,
+// client cancellation, and a full ingest queue. The streaming ingest maps
+// the same reasons onto its terminal error records, so this shape is
+// load-bearing for both ingress paths.
+func TestHTTPTransportErrorEnvelopes(t *testing.T) {
+	t.Run("closed", func(t *testing.T) {
+		e, srv := newTestServer(t, 20)
+		shutdownEngine(t, e)
+		status, env := getError(t, "POST", srv.URL+"/v1/requests",
+			strings.NewReader(`{"vnf":0,"reliability":0.9,"duration":1,"payment":2}`))
+		if status != http.StatusServiceUnavailable || env.Code != 503 || env.Reason != ReasonClosed {
+			t.Fatalf("status %d envelope %+v, want 503/closed", status, env)
+		}
+		if env.Detail == "" {
+			t.Error("envelope missing detail")
+		}
+	})
+
+	t.Run("canceled", func(t *testing.T) {
+		// A canceled client context never produces a readable response over
+		// a real socket, so exercise the handler directly.
+		e := newTestEngine(t, 20)
+		h := NewHandler(e)
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		req := httptest.NewRequest("POST", "/v1/requests",
+			strings.NewReader(`{"vnf":0,"reliability":0.9,"duration":1,"payment":2}`)).WithContext(ctx)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusServiceUnavailable {
+			t.Fatalf("status = %d, want 503", rec.Code)
+		}
+		var env errorDTO
+		if err := json.NewDecoder(rec.Body).Decode(&env); err != nil {
+			t.Fatal(err)
+		}
+		if env.Code != 503 || env.Reason != ReasonCanceled || env.Detail == "" {
+			t.Fatalf("envelope = %+v, want 503/canceled with detail", env)
+		}
+	})
+
+	t.Run("queue full", func(t *testing.T) {
+		// A gated scheduler pins the serial worker inside its first
+		// decision; with a one-slot queue, the third request then finds the
+		// queue deterministically full.
+		n := testNetwork()
+		inner, err := onsite.NewScheduler(n, 20, onsite.WithCapacityEnforcement())
+		if err != nil {
+			t.Fatal(err)
+		}
+		gate := &gatedScheduler{Scheduler: inner,
+			entered: make(chan struct{}, 4), release: make(chan struct{})}
+		e, err := New(Config{Network: n, Scheduler: gate, Horizon: 20, QueueSize: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := httptest.NewServer(NewHandler(e))
+		t.Cleanup(srv.Close)
+
+		body := `{"vnf":0,"reliability":0.9,"duration":1,"payment":2}`
+		var wg sync.WaitGroup
+		postOK := func() {
+			defer wg.Done()
+			resp, dec := postRequest(t, srv.URL, body)
+			if resp.StatusCode != http.StatusOK || !dec.Admitted {
+				t.Errorf("gated request: status %d decision %+v", resp.StatusCode, dec)
+			}
+		}
+		// Strictly sequence the setup: request A is inside Decide before
+		// request B is sent, and B is queued before the probe fires.
+		wg.Add(1)
+		go postOK()
+		<-gate.entered
+		wg.Add(1)
+		go postOK()
+		waitForQueueDepth(t, e, 1)
+
+		status, env := getError(t, "POST", srv.URL+"/v1/requests", strings.NewReader(body))
+		if status != http.StatusServiceUnavailable || env.Code != 503 ||
+			env.Reason != ReasonQueueFull || env.Detail == "" {
+			t.Fatalf("status %d envelope %+v, want 503/queue-full with detail", status, env)
+		}
+
+		close(gate.release)
+		<-gate.entered
+		wg.Wait()
+		shutdownEngine(t, e)
+		if got := e.Stats().Rejections[ReasonQueueFull]; got != 1 {
+			t.Errorf("queue-full rejections = %d, want 1", got)
+		}
+	})
+}
+
+// gatedScheduler blocks every Decide until release is closed, signaling
+// each entry on entered; it makes queue-depth scenarios deterministic.
+type gatedScheduler struct {
+	core.Scheduler
+	entered chan struct{}
+	release chan struct{}
+}
+
+func (g *gatedScheduler) Decide(req core.Request, view core.CapacityView) (core.Placement, bool) {
+	g.entered <- struct{}{}
+	<-g.release
+	return g.Scheduler.Decide(req, view)
+}
+
+// waitForQueueDepth polls the serial ingest channel until depth jobs are
+// queued (or fails the test after a second). It reads the channel length
+// directly: Stats() takes e.mu, which the gated worker is holding.
+func waitForQueueDepth(t *testing.T, e *Engine, depth int) {
+	t.Helper()
+	deadline := time.Now().Add(time.Second)
+	for len(e.queue) < depth {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue depth never reached %d (now %d)", depth, len(e.queue))
+		}
+		time.Sleep(time.Millisecond)
 	}
 }

@@ -50,6 +50,7 @@ func (e *Engine) WriteMetrics(w io.Writer) error {
 		s.Latency.Metric("revnfd_admission_latency_seconds",
 			"Latency from submission to admission decision."),
 	}
+	families = append(families, e.ingestFamilies()...)
 	if e.traces != nil {
 		st := e.traces.Stats()
 		families = append(families,

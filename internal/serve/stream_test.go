@@ -1,0 +1,582 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"revnf/internal/onsite"
+	"revnf/internal/trace"
+	"revnf/internal/wire"
+)
+
+// goldenStream is the request stream the cross-protocol golden test
+// replays through every ingress: admissions, price-outs, infeasible
+// requirements, invalid and horizon-violating windows.
+func goldenStream() []AdmissionRequest {
+	var reqs []AdmissionRequest
+	for i := 0; i < 200; i++ {
+		ar := AdmissionRequest{
+			VNF:         0,
+			Reliability: 0.9,
+			Duration:    1 + (i*7)%5,
+			Payment:     40 + float64((i*13)%60),
+		}
+		switch i % 10 {
+		case 3:
+			ar.Payment = 0.25 // priced out once λ builds
+		case 5:
+			ar.Reliability = 0.995 // no cloudlet can serve it
+		case 7:
+			ar.Duration = 99 // beyond the horizon
+		case 9:
+			ar.Duration = 0 // invalid
+		}
+		reqs = append(reqs, ar)
+	}
+	return reqs
+}
+
+func ndjsonStreamBody(reqs []AdmissionRequest) []byte {
+	var buf []byte
+	for i := range reqs {
+		wr := wire.Request{VNF: reqs[i].VNF, Arrival: reqs[i].Arrival, Duration: reqs[i].Duration,
+			Reliability: reqs[i].Reliability, Payment: reqs[i].Payment}
+		buf = wire.AppendNDJSONRequest(buf, &wr)
+	}
+	return buf
+}
+
+func frameStreamBody(t *testing.T, reqs []AdmissionRequest) []byte {
+	t.Helper()
+	buf := wire.AppendPreamble(nil)
+	for i := range reqs {
+		wr := wire.Request{VNF: reqs[i].VNF, Arrival: reqs[i].Arrival, Duration: reqs[i].Duration,
+			Reliability: reqs[i].Reliability, Payment: reqs[i].Payment}
+		var err error
+		buf, err = wire.AppendRequestFrame(buf, &wr)
+		if err != nil {
+			t.Fatalf("encode frame %d: %v", i, err)
+		}
+	}
+	return buf
+}
+
+func readDecisions(t *testing.T, conn net.Conn, want int, frame bool) []wire.Decision {
+	t.Helper()
+	out := make([]wire.Decision, 0, want)
+	if frame {
+		fr := wire.NewFrameReader(bufio.NewReader(conn))
+		for len(out) < want {
+			typ, payload, err := fr.Next()
+			if err != nil {
+				t.Fatalf("after %d decisions: %v", len(out), err)
+			}
+			if typ != wire.FrameDecision {
+				code, reason, detail, _ := wire.DecodeError(payload)
+				t.Fatalf("after %d decisions: frame type %#x (error %d/%v: %s)", len(out), typ, code, reason, detail)
+			}
+			var d wire.Decision
+			if err := wire.DecodeDecision(payload, &d); err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, d)
+		}
+	} else {
+		sc := bufio.NewScanner(conn)
+		for len(out) < want && sc.Scan() {
+			var d wire.Decision
+			if err := wire.DecodeNDJSONDecision(sc.Bytes(), &d); err != nil {
+				t.Fatalf("decision line %q: %v", sc.Bytes(), err)
+			}
+			out = append(out, d)
+		}
+		if len(out) < want {
+			t.Fatalf("stream ended after %d/%d decisions: %v", len(out), want, sc.Err())
+		}
+	}
+	return out
+}
+
+// net.Pipe conns do not implement CloseWrite; wrap with a half-closable
+// TCP pair when the test needs EOF semantics.
+func tcpPair(t *testing.T) (client *net.TCPConn, server net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	type accepted struct {
+		c   net.Conn
+		err error
+	}
+	ch := make(chan accepted, 1)
+	go func() {
+		c, err := ln.Accept()
+		ch <- accepted{c, err}
+	}()
+	c, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := <-ch
+	if a.err != nil {
+		t.Fatal(a.err)
+	}
+	t.Cleanup(func() { c.Close(); a.c.Close() })
+	return c.(*net.TCPConn), a.c
+}
+
+// runStreamTCP is runStream over a real TCP pair (half-close support).
+func runStreamTCP(t *testing.T, e *Engine, body []byte, want int, frame bool) []wire.Decision {
+	t.Helper()
+	client, server := tcpPair(t)
+	s := NewStreamServer(e)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		s.ServeConn(server)
+	}()
+	t.Cleanup(func() { <-done })
+	go func() {
+		client.Write(body)
+		client.CloseWrite()
+	}()
+	return readDecisions(t, client, want, frame)
+}
+
+func TestStreamNDJSONBasic(t *testing.T) {
+	e := newTestEngine(t, 20)
+	reqs := []AdmissionRequest{
+		{VNF: 0, Reliability: 0.9, Duration: 3, Payment: 10},
+		{VNF: 0, Reliability: 0.995, Duration: 3, Payment: 10},
+		{VNF: 0, Reliability: 0.9, Duration: 99, Payment: 10},
+	}
+	ds := runStreamTCP(t, e, ndjsonStreamBody(reqs), len(reqs), false)
+	if !ds[0].Admitted || ds[0].ID != 1 || ds[0].Slot != 1 {
+		t.Fatalf("decision 0 = %+v, want admitted id 1 slot 1", ds[0])
+	}
+	if ds[1].Admitted || ds[1].Reason.Reason() != ReasonDeclined {
+		t.Fatalf("decision 1 = %+v, want declined", ds[1])
+	}
+	if ds[2].Admitted || ds[2].Reason.Reason() != ReasonHorizon {
+		t.Fatalf("decision 2 = %+v, want horizon", ds[2])
+	}
+}
+
+func TestStreamFrameBasic(t *testing.T) {
+	e := newTestEngine(t, 20)
+	reqs := []AdmissionRequest{
+		{VNF: 0, Reliability: 0.9, Duration: 3, Payment: 10},
+		{VNF: 7, Reliability: 0.9, Duration: 3, Payment: 10},
+	}
+	ds := runStreamTCP(t, e, frameStreamBody(t, reqs), len(reqs), true)
+	if !ds[0].Admitted || ds[0].ID != 1 {
+		t.Fatalf("decision 0 = %+v, want admitted id 1", ds[0])
+	}
+	if ds[1].Admitted || ds[1].Reason.Reason() != ReasonInvalid {
+		t.Fatalf("decision 1 = %+v, want invalid", ds[1])
+	}
+}
+
+// TestStreamCrossProtocolGolden is the tentpole's correctness anchor: the
+// same request stream ingested through individual HTTP posts, an NDJSON
+// stream, and a binary-frame stream must produce bit-identical decisions
+// and decision traces on three fresh engines.
+func TestStreamCrossProtocolGolden(t *testing.T) {
+	reqs := goldenStream()
+
+	type ingested struct {
+		name      string
+		decisions []wire.Decision
+		store     *trace.Store
+		stats     Stats
+	}
+	var runs []ingested
+
+	// HTTP: one post per request against a fresh traced engine.
+	{
+		e, store := goldenEngine(t, 24, false)
+		srv := httptest.NewServer(NewHandler(e))
+		t.Cleanup(srv.Close)
+		var ds []wire.Decision
+		for i := range reqs {
+			body, _ := json.Marshal(reqs[i])
+			resp, dec := postRequest(t, srv.URL, string(body))
+			if resp.StatusCode != 200 {
+				t.Fatalf("request %d: status %d", i, resp.StatusCode)
+			}
+			ds = append(ds, wire.Decision{
+				ID: uint64(dec.ID), Slot: dec.Slot, Admitted: dec.Admitted,
+				Reason: wire.CodeForReason(dec.Reason),
+			})
+		}
+		runs = append(runs, ingested{"json", ds, store, e.Stats()})
+	}
+	// NDJSON and frame streams on their own fresh engines.
+	{
+		e, store := goldenEngine(t, 24, false)
+		ds := runStreamTCP(t, e, ndjsonStreamBody(reqs), len(reqs), false)
+		runs = append(runs, ingested{"ndjson", ds, store, e.Stats()})
+	}
+	{
+		e, store := goldenEngine(t, 24, false)
+		ds := runStreamTCP(t, e, frameStreamBody(t, reqs), len(reqs), true)
+		runs = append(runs, ingested{"frame", ds, store, e.Stats()})
+	}
+
+	ref := runs[0]
+	for _, run := range runs[1:] {
+		for i := range reqs {
+			if run.decisions[i] != ref.decisions[i] {
+				t.Fatalf("request %d: %s decision %+v != %s decision %+v",
+					i, run.name, run.decisions[i], ref.name, ref.decisions[i])
+			}
+		}
+		if run.stats.Admitted != ref.stats.Admitted || run.stats.Revenue != ref.stats.Revenue {
+			t.Fatalf("%s stats admitted=%d revenue=%v, %s admitted=%d revenue=%v",
+				run.name, run.stats.Admitted, run.stats.Revenue,
+				ref.name, ref.stats.Admitted, ref.stats.Revenue)
+		}
+		for reason, n := range ref.stats.Rejections {
+			if got := run.stats.Rejections[reason]; got != n {
+				t.Fatalf("rejections[%q]: %s %d, %s %d", reason, run.name, got, ref.name, n)
+			}
+		}
+		// Traces byte-identical under JSON encoding, request by request.
+		for i := range reqs {
+			id := int(ref.decisions[i].ID)
+			if id == 0 {
+				continue
+			}
+			rt, rok := ref.store.Get(id)
+			ot, ook := run.store.Get(id)
+			if rok != ook {
+				t.Fatalf("trace %d: %s ok=%v %s ok=%v", id, ref.name, rok, run.name, ook)
+			}
+			if !rok { // not every decision is traced (e.g. pre-validation rejects)
+				continue
+			}
+			rj, err := json.Marshal(rt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			oj, err := json.Marshal(ot)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(rj, oj) {
+				t.Fatalf("trace %d diverged\n%s: %s\n%s: %s", id, ref.name, rj, run.name, oj)
+			}
+		}
+	}
+}
+
+// TestSubmitBatchMatchesSubmit pins the batch path to the one-at-a-time
+// path: the same requests in the same order yield identical results.
+func TestSubmitBatchMatchesSubmit(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			reqs := goldenStream()
+			single := newGoldenWorkersEngine(t, 24, workers)
+			batch := newGoldenWorkersEngine(t, 24, workers)
+			out := make([]AdmissionResult, len(reqs))
+			if err := batch.SubmitBatch(context.Background(), reqs, out); err != nil {
+				t.Fatal(err)
+			}
+			for i := range reqs {
+				want, err := single.Submit(context.Background(), reqs[i])
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := out[i]
+				if got.ID != want.ID || got.Admitted != want.Admitted ||
+					got.Reason != want.Reason || got.Slot != want.Slot {
+					t.Fatalf("request %d: batch %+v, single %+v", i, got, want)
+				}
+			}
+			bs, ss := batch.Stats(), single.Stats()
+			if bs.Admitted != ss.Admitted || bs.Revenue != ss.Revenue {
+				t.Fatalf("batch admitted=%d revenue=%v, single admitted=%d revenue=%v",
+					bs.Admitted, bs.Revenue, ss.Admitted, ss.Revenue)
+			}
+		})
+	}
+}
+
+// newGoldenWorkersEngine builds an engine with deterministic decisions at
+// the given worker count. A single submitter (one batch, or a serial loop
+// of Submits) keeps sharded decisions ordered, so results are comparable.
+func newGoldenWorkersEngine(t *testing.T, horizon, workers int) *Engine {
+	t.Helper()
+	n := testNetwork()
+	sched, err := onsite.NewScheduler(n, horizon, onsite.WithCapacityEnforcement())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(Config{Network: n, Scheduler: sched, Horizon: horizon, Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { shutdownEngine(t, e) })
+	return e
+}
+
+// TestSubmitBatchQueueFull: a sharded batch beyond the waiting bound is
+// rejected per request with queue-full results, not an error, so a
+// streaming connection keeps its request/response pairing.
+func TestSubmitBatchQueueFull(t *testing.T) {
+	e := newTestEngine(t, 20, func(c *Config) {
+		c.Workers = 2
+		c.QueueSize = 1
+	})
+	if e.Workers() != 2 {
+		t.Skip("scheduler degraded to serial; waiting bound not in play")
+	}
+	reqs := make([]AdmissionRequest, 8) // 8 > queue 1 + workers 2
+	for i := range reqs {
+		reqs[i] = AdmissionRequest{VNF: 0, Reliability: 0.9, Duration: 1, Payment: 5}
+	}
+	out := make([]AdmissionResult, len(reqs))
+	if err := e.SubmitBatch(context.Background(), reqs, out); err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range out {
+		if res.Admitted || res.Reason != ReasonQueueFull || res.ID != 0 {
+			t.Fatalf("result %d = %+v, want queue-full", i, res)
+		}
+	}
+	if got := e.Stats().Rejections[ReasonQueueFull]; got != uint64(len(reqs)) {
+		t.Fatalf("queue-full rejections = %d, want %d", got, len(reqs))
+	}
+}
+
+// TestStreamErrorEnvelopes covers the streaming equivalents of the HTTP
+// error envelope: malformed input and engine shutdown must surface as
+// structured error records carrying the same code/reason/detail triple.
+func TestStreamErrorEnvelopes(t *testing.T) {
+	t.Run("ndjson bad line", func(t *testing.T) {
+		e := newTestEngine(t, 20)
+		client, server := tcpPair(t)
+		s := NewStreamServer(e)
+		go s.ServeConn(server)
+		// One good request, then garbage: the good decision must arrive
+		// before the terminal error line.
+		io.WriteString(client, `{"vnf":0,"reliability":0.9,"duration":3,"payment":10}`+"\n")
+		io.WriteString(client, "this is not json\n")
+		client.CloseWrite()
+		sc := bufio.NewScanner(client)
+		if !sc.Scan() {
+			t.Fatal("no decision line")
+		}
+		var d wire.Decision
+		if err := wire.DecodeNDJSONDecision(sc.Bytes(), &d); err != nil || !d.Admitted {
+			t.Fatalf("first line %q: err=%v d=%+v", sc.Bytes(), err, d)
+		}
+		if !sc.Scan() {
+			t.Fatal("no error line")
+		}
+		var env struct {
+			Error struct {
+				Code   int    `json:"code"`
+				Reason string `json:"reason"`
+				Detail string `json:"detail"`
+			} `json:"error"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &env); err != nil {
+			t.Fatalf("error line %q: %v", sc.Bytes(), err)
+		}
+		if env.Error.Code != 400 || env.Error.Reason != ReasonInvalid || env.Error.Detail == "" {
+			t.Fatalf("error envelope = %+v, want code 400 reason invalid", env.Error)
+		}
+		if sc.Scan() {
+			t.Fatalf("line after terminal error: %q", sc.Bytes())
+		}
+	})
+
+	t.Run("frame bad type", func(t *testing.T) {
+		e := newTestEngine(t, 20)
+		client, server := tcpPair(t)
+		s := NewStreamServer(e)
+		go s.ServeConn(server)
+		buf := wire.AppendPreamble(nil)
+		buf = append(buf, 2, 0, 0, 0, 0x7f, 0xaa) // unknown frame type
+		client.Write(buf)
+		client.CloseWrite()
+		fr := wire.NewFrameReader(bufio.NewReader(client))
+		typ, payload, err := fr.Next()
+		if err != nil || typ != wire.FrameError {
+			t.Fatalf("Next = (%#x, _, %v), want FrameError", typ, err)
+		}
+		code, reason, _, err := wire.DecodeError(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if code != 400 || reason != wire.ReasonInvalid {
+			t.Fatalf("error = (%d, %v), want (400, invalid)", code, reason)
+		}
+	})
+
+	t.Run("bad magic", func(t *testing.T) {
+		e := newTestEngine(t, 20)
+		client, server := tcpPair(t)
+		s := NewStreamServer(e)
+		go s.ServeConn(server)
+		io.WriteString(client, "RONG!")
+		client.CloseWrite()
+		fr := wire.NewFrameReader(bufio.NewReader(client))
+		typ, payload, err := fr.Next()
+		if err != nil || typ != wire.FrameError {
+			t.Fatalf("Next = (%#x, _, %v), want FrameError", typ, err)
+		}
+		if code, reason, _, _ := wire.DecodeError(payload); code != 400 || reason != wire.ReasonInvalid {
+			t.Fatalf("error = (%d, %v), want (400, invalid)", code, reason)
+		}
+	})
+
+	t.Run("engine closed", func(t *testing.T) {
+		e := newTestEngine(t, 20)
+		shutdownEngine(t, e)
+		client, server := tcpPair(t)
+		s := NewStreamServer(e)
+		go s.ServeConn(server)
+		io.WriteString(client, `{"vnf":0,"reliability":0.9,"duration":3,"payment":10}`+"\n")
+		client.CloseWrite()
+		sc := bufio.NewScanner(client)
+		if !sc.Scan() {
+			t.Fatal("no error line")
+		}
+		var env struct {
+			Error struct {
+				Code   int    `json:"code"`
+				Reason string `json:"reason"`
+			} `json:"error"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &env); err != nil {
+			t.Fatalf("error line %q: %v", sc.Bytes(), err)
+		}
+		if env.Error.Code != 503 || env.Error.Reason != ReasonClosed {
+			t.Fatalf("error envelope = %+v, want code 503 reason closed", env.Error)
+		}
+	})
+}
+
+// TestStreamConcurrentConnections soaks the listener path: several
+// connections stream concurrently against a sharded engine; every
+// connection must get one in-order decision per request.
+func TestStreamConcurrentConnections(t *testing.T) {
+	e := newTestEngine(t, 20, func(c *Config) {
+		c.Workers = 4
+		c.QueueSize = 4096
+	})
+	s := NewStreamServer(e)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- s.Serve(ln) }()
+	t.Cleanup(func() {
+		s.Close()
+		if err := <-serveDone; err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+	})
+
+	const conns, perConn = 4, 200
+	var wg sync.WaitGroup
+	errs := make(chan error, conns)
+	for c := 0; c < conns; c++ {
+		wg.Add(1)
+		frame := c%2 == 0
+		go func() {
+			defer wg.Done()
+			conn, err := net.Dial("tcp", ln.Addr().String())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer conn.Close()
+			var body []byte
+			if frame {
+				body = wire.AppendPreamble(nil)
+			}
+			for i := 0; i < perConn; i++ {
+				wr := wire.Request{VNF: 0, Reliability: 0.9, Duration: 1 + i%5, Payment: 5 + float64(i%40)}
+				if frame {
+					body, err = wire.AppendRequestFrame(body, &wr)
+					if err != nil {
+						errs <- err
+						return
+					}
+				} else {
+					body = wire.AppendNDJSONRequest(body, &wr)
+				}
+			}
+			if _, err := conn.Write(body); err != nil {
+				errs <- err
+				return
+			}
+			conn.(*net.TCPConn).CloseWrite()
+			seen := make(map[uint64]bool, perConn)
+			var ds []wire.Decision
+			if frame {
+				fr := wire.NewFrameReader(bufio.NewReader(conn))
+				for len(ds) < perConn {
+					typ, payload, err := fr.Next()
+					if err != nil || typ != wire.FrameDecision {
+						errs <- fmt.Errorf("conn frame read after %d: typ=%#x err=%v", len(ds), typ, err)
+						return
+					}
+					var d wire.Decision
+					if err := wire.DecodeDecision(payload, &d); err != nil {
+						errs <- err
+						return
+					}
+					ds = append(ds, d)
+				}
+			} else {
+				sc := bufio.NewScanner(conn)
+				for len(ds) < perConn && sc.Scan() {
+					var d wire.Decision
+					if err := wire.DecodeNDJSONDecision(sc.Bytes(), &d); err != nil {
+						errs <- fmt.Errorf("bad decision line %q: %v", sc.Bytes(), err)
+						return
+					}
+					ds = append(ds, d)
+				}
+				if len(ds) < perConn {
+					errs <- fmt.Errorf("stream ended after %d/%d: %v", len(ds), perConn, sc.Err())
+					return
+				}
+			}
+			for _, d := range ds {
+				if d.ID == 0 || seen[d.ID] {
+					errs <- fmt.Errorf("duplicate or zero decision id %d", d.ID)
+					return
+				}
+				seen[d.ID] = true
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if total := st.Admitted + st.RejectedTotal(); total != conns*perConn {
+		t.Fatalf("decided %d, want %d", total, conns*perConn)
+	}
+	if got := e.ingest.frameReqs.Load() + e.ingest.ndjsonReqs.Load(); got != conns*perConn {
+		t.Fatalf("ingest counters = %d, want %d", got, conns*perConn)
+	}
+}

@@ -33,12 +33,15 @@
 // different cloudlets never contend, and a reservation over a window
 // [a, a+d-1] is checked and committed in one critical section: two
 // concurrent ReserveWindow calls can never jointly oversubscribe cap_j.
-// In rolling mode the window geometry (base and ring origin) is guarded by
-// an additional reader/writer lock: row operations hold its read side for
-// their whole critical section, and Advance holds the write side, so a
-// reservation can never land on a row that is being recycled under it.
-// Fixed-mode ledgers never touch the geometry lock — their hot path is the
-// same as before rolling mode existed.
+// The window geometry (base and ring origin) is one packed atomic word.
+// Row operations read it after taking their row lock; Advance — the only
+// geometry writer — holds every row lock while it checks the retiring rows
+// and publishes the new geometry. A held row lock therefore pins the
+// geometry for the whole critical section (Advance cannot run while any
+// row is held), so a reservation can never land on a row that is being
+// recycled under it, and the hot path pays one uncontended atomic load
+// instead of a read-modify-write on a process-global lock — operations
+// against different cloudlets share no mutable cache line in either mode.
 // Whole-ledger aggregates (Violations, Utilization, Clone, ...) lock one
 // cloudlet at a time; each row is internally consistent but the aggregate
 // is not a single point-in-time snapshot while writers are active — call
@@ -71,6 +74,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // Errors returned by the ledger.
@@ -100,16 +104,33 @@ type Ledger struct {
 	mus    []sync.RWMutex // mus[cloudlet] guards used[cloudlet]
 	used   [][]int        // used[cloudlet][ring index]
 
-	// rolling selects the circular-window mode. In fixed mode base and
-	// start are immutably 1 and 0 and winMu is never touched.
+	// rolling selects the circular-window mode. In fixed mode the geometry
+	// is immutably (base 1, origin 0) and advMu is never taken.
 	rolling bool
-	// winMu guards base and start in rolling mode. Row operations hold the
-	// read side across their whole critical section (geometry read + row
-	// lock), Advance holds the write side; see the package comment.
-	winMu sync.RWMutex
-	// base is the absolute slot stored at ring index start.
-	base  int
-	start int
+	// geom packs the window geometry into one word: the base slot in the
+	// high 48 bits, the ring origin (the index base is stored at) in the
+	// low 16. One load yields a consistent (base, origin) pair; see the
+	// package comment for why a held row lock pins it.
+	geom atomic.Uint64
+	// advMu serializes Advance calls and whole-ledger snapshots (Clone,
+	// Violations) against geometry changes. Row operations never take it.
+	advMu sync.Mutex
+}
+
+// maxRollingWindow bounds a rolling window so the ring origin fits the 16
+// geometry bits. 65536 slots is orders of magnitude beyond any served
+// window; fixed ledgers (origin pinned at 0) have no such bound.
+const maxRollingWindow = 1 << 16
+
+// packGeom packs a (base, origin) pair into the geometry word.
+func packGeom(base, origin int) uint64 {
+	return uint64(base)<<16 | uint64(origin)
+}
+
+// geometry unpacks the current (base slot, ring origin) pair.
+func (l *Ledger) geometry() (base, origin int) {
+	g := l.geom.Load()
+	return int(g >> 16), int(g & 0xffff)
 }
 
 // New creates a fixed-horizon ledger for the given per-cloudlet capacities
@@ -128,6 +149,9 @@ func build(capacities []int, window int, rolling bool) (*Ledger, error) {
 	if window < 1 {
 		return nil, fmt.Errorf("%w: window %d", ErrBadSlot, window)
 	}
+	if rolling && window > maxRollingWindow {
+		return nil, fmt.Errorf("%w: rolling window %d exceeds %d", ErrBadSlot, window, maxRollingWindow)
+	}
 	if len(capacities) == 0 {
 		return nil, fmt.Errorf("%w: no capacities", ErrBadCloudlet)
 	}
@@ -140,14 +164,15 @@ func build(capacities []int, window int, rolling bool) (*Ledger, error) {
 		caps[j] = c
 		used[j] = make([]int, window)
 	}
-	return &Ledger{
+	l := &Ledger{
 		window:  window,
 		caps:    caps,
 		mus:     make([]sync.RWMutex, len(caps)),
 		used:    used,
 		rolling: rolling,
-		base:    1,
-	}, nil
+	}
+	l.geom.Store(packGeom(1, 0))
+	return l, nil
 }
 
 // Horizon returns the number of live slots: T for a fixed ledger, the
@@ -162,14 +187,10 @@ func (l *Ledger) Window() int { return l.window }
 func (l *Ledger) Rolling() bool { return l.rolling }
 
 // Base returns the first slot of the live window: always 1 for a fixed
-// ledger, the current anchor for a rolling one.
+// ledger, the current anchor for a rolling one. Lock-free.
 func (l *Ledger) Base() int {
-	if !l.rolling {
-		return 1
-	}
-	l.winMu.RLock()
-	defer l.winMu.RUnlock()
-	return l.base
+	base, _ := l.geometry()
+	return base
 }
 
 // MaxSlot returns the last slot of the live window (Base + Window - 1).
@@ -180,58 +201,41 @@ func (l *Ledger) MaxSlot() int {
 // Cloudlets returns the number of cloudlets tracked.
 func (l *Ledger) Cloudlets() int { return len(l.caps) }
 
-// rlockWin takes the geometry read lock in rolling mode. Fixed-mode
-// ledgers have immutable geometry and skip the lock entirely, keeping
-// their hot path identical to the pre-rolling implementation.
-func (l *Ledger) rlockWin() {
-	if l.rolling {
-		l.winMu.RLock()
-	}
-}
-
-func (l *Ledger) runlockWin() {
-	if l.rolling {
-		l.winMu.RUnlock()
-	}
-}
-
-// idx maps an absolute in-window slot onto its ring index. Callers must
-// have range-checked slot (and hold the geometry read lock in rolling
-// mode).
-func (l *Ledger) idx(slot int) int {
-	i := l.start + (slot - l.base)
+// idxAt maps an absolute in-window slot onto its ring index under the
+// given geometry. Callers must have range-checked slot against base.
+func (l *Ledger) idxAt(slot, base, origin int) int {
+	i := origin + (slot - base)
 	if i >= l.window {
 		i -= l.window
 	}
 	return i
 }
 
-// inRangeLocked is InRange with the geometry lock already held (or fixed).
-func (l *Ledger) inRangeLocked(cloudlet, slot int) bool {
-	return cloudlet >= 0 && cloudlet < len(l.caps) && slot >= l.base && slot <= l.base+l.window-1
+// inRangeAt is the range check under an already-read geometry.
+func (l *Ledger) inRangeAt(cloudlet, slot, base int) bool {
+	return cloudlet >= 0 && cloudlet < len(l.caps) && slot >= base && slot <= base+l.window-1
 }
 
-// windowInRangeLocked is WindowInRange with the geometry lock already held.
-func (l *Ledger) windowInRangeLocked(cloudlet, start, duration int) bool {
+// windowInRangeAt is the window range check under an already-read geometry.
+func (l *Ledger) windowInRangeAt(cloudlet, start, duration, base int) bool {
 	return cloudlet >= 0 && cloudlet < len(l.caps) &&
-		start >= l.base && duration >= 1 && start+duration-1 <= l.base+l.window-1
+		start >= base && duration >= 1 && start+duration-1 <= base+l.window-1
 }
 
 // InRange reports whether (cloudlet, slot) addresses a live cell. In
 // rolling mode the answer moves with the base: retired slots fall out of
-// range, slots entering the window come into it.
+// range, slots entering the window come into it. The answer is advisory
+// under concurrency — a concurrent Advance may move the base right after.
 func (l *Ledger) InRange(cloudlet, slot int) bool {
-	l.rlockWin()
-	defer l.runlockWin()
-	return l.inRangeLocked(cloudlet, slot)
+	base, _ := l.geometry()
+	return l.inRangeAt(cloudlet, slot, base)
 }
 
 // WindowInRange reports whether the window [start, start+duration-1] of the
 // cloudlet lies fully inside the live window.
 func (l *Ledger) WindowInRange(cloudlet, start, duration int) bool {
-	l.rlockWin()
-	defer l.runlockWin()
-	return l.windowInRangeLocked(cloudlet, start, duration)
+	base, _ := l.geometry()
+	return l.windowInRangeAt(cloudlet, start, duration, base)
 }
 
 // Capacity returns cap_j for cloudlet j, or 0 for an unknown cloudlet.
@@ -245,14 +249,16 @@ func (l *Ledger) Capacity(cloudlet int) int {
 // Used returns the units in use in cloudlet j at slot t, or the fail-safe
 // sentinel 0 ("no usage") when out of range; use InRange to distinguish.
 func (l *Ledger) Used(cloudlet, slot int) int {
-	l.rlockWin()
-	defer l.runlockWin()
-	if !l.inRangeLocked(cloudlet, slot) {
+	if cloudlet < 0 || cloudlet >= len(l.caps) {
 		return 0
 	}
 	l.mus[cloudlet].RLock()
 	defer l.mus[cloudlet].RUnlock()
-	return l.used[cloudlet][l.idx(slot)]
+	base, origin := l.geometry()
+	if !l.inRangeAt(cloudlet, slot, base) {
+		return 0
+	}
+	return l.used[cloudlet][l.idxAt(slot, base, origin)]
 }
 
 // Residual returns the free units of cloudlet j at slot t. It can be
@@ -260,14 +266,16 @@ func (l *Ledger) Used(cloudlet, slot int) int {
 // fail-safe sentinel 0 ("no free capacity"), so capacity-gated callers
 // reject rather than admit; use InRange to distinguish.
 func (l *Ledger) Residual(cloudlet, slot int) int {
-	l.rlockWin()
-	defer l.runlockWin()
-	if !l.inRangeLocked(cloudlet, slot) {
+	if cloudlet < 0 || cloudlet >= len(l.caps) {
 		return 0
 	}
 	l.mus[cloudlet].RLock()
 	defer l.mus[cloudlet].RUnlock()
-	return l.caps[cloudlet] - l.used[cloudlet][l.idx(slot)]
+	base, origin := l.geometry()
+	if !l.inRangeAt(cloudlet, slot, base) {
+		return 0
+	}
+	return l.caps[cloudlet] - l.used[cloudlet][l.idxAt(slot, base, origin)]
 }
 
 // ResidualWindow returns the minimum residual capacity of cloudlet j over
@@ -276,20 +284,22 @@ func (l *Ledger) Residual(cloudlet, slot int) int {
 // ("no free capacity"), which makes schedulers reject such windows; use
 // WindowInRange to distinguish.
 func (l *Ledger) ResidualWindow(cloudlet, start, duration int) int {
-	l.rlockWin()
-	defer l.runlockWin()
-	if !l.windowInRangeLocked(cloudlet, start, duration) {
+	if cloudlet < 0 || cloudlet >= len(l.caps) {
 		return 0
 	}
 	l.mus[cloudlet].RLock()
 	defer l.mus[cloudlet].RUnlock()
-	return l.residualWindowLocked(cloudlet, start, duration)
+	base, origin := l.geometry()
+	if !l.windowInRangeAt(cloudlet, start, duration, base) {
+		return 0
+	}
+	return l.residualWindowLocked(cloudlet, start, duration, base, origin)
 }
 
-// residualWindowLocked computes the window minimum with cloudlet's lock
-// (in either mode) and the geometry read lock held.
-func (l *Ledger) residualWindowLocked(cloudlet, start, duration int) int {
-	i := l.idx(start)
+// residualWindowLocked computes the window minimum with cloudlet's row
+// lock held (which pins the given geometry; see the package comment).
+func (l *Ledger) residualWindowLocked(cloudlet, start, duration, base, origin int) int {
+	i := l.idxAt(start, base, origin)
 	minFree := l.caps[cloudlet] - l.used[cloudlet][i]
 	for t := 1; t < duration; t++ {
 		if i++; i == l.window {
@@ -322,17 +332,19 @@ func (l *Ledger) CanReserve(cloudlet, start, duration, units int) bool {
 // out-of-range arguments. In rolling mode a window that has been retired
 // (or not yet entered) reports ErrBadSlot.
 func (l *Ledger) ReserveWindow(cloudlet, start, duration, units int) (bool, error) {
-	l.rlockWin()
-	defer l.runlockWin()
-	if err := l.checkArgsLocked(cloudlet, start, duration, units); err != nil {
-		return false, err
+	if cloudlet < 0 || cloudlet >= len(l.caps) {
+		return false, fmt.Errorf("%w: %d", ErrBadCloudlet, cloudlet)
 	}
 	l.mus[cloudlet].Lock()
 	defer l.mus[cloudlet].Unlock()
-	if l.residualWindowLocked(cloudlet, start, duration) < units {
+	base, origin := l.geometry()
+	if err := l.checkArgsAt(start, duration, units, base); err != nil {
+		return false, err
+	}
+	if l.residualWindowLocked(cloudlet, start, duration, base, origin) < units {
 		return false, nil
 	}
-	l.addLocked(cloudlet, start, duration, units)
+	l.addLocked(cloudlet, start, duration, units, base, origin)
 	return true, nil
 }
 
@@ -357,14 +369,16 @@ func (l *Ledger) Reserve(cloudlet, start, duration, units int) error {
 // primal-dual algorithm whose bounded capacity violations are part of the
 // paper's analysis; the resulting overcommitment shows up in Violations.
 func (l *Ledger) ForceReserve(cloudlet, start, duration, units int) error {
-	l.rlockWin()
-	defer l.runlockWin()
-	if err := l.checkArgsLocked(cloudlet, start, duration, units); err != nil {
-		return err
+	if cloudlet < 0 || cloudlet >= len(l.caps) {
+		return fmt.Errorf("%w: %d", ErrBadCloudlet, cloudlet)
 	}
 	l.mus[cloudlet].Lock()
 	defer l.mus[cloudlet].Unlock()
-	l.addLocked(cloudlet, start, duration, units)
+	base, origin := l.geometry()
+	if err := l.checkArgsAt(start, duration, units, base); err != nil {
+		return err
+	}
+	l.addLocked(cloudlet, start, duration, units, base, origin)
 	return nil
 }
 
@@ -376,14 +390,16 @@ func (l *Ledger) ForceReserve(cloudlet, start, duration, units int) error {
 // ring position. The underflow check and the release are one critical
 // section, pairing with ReserveWindow for concurrent use.
 func (l *Ledger) Release(cloudlet, start, duration, units int) error {
-	l.rlockWin()
-	defer l.runlockWin()
-	if err := l.checkArgsLocked(cloudlet, start, duration, units); err != nil {
-		return err
+	if cloudlet < 0 || cloudlet >= len(l.caps) {
+		return fmt.Errorf("%w: %d", ErrBadCloudlet, cloudlet)
 	}
 	l.mus[cloudlet].Lock()
 	defer l.mus[cloudlet].Unlock()
-	i := l.idx(start)
+	base, origin := l.geometry()
+	if err := l.checkArgsAt(start, duration, units, base); err != nil {
+		return err
+	}
+	i := l.idxAt(start, base, origin)
 	for t := start; t <= start+duration-1; t++ {
 		if l.used[cloudlet][i] < units {
 			return fmt.Errorf("%w: cloudlet %d slot %d used %d release %d",
@@ -393,7 +409,7 @@ func (l *Ledger) Release(cloudlet, start, duration, units int) error {
 			i = 0
 		}
 	}
-	l.addLocked(cloudlet, start, duration, -units)
+	l.addLocked(cloudlet, start, duration, -units, base, origin)
 	return nil
 }
 
@@ -410,12 +426,21 @@ func (l *Ledger) Advance(base int) error {
 	if !l.rolling {
 		return fmt.Errorf("%w: cannot advance to %d", ErrFixedHorizon, base)
 	}
-	l.winMu.Lock()
-	defer l.winMu.Unlock()
-	if base < l.base {
-		return fmt.Errorf("%w: advance to %d behind base %d", ErrBadSlot, base, l.base)
+	l.advMu.Lock()
+	defer l.advMu.Unlock()
+	// Hold every row's write lock while checking and re-basing: no row
+	// operation can run concurrently, so the geometry word flips while the
+	// whole ledger is pinned (this is what lets row operations treat one
+	// geometry read under their row lock as stable).
+	for j := range l.mus {
+		l.mus[j].Lock()
+		defer l.mus[j].Unlock()
 	}
-	retire := base - l.base
+	cur, origin := l.geometry()
+	if base < cur {
+		return fmt.Errorf("%w: advance to %d behind base %d", ErrBadSlot, base, cur)
+	}
+	retire := base - cur
 	if retire == 0 {
 		return nil
 	}
@@ -426,33 +451,29 @@ func (l *Ledger) Advance(base int) error {
 		checked = l.window
 	}
 	for k := 0; k < checked; k++ {
-		i := l.start + k
+		i := origin + k
 		if i >= l.window {
 			i -= l.window
 		}
 		for j := range l.caps {
 			if u := l.used[j][i]; u != 0 {
 				return fmt.Errorf("%w: cloudlet %d slot %d still holds %d units",
-					ErrNotDrained, j, l.base+k, u)
+					ErrNotDrained, j, cur+k, u)
 			}
 		}
 	}
 	// Retired rows are zero, so the slots entering the window reuse them
 	// as-is: re-basing is pure geometry.
-	l.start = (l.start + retire%l.window) % l.window
-	l.base = base
+	l.geom.Store(packGeom(base, (origin+retire%l.window)%l.window))
 	return nil
 }
 
-// checkArgsLocked validates mutating-call arguments; the caller holds the
-// geometry read lock (or the ledger is fixed).
-func (l *Ledger) checkArgsLocked(cloudlet, start, duration, units int) error {
-	if cloudlet < 0 || cloudlet >= len(l.caps) {
-		return fmt.Errorf("%w: %d", ErrBadCloudlet, cloudlet)
-	}
-	if start < l.base || duration < 1 || start+duration-1 > l.base+l.window-1 {
+// checkArgsAt validates mutating-call arguments against an already-read
+// geometry base; the caller holds the cloudlet's row lock, which pins it.
+func (l *Ledger) checkArgsAt(start, duration, units, base int) error {
+	if start < base || duration < 1 || start+duration-1 > base+l.window-1 {
 		return fmt.Errorf("%w: window [%d,%d] live window [%d,%d]",
-			ErrBadSlot, start, start+duration-1, l.base, l.base+l.window-1)
+			ErrBadSlot, start, start+duration-1, base, base+l.window-1)
 	}
 	if units <= 0 {
 		return fmt.Errorf("%w: %d", ErrBadUnits, units)
@@ -460,10 +481,10 @@ func (l *Ledger) checkArgsLocked(cloudlet, start, duration, units int) error {
 	return nil
 }
 
-// addLocked mutates cloudlet's row; the caller holds its write lock (and
-// the geometry read lock in rolling mode).
-func (l *Ledger) addLocked(cloudlet, start, duration, units int) {
-	i := l.idx(start)
+// addLocked mutates cloudlet's row; the caller holds its write lock (which
+// pins the given geometry).
+func (l *Ledger) addLocked(cloudlet, start, duration, units, base, origin int) {
+	i := l.idxAt(start, base, origin)
 	for t := 0; t < duration; t++ {
 		l.used[cloudlet][i] += units
 		if i++; i == l.window {
@@ -489,13 +510,14 @@ func (v Violation) Ratio() float64 { return float64(v.Used) / float64(v.Capacity
 // Violations returns every overcommitted live cell in cloudlet-then-slot
 // order.
 func (l *Ledger) Violations() []Violation {
-	l.rlockWin()
-	defer l.runlockWin()
+	l.advMu.Lock() // hold the geometry still across rows
+	defer l.advMu.Unlock()
+	base, origin := l.geometry()
 	var out []Violation
 	for j := range l.caps {
 		l.mus[j].RLock()
-		i := l.start
-		for t := l.base; t <= l.base+l.window-1; t++ {
+		i := origin
+		for t := base; t <= base+l.window-1; t++ {
 			if u := l.used[j][i]; u > l.caps[j] {
 				out = append(out, Violation{Cloudlet: j, Slot: t, Used: u, Capacity: l.caps[j]})
 			}
@@ -565,8 +587,8 @@ func (l *Ledger) PeakUsage(cloudlet int) int {
 // Rows are copied one cloudlet at a time; clone with writers quiesced when
 // an exact global snapshot matters.
 func (l *Ledger) Clone() *Ledger {
-	l.rlockWin()
-	defer l.runlockWin()
+	l.advMu.Lock() // hold the geometry still across rows
+	defer l.advMu.Unlock()
 	caps := make([]int, len(l.caps))
 	copy(caps, l.caps)
 	used := make([][]int, len(l.used))
@@ -576,13 +598,13 @@ func (l *Ledger) Clone() *Ledger {
 		copy(used[j], l.used[j])
 		l.mus[j].RUnlock()
 	}
-	return &Ledger{
+	c := &Ledger{
 		window:  l.window,
 		caps:    caps,
 		mus:     make([]sync.RWMutex, len(caps)),
 		used:    used,
 		rolling: l.rolling,
-		base:    l.base,
-		start:   l.start,
 	}
+	c.geom.Store(l.geom.Load())
+	return c
 }

@@ -1,0 +1,239 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Binary framing. A connection opens with a 5-byte preamble — the ASCII
+// magic "RVNF" plus a protocol version byte — then carries a sequence of
+// frames:
+//
+//	[u32 little-endian length] [u8 type] [payload]
+//
+// where length counts the type byte plus the payload (so length ≥ 1), and
+// is bounded by MaxFrameSize so a corrupt length prefix cannot make the
+// reader buffer gigabytes. Payload integers are little-endian; floats are
+// IEEE-754 bits.
+//
+// Frame types:
+//
+//	FrameRequest  (client→server): u32 vnf, u32 arrival, u32 duration,
+//	                               f64 reliability, f64 payment  (28 bytes)
+//	FrameDecision (server→client): u64 id, u32 slot, u8 flags (bit0 =
+//	                               admitted), u8 reason code    (14 bytes)
+//	FrameError    (server→client): u16 status code, u8 reason code,
+//	                               u16 detail length, detail bytes
+//
+// A FrameError is terminal: the server sends one and closes the
+// connection.
+const (
+	// Magic opens every binary-framed connection.
+	Magic = "RVNF"
+	// Version is the current protocol version carried after the magic.
+	Version = 1
+
+	// FrameRequest carries one admission request.
+	FrameRequest = 0x01
+	// FrameDecision carries one admission decision.
+	FrameDecision = 0x02
+	// FrameError carries a terminal error; the sender closes after it.
+	FrameError = 0x03
+
+	// MaxFrameSize bounds the length prefix (type byte + payload).
+	MaxFrameSize = 1 << 16
+
+	preambleSize        = 5
+	headerSize          = 5 // u32 length + u8 type
+	requestPayloadSize  = 28
+	decisionPayloadSize = 14
+	errorHeaderSize     = 5 // u16 code + u8 reason + u16 detail length
+
+)
+
+// maxFrameInt bounds the integer request fields a frame can carry.
+const maxFrameInt int64 = math.MaxUint32
+
+// Typed framing errors. Decoders return these (possibly wrapped with
+// detail) for malformed input; they never panic.
+var (
+	// ErrBadMagic reports a connection preamble without the RVNF magic.
+	ErrBadMagic = errors.New("wire: bad magic")
+	// ErrBadVersion reports an unsupported protocol version.
+	ErrBadVersion = errors.New("wire: unsupported protocol version")
+	// ErrBadFrame reports a frame header with an out-of-bounds length.
+	ErrBadFrame = errors.New("wire: bad frame length")
+	// ErrBadType reports an unknown frame type.
+	ErrBadType = errors.New("wire: unknown frame type")
+	// ErrBadPayload reports a payload whose size or contents do not match
+	// its frame type.
+	ErrBadPayload = errors.New("wire: bad frame payload")
+	// ErrRange reports a request field outside the frame encoding's range.
+	ErrRange = errors.New("wire: field out of range")
+)
+
+// AppendPreamble appends the connection preamble.
+func AppendPreamble(buf []byte) []byte {
+	return append(append(buf, Magic...), Version)
+}
+
+// ReadPreamble consumes and validates the 5-byte connection preamble.
+func ReadPreamble(r io.Reader) error {
+	var p [preambleSize]byte
+	if _, err := io.ReadFull(r, p[:]); err != nil {
+		return fmt.Errorf("wire: reading preamble: %w", err)
+	}
+	if string(p[:4]) != Magic {
+		return ErrBadMagic
+	}
+	if p[4] != Version {
+		return fmt.Errorf("%w: %d", ErrBadVersion, p[4])
+	}
+	return nil
+}
+
+// FrameReader reads frames from a stream into a reusable payload buffer.
+// Not safe for concurrent use.
+type FrameReader struct {
+	r   io.Reader
+	hdr [headerSize]byte
+	buf []byte
+}
+
+// NewFrameReader returns a FrameReader over r. Wrap r in a bufio.Reader
+// for byte-at-a-time transports; the FrameReader itself does not buffer
+// beyond one frame.
+func NewFrameReader(r io.Reader) *FrameReader {
+	return &FrameReader{r: r, buf: make([]byte, 0, 512)}
+}
+
+// Next reads one frame and returns its type and payload. The payload
+// slice aliases the reader's internal buffer and is valid only until the
+// next call. io.EOF is returned clean at a frame boundary;
+// io.ErrUnexpectedEOF mid-frame.
+func (fr *FrameReader) Next() (frameType byte, payload []byte, err error) {
+	if _, err := io.ReadFull(fr.r, fr.hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return 0, nil, io.EOF
+		}
+		return 0, nil, fmt.Errorf("wire: reading frame header: %w", err)
+	}
+	length := binary.LittleEndian.Uint32(fr.hdr[:4])
+	if length < 1 || length > MaxFrameSize {
+		return 0, nil, fmt.Errorf("%w: %d", ErrBadFrame, length)
+	}
+	frameType = fr.hdr[4]
+	n := int(length) - 1
+	if cap(fr.buf) < n {
+		fr.buf = make([]byte, n)
+	}
+	payload = fr.buf[:n]
+	if _, err := io.ReadFull(fr.r, payload); err != nil {
+		return 0, nil, fmt.Errorf("wire: reading frame payload: %w", io.ErrUnexpectedEOF)
+	}
+	return frameType, payload, nil
+}
+
+// DecodeRequest decodes a FrameRequest payload into req. Zero heap
+// allocations.
+func DecodeRequest(payload []byte, req *Request) error {
+	if len(payload) != requestPayloadSize {
+		return fmt.Errorf("%w: request payload %d bytes, want %d",
+			ErrBadPayload, len(payload), requestPayloadSize)
+	}
+	req.VNF = int(binary.LittleEndian.Uint32(payload[0:4]))
+	req.Arrival = int(binary.LittleEndian.Uint32(payload[4:8]))
+	req.Duration = int(binary.LittleEndian.Uint32(payload[8:12]))
+	req.Reliability = math.Float64frombits(binary.LittleEndian.Uint64(payload[12:20]))
+	req.Payment = math.Float64frombits(binary.LittleEndian.Uint64(payload[20:28]))
+	return nil
+}
+
+// DecodeDecision decodes a FrameDecision payload into d.
+func DecodeDecision(payload []byte, d *Decision) error {
+	if len(payload) != decisionPayloadSize {
+		return fmt.Errorf("%w: decision payload %d bytes, want %d",
+			ErrBadPayload, len(payload), decisionPayloadSize)
+	}
+	d.ID = binary.LittleEndian.Uint64(payload[0:8])
+	d.Slot = int(binary.LittleEndian.Uint32(payload[8:12]))
+	d.Admitted = payload[12]&1 != 0
+	d.Reason = ReasonCode(payload[13])
+	return nil
+}
+
+// DecodeError decodes a FrameError payload. The detail slice aliases the
+// payload.
+func DecodeError(payload []byte) (code int, reason ReasonCode, detail []byte, err error) {
+	if len(payload) < errorHeaderSize {
+		return 0, 0, nil, fmt.Errorf("%w: error payload %d bytes, want ≥ %d",
+			ErrBadPayload, len(payload), errorHeaderSize)
+	}
+	code = int(binary.LittleEndian.Uint16(payload[0:2]))
+	reason = ReasonCode(payload[2])
+	n := int(binary.LittleEndian.Uint16(payload[3:5]))
+	if len(payload) != errorHeaderSize+n {
+		return 0, 0, nil, fmt.Errorf("%w: error detail %d bytes, header says %d",
+			ErrBadPayload, len(payload)-errorHeaderSize, n)
+	}
+	return code, reason, payload[errorHeaderSize:], nil
+}
+
+// AppendRequestFrame appends a complete FrameRequest (header + payload).
+// Integer fields must fit uint32 and be non-negative (ErrRange otherwise).
+func AppendRequestFrame(buf []byte, req *Request) ([]byte, error) {
+	if req.VNF < 0 || int64(req.VNF) > maxFrameInt ||
+		req.Arrival < 0 || int64(req.Arrival) > maxFrameInt ||
+		req.Duration < 0 || int64(req.Duration) > maxFrameInt {
+		return buf, fmt.Errorf("%w: vnf %d arrival %d duration %d",
+			ErrRange, req.VNF, req.Arrival, req.Duration)
+	}
+	buf = appendHeader(buf, FrameRequest, requestPayloadSize)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(req.VNF))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(req.Arrival))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(req.Duration))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(req.Reliability))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(req.Payment))
+	return buf, nil
+}
+
+// AppendDecisionFrame appends a complete FrameDecision. Slots outside
+// uint32 saturate (a decision slot beyond 2^32 cannot occur in practice).
+func AppendDecisionFrame(buf []byte, d *Decision) []byte {
+	buf = appendHeader(buf, FrameDecision, decisionPayloadSize)
+	buf = binary.LittleEndian.AppendUint64(buf, d.ID)
+	slot := int64(d.Slot)
+	if slot < 0 {
+		slot = 0
+	} else if slot > maxFrameInt {
+		slot = maxFrameInt
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(slot))
+	var flags byte
+	if d.Admitted {
+		flags |= 1
+	}
+	return append(buf, flags, byte(d.Reason))
+}
+
+// AppendErrorFrame appends a complete FrameError. Over-long detail is
+// truncated to fit the frame.
+func AppendErrorFrame(buf []byte, code int, reason ReasonCode, detail string) []byte {
+	const maxDetail = MaxFrameSize - 1 - errorHeaderSize
+	if len(detail) > maxDetail {
+		detail = detail[:maxDetail]
+	}
+	buf = appendHeader(buf, FrameError, errorHeaderSize+len(detail))
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(code))
+	buf = append(buf, byte(reason))
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(detail)))
+	return append(buf, detail...)
+}
+
+func appendHeader(buf []byte, frameType byte, payloadLen int) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(1+payloadLen))
+	return append(buf, frameType)
+}

@@ -1,0 +1,88 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// FuzzDecodeFrame feeds arbitrary bytes through the frame reader and the
+// per-type payload decoders. The contract under fuzzing: typed errors or
+// valid frames, never a panic, never an over-read past the input, and
+// bounded buffering regardless of what the length prefix claims.
+func FuzzDecodeFrame(f *testing.F) {
+	seed, _ := AppendRequestFrame(nil, &Request{VNF: 3, Duration: 5, Reliability: 0.95, Payment: 12.5})
+	f.Add(seed)
+	f.Add(AppendDecisionFrame(nil, &Decision{ID: 9, Slot: 2, Admitted: true}))
+	f.Add(AppendErrorFrame(nil, 503, ReasonClosed, "shutting down"))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff})
+	f.Add([]byte{1, 0, 0, 0, FrameRequest})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr := NewFrameReader(bytes.NewReader(data))
+		for i := 0; i < 64; i++ { // bounded: each frame consumes ≥ headerSize bytes
+			typ, payload, err := fr.Next()
+			if err != nil {
+				if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) ||
+					errors.Is(err, ErrBadFrame) {
+					return
+				}
+				t.Fatalf("Next: untyped error %v", err)
+			}
+			if len(payload) > MaxFrameSize {
+				t.Fatalf("payload %d bytes exceeds MaxFrameSize", len(payload))
+			}
+			switch typ {
+			case FrameRequest:
+				var req Request
+				if err := DecodeRequest(payload, &req); err != nil && !errors.Is(err, ErrBadPayload) {
+					t.Fatalf("DecodeRequest: untyped error %v", err)
+				}
+			case FrameDecision:
+				var d Decision
+				if err := DecodeDecision(payload, &d); err != nil && !errors.Is(err, ErrBadPayload) {
+					t.Fatalf("DecodeDecision: untyped error %v", err)
+				}
+			case FrameError:
+				if _, _, _, err := DecodeError(payload); err != nil && !errors.Is(err, ErrBadPayload) {
+					t.Fatalf("DecodeError: untyped error %v", err)
+				}
+			}
+		}
+	})
+}
+
+// FuzzDecodeNDJSON fuzzes both NDJSON line parsers. Every outcome must be
+// a clean decode or a typed error — no panics, and a successful request
+// decode must survive a re-encode/re-decode round trip.
+func FuzzDecodeNDJSON(f *testing.F) {
+	f.Add([]byte(`{"vnf":3,"reliability":0.95,"arrival":0,"duration":5,"payment":12.5}`))
+	f.Add([]byte(`{"id":1,"admitted":true,"slot":1}`))
+	f.Add([]byte(`{"id":2,"admitted":false,"reason":"declined","slot":1}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"vnf":`))
+	f.Add([]byte(`{"reliability":1e309}`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, line []byte) {
+		var req Request
+		if err := DecodeNDJSONRequest(line, &req); err != nil {
+			if !errors.Is(err, ErrBadJSON) && !errors.Is(err, ErrUnknownField) {
+				t.Fatalf("DecodeNDJSONRequest: untyped error %v", err)
+			}
+		} else {
+			var again Request
+			if err := DecodeNDJSONRequest(AppendNDJSONRequest(nil, &req), &again); err != nil {
+				t.Fatalf("re-decode of re-encoded %+v: %v", req, err)
+			} else if again != req {
+				t.Fatalf("round trip %+v != %+v", again, req)
+			}
+		}
+		var d Decision
+		if err := DecodeNDJSONDecision(line, &d); err != nil {
+			if !errors.Is(err, ErrBadJSON) && !errors.Is(err, ErrUnknownField) {
+				t.Fatalf("DecodeNDJSONDecision: untyped error %v", err)
+			}
+		}
+	})
+}

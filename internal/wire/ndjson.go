@@ -1,0 +1,307 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+)
+
+// Newline-delimited JSON. One JSON object per line; the same field names
+// as the HTTP API:
+//
+//	request:  {"vnf":3,"reliability":0.95,"arrival":0,"duration":5,"payment":12.5}
+//	decision: {"id":1,"admitted":true,"slot":1}
+//	          {"id":2,"admitted":false,"reason":"declined","slot":1}
+//	error:    {"error":{"code":503,"reason":"closed","detail":"..."}}
+//
+// An error line is terminal: the server sends one and closes. The request
+// decoder is a hand-rolled strict parser (unknown fields rejected, like
+// the HTTP handler's DisallowUnknownFields) so the hot path stays within
+// its allocation budget; it accepts exactly the flat number-valued object
+// above — no nesting, no strings, no escapes.
+
+// Typed NDJSON errors.
+var (
+	// ErrBadJSON reports a request line that is not a flat JSON object of
+	// number fields.
+	ErrBadJSON = errors.New("wire: malformed request line")
+	// ErrUnknownField reports a request field outside the schema.
+	ErrUnknownField = errors.New("wire: unknown request field")
+)
+
+// DecodeNDJSONRequest parses one request line (with or without trailing
+// newline) into req. At most two heap allocations per call on the
+// success path.
+func DecodeNDJSONRequest(line []byte, req *Request) error {
+	*req = Request{}
+	p := skipWS(line, 0)
+	if p >= len(line) || line[p] != '{' {
+		return fmt.Errorf("%w: expected '{'", ErrBadJSON)
+	}
+	p++
+	first := true
+	for {
+		p = skipWS(line, p)
+		if p >= len(line) {
+			return fmt.Errorf("%w: unterminated object", ErrBadJSON)
+		}
+		if line[p] == '}' {
+			p++
+			break
+		}
+		if !first {
+			if line[p] != ',' {
+				return fmt.Errorf("%w: expected ',' at offset %d", ErrBadJSON, p)
+			}
+			p = skipWS(line, p+1)
+		}
+		first = false
+		key, next, err := scanKey(line, p)
+		if err != nil {
+			return err
+		}
+		p = skipWS(line, next)
+		if p >= len(line) || line[p] != ':' {
+			return fmt.Errorf("%w: expected ':' after key", ErrBadJSON)
+		}
+		p = skipWS(line, p+1)
+		val, next, err := scanNumber(line, p)
+		if err != nil {
+			return err
+		}
+		p = next
+		switch string(key) {
+		case "vnf":
+			req.VNF, err = parseWireInt(val)
+		case "arrival":
+			req.Arrival, err = parseWireInt(val)
+		case "duration":
+			req.Duration, err = parseWireInt(val)
+		case "reliability":
+			req.Reliability, err = parseWireFloat(val)
+		case "payment":
+			req.Payment, err = parseWireFloat(val)
+		default:
+			return fmt.Errorf("%w: %q", ErrUnknownField, key)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	if p = skipWS(line, p); p != len(line) {
+		return fmt.Errorf("%w: trailing bytes after object", ErrBadJSON)
+	}
+	return nil
+}
+
+func skipWS(b []byte, p int) int {
+	for p < len(b) {
+		switch b[p] {
+		case ' ', '\t', '\r', '\n':
+			p++
+		default:
+			return p
+		}
+	}
+	return p
+}
+
+// scanKey scans a quoted key without escapes starting at b[p] == '"'.
+func scanKey(b []byte, p int) (key []byte, next int, err error) {
+	if p >= len(b) || b[p] != '"' {
+		return nil, p, fmt.Errorf("%w: expected '\"' at offset %d", ErrBadJSON, p)
+	}
+	start := p + 1
+	for q := start; q < len(b); q++ {
+		switch b[q] {
+		case '"':
+			return b[start:q], q + 1, nil
+		case '\\':
+			return nil, p, fmt.Errorf("%w: escapes not allowed in keys", ErrBadJSON)
+		}
+	}
+	return nil, p, fmt.Errorf("%w: unterminated key", ErrBadJSON)
+}
+
+// scanNumber scans one JSON number token starting at b[p].
+func scanNumber(b []byte, p int) (val []byte, next int, err error) {
+	start := p
+	for p < len(b) {
+		switch c := b[p]; {
+		case c >= '0' && c <= '9', c == '-', c == '+', c == '.', c == 'e', c == 'E':
+			p++
+		default:
+			if p == start {
+				return nil, p, fmt.Errorf("%w: expected number at offset %d", ErrBadJSON, p)
+			}
+			return b[start:p], p, nil
+		}
+	}
+	if p == start {
+		return nil, p, fmt.Errorf("%w: expected number at end of line", ErrBadJSON)
+	}
+	return b[start:p], p, nil
+}
+
+// maxWireInt bounds parsed integer fields, far above any served horizon
+// or catalog size but comfortably inside int range.
+const maxWireInt = 1 << 31
+
+func parseWireInt(b []byte) (int, error) {
+	if len(b) == 0 {
+		return 0, fmt.Errorf("%w: empty integer", ErrBadJSON)
+	}
+	n := 0
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			return 0, fmt.Errorf("%w: %q is not a non-negative integer", ErrBadJSON, b)
+		}
+		n = n*10 + int(c-'0')
+		if n > maxWireInt {
+			return 0, fmt.Errorf("%w: integer %q too large", ErrBadJSON, b)
+		}
+	}
+	return n, nil
+}
+
+func parseWireFloat(b []byte) (float64, error) {
+	// string(b) of a short slice passed to a non-retaining callee stays on
+	// the stack, keeping the success path allocation-free.
+	f, err := strconv.ParseFloat(string(b), 64)
+	if err != nil {
+		return 0, fmt.Errorf("%w: %q is not a number", ErrBadJSON, b)
+	}
+	return f, nil
+}
+
+// DecodeNDJSONDecision parses one decision line into d. A terminal error
+// line ({"error":{...}}) is reported as ErrUnknownField on "error": the
+// caller falls back to its slow-path error handling.
+func DecodeNDJSONDecision(line []byte, d *Decision) error {
+	*d = Decision{}
+	p := skipWS(line, 0)
+	if p >= len(line) || line[p] != '{' {
+		return fmt.Errorf("%w: expected '{'", ErrBadJSON)
+	}
+	p++
+	first := true
+	for {
+		p = skipWS(line, p)
+		if p >= len(line) {
+			return fmt.Errorf("%w: unterminated object", ErrBadJSON)
+		}
+		if line[p] == '}' {
+			p++
+			break
+		}
+		if !first {
+			if line[p] != ',' {
+				return fmt.Errorf("%w: expected ',' at offset %d", ErrBadJSON, p)
+			}
+			p = skipWS(line, p+1)
+		}
+		first = false
+		key, next, err := scanKey(line, p)
+		if err != nil {
+			return err
+		}
+		p = skipWS(line, next)
+		if p >= len(line) || line[p] != ':' {
+			return fmt.Errorf("%w: expected ':' after key", ErrBadJSON)
+		}
+		p = skipWS(line, p+1)
+		switch string(key) {
+		case "id":
+			val, next, err := scanNumber(line, p)
+			if err != nil {
+				return err
+			}
+			n, err := parseWireInt(val)
+			if err != nil {
+				return err
+			}
+			d.ID, p = uint64(n), next
+		case "slot":
+			val, next, err := scanNumber(line, p)
+			if err != nil {
+				return err
+			}
+			n, err := parseWireInt(val)
+			if err != nil {
+				return err
+			}
+			d.Slot, p = n, next
+		case "admitted":
+			switch {
+			case hasPrefixAt(line, p, "true"):
+				d.Admitted, p = true, p+4
+			case hasPrefixAt(line, p, "false"):
+				d.Admitted, p = false, p+5
+			default:
+				return fmt.Errorf("%w: expected boolean for \"admitted\"", ErrBadJSON)
+			}
+		case "reason":
+			val, next, err := scanKey(line, p) // a string value scans like a key
+			if err != nil {
+				return err
+			}
+			d.Reason, p = CodeForReason(string(val)), next
+		default:
+			return fmt.Errorf("%w: %q", ErrUnknownField, key)
+		}
+	}
+	if p = skipWS(line, p); p != len(line) {
+		return fmt.Errorf("%w: trailing bytes after object", ErrBadJSON)
+	}
+	return nil
+}
+
+func hasPrefixAt(b []byte, p int, s string) bool {
+	return len(b)-p >= len(s) && string(b[p:p+len(s)]) == s
+}
+
+// AppendNDJSONRequest appends one request line, newline-terminated.
+func AppendNDJSONRequest(buf []byte, req *Request) []byte {
+	buf = append(buf, `{"vnf":`...)
+	buf = strconv.AppendInt(buf, int64(req.VNF), 10)
+	buf = append(buf, `,"reliability":`...)
+	buf = strconv.AppendFloat(buf, req.Reliability, 'g', -1, 64)
+	buf = append(buf, `,"arrival":`...)
+	buf = strconv.AppendInt(buf, int64(req.Arrival), 10)
+	buf = append(buf, `,"duration":`...)
+	buf = strconv.AppendInt(buf, int64(req.Duration), 10)
+	buf = append(buf, `,"payment":`...)
+	buf = strconv.AppendFloat(buf, req.Payment, 'g', -1, 64)
+	return append(buf, '}', '\n')
+}
+
+// AppendNDJSONDecision appends one decision line, newline-terminated.
+// Rejections carry the reason string; admissions omit it, mirroring the
+// HTTP response schema.
+func AppendNDJSONDecision(buf []byte, d *Decision) []byte {
+	buf = append(buf, `{"id":`...)
+	buf = strconv.AppendUint(buf, d.ID, 10)
+	if d.Admitted {
+		buf = append(buf, `,"admitted":true`...)
+	} else {
+		buf = append(buf, `,"admitted":false,"reason":"`...)
+		buf = append(buf, d.Reason.Reason()...)
+		buf = append(buf, '"')
+	}
+	buf = append(buf, `,"slot":`...)
+	buf = strconv.AppendInt(buf, int64(d.Slot), 10)
+	return append(buf, '}', '\n')
+}
+
+// AppendNDJSONError appends one terminal error line, newline-terminated.
+// The detail must not contain characters needing JSON escaping (the serve
+// layer only passes its own fixed detail strings).
+func AppendNDJSONError(buf []byte, code int, reason ReasonCode, detail string) []byte {
+	buf = append(buf, `{"error":{"code":`...)
+	buf = strconv.AppendInt(buf, int64(code), 10)
+	buf = append(buf, `,"reason":"`...)
+	buf = append(buf, reason.Reason()...)
+	buf = append(buf, `","detail":"`...)
+	buf = append(buf, detail...)
+	return append(buf, '"', '}', '}', '\n')
+}

@@ -1,0 +1,123 @@
+// Package wire implements the streaming admission protocols the daemon
+// serves on its persistent-connection listener: newline-delimited JSON
+// (self-describing, debuggable with netcat) and a compact length-prefixed
+// binary framing (the fast path). Both carry the same request/decision
+// schema as the HTTP/JSON API, so a request stream produces bit-identical
+// decisions regardless of ingress protocol — the serve layer's golden
+// tests pin this.
+//
+// # Hot-path contract
+//
+// The decoders are built for the ingest hot path:
+//
+//   - DecodeRequest (binary frame) performs zero heap allocations per
+//     request;
+//   - DecodeNDJSONRequest performs at most two (both inside
+//     strconv.ParseFloat's error-free path they are zero in practice);
+//   - the Append* encoders write into caller-provided buffers and
+//     allocate only to grow them.
+//
+// Allocation budgets are enforced by testing.AllocsPerRun regression
+// tests, and both decoders are fuzzed: malformed input must yield a typed
+// error (ErrBadFrame, ErrBadPayload, ErrBadJSON, ...), never a panic or
+// an over-read.
+//
+// # Reason codes
+//
+// Decisions and errors carry a one-byte ReasonCode mirroring the
+// trace.Reason vocabulary, so the binary protocol does not ship strings
+// per decision. CodeForReason / ReasonCode.Reason convert at the edges.
+package wire
+
+import "revnf/internal/trace"
+
+// Request is one admission request on the wire. It mirrors the serve
+// layer's AdmissionRequest field-for-field (the serve layer converts with
+// a struct copy), so streamed and HTTP-posted requests decode to the same
+// values.
+type Request struct {
+	VNF         int
+	Arrival     int
+	Duration    int
+	Reliability float64
+	Payment     float64
+}
+
+// Decision is one admission decision on the wire.
+type Decision struct {
+	ID       uint64
+	Slot     int
+	Admitted bool
+	Reason   ReasonCode
+}
+
+// ReasonCode is the one-byte wire encoding of an engine-level
+// trace.Reason. Zero means "no reason" (an admitted decision).
+type ReasonCode uint8
+
+// Engine-level reason codes. The numbering is part of the wire protocol;
+// append only.
+const (
+	ReasonNone       ReasonCode = 0
+	ReasonInvalid    ReasonCode = 1
+	ReasonStale      ReasonCode = 2
+	ReasonHorizon    ReasonCode = 3
+	ReasonDeclined   ReasonCode = 4
+	ReasonOverbooked ReasonCode = 5
+	ReasonConflict   ReasonCode = 6
+	ReasonQueueFull  ReasonCode = 7
+	ReasonClosed     ReasonCode = 8
+	ReasonCanceled   ReasonCode = 9
+	ReasonNotFound   ReasonCode = 10
+	ReasonInternal   ReasonCode = 11
+	// ReasonUnknown transports a reason string minted after this protocol
+	// revision; receivers should treat it as an unspecified rejection.
+	ReasonUnknown ReasonCode = 255
+)
+
+var codeToReason = map[ReasonCode]trace.Reason{
+	ReasonInvalid:    trace.ReasonInvalid,
+	ReasonStale:      trace.ReasonStale,
+	ReasonHorizon:    trace.ReasonHorizon,
+	ReasonDeclined:   trace.ReasonDeclined,
+	ReasonOverbooked: trace.ReasonOverbooked,
+	ReasonConflict:   trace.ReasonConflict,
+	ReasonQueueFull:  trace.ReasonQueueFull,
+	ReasonClosed:     trace.ReasonClosed,
+	ReasonCanceled:   trace.ReasonCanceled,
+	ReasonNotFound:   trace.ReasonNotFound,
+	ReasonInternal:   trace.ReasonInternal,
+}
+
+var reasonToCode = func() map[trace.Reason]ReasonCode {
+	m := make(map[trace.Reason]ReasonCode, len(codeToReason))
+	for c, r := range codeToReason {
+		m[r] = c
+	}
+	return m
+}()
+
+// CodeForReason maps a trace.Reason string to its wire code. An empty
+// reason maps to ReasonNone; a string outside the engine vocabulary maps
+// to ReasonUnknown.
+func CodeForReason(reason string) ReasonCode {
+	if reason == "" {
+		return ReasonNone
+	}
+	if c, ok := reasonToCode[trace.Reason(reason)]; ok {
+		return c
+	}
+	return ReasonUnknown
+}
+
+// Reason returns the canonical trace.Reason string for the code: "" for
+// ReasonNone, "unknown" for codes outside the table.
+func (c ReasonCode) Reason() string {
+	if c == ReasonNone {
+		return ""
+	}
+	if r, ok := codeToReason[c]; ok {
+		return string(r)
+	}
+	return "unknown"
+}

@@ -1,0 +1,355 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"math"
+	"strings"
+	"testing"
+
+	"revnf/internal/trace"
+)
+
+var testRequests = []Request{
+	{VNF: 3, Arrival: 0, Duration: 5, Reliability: 0.95, Payment: 12.5},
+	{VNF: 0, Arrival: 1, Duration: 1, Reliability: 0.999999, Payment: 0},
+	{VNF: 41, Arrival: 1 << 20, Duration: 300, Reliability: 0.5, Payment: 1e9},
+	{},
+}
+
+func TestFrameRequestRoundTrip(t *testing.T) {
+	var buf []byte
+	for _, want := range testRequests {
+		var err error
+		buf, err = AppendRequestFrame(buf[:0], &want)
+		if err != nil {
+			t.Fatalf("AppendRequestFrame(%+v): %v", want, err)
+		}
+		fr := NewFrameReader(bytes.NewReader(buf))
+		typ, payload, err := fr.Next()
+		if err != nil || typ != FrameRequest {
+			t.Fatalf("Next() = (%#x, _, %v), want (FrameRequest, _, nil)", typ, err)
+		}
+		var got Request
+		if err := DecodeRequest(payload, &got); err != nil {
+			t.Fatalf("DecodeRequest: %v", err)
+		}
+		if got != want {
+			t.Fatalf("round trip = %+v, want %+v", got, want)
+		}
+		if _, _, err := fr.Next(); err != io.EOF {
+			t.Fatalf("trailing Next() err = %v, want io.EOF", err)
+		}
+	}
+}
+
+func TestFrameRequestRange(t *testing.T) {
+	for _, bad := range []Request{
+		{VNF: -1, Duration: 1},
+		{Arrival: math.MaxUint32 + 1, Duration: 1},
+		{Duration: -5},
+	} {
+		if _, err := AppendRequestFrame(nil, &bad); !errors.Is(err, ErrRange) {
+			t.Fatalf("AppendRequestFrame(%+v) err = %v, want ErrRange", bad, err)
+		}
+	}
+}
+
+func TestFrameDecisionRoundTrip(t *testing.T) {
+	cases := []Decision{
+		{ID: 1, Slot: 1, Admitted: true, Reason: ReasonNone},
+		{ID: 1 << 40, Slot: 9999, Admitted: false, Reason: ReasonDeclined},
+		{ID: 0, Slot: 0, Admitted: false, Reason: ReasonQueueFull},
+	}
+	var buf []byte
+	for _, want := range cases {
+		buf = AppendDecisionFrame(buf[:0], &want)
+		fr := NewFrameReader(bytes.NewReader(buf))
+		typ, payload, err := fr.Next()
+		if err != nil || typ != FrameDecision {
+			t.Fatalf("Next() = (%#x, _, %v)", typ, err)
+		}
+		var got Decision
+		if err := DecodeDecision(payload, &got); err != nil {
+			t.Fatalf("DecodeDecision: %v", err)
+		}
+		if got != want {
+			t.Fatalf("round trip = %+v, want %+v", got, want)
+		}
+	}
+}
+
+func TestFrameErrorRoundTrip(t *testing.T) {
+	buf := AppendErrorFrame(nil, 503, ReasonClosed, "engine has shut down")
+	fr := NewFrameReader(bytes.NewReader(buf))
+	typ, payload, err := fr.Next()
+	if err != nil || typ != FrameError {
+		t.Fatalf("Next() = (%#x, _, %v)", typ, err)
+	}
+	code, reason, detail, err := DecodeError(payload)
+	if err != nil {
+		t.Fatalf("DecodeError: %v", err)
+	}
+	if code != 503 || reason != ReasonClosed || string(detail) != "engine has shut down" {
+		t.Fatalf("DecodeError = (%d, %v, %q)", code, reason, detail)
+	}
+}
+
+func TestPreamble(t *testing.T) {
+	if err := ReadPreamble(bytes.NewReader(AppendPreamble(nil))); err != nil {
+		t.Fatalf("good preamble: %v", err)
+	}
+	if err := ReadPreamble(strings.NewReader("JUNK\x01")); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("bad magic err = %v, want ErrBadMagic", err)
+	}
+	if err := ReadPreamble(strings.NewReader("RVNF\x07")); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("bad version err = %v, want ErrBadVersion", err)
+	}
+	if err := ReadPreamble(strings.NewReader("RV")); err == nil {
+		t.Fatal("short preamble accepted")
+	}
+}
+
+func TestFrameReaderMalformed(t *testing.T) {
+	// Length below the minimum.
+	hdr := []byte{0, 0, 0, 0, FrameRequest}
+	if _, _, err := NewFrameReader(bytes.NewReader(hdr)).Next(); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("zero length err = %v, want ErrBadFrame", err)
+	}
+	// Length above MaxFrameSize.
+	hdr = []byte{0xff, 0xff, 0xff, 0xff, FrameRequest}
+	if _, _, err := NewFrameReader(bytes.NewReader(hdr)).Next(); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("huge length err = %v, want ErrBadFrame", err)
+	}
+	// Truncated payload.
+	buf, _ := AppendRequestFrame(nil, &testRequests[0])
+	if _, _, err := NewFrameReader(bytes.NewReader(buf[:len(buf)-3])).Next(); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("truncated payload err = %v, want io.ErrUnexpectedEOF", err)
+	}
+	// Wrong payload size for the type.
+	var req Request
+	if err := DecodeRequest(make([]byte, 5), &req); !errors.Is(err, ErrBadPayload) {
+		t.Fatalf("short request payload err = %v, want ErrBadPayload", err)
+	}
+	var d Decision
+	if err := DecodeDecision(make([]byte, 40), &d); !errors.Is(err, ErrBadPayload) {
+		t.Fatalf("long decision payload err = %v, want ErrBadPayload", err)
+	}
+	if _, _, _, err := DecodeError([]byte{1, 2}); !errors.Is(err, ErrBadPayload) {
+		t.Fatalf("short error payload err = %v, want ErrBadPayload", err)
+	}
+}
+
+func TestNDJSONRequestRoundTrip(t *testing.T) {
+	var buf []byte
+	for _, want := range testRequests {
+		buf = AppendNDJSONRequest(buf[:0], &want)
+		var got Request
+		if err := DecodeNDJSONRequest(buf, &got); err != nil {
+			t.Fatalf("DecodeNDJSONRequest(%q): %v", buf, err)
+		}
+		if got != want {
+			t.Fatalf("round trip = %+v, want %+v", got, want)
+		}
+	}
+}
+
+// TestNDJSONMatchesEncodingJSON pins the hand-rolled parser to the
+// semantics of the HTTP handler's json.Decoder on the same bodies: both
+// must produce identical field values, which is what makes streamed and
+// POSTed decisions bit-identical.
+func TestNDJSONMatchesEncodingJSON(t *testing.T) {
+	lines := []string{
+		`{"vnf":3,"reliability":0.95,"arrival":0,"duration":5,"payment":12.5}`,
+		`{"vnf":1,"duration":2,"payment":3}`,
+		`{ "payment" : 7.25 , "vnf" : 2 , "duration" : 4 , "reliability" : 0.875 }`,
+		`{"reliability":9.5e-1,"vnf":3,"duration":1,"payment":1e2}`,
+		`{}`,
+	}
+	for _, line := range lines {
+		var got Request
+		if err := DecodeNDJSONRequest([]byte(line), &got); err != nil {
+			t.Fatalf("DecodeNDJSONRequest(%q): %v", line, err)
+		}
+		var want Request
+		dec := json.NewDecoder(strings.NewReader(line))
+		dec.DisallowUnknownFields()
+		var dto struct {
+			VNF         int     `json:"vnf"`
+			Reliability float64 `json:"reliability"`
+			Arrival     int     `json:"arrival"`
+			Duration    int     `json:"duration"`
+			Payment     float64 `json:"payment"`
+		}
+		if err := dec.Decode(&dto); err != nil {
+			t.Fatalf("encoding/json(%q): %v", line, err)
+		}
+		want = Request{VNF: dto.VNF, Reliability: dto.Reliability,
+			Arrival: dto.Arrival, Duration: dto.Duration, Payment: dto.Payment}
+		if got != want {
+			t.Fatalf("DecodeNDJSONRequest(%q) = %+v, encoding/json = %+v", line, got, want)
+		}
+	}
+}
+
+func TestNDJSONRequestMalformed(t *testing.T) {
+	cases := []struct {
+		line string
+		want error
+	}{
+		{``, ErrBadJSON},
+		{`[1,2]`, ErrBadJSON},
+		{`{"vnf":3`, ErrBadJSON},
+		{`{"vnf":}`, ErrBadJSON},
+		{`{"vnf":3,}`, ErrBadJSON},
+		{`{"vnf":"3"}`, ErrBadJSON},
+		{`{"vnf":3}{"vnf":4}`, ErrBadJSON},
+		{`{"vnf":-1}`, ErrBadJSON},
+		{`{"vnf":99999999999999999999}`, ErrBadJSON},
+		{`{"reliability":0..5}`, ErrBadJSON},
+		{`{"bogus":1}`, ErrUnknownField},
+		{`{"vnf\n":1}`, ErrBadJSON},
+	}
+	for _, tc := range cases {
+		var req Request
+		if err := DecodeNDJSONRequest([]byte(tc.line), &req); !errors.Is(err, tc.want) {
+			t.Fatalf("DecodeNDJSONRequest(%q) err = %v, want %v", tc.line, err, tc.want)
+		}
+	}
+}
+
+func TestNDJSONDecisionRoundTrip(t *testing.T) {
+	cases := []Decision{
+		{ID: 1, Slot: 1, Admitted: true},
+		{ID: 7, Slot: 3, Admitted: false, Reason: ReasonDeclined},
+		{ID: 8, Slot: 12, Admitted: false, Reason: ReasonQueueFull},
+	}
+	var buf []byte
+	for _, want := range cases {
+		buf = AppendNDJSONDecision(buf[:0], &want)
+		// The line must be valid JSON with the HTTP response's field names.
+		var js map[string]any
+		if err := json.Unmarshal(buf, &js); err != nil {
+			t.Fatalf("decision line %q is not JSON: %v", buf, err)
+		}
+		var got Decision
+		if err := DecodeNDJSONDecision(buf, &got); err != nil {
+			t.Fatalf("DecodeNDJSONDecision(%q): %v", buf, err)
+		}
+		if got != want {
+			t.Fatalf("round trip = %+v, want %+v", got, want)
+		}
+	}
+}
+
+func TestNDJSONErrorLine(t *testing.T) {
+	buf := AppendNDJSONError(nil, 503, ReasonQueueFull, "admission queue full")
+	var js struct {
+		Error struct {
+			Code   int    `json:"code"`
+			Reason string `json:"reason"`
+			Detail string `json:"detail"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(buf, &js); err != nil {
+		t.Fatalf("error line %q is not JSON: %v", buf, err)
+	}
+	if js.Error.Code != 503 || js.Error.Reason != "queue-full" || js.Error.Detail != "admission queue full" {
+		t.Fatalf("error line = %+v", js.Error)
+	}
+}
+
+func TestReasonCodeTable(t *testing.T) {
+	for _, r := range []trace.Reason{
+		trace.ReasonInvalid, trace.ReasonStale, trace.ReasonHorizon,
+		trace.ReasonDeclined, trace.ReasonOverbooked, trace.ReasonConflict,
+		trace.ReasonQueueFull, trace.ReasonClosed, trace.ReasonCanceled,
+		trace.ReasonNotFound, trace.ReasonInternal,
+	} {
+		c := CodeForReason(string(r))
+		if c == ReasonNone || c == ReasonUnknown {
+			t.Fatalf("CodeForReason(%q) = %v", r, c)
+		}
+		if back := c.Reason(); back != string(r) {
+			t.Fatalf("Reason(%v) = %q, want %q", c, back, r)
+		}
+	}
+	if CodeForReason("") != ReasonNone {
+		t.Fatal("empty reason must map to ReasonNone")
+	}
+	if CodeForReason("martian") != ReasonUnknown {
+		t.Fatal("unknown reason must map to ReasonUnknown")
+	}
+	if ReasonNone.Reason() != "" {
+		t.Fatal("ReasonNone must map to empty string")
+	}
+	if ReasonCode(200).Reason() != "unknown" {
+		t.Fatal("unmapped code must read as unknown")
+	}
+}
+
+// TestDecodeAllocs is the allocation-regression gate for the ingest hot
+// path: binary-frame request decode must not allocate at all, NDJSON
+// decode at most twice per request.
+func TestDecodeAllocs(t *testing.T) {
+	framed, err := AppendRequestFrame(nil, &testRequests[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := framed[headerSize:]
+	var req Request
+	if n := testing.AllocsPerRun(1000, func() {
+		if err := DecodeRequest(payload, &req); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Fatalf("DecodeRequest allocates %.1f/op, want 0", n)
+	}
+
+	line := AppendNDJSONRequest(nil, &testRequests[0])
+	if n := testing.AllocsPerRun(1000, func() {
+		if err := DecodeNDJSONRequest(line, &req); err != nil {
+			t.Fatal(err)
+		}
+	}); n > 2 {
+		t.Fatalf("DecodeNDJSONRequest allocates %.1f/op, want ≤ 2", n)
+	}
+
+	// The encoders must not allocate once the buffer has grown.
+	d := Decision{ID: 42, Slot: 7, Admitted: false, Reason: ReasonDeclined}
+	buf := make([]byte, 0, 256)
+	if n := testing.AllocsPerRun(1000, func() {
+		buf = AppendDecisionFrame(buf[:0], &d)
+		buf = AppendNDJSONDecision(buf[:0], &d)
+	}); n != 0 {
+		t.Fatalf("decision encoders allocate %.1f/op, want 0", n)
+	}
+}
+
+// TestFrameReaderReusesBuffer pins the zero-copy contract: consecutive
+// frames that fit the existing buffer must return the same backing array.
+func TestFrameReaderReusesBuffer(t *testing.T) {
+	var stream []byte
+	var err error
+	for i := range testRequests {
+		stream, err = AppendRequestFrame(stream, &testRequests[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	fr := NewFrameReader(bytes.NewReader(stream))
+	var first []byte
+	for i := range testRequests {
+		_, payload, err := fr.Next()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if i == 0 {
+			first = payload
+		} else if &payload[0] != &first[0] {
+			t.Fatal("payload buffer was reallocated between equal-size frames")
+		}
+	}
+}

@@ -1,8 +1,13 @@
 #!/usr/bin/env sh
-# Admission-throughput benchmark harness: runs BenchmarkParallelAdmission
-# (serial vs sharded engine at 1, 2 and 4 workers, fixed vs rolling
-# horizon) and records the series in BENCH_admission.json. BENCHTIME
-# overrides the per-benchmark budget.
+# Admission-throughput benchmark harness. Two sections:
+#
+#  1. BenchmarkParallelAdmission (serial vs sharded engine at 1, 2 and 4
+#     workers, fixed vs rolling horizon) -> BENCH_admission.json.
+#     BENCHTIME overrides the per-benchmark budget.
+#  2. Wire throughput: a real revnfd is started with -stream-listen and
+#     driven by revnfload over every ingress protocol (json, ndjson,
+#     frame) -> BENCH_wire.json. WIRE_REQUESTS sets the request count
+#     per protocol; WIRE_SMOKE=1 shrinks it for CI smoke runs.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -38,3 +43,56 @@ END { printf "\n]\n" }
 
 echo "==> wrote $out"
 cat "$out"
+
+# ---- Wire throughput: revnfd + revnfload over every ingress protocol ----
+
+wire_out=BENCH_wire.json
+bindir=$(mktemp -d)
+daemon_pid=""
+cleanup() {
+    [ -n "$daemon_pid" ] && kill "$daemon_pid" 2>/dev/null || true
+    rm -rf "$bindir" "$tmp"
+}
+trap cleanup EXIT
+
+wire_requests=${WIRE_REQUESTS:-100000}
+if [ "${WIRE_SMOKE:-0}" = "1" ]; then
+    wire_requests=5000
+fi
+
+http_addr=127.0.0.1:18080
+stream_addr=127.0.0.1:18081
+
+echo "==> go build revnfd + revnfload"
+go build -o "$bindir/revnfd" ./cmd/revnfd
+go build -o "$bindir/revnfload" ./cmd/revnfload
+
+echo "==> revnfd on $http_addr (stream $stream_addr), $wire_requests requests per protocol"
+"$bindir/revnfd" -addr "$http_addr" -stream-listen "$stream_addr" \
+    -workers 4 -slot 0 -queue 4096 >"$bindir/revnfd.log" 2>&1 &
+daemon_pid=$!
+
+{
+    printf '[\n'
+    first=1
+    for proto in json ndjson frame; do
+        case "$proto" in
+        json) extra="-concurrency 16" ;;
+        *) extra="-conns 4 -streams 256" ;;
+        esac
+        # shellcheck disable=SC2086
+        line=$("$bindir/revnfload" -target "http://$http_addr" -stream-target "$stream_addr" \
+            -wait 10s -proto "$proto" -requests "$wire_requests" -now -json $extra)
+        [ "$first" = 1 ] || printf ',\n'
+        first=0
+        printf '  %s' "$line"
+    done
+    printf '\n]\n'
+} > "$wire_out"
+
+kill "$daemon_pid" 2>/dev/null || true
+wait "$daemon_pid" 2>/dev/null || true
+daemon_pid=""
+
+echo "==> wrote $wire_out"
+cat "$wire_out"

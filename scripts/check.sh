@@ -25,6 +25,17 @@ go run ./cmd/revnfvet ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
+# Short coverage-guided fuzz of the wire decoders: the streaming ingest
+# path feeds them raw network bytes, so they must only ever return the
+# package's typed errors, never panic. SHORT=1 trims the budget.
+fuzztime=5s
+if [ "${SHORT:-0}" = "1" ]; then
+    fuzztime=1s
+fi
+echo "==> wire decode fuzz smoke ($fuzztime per target)"
+go test ./internal/wire -run '^$' -fuzz 'FuzzDecodeFrame' -fuzztime "$fuzztime"
+go test ./internal/wire -run '^$' -fuzz 'FuzzDecodeNDJSON' -fuzztime "$fuzztime"
+
 echo "==> daemon smoke test (tracing + pprof enabled)"
 go test ./cmd/revnfd -run 'TestDaemonTraceSmoke|TestDaemonPprofOffByDefault' -count=1
 
