@@ -9,6 +9,13 @@
 //	go run ./cmd/revnfvet ./...          # whole tree (what check.sh runs)
 //	go run ./cmd/revnfvet -list          # show registered analyzers
 //	go run ./cmd/revnfvet -run floateq,walltime ./internal/...
+//	go run ./cmd/revnfvet -json ./...    # findings as a JSON array
+//
+// -json prints the findings as one JSON array of
+// {file, line, column, analyzer, message} objects (empty array for a
+// clean tree) instead of the line-per-finding text form; the exit code
+// contract is unchanged, so CI can both gate on the exit status and
+// archive the machine-readable report.
 //
 // Test files are never loaded: the invariants govern library code, and
 // tests (golden traces pinning exact floats, deadline loops on time.Now)
@@ -18,6 +25,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -38,6 +46,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	list := fs.Bool("list", false, "list registered analyzers and exit")
 	only := fs.String("run", "", "comma-separated subset of analyzers to run (default: all)")
+	asJSON := fs.Bool("json", false, "print findings as a JSON array instead of text lines")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -69,8 +78,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		units = append(units, &framework.Unit{Fset: p.Fset, Files: p.Files, Pkg: p.Types, Info: p.Info})
 	}
 	findings, err := framework.Run(units, analyzers)
-	for _, f := range findings {
-		fmt.Fprintln(stdout, f)
+	if *asJSON {
+		if jerr := writeJSON(stdout, findings); jerr != nil {
+			fmt.Fprintf(stderr, "revnfvet: %v\n", jerr)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintln(stdout, f)
+		}
 	}
 	if err != nil {
 		fmt.Fprintf(stderr, "revnfvet: %v\n", err)
@@ -81,6 +97,33 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// jsonFinding is the machine-readable report row.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// writeJSON emits the findings as one indented JSON array; a clean tree
+// prints "[]" so consumers never have to special-case absence.
+func writeJSON(w io.Writer, findings []framework.Finding) error {
+	rows := make([]jsonFinding, 0, len(findings))
+	for _, f := range findings {
+		rows = append(rows, jsonFinding{
+			File:     f.Position.Filename,
+			Line:     f.Position.Line,
+			Column:   f.Position.Column,
+			Analyzer: f.Analyzer,
+			Message:  f.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rows)
 }
 
 func firstLine(s string) string {

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -11,7 +12,7 @@ func TestListNamesEveryAnalyzer(t *testing.T) {
 	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
 		t.Fatalf("run(-list) = %d, stderr: %s", code, errOut.String())
 	}
-	for _, name := range []string{"floateq", "ledgerapi", "norand", "purepropose", "walltime"} {
+	for _, name := range []string{"atomicword", "floateq", "guardedby", "ledgerapi", "lockorder", "norand", "purepropose", "walltime"} {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("-list output missing analyzer %q:\n%s", name, out.String())
 		}
@@ -45,6 +46,29 @@ func TestUnknownAnalyzer(t *testing.T) {
 	}
 	if !strings.Contains(errOut.String(), "unknown analyzer") {
 		t.Errorf("stderr missing unknown-analyzer message: %s", errOut.String())
+	}
+}
+
+// TestJSONCleanTree pins the machine-readable form: a clean run emits a
+// valid, empty JSON array (not empty output) and still exits 0.
+func TestJSONCleanTree(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-json", "revnf/internal/core"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("run(-json) = %d\nstdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
+	}
+	var rows []struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Column   int    `json:"column"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &rows); err != nil {
+		t.Fatalf("-json output is not a JSON array: %v\n%s", err, out.String())
+	}
+	if len(rows) != 0 {
+		t.Errorf("unexpected findings in JSON report: %+v", rows)
 	}
 }
 

@@ -1,0 +1,165 @@
+// Package atomicword enforces all-or-nothing atomicity per field: a field
+// the package treats atomically anywhere must be accessed atomically
+// everywhere.
+//
+// Invariant: mixed plain/atomic access to one memory word is a data race
+// even when the plain side "only reads" — the race detector calls it, the
+// memory model gives it no meaning, and on the serving stack's hottest
+// words (the timeslot ledger's packed geometry, the engine's rejection
+// and in-flight counters, the ingest totals) a torn or stale read
+// corrupts admission accounting silently. The pass freezes the rule the
+// code already follows:
+//
+//   - a field declared with one of sync/atomic's types (atomic.Bool,
+//     atomic.Int32/Int64, atomic.Uint32/Uint64, atomic.Uintptr,
+//     atomic.Pointer[T], atomic.Value) may only be used as the receiver
+//     of its own method set (x.f.Load(), x.f.Store(v), ...). Copying it,
+//     assigning to it, or taking its address for anything but a method
+//     call bypasses the atomic API and is flagged;
+//   - a plain-typed field that is passed by address to any sync/atomic
+//     package function (atomic.AddUint64(&x.f, 1), ...) anywhere in the
+//     package becomes atomic for the whole package: every access outside
+//     a sync/atomic call argument is flagged.
+//
+// The unit of reasoning is the field (all instances of the struct), per
+// package: cross-package aliasing is out of scope, matching the repo's
+// convention that a struct's atomics are touched only by its own package.
+package atomicword
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"revnf/internal/analysis/astq"
+	"revnf/internal/analysis/framework"
+)
+
+// Analyzer is the atomicword pass.
+var Analyzer = &framework.Analyzer{
+	Name: "atomicword",
+	Doc:  "fields accessed via sync/atomic anywhere must be accessed atomically everywhere (no mixed plain/atomic access)",
+	Run:  run,
+}
+
+// atomicTypes is sync/atomic's typed-word set.
+var atomicTypes = map[string]bool{
+	"Bool": true, "Int32": true, "Int64": true, "Uint32": true,
+	"Uint64": true, "Uintptr": true, "Pointer": true, "Value": true,
+}
+
+// isAtomicType reports whether t is one of sync/atomic's named types
+// (not behind a pointer: a *atomic.Uint64 field shares the word safely).
+func isAtomicType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		// Instantiated atomic.Pointer[T] is a *types.Named too; aliases
+		// resolve through Underlying only for non-named, so stop here.
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic" && atomicTypes[obj.Name()]
+}
+
+func run(pass *framework.Pass) error {
+	c := &checker{pass: pass, blessed: make(map[*ast.SelectorExpr]bool), fnAtomic: make(map[*types.Var]token.Pos)}
+	// Pass 1: find fields passed by address into sync/atomic functions and
+	// bless those argument occurrences.
+	for _, file := range pass.Files {
+		ast.Inspect(file, c.collectAtomicCalls)
+	}
+	// Pass 2: flag every unblessed use of an atomic field — plain uses of
+	// function-atomic fields, non-method uses of atomic-typed fields.
+	for _, file := range pass.Files {
+		c.checkFile(file)
+	}
+	return nil
+}
+
+type checker struct {
+	pass *framework.Pass
+	// fnAtomic maps fields made atomic by a sync/atomic call somewhere in
+	// the package to one representative call position (for the message).
+	fnAtomic map[*types.Var]token.Pos
+	// blessed marks field selectors appearing as &-arguments of
+	// sync/atomic calls: the atomic accesses themselves.
+	blessed map[*ast.SelectorExpr]bool
+}
+
+// collectAtomicCalls records fields whose address flows into a
+// sync/atomic function call.
+func (c *checker) collectAtomicCalls(n ast.Node) bool {
+	call, ok := n.(*ast.CallExpr)
+	if !ok {
+		return true
+	}
+	fn := astq.PkgFunc(c.pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return true
+	}
+	for _, arg := range call.Args {
+		u, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+		if !ok || u.Op != token.AND {
+			continue
+		}
+		sel, ok := ast.Unparen(u.X).(*ast.SelectorExpr)
+		if !ok {
+			continue
+		}
+		v, ok := c.pass.TypesInfo.Uses[sel.Sel].(*types.Var)
+		if !ok || !v.IsField() {
+			continue
+		}
+		if _, seen := c.fnAtomic[v]; !seen {
+			c.fnAtomic[v] = call.Pos()
+		}
+		c.blessed[sel] = true
+	}
+	return true
+}
+
+// checkFile walks one file with enough parent context to distinguish
+// method-receiver uses (x.f.Load()) from plain uses.
+func (c *checker) checkFile(file *ast.File) {
+	// parentSel[child] is the selector whose X is child: for x.f.Load,
+	// parentSel[x.f] is the x.f.Load selector.
+	parentSel := make(map[ast.Expr]*ast.SelectorExpr)
+	ast.Inspect(file, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok {
+			parentSel[ast.Unparen(sel.X)] = sel
+		}
+		return true
+	})
+	ast.Inspect(file, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		v, ok := c.pass.TypesInfo.Uses[sel.Sel].(*types.Var)
+		if !ok || !v.IsField() {
+			return true
+		}
+		if pos, isFn := c.fnAtomic[v]; isFn {
+			if !c.blessed[sel] {
+				c.pass.Reportf(sel.Pos(),
+					"plain access to %s, which is accessed via sync/atomic at %s; mixed plain/atomic access races",
+					v.Name(), c.pass.Fset.Position(pos))
+			}
+			return true
+		}
+		if !isAtomicType(v.Type()) {
+			return true
+		}
+		// A declared atomic type may only be the receiver of its own
+		// method set: x.f.Load(), x.f.Store(v), ...
+		if p, ok := parentSel[sel]; ok {
+			if _, isMethod := c.pass.TypesInfo.Selections[p]; isMethod {
+				return true
+			}
+		}
+		c.pass.Reportf(sel.Pos(),
+			"non-atomic use of %s (%s): copying, assigning, or aliasing an atomic value bypasses its method set",
+			v.Name(), v.Type())
+		return true
+	})
+}

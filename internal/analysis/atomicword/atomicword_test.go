@@ -1,0 +1,12 @@
+package atomicword_test
+
+import (
+	"testing"
+
+	"revnf/internal/analysis/analysistest"
+	"revnf/internal/analysis/atomicword"
+)
+
+func TestAtomicword(t *testing.T) {
+	analysistest.Run(t, "testdata", atomicword.Analyzer, "aw", "awclean")
+}

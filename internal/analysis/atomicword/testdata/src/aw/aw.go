@@ -1,0 +1,67 @@
+// Package aw exercises the atomicword invariant: flagged mixed
+// plain/atomic accesses.
+package aw
+
+import "sync/atomic"
+
+// Counters mixes plain and atomic access to plain-typed words: hits is
+// atomic (Hit uses AddUint64), so every plain touch of it races.
+type Counters struct {
+	hits   uint64
+	misses uint64 // never touched atomically: plain access is fine
+}
+
+// Hit makes hits an atomic field for the whole package.
+func (c *Counters) Hit() {
+	atomic.AddUint64(&c.hits, 1)
+}
+
+// Hits loads atomically: accepted.
+func (c *Counters) Hits() uint64 {
+	return atomic.LoadUint64(&c.hits)
+}
+
+// Sloppy reads the atomic word plainly: flagged.
+func (c *Counters) Sloppy() uint64 {
+	return c.hits // want `plain access to hits, which is accessed via sync/atomic at`
+}
+
+// Reset writes the atomic word plainly: flagged. The never-atomic
+// sibling stays clean.
+func (c *Counters) Reset() {
+	c.hits = 0 // want `plain access to hits, which is accessed via sync/atomic at`
+	c.misses = 0
+}
+
+// Geom mimics the ledger's packed word: declared atomic types may only
+// be receivers of their own method set.
+type Geom struct {
+	word atomic.Uint64
+	ok   atomic.Bool
+}
+
+// Load and Set go through the method set: accepted.
+func (g *Geom) Load() uint64 { return g.word.Load() }
+func (g *Geom) Set(v uint64) { g.word.Store(v) }
+func (g *Geom) Mark()        { g.ok.Store(true) }
+func (g *Geom) Marked() bool { return g.ok.Load() }
+
+// Copy copies the atomic value out: flagged.
+func (g *Geom) Copy() atomic.Uint64 {
+	return g.word // want `non-atomic use of word`
+}
+
+// Alias leaks the word's address outside the method set: flagged.
+func (g *Geom) Alias() *atomic.Uint64 {
+	return &g.word // want `non-atomic use of word`
+}
+
+// Clobber overwrites the whole atomic value: flagged.
+func (g *Geom) Clobber() {
+	g.word = atomic.Uint64{} // want `non-atomic use of word`
+}
+
+// Grab copies the bool: flagged.
+func (g *Geom) Grab() atomic.Bool {
+	return g.ok // want `non-atomic use of ok`
+}

@@ -1,0 +1,37 @@
+// Package awclean is the non-flagging atomicword suite: every atomic
+// field is accessed atomically everywhere, so the analyzer must stay
+// silent.
+package awclean
+
+import "sync/atomic"
+
+// Stats mirrors the engine's counter block: function-atomic plain
+// words, declared atomic types, and plain config living side by side.
+type Stats struct {
+	total uint64 // always via sync/atomic functions
+	limit uint64 // always plain: immutable config
+
+	geom atomic.Uint64
+	open atomic.Bool
+}
+
+// Inc and Total consistently use the sync/atomic functions.
+func (s *Stats) Inc()          { atomic.AddUint64(&s.total, 1) }
+func (s *Stats) Total() uint64 { return atomic.LoadUint64(&s.total) }
+
+// Swap exercises the wider sync/atomic surface.
+func (s *Stats) Swap(v uint64) uint64 {
+	return atomic.SwapUint64(&s.total, v)
+}
+
+// Limit reads plain config plainly: never atomic, so fine.
+func (s *Stats) Limit() uint64 { return s.limit }
+
+// The declared atomics are only ever receivers of their method set.
+func (s *Stats) Pack(v uint64)  { s.geom.Store(v) }
+func (s *Stats) Unpack() uint64 { return s.geom.Load() }
+func (s *Stats) TryAdvance(old, new uint64) bool {
+	return s.geom.CompareAndSwap(old, new)
+}
+func (s *Stats) Open() bool { return s.open.Load() }
+func (s *Stats) Close()     { s.open.Store(false) }

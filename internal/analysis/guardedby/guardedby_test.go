@@ -1,0 +1,12 @@
+package guardedby_test
+
+import (
+	"testing"
+
+	"revnf/internal/analysis/analysistest"
+	"revnf/internal/analysis/guardedby"
+)
+
+func TestGuardedby(t *testing.T) {
+	analysistest.Run(t, "testdata", guardedby.Analyzer, "gb", "gbclean")
+}

@@ -1,0 +1,87 @@
+// Package gbclean is the non-flagging guardedby suite: annotated fields
+// whose every access follows the locking discipline, so the analyzer must
+// stay silent.
+package gbclean
+
+import "sync"
+
+// Store mirrors the trace ring's shape: one mutex over everything.
+type Store struct {
+	mu sync.Mutex
+
+	entries map[int]string // guarded by mu
+	count   int            // guarded by mu
+
+	capacity int // immutable after construction; deliberately unannotated
+}
+
+// NewStore exercises the constructor exemption end to end.
+func NewStore(capacity int) *Store {
+	s := &Store{entries: make(map[int]string)}
+	s.count = 0
+	s.capacity = capacity
+	return s
+}
+
+// Put locks, writes, and delegates to a locked helper.
+func (s *Store) Put(k int, v string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.entries[k] = v
+	s.bumpLocked()
+}
+
+// bumpLocked is reached only from holders.
+func (s *Store) bumpLocked() {
+	s.count++
+}
+
+// Len locks for a read.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.count
+}
+
+// Capacity reads immutable config without the lock: unannotated, clean.
+func (s *Store) Capacity() int { return s.capacity }
+
+// Sched mirrors the dual-price schedulers: RWMutex, concurrent readers.
+type Sched struct {
+	mu     sync.RWMutex
+	lambda [][]float64 // guarded by mu
+	base   int         // guarded by mu
+}
+
+// Propose reads prices under the read lock, via a helper.
+func (s *Sched) Propose(j, t int) float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.priceLocked(j, t)
+}
+
+func (s *Sched) priceLocked(j, t int) float64 {
+	return s.lambda[j][t-s.base]
+}
+
+// Commit updates prices under the write lock.
+func (s *Sched) Commit(j, t int, v float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.lambda[j][t-s.base] = v
+}
+
+// AdvanceWindow rewrites the window under the write lock.
+func (s *Sched) AdvanceWindow(base int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if base <= s.base {
+		return
+	}
+	s.base = base
+	for j := range s.lambda {
+		for t := range s.lambda[j] {
+			s.lambda[j][t] = 0
+		}
+	}
+}

@@ -1,0 +1,49 @@
+// Package loclean is the non-flagging lockorder suite: consistent
+// nesting order, including through same-package helpers, goroutines,
+// and RWMutex read acquisitions.
+package loclean
+
+import "sync"
+
+// Outer always nests before Inner, directly or through bump: one order,
+// no cycle, no diagnostic.
+type Outer struct {
+	mu sync.Mutex
+	in *Inner
+}
+
+type Inner struct {
+	mu sync.RWMutex
+	n  int
+}
+
+func (i *Inner) bump() {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.n++
+}
+
+func (o *Outer) Tick() {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.in.bump()
+}
+
+func (o *Outer) Peek() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.in.mu.RLock()
+	defer o.in.mu.RUnlock()
+	return o.in.n
+}
+
+// Spawn acquires Inner inside a goroutine: the closure does not inherit
+// Outer's held set (a goroutine runs with its own stack of locks), so no
+// Inner → Outer confusion arises from the reversed textual order.
+func (o *Outer) Spawn() {
+	go func() {
+		o.in.bump()
+	}()
+	o.mu.Lock()
+	defer o.mu.Unlock()
+}

@@ -5,9 +5,12 @@
 package analysis
 
 import (
+	"revnf/internal/analysis/atomicword"
 	"revnf/internal/analysis/floateq"
 	"revnf/internal/analysis/framework"
+	"revnf/internal/analysis/guardedby"
 	"revnf/internal/analysis/ledgerapi"
+	"revnf/internal/analysis/lockorder"
 	"revnf/internal/analysis/norand"
 	"revnf/internal/analysis/purepropose"
 	"revnf/internal/analysis/walltime"
@@ -16,8 +19,11 @@ import (
 // All returns every registered analyzer, in stable order.
 func All() []*framework.Analyzer {
 	return []*framework.Analyzer{
+		atomicword.Analyzer,
 		floateq.Analyzer,
+		guardedby.Analyzer,
 		ledgerapi.Analyzer,
+		lockorder.Analyzer,
 		norand.Analyzer,
 		purepropose.Analyzer,
 		walltime.Analyzer,

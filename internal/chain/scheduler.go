@@ -49,7 +49,7 @@ type OnsiteScheduler struct {
 	network *core.Network
 	horizon int
 	mu      sync.RWMutex
-	lambda  [][]float64
+	lambda  [][]float64 // guarded by mu
 }
 
 // NewOnsiteScheduler creates the chain on-site primal-dual scheduler. It
@@ -164,7 +164,7 @@ type OffsiteScheduler struct {
 	network *core.Network
 	horizon int
 	mu      sync.RWMutex
-	lambda  [][]float64
+	lambda  [][]float64 // guarded by mu
 }
 
 // NewOffsiteScheduler creates the chain off-site primal-dual scheduler.

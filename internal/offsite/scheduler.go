@@ -48,11 +48,11 @@ type Scheduler struct {
 	// lambda[j] is a ring of dual prices: λ_{tj} lives at ring index
 	// lstart + (t - base) mod horizon. With base pinned at 1 (every fixed
 	// -horizon caller) the index is exactly t-1, the historical layout.
-	lambda [][]float64
+	lambda [][]float64 // guarded by mu
 	// base is the first slot of the live window; lstart its ring index.
 	// AdvanceWindow moves them forward, re-initializing retired prices.
-	base    int
-	lstart  int
+	base    int // guarded by mu
+	lstart  int // guarded by mu
 	sortKey SortKey
 	name    string
 	// Latency awareness (WithLatencyPenalty): normalized cloudlet-pair

@@ -68,9 +68,9 @@ type Stats struct {
 // from the metrics and HTTP paths concurrently.
 type Controller struct {
 	mu          sync.Mutex
-	maxAttempts int
-	placements  map[int]*tracked
-	stats       Stats
+	maxAttempts int              // immutable after New
+	placements  map[int]*tracked // guarded by mu
+	stats       Stats            // guarded by mu
 }
 
 // tracked is one placement's episode state.

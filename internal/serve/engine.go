@@ -214,13 +214,13 @@ type Engine struct {
 	mu         sync.Mutex
 	sched      core.Scheduler
 	ledger     *timeslot.Ledger
-	slot       int
-	placements map[int]*PlacementRecord
-	expiry     *simulate.WindowIndex
-	admitted   uint64
-	expired    uint64
-	revenue    float64
-	latency    *metrics.Histogram
+	slot       int                      // guarded by mu
+	placements map[int]*PlacementRecord // guarded by mu
+	expiry     *simulate.WindowIndex    // guarded by mu
+	admitted   uint64                   // guarded by mu
+	expired    uint64                   // guarded by mu
+	revenue    float64                  // guarded by mu
+	latency    *metrics.Histogram       // guarded by mu
 
 	// rejections maps every defined reason to its counter. The key set is
 	// fixed at New, so concurrent reads of the map are safe and every
@@ -272,7 +272,7 @@ type Engine struct {
 // against Stats snapshots.
 type shardHist struct {
 	mu sync.Mutex
-	h  *metrics.Histogram
+	h  *metrics.Histogram // guarded by mu
 }
 
 // New validates the config, builds the engine, and starts its decision

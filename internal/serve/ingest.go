@@ -23,7 +23,7 @@ type ingestStats struct {
 	streamErrors atomic.Uint64
 
 	batchMu sync.Mutex
-	batches *metrics.Histogram
+	batches *metrics.Histogram // guarded by batchMu
 }
 
 func newIngestStats() (*ingestStats, error) {

@@ -46,9 +46,9 @@ type StreamServer struct {
 	pending   int
 
 	mu        sync.Mutex
-	listeners map[net.Listener]struct{}
-	conns     map[net.Conn]struct{}
-	closed    bool
+	listeners map[net.Listener]struct{} // guarded by mu
+	conns     map[net.Conn]struct{}     // guarded by mu
+	closed    bool                      // guarded by mu
 	wg        sync.WaitGroup
 }
 

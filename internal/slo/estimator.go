@@ -21,8 +21,8 @@ import (
 // lock while the metrics and HTTP paths read concurrently.
 type RateEstimator struct {
 	mu    sync.Mutex
-	alpha []float64
-	beta  []float64
+	alpha []float64 // guarded by mu
+	beta  []float64 // guarded by mu
 }
 
 // NewRateEstimator builds an estimator for n cloudlets with uniform

@@ -78,10 +78,11 @@ type Stats struct {
 // under its lock, the metrics and HTTP paths read concurrently.
 type Tracker struct {
 	mu        sync.Mutex
-	open      map[int]*Entry
-	finalized map[int]*Entry
-	latency   *metrics.Histogram
+	open      map[int]*Entry     // guarded by mu
+	finalized map[int]*Entry     // guarded by mu
+	latency   *metrics.Histogram // guarded by mu
 
+	// stats aggregates finalized outcomes; guarded by mu.
 	stats struct {
 		met, missed, degraded int
 		downtime, repairs     int

@@ -102,7 +102,7 @@ type Ledger struct {
 	window int // number of live slots (T in fixed mode, W in rolling mode)
 	caps   []int
 	mus    []sync.RWMutex // mus[cloudlet] guards used[cloudlet]
-	used   [][]int        // used[cloudlet][ring index]
+	used   [][]int        // used[cloudlet][ring index]; guarded by mus[*]
 
 	// rolling selects the circular-window mode. In fixed mode the geometry
 	// is immutably (base 1, origin 0) and advMu is never taken.

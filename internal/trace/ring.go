@@ -20,16 +20,17 @@ import "sync"
 // resurrect an already-evicted trace.
 type Store struct {
 	mu      sync.Mutex
-	entries map[int]*DecisionTrace
+	entries map[int]*DecisionTrace // guarded by mu
 	// ring holds the resident request IDs in insertion order: the oldest
-	// lives at index head, wrapping modulo the capacity.
-	ring  []int
-	head  int
-	count int
+	// lives at index head, wrapping modulo the capacity. The slice header
+	// is immutable after NewStore; mu guards the elements and cursor.
+	ring  []int // guarded by mu
+	head  int   // guarded by mu
+	count int   // guarded by mu
 
-	recorded uint64
-	evicted  uint64
-	dropped  uint64
+	recorded uint64 // guarded by mu
+	evicted  uint64 // guarded by mu
+	dropped  uint64 // guarded by mu
 }
 
 // StoreStats is a consistent snapshot of the store's counters.
@@ -160,6 +161,8 @@ func (s *Store) Len() int {
 }
 
 // Capacity returns the ring size.
+//
+//lint:allow guardedby // len of the ring header only: the slice is allocated once in NewStore and never reassigned, so the header is immutable and safe to read unlocked.
 func (s *Store) Capacity() int { return len(s.ring) }
 
 // Stats snapshots the store's counters.
