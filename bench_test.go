@@ -152,7 +152,7 @@ func BenchmarkAlgorithm1(b *testing.B) {
 	inst := benchInstance(b, 200)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		sched, err := NewOnsiteScheduler(inst.Network, inst.Horizon)
+		sched, err := NewScheduler(inst.Network, OnSite, WithHorizon(inst.Horizon))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -168,7 +168,7 @@ func BenchmarkAlgorithm2(b *testing.B) {
 	inst := benchInstance(b, 200)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		sched, err := NewOffsiteScheduler(inst.Network, inst.Horizon)
+		sched, err := NewScheduler(inst.Network, OffSite, WithHorizon(inst.Horizon))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -184,7 +184,7 @@ func BenchmarkGreedyOnsite(b *testing.B) {
 	inst := benchInstance(b, 200)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		sched, err := NewGreedyOnsite(inst.Network)
+		sched, err := NewScheduler(inst.Network, OnSite, WithAlgorithm(Greedy))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -222,7 +222,7 @@ func BenchmarkOfflineBranchBound(b *testing.B) {
 // (1000 trials per admitted request).
 func BenchmarkFailureInjection(b *testing.B) {
 	inst := benchInstance(b, 100)
-	sched, err := NewOnsiteScheduler(inst.Network, inst.Horizon)
+	sched, err := NewScheduler(inst.Network, OnSite, WithHorizon(inst.Horizon))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -412,7 +412,7 @@ func BenchmarkQoSAssess(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	sched, err := NewOffsiteScheduler(inst.Network, inst.Horizon)
+	sched, err := NewScheduler(inst.Network, OffSite, WithHorizon(inst.Horizon))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -442,7 +442,7 @@ func BenchmarkDaemonAdmission(b *testing.B) {
 	}
 
 	b.Run("engine", func(b *testing.B) {
-		sched, err := NewOnsiteScheduler(inst.Network, inst.Horizon)
+		sched, err := NewScheduler(inst.Network, OnSite, WithHorizon(inst.Horizon))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -467,7 +467,7 @@ func BenchmarkDaemonAdmission(b *testing.B) {
 	})
 
 	b.Run("direct", func(b *testing.B) {
-		sched, err := NewOnsiteScheduler(inst.Network, inst.Horizon)
+		sched, err := NewScheduler(inst.Network, OnSite, WithHorizon(inst.Horizon))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -509,7 +509,7 @@ func BenchmarkParallelAdmission(b *testing.B) {
 	for _, mode := range modes {
 		for _, workers := range []int{1, 2, 4} {
 			b.Run(fmt.Sprintf("%s/workers=%d", mode.name, workers), func(b *testing.B) {
-				sched, err := NewOnsiteScheduler(inst.Network, inst.Horizon)
+				sched, err := NewScheduler(inst.Network, OnSite, WithHorizon(inst.Horizon))
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -561,7 +561,7 @@ func capacities(n *Network) []int {
 // simulator over admitted on-site placements.
 func BenchmarkTimelineSimulation(b *testing.B) {
 	inst := benchInstance(b, 150)
-	sched, err := NewOnsiteScheduler(inst.Network, inst.Horizon)
+	sched, err := NewScheduler(inst.Network, OnSite, WithHorizon(inst.Horizon))
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -8,12 +8,14 @@
 //	experiments -fig 2a                 # Figure 2(a): impact of H
 //	experiments -fig 2b                 # Figure 2(b): impact of K
 //	experiments -fig ablations          # all ablation sweeps
+//	experiments -fig shared             # scheme comparison: shared-backup uplift vs onsite/offsite
 //	experiments -fig all                # everything
 //	experiments -fig 1a -csv            # CSV instead of an aligned table
 //	experiments -fig 1a -requests 100,200,400 -seeds 5 -optimal bb
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -35,8 +37,10 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		fig       = fs.String("fig", "all", "figure to regenerate: 1a|1b|2a|2b|ablations|chains|theory|all")
+		fig       = fs.String("fig", "all", "figure to regenerate: 1a|1b|2a|2b|ablations|chains|theory|shared|all")
 		csv       = fs.Bool("csv", false, "emit CSV instead of aligned tables")
+		jsonOut   = fs.Bool("json", false, "shared figure only: emit one JSON row per scheme instead of a table (for scripts/bench.sh)")
+		poolSize  = fs.Int("poolsize", 0, "shared figure: requests per pooled backup instance (0 = default)")
 		topo      = fs.String("topology", "", "embedded topology name (default from setup)")
 		cloudlets = fs.Int("cloudlets", 0, "cloudlet count (default from setup)")
 		requests  = fs.String("requests", "50,100,150,200,250,300", "request counts for figures 1a/1b")
@@ -196,6 +200,49 @@ func run(args []string, out io.Writer) error {
 			}
 			return render(tbl)
 		},
+		"shared": func() error {
+			// The shared scheme is evaluated on the high-requirement regime
+			// where pooling pays off; user overrides for topology, scale and
+			// seeds carry over, the reliability band does not.
+			us := experiments.SharedUpliftSetup()
+			us.Topology = setup.Topology
+			us.Cloudlets = setup.Cloudlets
+			us.Horizon = setup.Horizon
+			us.Seeds = setup.Seeds
+			table, rows, err := us.SchemeComparison(setup.Requests, *poolSize)
+			if err != nil {
+				return err
+			}
+			if *jsonOut {
+				for _, r := range rows {
+					line, err := json.Marshal(struct {
+						Name            string  `json:"name"`
+						Scheme          string  `json:"scheme"`
+						Requests        int     `json:"requests"`
+						PoolSize        int     `json:"pool_size,omitempty"`
+						AdmittedMean    float64 `json:"admitted_mean"`
+						RevenueMean     float64 `json:"revenue_mean"`
+						UpliftVsOffsite float64 `json:"uplift_vs_offsite"`
+					}{
+						Name:            "SchemeRevenue/scheme=" + r.Scheme,
+						Scheme:          r.Scheme,
+						Requests:        r.Requests,
+						PoolSize:        r.PoolSize,
+						AdmittedMean:    r.Admitted.Mean,
+						RevenueMean:     r.Revenue.Mean,
+						UpliftVsOffsite: r.UpliftVsOffsite,
+					})
+					if err != nil {
+						return err
+					}
+					if _, err := fmt.Fprintln(out, string(line)); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+			return render(table)
+		},
 		"theory": func() error {
 			violations, err := setup.ViolationStudy(counts)
 			if err != nil {
@@ -214,7 +261,7 @@ func run(args []string, out io.Writer) error {
 
 	switch *fig {
 	case "all":
-		for _, id := range []string{"1a", "1b", "2a", "2b", "ablations", "chains", "theory"} {
+		for _, id := range []string{"1a", "1b", "2a", "2b", "ablations", "chains", "theory", "shared"} {
 			if err := jobs[id](); err != nil {
 				return fmt.Errorf("figure %s: %w", id, err)
 			}
@@ -223,7 +270,7 @@ func run(args []string, out io.Writer) error {
 	default:
 		job, ok := jobs[*fig]
 		if !ok {
-			return fmt.Errorf("unknown -fig %q (want 1a|1b|2a|2b|ablations|chains|theory|all)", *fig)
+			return fmt.Errorf("unknown -fig %q (want 1a|1b|2a|2b|ablations|chains|theory|shared|all)", *fig)
 		}
 		if err := job(); err != nil {
 			return fmt.Errorf("figure %s: %w", *fig, err)

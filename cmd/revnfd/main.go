@@ -60,7 +60,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		addr        = fs.String("addr", "127.0.0.1:8080", "listen address")
 		streamAddr  = fs.String("stream-listen", "", "streaming ingest listen address (NDJSON or binary frames on a persistent connection); empty disables")
 		algorithm   = fs.String("algorithm", "pd", "scheduler: pd|raw|greedy|firstfit|random")
-		scheme      = fs.String("scheme", "onsite", "redundancy scheme: onsite|offsite")
+		scheme      = fs.String("scheme", "onsite", "redundancy scheme: onsite|offsite|shared")
+		poolSize    = fs.Int("pool-size", 0, "shared scheme: requests per pooled backup instance (0 = default)")
 		topo        = fs.String("topology", "", "embedded topology name")
 		cloudlets   = fs.Int("cloudlets", 0, "cloudlet count")
 		horizon     = fs.Int("horizon", 0, "time horizon T in slots (rolling mode: the window width W)")
@@ -102,7 +103,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		store = trace.NewStore(*traceCap)
 		rec = trace.NewSampling(store, *traceSample)
 	}
-	sched, allowViolations, err := buildScheduler(*algorithm, *scheme, inst, *seed, rec)
+	sched, allowViolations, err := buildScheduler(*algorithm, *scheme, *poolSize, inst, *seed, rec)
 	if err != nil {
 		return err
 	}
@@ -240,27 +241,28 @@ func loadNetwork(path, topo string, cloudlets, horizon int, seed int64) (*worklo
 }
 
 // buildScheduler maps the -algorithm/-scheme flags onto the public
-// functional-options constructor. The flag values are the
-// revnf.Algorithm constants verbatim.
-func buildScheduler(algorithm, scheme string, inst *workload.Instance, seed int64, rec trace.Recorder) (core.Scheduler, bool, error) {
-	var sch core.Scheme
-	switch scheme {
-	case "onsite":
-		sch = core.OnSite
-	case "offsite":
-		sch = core.OffSite
-	default:
-		return nil, false, fmt.Errorf("unknown -scheme %q (want onsite|offsite)", scheme)
+// functional-options constructor. The scheme spelling is whatever
+// core.ParseScheme accepts (one parser for flags, JSON, and wire bytes);
+// the algorithm values are the revnf.Algorithm constants verbatim.
+func buildScheduler(algorithm, scheme string, poolSize int, inst *workload.Instance, seed int64, rec trace.Recorder) (core.Scheduler, bool, error) {
+	sch, err := core.ParseScheme(scheme)
+	if err != nil {
+		return nil, false, fmt.Errorf("-scheme: %w", err)
 	}
 	alg := revnf.Algorithm(algorithm)
 	if !alg.Valid() {
 		return nil, false, fmt.Errorf("unknown -algorithm %q (want pd|raw|greedy|firstfit|random)", algorithm)
 	}
-	s, err := revnf.NewScheduler(inst.Network, sch,
+	opts := []revnf.SchedulerOption{
 		revnf.WithAlgorithm(alg),
 		revnf.WithHorizon(inst.Horizon),
 		revnf.WithRecorder(rec),
-		revnf.WithRNG(rand.New(rand.NewSource(seed))))
+		revnf.WithRNG(rand.New(rand.NewSource(seed))),
+	}
+	if poolSize > 0 {
+		opts = append(opts, revnf.WithSharedPoolSize(poolSize))
+	}
+	s, err := revnf.NewScheduler(inst.Network, sch, opts...)
 	if err != nil {
 		return nil, false, err
 	}

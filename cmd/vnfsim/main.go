@@ -19,10 +19,9 @@ import (
 	"math/rand"
 	"os"
 
-	"revnf/internal/baseline"
+	"revnf"
 	"revnf/internal/core"
 	"revnf/internal/experiments"
-	"revnf/internal/offsite"
 	"revnf/internal/onsite"
 	"revnf/internal/pool"
 	"revnf/internal/qos"
@@ -42,7 +41,8 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("vnfsim", flag.ContinueOnError)
 	var (
 		algorithm = fs.String("algorithm", "pd", "scheduler: pd|raw|greedy|firstfit|random")
-		scheme    = fs.String("scheme", "onsite", "redundancy scheme: onsite|offsite")
+		scheme    = fs.String("scheme", "onsite", "redundancy scheme: onsite|offsite|shared")
+		poolSize  = fs.Int("pool-size", 0, "shared scheme: requests per pooled backup instance (0 = default)")
 		topo      = fs.String("topology", "", "embedded topology name")
 		cloudlets = fs.Int("cloudlets", 0, "cloudlet count")
 		requests  = fs.Int("requests", 300, "request count")
@@ -57,13 +57,18 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
+	sch, err := core.ParseScheme(*scheme)
+	if err != nil {
+		return fmt.Errorf("-scheme: %w", err)
+	}
+
 	inst, err := loadOrGenerate(*instance, *topo, *cloudlets, *requests, *horizon, *seed)
 	if err != nil {
 		return err
 	}
 
 	if *algorithm == "pooled" {
-		if *scheme != "onsite" {
+		if sch != core.OnSite {
 			return fmt.Errorf("pooled admission is an on-site mechanism")
 		}
 		res, err := pool.Run(inst)
@@ -80,7 +85,7 @@ func run(args []string, out io.Writer) error {
 		return nil
 	}
 
-	sched, allowViolations, err := buildScheduler(*algorithm, *scheme, inst, *seed)
+	sched, allowViolations, err := buildScheduler(*algorithm, sch, *poolSize, inst, *seed)
 	if err != nil {
 		return err
 	}
@@ -102,7 +107,7 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "mean utilization: %.1f%%\n", 100*res.Utilization)
 	fmt.Fprintf(out, "violated cells:   %d (max ratio %.2f)\n", len(res.Violations), res.MaxViolationRatio)
 
-	if *scheme == "onsite" {
+	if sch == core.OnSite {
 		if analysis, err := onsite.Analyze(inst.Network, inst.Trace); err == nil {
 			fmt.Fprintf(out, "competitive ratio (Theorem 1): %.1f\n", analysis.CompetitiveRatio)
 			fmt.Fprintf(out, "violation bound ξ (Lemma 8):   %.1f units (%.2fx cap_min)\n",
@@ -176,37 +181,24 @@ func loadOrGenerate(path, topo string, cloudlets, requests, horizon int, seed in
 	return setup.Instance(requests, setup.H, setup.K, seed)
 }
 
-func buildScheduler(algorithm, scheme string, inst *workload.Instance, seed int64) (core.Scheduler, bool, error) {
-	switch scheme {
-	case "onsite":
-		switch algorithm {
-		case "pd":
-			s, err := onsite.NewScheduler(inst.Network, inst.Horizon, onsite.WithCapacityEnforcement())
-			return s, false, err
-		case "raw":
-			s, err := onsite.NewScheduler(inst.Network, inst.Horizon)
-			return s, true, err
-		case "greedy":
-			s, err := baseline.NewGreedyOnsite(inst.Network)
-			return s, false, err
-		case "firstfit":
-			s, err := baseline.NewFirstFitOnsite(inst.Network)
-			return s, false, err
-		case "random":
-			s, err := baseline.NewRandomOnsite(inst.Network, rand.New(rand.NewSource(seed)))
-			return s, false, err
-		}
-	case "offsite":
-		switch algorithm {
-		case "pd":
-			s, err := offsite.NewScheduler(inst.Network, inst.Horizon)
-			return s, false, err
-		case "greedy":
-			s, err := baseline.NewGreedyOffsite(inst.Network)
-			return s, false, err
-		}
-	default:
-		return nil, false, fmt.Errorf("unknown -scheme %q (want onsite|offsite)", scheme)
+// buildScheduler maps the flags onto the public functional-options
+// constructor; the scheme arrives already parsed by core.ParseScheme.
+func buildScheduler(algorithm string, scheme core.Scheme, poolSize int, inst *workload.Instance, seed int64) (core.Scheduler, bool, error) {
+	alg := revnf.Algorithm(algorithm)
+	if !alg.Valid() {
+		return nil, false, fmt.Errorf("unknown -algorithm %q (want pd|raw|greedy|firstfit|random)", algorithm)
 	}
-	return nil, false, fmt.Errorf("algorithm %q not available under scheme %q", algorithm, scheme)
+	opts := []revnf.SchedulerOption{
+		revnf.WithAlgorithm(alg),
+		revnf.WithHorizon(inst.Horizon),
+		revnf.WithRNG(rand.New(rand.NewSource(seed))),
+	}
+	if poolSize > 0 {
+		opts = append(opts, revnf.WithSharedPoolSize(poolSize))
+	}
+	s, err := revnf.NewScheduler(inst.Network, scheme, opts...)
+	if err != nil {
+		return nil, false, err
+	}
+	return s, alg.AllowsViolations(), nil
 }

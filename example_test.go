@@ -19,7 +19,7 @@ func Example() {
 		},
 	}
 	const horizon = 10
-	sched, err := revnf.NewOnsiteScheduler(network, horizon)
+	sched, err := revnf.NewScheduler(network, revnf.OnSite, revnf.WithHorizon(horizon))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -57,7 +57,7 @@ func Example_backupSizing() {
 		Catalog:   []revnf.VNF{{ID: 0, Name: "ids", Demand: 2, Reliability: 0.9}},
 		Cloudlets: []revnf.Cloudlet{{ID: 0, Node: 0, Capacity: 20, Reliability: 0.999}},
 	}
-	sched, err := revnf.NewOnsiteScheduler(network, 5)
+	sched, err := revnf.NewScheduler(network, revnf.OnSite, revnf.WithHorizon(5))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -90,7 +90,7 @@ func Example_offsite() {
 			{ID: 2, Node: 2, Capacity: 5, Reliability: 0.97},
 		},
 	}
-	sched, err := revnf.NewOffsiteScheduler(network, 5)
+	sched, err := revnf.NewScheduler(network, revnf.OffSite, revnf.WithHorizon(5))
 	if err != nil {
 		log.Fatal(err)
 	}

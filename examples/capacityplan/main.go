@@ -32,7 +32,7 @@ func main() {
 		if err != nil {
 			log.Fatalf("build instance: %v", err)
 		}
-		sched, err := revnf.NewOnsiteScheduler(inst.Network, inst.Horizon)
+		sched, err := revnf.NewScheduler(inst.Network, revnf.OnSite, revnf.WithHorizon(inst.Horizon))
 		if err != nil {
 			log.Fatalf("scheduler: %v", err)
 		}

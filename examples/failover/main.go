@@ -31,7 +31,7 @@ func main() {
 		log.Fatalf("build instance: %v", err)
 	}
 
-	onsiteSched, err := revnf.NewOnsiteScheduler(inst.Network, inst.Horizon)
+	onsiteSched, err := revnf.NewScheduler(inst.Network, revnf.OnSite, revnf.WithHorizon(inst.Horizon))
 	if err != nil {
 		log.Fatalf("on-site scheduler: %v", err)
 	}
@@ -39,7 +39,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("on-site run: %v", err)
 	}
-	offsiteSched, err := revnf.NewOffsiteScheduler(inst.Network, inst.Horizon)
+	offsiteSched, err := revnf.NewScheduler(inst.Network, revnf.OffSite, revnf.WithHorizon(inst.Horizon))
 	if err != nil {
 		log.Fatalf("off-site scheduler: %v", err)
 	}

@@ -66,16 +66,16 @@ func main() {
 	}
 	contenders := []contender{
 		{"Algorithm 1 (on-site primal-dual)", func() (revnf.Scheduler, error) {
-			return revnf.NewOnsiteScheduler(inst.Network, inst.Horizon)
+			return revnf.NewScheduler(inst.Network, revnf.OnSite, revnf.WithHorizon(inst.Horizon))
 		}},
 		{"Algorithm 2 (off-site primal-dual)", func() (revnf.Scheduler, error) {
-			return revnf.NewOffsiteScheduler(inst.Network, inst.Horizon)
+			return revnf.NewScheduler(inst.Network, revnf.OffSite, revnf.WithHorizon(inst.Horizon))
 		}},
 		{"greedy on-site baseline", func() (revnf.Scheduler, error) {
-			return revnf.NewGreedyOnsite(inst.Network)
+			return revnf.NewScheduler(inst.Network, revnf.OnSite, revnf.WithAlgorithm(revnf.Greedy))
 		}},
 		{"greedy off-site baseline", func() (revnf.Scheduler, error) {
-			return revnf.NewGreedyOffsite(inst.Network)
+			return revnf.NewScheduler(inst.Network, revnf.OffSite, revnf.WithAlgorithm(revnf.Greedy))
 		}},
 	}
 

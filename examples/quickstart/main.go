@@ -40,8 +40,12 @@ func main() {
 	inst := &revnf.Instance{Network: network, Horizon: horizon, Trace: trace}
 
 	for _, build := range []func() (revnf.Scheduler, error){
-		func() (revnf.Scheduler, error) { return revnf.NewOnsiteScheduler(network, horizon) },
-		func() (revnf.Scheduler, error) { return revnf.NewOffsiteScheduler(network, horizon) },
+		func() (revnf.Scheduler, error) {
+			return revnf.NewScheduler(network, revnf.OnSite, revnf.WithHorizon(horizon))
+		},
+		func() (revnf.Scheduler, error) {
+			return revnf.NewScheduler(network, revnf.OffSite, revnf.WithHorizon(horizon))
+		},
 	} {
 		sched, err := build()
 		if err != nil {

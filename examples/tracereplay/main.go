@@ -80,10 +80,18 @@ func main() {
 		}
 		board = append(board, entry{name: res.Algorithm, revenue: res.Revenue, admitted: res.Admitted})
 	}
-	run(func() (revnf.Scheduler, error) { return revnf.NewOnsiteScheduler(network, horizon) })
-	run(func() (revnf.Scheduler, error) { return revnf.NewOffsiteScheduler(network, horizon) })
-	run(func() (revnf.Scheduler, error) { return revnf.NewGreedyOnsite(network) })
-	run(func() (revnf.Scheduler, error) { return revnf.NewGreedyOffsite(network) })
+	run(func() (revnf.Scheduler, error) {
+		return revnf.NewScheduler(network, revnf.OnSite, revnf.WithHorizon(horizon))
+	})
+	run(func() (revnf.Scheduler, error) {
+		return revnf.NewScheduler(network, revnf.OffSite, revnf.WithHorizon(horizon))
+	})
+	run(func() (revnf.Scheduler, error) {
+		return revnf.NewScheduler(network, revnf.OnSite, revnf.WithAlgorithm(revnf.Greedy))
+	})
+	run(func() (revnf.Scheduler, error) {
+		return revnf.NewScheduler(network, revnf.OffSite, revnf.WithAlgorithm(revnf.Greedy))
+	})
 
 	sort.Slice(board, func(a, b int) bool { return board[a].revenue > board[b].revenue })
 	fmt.Printf("%-16s %10s %10s\n", "algorithm", "revenue", "admitted")

@@ -110,9 +110,9 @@ func TestQoSAndTimelineFacade(t *testing.T) {
 	if err != nil {
 		t.Fatalf("NewInstance: %v", err)
 	}
-	sched, err := NewOffsiteScheduler(inst.Network, inst.Horizon)
+	sched, err := NewScheduler(inst.Network, OffSite, WithHorizon(inst.Horizon))
 	if err != nil {
-		t.Fatalf("NewOffsiteScheduler: %v", err)
+		t.Fatalf("NewScheduler: %v", err)
 	}
 	res, err := Run(inst, sched)
 	if err != nil {

@@ -1,26 +1,31 @@
-// Package ledgerapi enforces that the timeslot.Ledger is only touched
-// through its atomic reserve/release API and that reservations do not leak
-// out of helper functions unaccounted.
+// Package ledgerapi enforces that the timeslot.Ledger and the refcounted
+// timeslot.Pool layered over it are only touched through their atomic
+// reserve/release APIs and that reservations do not leak out of helper
+// functions unaccounted.
 //
 // Three checks:
 //
 //  1. Field access: outside package timeslot, no code may select a struct
-//     field of timeslot.Ledger (method calls only). The ledger's rows are
-//     guarded by per-cloudlet locks; a direct field read or write bypasses
+//     field of timeslot.Ledger or timeslot.Pool (method calls only). The
+//     ledger's rows are guarded by per-cloudlet locks and the pool's
+//     refcounts by its own mutex; a direct field read or write bypasses
 //     the check-and-commit critical section that makes concurrent
 //     admission sound. Today every field is unexported, so this pass
 //     guards against the day one is exported for convenience.
 //
 //  2. Reserve/Release pairing: inside one function, a call to a reserving
-//     method (Reserve, ReserveWindow, ForceReserve) must be followed, on
-//     every return path, by either a ledger Release (rollback) or a call
-//     whose name marks the admission as booked (Commit*, record*, admit*,
-//     book* — configurable via CoveringPattern). Returns taken only when
-//     the reservation itself failed (a branch conditioned on the error or
-//     ok variable assigned from the reserve call) are exempt, since a
-//     failed ReserveWindow books nothing. Functions whose own name says
-//     they reserve or commit on behalf of a caller (reserve*, commit*)
-//     are exempt — their contract is to hand the footprint to the caller.
+//     method (Ledger Reserve, ReserveWindow, ForceReserve; Pool Acquire —
+//     which reserves ledger rows under the covers and bumps a refcount)
+//     must be followed, on every return path, by either a Release on the
+//     same guarded type (rollback) or a call whose name marks the
+//     admission as booked (Commit*, record*, admit*, book* — configurable
+//     via CoveringPattern). Returns taken only when the reservation
+//     itself failed (a branch conditioned on the error or ok variable
+//     assigned from the reserve call) are exempt, since a failed
+//     ReserveWindow or Acquire books nothing. Functions whose own name
+//     says they reserve or commit on behalf of a caller (reserve*,
+//     commit*) are exempt — their contract is to hand the footprint to
+//     the caller.
 //
 //  3. Window-base ownership: Advance moves the rolling window's base and
 //     recycles every retired slot, so it is a clock operation, not a
@@ -46,19 +51,37 @@ import (
 	"revnf/internal/analysis/framework"
 )
 
-// LedgerPkgPath and LedgerTypeName locate the guarded type.
+// LedgerPkgPath locates the package owning the guarded types; GuardedTypes
+// names them: the Ledger and the refcounted Pool layered over it.
 var (
-	LedgerPkgPath  = "revnf/internal/timeslot"
-	LedgerTypeName = "Ledger"
+	LedgerPkgPath = "revnf/internal/timeslot"
+	GuardedTypes  = []string{"Ledger", "Pool"}
 )
 
-// reserveMethods start a reservation; releaseMethods undo one;
-// advanceMethods move the rolling window base.
+// reserveMethods start a reservation and releaseMethods undo one, per
+// guarded type; advanceMethods move the Ledger's rolling window base.
 var (
-	reserveMethods = map[string]bool{"Reserve": true, "ReserveWindow": true, "ForceReserve": true}
-	releaseMethods = map[string]bool{"Release": true}
+	reserveMethods = map[string]map[string]bool{
+		"Ledger": {"Reserve": true, "ReserveWindow": true, "ForceReserve": true},
+		"Pool":   {"Acquire": true},
+	}
+	releaseMethods = map[string]map[string]bool{
+		"Ledger": {"Release": true},
+		"Pool":   {"Release": true},
+	}
 	advanceMethods = map[string]bool{"Advance": true}
 )
+
+// guardedTypeOf returns the guarded type name a receiver type matches, or
+// "" when it is not one of GuardedTypes.
+func guardedTypeOf(t types.Type) string {
+	for _, name := range GuardedTypes {
+		if astq.IsNamedType(t, LedgerPkgPath, name) {
+			return name
+		}
+	}
+	return ""
+}
 
 // AdvanceOwnerPattern matches function names entitled to move the rolling
 // window base — the slot clock's advance path.
@@ -112,10 +135,10 @@ func checkFieldAccess(pass *framework.Pass) {
 			if !ok || selection.Kind() != types.FieldVal {
 				return true
 			}
-			if astq.IsNamedType(selection.Recv(), LedgerPkgPath, LedgerTypeName) {
+			if typeName := guardedTypeOf(selection.Recv()); typeName != "" {
 				pass.Reportf(sel.Sel.Pos(),
-					"direct access to timeslot.Ledger field %s bypasses the atomic reserve/release API",
-					sel.Sel.Name)
+					"direct access to timeslot.%s field %s bypasses the atomic reserve/release API",
+					typeName, sel.Sel.Name)
 			}
 			return true
 		})
@@ -366,15 +389,18 @@ func (c *pairChecker) deferLitCovers(call *ast.CallExpr) bool {
 	return covers
 }
 
-// isReserve reports whether the call reserves ledger capacity.
+// isReserve reports whether the call reserves capacity on a guarded type.
 func (c *pairChecker) isReserve(call *ast.CallExpr) bool {
 	fn, _ := astq.MethodCallee(c.pass.TypesInfo, call)
 	if fn == nil {
 		return false
 	}
 	sig := fn.Type().(*types.Signature)
-	return sig.Recv() != nil && astq.IsNamedType(sig.Recv().Type(), LedgerPkgPath, LedgerTypeName) &&
-		reserveMethods[fn.Name()]
+	if sig.Recv() == nil {
+		return false
+	}
+	typeName := guardedTypeOf(sig.Recv().Type())
+	return typeName != "" && reserveMethods[typeName][fn.Name()]
 }
 
 // isAdvance reports whether the call moves the ledger's window base.
@@ -384,18 +410,20 @@ func (c *pairChecker) isAdvance(call *ast.CallExpr) bool {
 		return false
 	}
 	sig := fn.Type().(*types.Signature)
-	return sig.Recv() != nil && astq.IsNamedType(sig.Recv().Type(), LedgerPkgPath, LedgerTypeName) &&
+	return sig.Recv() != nil && astq.IsNamedType(sig.Recv().Type(), LedgerPkgPath, "Ledger") &&
 		advanceMethods[fn.Name()]
 }
 
 // isCovering reports whether the call accounts for a live reservation: a
-// ledger Release, or any call whose name marks booking/committing.
+// Release on a guarded type, or any call whose name marks
+// booking/committing.
 func (c *pairChecker) isCovering(call *ast.CallExpr) bool {
 	if fn, _ := astq.MethodCallee(c.pass.TypesInfo, call); fn != nil {
 		sig := fn.Type().(*types.Signature)
-		if sig.Recv() != nil && astq.IsNamedType(sig.Recv().Type(), LedgerPkgPath, LedgerTypeName) &&
-			releaseMethods[fn.Name()] {
-			return true
+		if sig.Recv() != nil {
+			if typeName := guardedTypeOf(sig.Recv().Type()); typeName != "" && releaseMethods[typeName][fn.Name()] {
+				return true
+			}
 		}
 	}
 	return CoveringPattern.MatchString(calleeName(call))

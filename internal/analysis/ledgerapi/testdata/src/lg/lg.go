@@ -109,3 +109,44 @@ func rebaseSneakily(l *timeslot.Ledger) {
 func allowedRebase(l *timeslot.Ledger) {
 	_ = l.Advance(5) //lint:allow ledgerapi test harness rewinds its private ledger
 }
+
+// poolFieldAccess bypasses the pool's refcount mutex.
+func poolFieldAccess(p *timeslot.Pool) int {
+	return p.Refs[0] // want `direct access to timeslot\.Pool field Refs`
+}
+
+// poolLeak acquires a pooled row and books nothing on the success path.
+func poolLeak(p *timeslot.Pool) bool {
+	if err := p.Acquire(0, 1, 1, 1, 1); err != nil {
+		return false // failure of the acquire itself: exempt
+	}
+	return true // want `reservation made at line \d+ is neither released nor committed`
+}
+
+// poolRollback is the engine's shape for pooled backups: release on the
+// failure branch, book on success.
+func poolRollback(p *timeslot.Pool) error {
+	if err := p.Acquire(0, 1, 1, 1, 1); err != nil {
+		return err
+	}
+	if bad() {
+		_ = p.Release(0, 1, 1)
+		return errFailed
+	}
+	recordAdmission()
+	return nil
+}
+
+// pairedAcquire reserves ledger rows and joins the pool; the admission is
+// booked once for both, which covers the pair.
+func pairedAcquire(l *timeslot.Ledger, p *timeslot.Pool) error {
+	if err := l.Reserve(0, 1, 1, 1); err != nil {
+		return err
+	}
+	if err := p.Acquire(0, 1, 1, 1, 1); err != nil {
+		_ = l.Release(0, 1, 1, 1)
+		return err
+	}
+	recordAdmission()
+	return nil
+}

@@ -20,3 +20,15 @@ func (l *Ledger) Release(cloudlet, start, duration, units int) error { return ni
 func (l *Ledger) Advance(base int) error { return nil }
 
 func (l *Ledger) Residual(cloudlet, slot int) int { return 0 }
+
+// Pool stubs the refcounted shared-backup layer over the Ledger. Like the
+// Ledger stub it exports a field so the field-access check can fire.
+type Pool struct {
+	Refs map[int]int
+}
+
+func (p *Pool) Acquire(group, cloudlet, start, duration, units int) error { return nil }
+
+func (p *Pool) Release(group, start, duration int) error { return nil }
+
+func (p *Pool) Covered(group, slot int) bool { return false }

@@ -16,8 +16,10 @@
 //     through indexes such as s.lambda[j][t-1] = v) whose left-hand side
 //     is rooted in the receiver;
 //   - calls to the timeslot.Ledger mutators (Reserve, ReserveWindow,
-//     ForceReserve, Release) — reserving capacity is the engine's job,
-//     after arbitration;
+//     ForceReserve, Release) and the timeslot.Pool mutators (Acquire,
+//     Release — the refcounted shared-backup layer reserves ledger
+//     capacity under the covers) — reserving capacity is the engine's
+//     job, after arbitration;
 //   - calls to same-package methods reachable through the receiver (for
 //     example s.updateDuals(...), the λ update) that transitively do
 //     either of the above.
@@ -52,15 +54,33 @@ var (
 	InterfaceName = "TwoPhaseScheduler"
 )
 
-// LedgerPkgPath, LedgerTypeName and LedgerMutators identify the ledger
-// API calls Propose must never make.
+// LedgerPkgPath and CapacityMutators identify the capacity-mutating API
+// calls Propose must never make, per guarded type in the timeslot
+// package: the Ledger's reserve/release methods and the refcounted
+// Pool's acquire/release methods (a Pool.Acquire reserves ledger rows
+// under the covers).
 var (
-	LedgerPkgPath  = "revnf/internal/timeslot"
-	LedgerTypeName = "Ledger"
-	LedgerMutators = map[string]bool{
-		"Reserve": true, "ReserveWindow": true, "ForceReserve": true, "Release": true,
+	LedgerPkgPath    = "revnf/internal/timeslot"
+	CapacityMutators = map[string]map[string]bool{
+		"Ledger": {"Reserve": true, "ReserveWindow": true, "ForceReserve": true, "Release": true},
+		"Pool":   {"Acquire": true, "Release": true},
 	}
 )
+
+// capacityMutator reports whether fn is a mutating method of one of the
+// guarded timeslot types, returning the type's name.
+func capacityMutator(fn *types.Func) (string, bool) {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", false
+	}
+	for typeName, methods := range CapacityMutators {
+		if astq.IsNamedType(sig.Recv().Type(), LedgerPkgPath, typeName) && methods[fn.Name()] {
+			return typeName, true
+		}
+	}
+	return "", false
+}
 
 // Analyzer is the purepropose pass.
 var Analyzer = &framework.Analyzer{
@@ -177,11 +197,10 @@ func (c *checker) checkCall(call *ast.CallExpr, recvVar *types.Var) {
 	if callee == nil {
 		return
 	}
-	if sig, ok := callee.Type().(*types.Signature); ok && sig.Recv() != nil &&
-		astq.IsNamedType(sig.Recv().Type(), LedgerPkgPath, LedgerTypeName) && LedgerMutators[callee.Name()] {
+	if typeName, ok := capacityMutator(callee); ok {
 		c.pass.Reportf(call.Pos(),
 			"Propose calls %s.%s.%s; reserving capacity is the engine's job after ledger arbitration",
-			LedgerPkgPath, LedgerTypeName, callee.Name())
+			LedgerPkgPath, typeName, callee.Name())
 		return
 	}
 	// Same-package method reached through the receiver: follow it.
@@ -239,9 +258,8 @@ func (c *checker) mutates(fn *types.Func) *mutation {
 			if callee == nil {
 				return true
 			}
-			if sig, ok := callee.Type().(*types.Signature); ok && sig.Recv() != nil &&
-				astq.IsNamedType(sig.Recv().Type(), LedgerPkgPath, LedgerTypeName) && LedgerMutators[callee.Name()] {
-				found = &mutation{what: "mutates the timeslot ledger"}
+			if _, ok := capacityMutator(callee); ok {
+				found = &mutation{what: "mutates timeslot capacity state"}
 				return true
 			}
 			if callee.Pkg() == c.pass.Pkg && recvVar != nil && c.rootedInReceiver(recvExpr, recvVar) {

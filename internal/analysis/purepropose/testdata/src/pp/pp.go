@@ -138,3 +138,30 @@ func (s *RecorderEmit) Abort(req core.Request, p core.Placement)  {}
 type NotAScheduler struct{ n int }
 
 func (s *NotAScheduler) Propose() { s.n++ }
+
+// PoolTouch joins a shared-backup pool inside Propose — acquiring pooled
+// capacity is the engine's job, after arbitration.
+type PoolTouch struct {
+	pool *timeslot.Pool
+}
+
+func (s *PoolTouch) Propose(req core.Request, view core.CapacityView) (core.Placement, bool) {
+	_ = s.pool.Acquire(0, 1, 1, 1, 1) // want `reserving capacity is the engine's job`
+	return core.Placement{}, true
+}
+
+func (s *PoolTouch) Commit(req core.Request, p core.Placement) {}
+func (s *PoolTouch) Abort(req core.Request, p core.Placement)  {}
+
+// PoolRead only reads pool state from Propose; refcount reads are not
+// capacity mutation and are not flagged.
+type PoolRead struct {
+	pool *timeslot.Pool
+}
+
+func (s *PoolRead) Propose(req core.Request, view core.CapacityView) (core.Placement, bool) {
+	return core.Placement{}, s.pool.Refs(0, 1) < 4
+}
+
+func (s *PoolRead) Commit(req core.Request, p core.Placement) {}
+func (s *PoolRead) Abort(req core.Request, p core.Placement)  {}

@@ -17,3 +17,14 @@ func (l *Ledger) ForceReserve(cloudlet, start, duration, units int) error { retu
 func (l *Ledger) Release(cloudlet, start, duration, units int) error { return nil }
 
 func (l *Ledger) Residual(cloudlet, slot int) int { return 0 }
+
+// Pool stubs the refcounted shared-backup layer over the Ledger.
+type Pool struct {
+	refs map[int]int
+}
+
+func (p *Pool) Acquire(group, cloudlet, start, duration, units int) error { return nil }
+
+func (p *Pool) Release(group, start, duration int) error { return nil }
+
+func (p *Pool) Refs(group, slot int) int { return 0 }

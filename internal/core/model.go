@@ -17,10 +17,14 @@ import (
 )
 
 // Scheme selects the redundancy scheme used to satisfy a request's
-// reliability requirement.
+// reliability requirement. Schemes are self-describing: String/Flag name
+// them, ParseScheme resolves either spelling, AllSchemes enumerates the
+// registry, and MarshalText/UnmarshalText round-trip them through JSON
+// and flag values (see scheme.go).
 type Scheme int
 
-// Redundancy schemes from the paper (Section III).
+// Redundancy schemes: the paper's two (Section III) plus the shared-backup
+// extension.
 const (
 	// OnSite places all primary and backup instances of a request in a
 	// single cloudlet (Section III-C1).
@@ -28,24 +32,12 @@ const (
 	// OffSite places at most one instance per cloudlet across a set of
 	// cloudlets (Section III-C2).
 	OffSite
+	// Shared places one primary instance in a cloudlet and enrolls the
+	// request in a backup group: a single pooled backup instance on a
+	// second cloudlet shared by up to PoolSize admitted requests, with
+	// correlated-failure (occupancy) accounting — see SharedReliability.
+	Shared
 )
-
-// String returns the scheme name used in logs and experiment tables.
-func (s Scheme) String() string {
-	switch s {
-	case OnSite:
-		return "on-site"
-	case OffSite:
-		return "off-site"
-	default:
-		return fmt.Sprintf("Scheme(%d)", int(s))
-	}
-}
-
-// Valid reports whether s is one of the defined schemes.
-func (s Scheme) Valid() bool {
-	return s == OnSite || s == OffSite
-}
 
 // VNF describes one virtualized network function type f in the catalog F.
 type VNF struct {

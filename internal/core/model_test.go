@@ -38,10 +38,10 @@ func TestSchemeString(t *testing.T) {
 }
 
 func TestSchemeValid(t *testing.T) {
-	if !OnSite.Valid() || !OffSite.Valid() {
+	if !OnSite.Valid() || !OffSite.Valid() || !Shared.Valid() {
 		t.Error("defined schemes must be valid")
 	}
-	if Scheme(0).Valid() || Scheme(3).Valid() {
+	if Scheme(0).Valid() || Scheme(4).Valid() {
 		t.Error("undefined schemes must be invalid")
 	}
 }

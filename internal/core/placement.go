@@ -18,6 +18,23 @@ func (a Assignment) Units(demand int) int {
 	return a.Instances * demand
 }
 
+// SharedBackup references the pooled backup serving a shared-scheme
+// placement: one backup instance on Cloudlet, reserved once and shared by
+// up to PoolSize members of group Group. The group's ledger footprint is
+// reference-counted (timeslot.Pool): the backup row is reserved when the
+// first member joins and released when the last member expires.
+type SharedBackup struct {
+	// Group identifies the backup group (positive, unique per scheduler).
+	Group int `json:"group"`
+	// Cloudlet hosts the pooled backup instance; it must differ from the
+	// placement's primary cloudlet.
+	Cloudlet int `json:"cloudlet"`
+	// PoolSize is the capacity k the group was priced and validated at:
+	// availability is computed for a full pool, so later joiners never
+	// invalidate earlier members.
+	PoolSize int `json:"pool_size"`
+}
+
 // Placement is an admission decision's resource footprint: where each
 // instance of a request goes. A placement is valid for exactly one scheme.
 type Placement struct {
@@ -27,8 +44,13 @@ type Placement struct {
 	Scheme Scheme
 	// Assignments lists the per-cloudlet instance counts. On-site
 	// placements have exactly one assignment; off-site placements have one
-	// assignment per chosen cloudlet, each with a single instance.
+	// assignment per chosen cloudlet, each with a single instance; shared
+	// placements have exactly one single-instance assignment (the primary)
+	// with the pooled backup recorded in Backup.
 	Assignments []Assignment
+	// Backup is the pooled backup reference for shared placements and nil
+	// for every other scheme.
+	Backup *SharedBackup
 }
 
 // TotalInstances returns the number of instances across all assignments.
@@ -66,6 +88,9 @@ func (p Placement) Validate(n *Network, r Request) error {
 		seen[a.Cloudlet] = true
 	}
 	rf := n.Catalog[r.VNF].Reliability
+	if p.Scheme != Shared && p.Backup != nil {
+		return fmt.Errorf("%w: %v placement carries a shared backup", ErrBadPlacement, p.Scheme)
+	}
 	switch p.Scheme {
 	case OnSite:
 		if len(p.Assignments) != 1 {
@@ -75,6 +100,37 @@ func (p Placement) Validate(n *Network, r Request) error {
 		got := OnsiteReliability(rf, n.Cloudlets[a.Cloudlet].Reliability, a.Instances)
 		if got+relEpsilon < r.Reliability {
 			return fmt.Errorf("%w: on-site availability %v < %v", ErrBelowRequirement, got, r.Reliability)
+		}
+	case Shared:
+		if len(p.Assignments) != 1 {
+			return fmt.Errorf("%w: shared placement has %d primary assignments", ErrBadPlacement, len(p.Assignments))
+		}
+		a := p.Assignments[0]
+		if a.Instances != 1 {
+			return fmt.Errorf("%w: shared primary with %d instances in cloudlet %d", ErrBadPlacement, a.Instances, a.Cloudlet)
+		}
+		b := p.Backup
+		if b == nil {
+			return fmt.Errorf("%w: shared placement without backup group", ErrBadPlacement)
+		}
+		if b.Cloudlet < 0 || b.Cloudlet >= len(n.Cloudlets) {
+			return fmt.Errorf("%w: unknown backup cloudlet %d", ErrBadPlacement, b.Cloudlet)
+		}
+		if b.Cloudlet == a.Cloudlet {
+			return fmt.Errorf("%w: shared backup co-located with primary in cloudlet %d", ErrBadPlacement, b.Cloudlet)
+		}
+		if b.Group < 1 {
+			return fmt.Errorf("%w: shared backup group %d", ErrBadPlacement, b.Group)
+		}
+		if b.PoolSize < 1 {
+			return fmt.Errorf("%w: shared pool size %d", ErrBadPlacement, b.PoolSize)
+		}
+		// Peers contend at the network-wide floor so membership stays
+		// sound regardless of which primary cloudlets the group mixes.
+		floor := SharedContentionFloor(rf, n.Cloudlets)
+		got := SharedReliabilityK(rf, n.Cloudlets[a.Cloudlet].Reliability, n.Cloudlets[b.Cloudlet].Reliability, floor, b.PoolSize)
+		if got+relEpsilon < r.Reliability {
+			return fmt.Errorf("%w: shared availability %v < %v", ErrBelowRequirement, got, r.Reliability)
 		}
 	case OffSite:
 		rcs := make([]float64, 0, len(p.Assignments))
@@ -103,6 +159,14 @@ func (p Placement) Availability(n *Network, r Request) float64 {
 		}
 		a := p.Assignments[0]
 		return OnsiteReliability(rf, n.Cloudlets[a.Cloudlet].Reliability, a.Instances)
+	case Shared:
+		if len(p.Assignments) != 1 || p.Backup == nil {
+			return 0
+		}
+		a := p.Assignments[0]
+		return SharedReliabilityK(rf, n.Cloudlets[a.Cloudlet].Reliability,
+			n.Cloudlets[p.Backup.Cloudlet].Reliability,
+			SharedContentionFloor(rf, n.Cloudlets), p.Backup.PoolSize)
 	case OffSite:
 		rcs := make([]float64, 0, len(p.Assignments))
 		for _, a := range p.Assignments {

@@ -120,3 +120,58 @@ func TestPlacementAvailabilityDegenerate(t *testing.T) {
 		t.Errorf("malformed on-site availability = %v, want 0", got)
 	}
 }
+
+func TestPlacementValidateShared(t *testing.T) {
+	n := testNetwork()
+	// VNF 0 (rf=0.95), primary in cloudlet 2 (rc=0.999), pooled backup in
+	// cloudlet 0 (rc=0.99) at k=2 with peers at the network floor
+	// 0.95·0.95: availability ≈ 0.9946 clears a 0.99 requirement.
+	req := Request{ID: 9, VNF: 0, Reliability: 0.99, Arrival: 1, Duration: 2, Payment: 1}
+	p := Placement{Request: 9, Scheme: Shared,
+		Assignments: []Assignment{{Cloudlet: 2, Instances: 1}},
+		Backup:      &SharedBackup{Group: 1, Cloudlet: 0, PoolSize: 2}}
+	if err := p.Validate(n, req); err != nil {
+		t.Fatalf("Validate() = %v, want nil", err)
+	}
+	rf := n.Catalog[0].Reliability
+	want := SharedReliabilityK(rf, 0.999, 0.99, SharedContentionFloor(rf, n.Cloudlets), 2)
+	if got := p.Availability(n, req); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Availability() = %v, want %v", got, want)
+	}
+}
+
+func TestPlacementValidateSharedErrors(t *testing.T) {
+	n := testNetwork()
+	req := Request{ID: 9, VNF: 0, Reliability: 0.99, Arrival: 1, Duration: 2, Payment: 1}
+	good := func() Placement {
+		return Placement{Request: 9, Scheme: Shared,
+			Assignments: []Assignment{{Cloudlet: 2, Instances: 1}},
+			Backup:      &SharedBackup{Group: 1, Cloudlet: 0, PoolSize: 2}}
+	}
+	tests := []struct {
+		name   string
+		mutate func(*Placement)
+		want   error
+	}{
+		{"missing backup", func(p *Placement) { p.Backup = nil }, ErrBadPlacement},
+		{"co-located backup", func(p *Placement) { p.Backup.Cloudlet = 2 }, ErrBadPlacement},
+		{"unknown backup cloudlet", func(p *Placement) { p.Backup.Cloudlet = 9 }, ErrBadPlacement},
+		{"bad group", func(p *Placement) { p.Backup.Group = 0 }, ErrBadPlacement},
+		{"bad pool size", func(p *Placement) { p.Backup.PoolSize = 0 }, ErrBadPlacement},
+		{"multi-instance primary", func(p *Placement) { p.Assignments[0].Instances = 2 }, ErrBadPlacement},
+		{"two primaries", func(p *Placement) {
+			p.Assignments = append(p.Assignments, Assignment{Cloudlet: 1, Instances: 1})
+		}, ErrBadPlacement},
+		{"backup on dedicated scheme", func(p *Placement) { p.Scheme = OnSite; p.Assignments[0].Instances = 2 }, ErrBadPlacement},
+		{"below requirement", func(p *Placement) { p.Backup.PoolSize = 16 }, ErrBelowRequirement},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			p := good()
+			tc.mutate(&p)
+			if err := p.Validate(n, req); !errors.Is(err, tc.want) {
+				t.Fatalf("Validate() = %v, want %v", err, tc.want)
+			}
+		})
+	}
+}

@@ -42,6 +42,20 @@ type ReliabilityTable struct {
 	ladder [][][]float64
 	// weight[f][j] is -ln(1 - rf·rc), the off-site weight.
 	weight [][]float64
+	// sharedQ[f][j] is q = rf·rc_j, the active-path availability of a
+	// shared-scheme member whose primary runs on cloudlet j.
+	sharedQ [][]float64
+	// sharedFloor[f] is the contention floor rf·min_j(rc_j): the assumed
+	// active-path reliability of every pool peer, which keeps the
+	// occupancy bound sound for pools mixing members from any primary
+	// cloudlet (SharedContentionFloor).
+	sharedFloor []float64
+	// sharedFree[f][k-1] is Free(k) at the contention floor,
+	// k = 1..maxSharedLadder: the occupancy factor of the shared-backup
+	// availability. One ladder per VNF type — membership is open to every
+	// primary cloudlet, and both cloudlets of a pair enter the
+	// availability outside the occupancy factor.
+	sharedFree [][]float64
 }
 
 // NewReliabilityTable precomputes the reliability tables for the network.
@@ -55,11 +69,14 @@ func NewReliabilityTable(n *Network) (*ReliabilityTable, error) {
 		return nil, err
 	}
 	t := &ReliabilityTable{
-		lnFail: make([]float64, len(n.Catalog)),
-		rfs:    make([]float64, len(n.Catalog)),
-		rcs:    make([]float64, len(n.Cloudlets)),
-		ladder: make([][][]float64, len(n.Catalog)),
-		weight: make([][]float64, len(n.Catalog)),
+		lnFail:      make([]float64, len(n.Catalog)),
+		rfs:         make([]float64, len(n.Catalog)),
+		rcs:         make([]float64, len(n.Cloudlets)),
+		ladder:      make([][][]float64, len(n.Catalog)),
+		weight:      make([][]float64, len(n.Catalog)),
+		sharedQ:     make([][]float64, len(n.Catalog)),
+		sharedFloor: make([]float64, len(n.Catalog)),
+		sharedFree:  make([][]float64, len(n.Catalog)),
 	}
 	for j, c := range n.Cloudlets {
 		t.rcs[j] = c.Reliability
@@ -70,9 +87,18 @@ func NewReliabilityTable(n *Network) (*ReliabilityTable, error) {
 		t.lnFail[f] = math.Log(1 - rf)
 		t.ladder[f] = make([][]float64, len(n.Cloudlets))
 		t.weight[f] = make([]float64, len(n.Cloudlets))
+		t.sharedQ[f] = make([]float64, len(n.Cloudlets))
+		floor := SharedContentionFloor(rf, n.Cloudlets)
+		t.sharedFloor[f] = floor
+		free := make([]float64, maxSharedLadder)
+		for k := 1; k <= maxSharedLadder; k++ {
+			free[k-1] = sharedFree(floor, k)
+		}
+		t.sharedFree[f] = free
 		for j, c := range n.Cloudlets {
 			rc := c.Reliability
 			t.weight[f][j] = OffsiteWeight(rf, rc)
+			t.sharedQ[f][j] = rf * rc
 			ladder := make([]float64, 0, 8)
 			for k := 1; k <= maxThresholds; k++ {
 				v := OnsiteReliability(rf, rc, k)
@@ -154,4 +180,33 @@ func (t *ReliabilityTable) OnsiteFeasible(cloudlet int, req float64) bool {
 // OffsiteWeight returns the cached -ln(1 - rf·rc) for the pair.
 func (t *ReliabilityTable) OffsiteWeight(vnf, cloudlet int) float64 {
 	return t.weight[vnf][cloudlet]
+}
+
+// SharedAvailability returns the availability of a shared-scheme member
+// with its primary on cloudlet a and its pooled backup (capacity k) on
+// cloudlet b, with peers contending at the network-wide floor —
+// bit-identical to SharedReliabilityK(rf, rcA, rcB, floor, k): the cached
+// q and Free(k) are produced by the same expressions and combined in the
+// same order. Pool sizes beyond the cached ladder fall back to the closed
+// form.
+func (t *ReliabilityTable) SharedAvailability(vnf, a, b, k int) float64 {
+	if k < 1 {
+		return 0
+	}
+	if k > maxSharedLadder {
+		return SharedReliabilityK(t.rfs[vnf], t.rcs[a], t.rcs[b], t.sharedFloor[vnf], k)
+	}
+	q := t.sharedQ[vnf][a]
+	return q + (1-q)*(t.rfs[vnf]*t.rcs[b])*t.sharedFree[vnf][k-1]
+}
+
+// SharedFeasible reports whether the (primary a, backup b) pair can serve
+// requirement req at full pool capacity k, without allocating: the shared
+// candidate filter of the scheduler's ladder scan. Co-located pairs are
+// never feasible — the backup must survive the primary's cloudlet.
+func (t *ReliabilityTable) SharedFeasible(vnf, a, b, k int, req float64) bool {
+	if a == b || !validProbability(req) {
+		return false
+	}
+	return t.SharedAvailability(vnf, a, b, k)+relEpsilon >= req
 }

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrUnknownScheme is returned by ParseScheme and UnmarshalText for a
+// string that names no registered scheme.
+var ErrUnknownScheme = errors.New("core: unknown scheme")
+
+// schemeNames is the scheme registry: display name (logs, experiment
+// tables, JSON payloads) and flag name (CLI flags, URLs) per scheme.
+// Adding a scheme is one entry here plus its constant in model.go; String,
+// Flag, Valid, ParseScheme, AllSchemes, and the text marshalers are all
+// derived from this table, so there is exactly one scheme-string parser in
+// the tree.
+var schemeNames = map[Scheme]struct{ display, flag string }{
+	OnSite:  {"on-site", "onsite"},
+	OffSite: {"off-site", "offsite"},
+	Shared:  {"shared", "shared"},
+}
+
+// String returns the scheme's display name ("on-site", "off-site",
+// "shared") used in logs, experiment tables, and JSON payloads.
+func (s Scheme) String() string {
+	if n, ok := schemeNames[s]; ok {
+		return n.display
+	}
+	return fmt.Sprintf("Scheme(%d)", int(s))
+}
+
+// Flag returns the scheme's flag spelling ("onsite", "offsite", "shared")
+// used by CLI flags and machine-oriented identifiers.
+func (s Scheme) Flag() string {
+	if n, ok := schemeNames[s]; ok {
+		return n.flag
+	}
+	return fmt.Sprintf("Scheme(%d)", int(s))
+}
+
+// Valid reports whether s is one of the registered schemes.
+func (s Scheme) Valid() bool {
+	_, ok := schemeNames[s]
+	return ok
+}
+
+// AllSchemes returns the registered schemes in ascending order of their
+// constant values. The slice is freshly allocated; callers may modify it.
+func AllSchemes() []Scheme {
+	all := make([]Scheme, 0, len(schemeNames))
+	for s := OnSite; len(all) < len(schemeNames); s++ {
+		if s.Valid() {
+			all = append(all, s)
+		}
+	}
+	return all
+}
+
+// ParseScheme resolves a scheme from either its display name ("on-site")
+// or its flag spelling ("onsite"). It is the single scheme-string parser:
+// CLI flags, HTTP payloads, and the wire protocol all resolve through it.
+func ParseScheme(name string) (Scheme, error) {
+	for s, n := range schemeNames {
+		if name == n.display || name == n.flag {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("%w: %q", ErrUnknownScheme, name)
+}
+
+// MarshalText implements encoding.TextMarshaler using the display name,
+// so JSON-encoded schemes read as "on-site"/"off-site"/"shared". An
+// unregistered scheme fails rather than emitting an unparseable string.
+func (s Scheme) MarshalText() ([]byte, error) {
+	n, ok := schemeNames[s]
+	if !ok {
+		return nil, fmt.Errorf("%w: Scheme(%d)", ErrUnknownScheme, int(s))
+	}
+	return []byte(n.display), nil
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler via ParseScheme, so
+// both spellings decode.
+func (s *Scheme) UnmarshalText(text []byte) error {
+	parsed, err := ParseScheme(string(text))
+	if err != nil {
+		return err
+	}
+	*s = parsed
+	return nil
+}

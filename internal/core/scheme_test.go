@@ -1,0 +1,84 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+)
+
+// TestSchemeRegistryRoundTrip pins the registry: every scheme round-trips
+// through both its display and flag spellings, and through the text
+// marshalers (the JSON path).
+func TestSchemeRegistryRoundTrip(t *testing.T) {
+	all := AllSchemes()
+	if len(all) != 3 {
+		t.Fatalf("AllSchemes() = %v, want 3 schemes", all)
+	}
+	want := []Scheme{OnSite, OffSite, Shared}
+	for i, s := range all {
+		if s != want[i] {
+			t.Fatalf("AllSchemes() = %v, want %v", all, want)
+		}
+	}
+	for _, s := range all {
+		for _, spelling := range []string{s.String(), s.Flag()} {
+			got, err := ParseScheme(spelling)
+			if err != nil {
+				t.Errorf("ParseScheme(%q): %v", spelling, err)
+			}
+			if got != s {
+				t.Errorf("ParseScheme(%q) = %v, want %v", spelling, got, s)
+			}
+		}
+		text, err := s.MarshalText()
+		if err != nil {
+			t.Fatalf("%v.MarshalText: %v", s, err)
+		}
+		var back Scheme
+		if err := back.UnmarshalText(text); err != nil {
+			t.Fatalf("UnmarshalText(%q): %v", text, err)
+		}
+		if back != s {
+			t.Errorf("text round trip: %v -> %q -> %v", s, text, back)
+		}
+	}
+}
+
+// TestSchemeJSON checks schemes encode as their display names inside JSON
+// documents and decode from either spelling.
+func TestSchemeJSON(t *testing.T) {
+	b, err := json.Marshal(Shared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != `"shared"` {
+		t.Fatalf("json.Marshal(Shared) = %s, want %q", b, `"shared"`)
+	}
+	var s Scheme
+	if err := json.Unmarshal([]byte(`"off-site"`), &s); err != nil || s != OffSite {
+		t.Fatalf("unmarshal display spelling: %v, %v", s, err)
+	}
+	if err := json.Unmarshal([]byte(`"offsite"`), &s); err != nil || s != OffSite {
+		t.Fatalf("unmarshal flag spelling: %v, %v", s, err)
+	}
+}
+
+// TestSchemeParseErrors pins unknown spellings to ErrUnknownScheme across
+// every entry point.
+func TestSchemeParseErrors(t *testing.T) {
+	for _, bad := range []string{"", "ON-SITE", "pooled", "Scheme(1)"} {
+		if _, err := ParseScheme(bad); !errors.Is(err, ErrUnknownScheme) {
+			t.Errorf("ParseScheme(%q) err = %v, want ErrUnknownScheme", bad, err)
+		}
+		var s Scheme
+		if err := s.UnmarshalText([]byte(bad)); !errors.Is(err, ErrUnknownScheme) {
+			t.Errorf("UnmarshalText(%q) err = %v, want ErrUnknownScheme", bad, err)
+		}
+	}
+	if _, err := Scheme(0).MarshalText(); !errors.Is(err, ErrUnknownScheme) {
+		t.Errorf("Scheme(0).MarshalText err = %v, want ErrUnknownScheme", err)
+	}
+	if got := Scheme(9).Flag(); got != "Scheme(9)" {
+		t.Errorf("Scheme(9).Flag() = %q", got)
+	}
+}

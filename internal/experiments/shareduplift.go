@@ -1,0 +1,205 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"revnf/internal/core"
+	"revnf/internal/metrics"
+	"revnf/internal/mip"
+	"revnf/internal/offline"
+	"revnf/internal/offsite"
+	"revnf/internal/onsite"
+	"revnf/internal/shared"
+	"revnf/internal/simulate"
+	"revnf/internal/workload"
+)
+
+// SharedUpliftSetup is the high-requirement variant of DefaultSetup where
+// pooled backups earn their keep. Under the default workload most
+// requests are satisfiable by a single off-site instance, so a dedicated
+// off-site backup costs 1·demand while a pooled one costs (1+1/k)·demand
+// — sharing can only lose. Lowering rc_max to 0.95 and raising the
+// requirement band to [0.93, 0.955] forces the off-site scheme to
+// provision two dedicated instances for most requests, while the shared
+// scheme still covers them with one primary plus a 1/k share of a pooled
+// backup; that is the regime the paper's shared scheme targets.
+func SharedUpliftSetup() Setup {
+	s := DefaultSetup()
+	s.RCMax = 0.95
+	s.ReqMin = 0.93
+	s.ReqMax = 0.955
+	// The offline comparator columns are owned by the figure sweeps; the
+	// scheme comparison reports the online schedulers head to head, with
+	// the shared LP bound added separately when requested.
+	s.Optimal = OptimalNone
+	return s
+}
+
+// SchemeRow is one redundancy scheme's result in a SchemeComparison run:
+// admitted count and revenue summarized over the setup's seeds, plus the
+// mean-revenue uplift relative to the dedicated off-site scheme (zero for
+// the off-site row itself).
+type SchemeRow struct {
+	// Scheme is the canonical flag spelling (onsite, offsite, shared).
+	Scheme string
+	// Requests is the trace length; PoolSize the shared scheme's k (zero
+	// on the dedicated rows).
+	Requests int
+	PoolSize int
+	// Admitted and Revenue summarize the per-seed results.
+	Admitted metrics.Summary
+	Revenue  metrics.Summary
+	// UpliftVsOffsite is Revenue.Mean/offsite.Revenue.Mean − 1.
+	UpliftVsOffsite float64
+}
+
+// SchemeComparison runs the three primal-dual schedulers — on-site,
+// off-site, and shared with the given pool size — on identical instances
+// and reports per-scheme revenue, plus the shared scheme's uplift over
+// dedicated off-site backups at equal capacity. Seeds run concurrently,
+// mirroring the figure sweeps. When s.Optimal is not OptimalNone, a
+// fourth row reports the shared offline comparator (LP bound or branch
+// and bound) as an upper reference.
+func (s Setup) SchemeComparison(requests, poolSize int) (*metrics.Table, []SchemeRow, error) {
+	if err := s.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if poolSize < 1 {
+		poolSize = core.DefaultSharedPoolSize
+	}
+	schemes := []core.Scheme{core.OnSite, core.OffSite, core.Shared}
+	type seedResult struct {
+		admitted map[core.Scheme]float64
+		revenue  map[core.Scheme]float64
+		optimal  float64
+		err      error
+	}
+	results := make([]seedResult, len(s.Seeds))
+	var wg sync.WaitGroup
+	for idx, seed := range s.Seeds {
+		wg.Add(1)
+		go func(idx int, seed int64) {
+			defer wg.Done()
+			r := seedResult{
+				admitted: make(map[core.Scheme]float64, len(schemes)),
+				revenue:  make(map[core.Scheme]float64, len(schemes)),
+			}
+			inst, err := s.Instance(requests, s.H, s.K, seed)
+			if err != nil {
+				results[idx] = seedResult{err: err}
+				return
+			}
+			for _, scheme := range schemes {
+				sched, err := schemeScheduler(scheme, inst, poolSize)
+				if err != nil {
+					results[idx] = seedResult{err: fmt.Errorf("experiments: build %s: %w", scheme, err)}
+					return
+				}
+				res, err := simulate.Run(inst, sched)
+				if err != nil {
+					results[idx] = seedResult{err: fmt.Errorf("experiments: run %s: %w", scheme, err)}
+					return
+				}
+				r.admitted[scheme] = float64(res.Admitted)
+				r.revenue[scheme] = res.Revenue
+			}
+			if s.Optimal != OptimalNone {
+				opt, err := s.offlineSharedRevenue(inst, poolSize)
+				if err != nil {
+					results[idx] = seedResult{err: err}
+					return
+				}
+				r.optimal = opt
+			}
+			results[idx] = r
+		}(idx, seed)
+	}
+	wg.Wait()
+
+	admitted := make(map[core.Scheme][]float64, len(schemes))
+	revenue := make(map[core.Scheme][]float64, len(schemes))
+	var optimal []float64
+	for _, r := range results {
+		if r.err != nil {
+			return nil, nil, r.err
+		}
+		for _, scheme := range schemes {
+			admitted[scheme] = append(admitted[scheme], r.admitted[scheme])
+			revenue[scheme] = append(revenue[scheme], r.revenue[scheme])
+		}
+		if s.Optimal != OptimalNone {
+			optimal = append(optimal, r.optimal)
+		}
+	}
+
+	offsiteMean := metrics.Summarize(revenue[core.OffSite]).Mean
+	rows := make([]SchemeRow, 0, len(schemes)+1)
+	for _, scheme := range schemes {
+		row := SchemeRow{
+			Scheme:   scheme.Flag(),
+			Requests: requests,
+			Admitted: metrics.Summarize(admitted[scheme]),
+			Revenue:  metrics.Summarize(revenue[scheme]),
+		}
+		if scheme == core.Shared {
+			row.PoolSize = poolSize
+		}
+		if offsiteMean > 0 {
+			row.UpliftVsOffsite = row.Revenue.Mean/offsiteMean - 1
+		}
+		rows = append(rows, row)
+	}
+
+	table := &metrics.Table{
+		Title: fmt.Sprintf("Scheme comparison — revenue at %d requests, shared k=%d (seeds=%d)",
+			requests, poolSize, len(s.Seeds)),
+		Header: []string{"scheme", "admitted", "revenue", "uplift vs offsite"},
+	}
+	for _, row := range rows {
+		table.AddRow(row.Scheme,
+			metrics.FormatMeanCI(row.Admitted),
+			metrics.FormatMeanCI(row.Revenue),
+			fmt.Sprintf("%+.1f%%", 100*row.UpliftVsOffsite))
+	}
+	if s.Optimal != OptimalNone {
+		sum := metrics.Summarize(optimal)
+		uplift := 0.0
+		if offsiteMean > 0 {
+			uplift = sum.Mean/offsiteMean - 1
+		}
+		table.AddRow(s.optimalLabel()+"-shared", "-", metrics.FormatMeanCI(sum),
+			fmt.Sprintf("%+.1f%%", 100*uplift))
+	}
+	return table, rows, nil
+}
+
+// schemeScheduler builds the primal-dual scheduler for one scheme.
+func schemeScheduler(scheme core.Scheme, inst *workload.Instance, poolSize int) (core.Scheduler, error) {
+	switch scheme {
+	case core.OnSite:
+		return onsite.NewScheduler(inst.Network, inst.Horizon, onsite.WithCapacityEnforcement())
+	case core.OffSite:
+		return offsite.NewScheduler(inst.Network, inst.Horizon)
+	case core.Shared:
+		return shared.NewScheduler(inst.Network, inst.Horizon, shared.WithPoolSize(poolSize))
+	default:
+		return nil, fmt.Errorf("%w: scheme %v", ErrBadSetup, scheme)
+	}
+}
+
+// offlineSharedRevenue computes the shared offline comparator column.
+func (s Setup) offlineSharedRevenue(inst *workload.Instance, poolSize int) (float64, error) {
+	switch s.Optimal {
+	case OptimalLPBound:
+		return offline.LPBoundShared(inst, poolSize)
+	case OptimalBB:
+		sol, err := offline.SolveShared(inst, poolSize, mip.Config{MaxNodes: s.OptNodes})
+		if err != nil {
+			return 0, err
+		}
+		return sol.Revenue, nil
+	default:
+		return 0, nil
+	}
+}

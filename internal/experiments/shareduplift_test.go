@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"revnf/internal/core"
+)
+
+// upliftSetup is SharedUpliftSetup shrunk to test size: the same
+// high-requirement reliability band, on a short trace.
+func upliftSetup() Setup {
+	s := smallSetup()
+	s.RCMax = 0.95
+	s.ReqMin = 0.93
+	s.ReqMax = 0.955
+	s.Optimal = OptimalNone
+	return s
+}
+
+func TestSchemeComparisonUplift(t *testing.T) {
+	s := upliftSetup()
+	table, rows, err := s.SchemeComparison(s.Requests, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	byScheme := make(map[string]SchemeRow, len(rows))
+	for _, r := range rows {
+		byScheme[r.Scheme] = r
+	}
+	off, ok := byScheme["offsite"]
+	if !ok {
+		t.Fatal("no offsite row")
+	}
+	sh, ok := byScheme["shared"]
+	if !ok {
+		t.Fatal("no shared row")
+	}
+	// The headline claim: on the high-requirement regime, pooled backups
+	// strictly out-earn dedicated off-site backups at equal capacity.
+	if sh.Revenue.Mean <= off.Revenue.Mean {
+		t.Errorf("shared revenue %.2f ≤ offsite revenue %.2f; pooling must win on this regime",
+			sh.Revenue.Mean, off.Revenue.Mean)
+	}
+	if sh.UpliftVsOffsite <= 0 {
+		t.Errorf("uplift = %v, want > 0", sh.UpliftVsOffsite)
+	}
+	if off.UpliftVsOffsite != 0 {
+		t.Errorf("offsite uplift = %v, want 0 (its own baseline)", off.UpliftVsOffsite)
+	}
+	if sh.PoolSize != 4 || off.PoolSize != 0 {
+		t.Errorf("pool sizes = shared %d / offsite %d, want 4 / 0", sh.PoolSize, off.PoolSize)
+	}
+	if !strings.Contains(table.Title, "k=4") {
+		t.Errorf("table title %q does not name the pool size", table.Title)
+	}
+}
+
+// TestSchemeComparisonOfflineRow checks the optional offline comparator
+// row: with s.Optimal set, the LP bound on the shared MIP is reported and
+// must dominate the online shared scheduler.
+func TestSchemeComparisonOfflineRow(t *testing.T) {
+	s := upliftSetup()
+	s.Optimal = OptimalLPBound
+	s.Seeds = []int64{1}
+	table, rows, err := s.SchemeComparison(30, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3 online rows (comparator is table-only)", len(rows))
+	}
+	found := false
+	for _, r := range table.Rows {
+		if strings.HasSuffix(r[0], "-shared") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no offline shared comparator row in table %v", table.Rows)
+	}
+}
+
+// TestSharedPoolingBeatsDedicated quickchecks the capacity argument on
+// every seed separately: at equal physical capacity, any real pooling
+// (k > 1) must strictly out-earn k = 1, which provisions a dedicated
+// backup per request and pays full price for it. Revenue is NOT monotone
+// in k — the admission formula charges every member the sound contention
+// floor of a full pool, so very large caps lower per-member availability
+// and shrink feasibility again — but k = 1 is dominated throughout.
+func TestSharedPoolingBeatsDedicated(t *testing.T) {
+	s := upliftSetup()
+	for _, seed := range []int64{1, 2, 3} {
+		s.Seeds = []int64{seed}
+		revenueAt := func(k int) float64 {
+			_, rows, err := s.SchemeComparison(s.Requests, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, r := range rows {
+				if r.Scheme == core.Shared.Flag() {
+					return r.Revenue.Mean
+				}
+			}
+			t.Fatalf("seed %d k=%d: no shared row", seed, k)
+			return 0
+		}
+		dedicated := revenueAt(1)
+		for _, k := range []int{2, 4} {
+			if pooled := revenueAt(k); pooled <= dedicated {
+				t.Errorf("seed %d: pooled revenue %.2f (k=%d) ≤ dedicated %.2f (k=1)",
+					seed, pooled, k, dedicated)
+			}
+		}
+	}
+}

@@ -221,3 +221,58 @@ func Meets(n *core.Network, req core.Request, alive []core.Assignment, src core.
 	avail := 1 - fail
 	return avail, len(alive) > 0 && avail+meetsTolerance >= req.Reliability
 }
+
+// MeetsPlacement is the scheme-aware form of Meets: dedicated placements
+// delegate to Meets over their alive assignments, while shared placements
+// are scored with the pooled-backup occupancy model. For a shared
+// placement the alive set may contain the primary assignment and/or the
+// pooled backup instance (the engine watches both); the availability is
+//
+//   - both alive:    core.SharedReliabilityK at the pool's capacity, with
+//     peers contending at the floor over src's rates,
+//   - primary only:  the bare active path rf·r(c_a),
+//   - backup only:   the pooled backup path alone (a zero-reliability
+//     primary in the same closed form),
+//   - neither:       0, never meeting.
+func MeetsPlacement(n *core.Network, req core.Request, p core.Placement, alive []core.Assignment, src core.ReliabilitySource) (float64, bool) {
+	if p.Scheme != core.Shared || p.Backup == nil || len(p.Assignments) != 1 {
+		return Meets(n, req, alive, src)
+	}
+	if src == nil {
+		src = core.CatalogReliability{Network: n}
+	}
+	rf := n.Catalog[req.VNF].Reliability
+	primary, backup := false, false
+	for _, a := range alive {
+		if a.Instances <= 0 {
+			continue
+		}
+		if a.Cloudlet == p.Assignments[0].Cloudlet {
+			primary = true
+		}
+		if a.Cloudlet == p.Backup.Cloudlet {
+			backup = true
+		}
+	}
+	if !primary && !backup {
+		return 0, false
+	}
+	rcA := 0.0
+	if primary {
+		rcA = src.CloudletReliability(p.Assignments[0].Cloudlet)
+	}
+	avail := rf * rcA
+	if backup {
+		// The contention floor over src's current rates: peers are assumed
+		// at the least reliable cloudlet, keeping the bound sound for any
+		// group membership (mirrors core.SharedContentionFloor).
+		rcMin := math.Inf(1)
+		for j := range n.Cloudlets {
+			if rc := src.CloudletReliability(j); rc < rcMin {
+				rcMin = rc
+			}
+		}
+		avail = core.SharedReliabilityK(rf, rcA, src.CloudletReliability(p.Backup.Cloudlet), rf*rcMin, p.Backup.PoolSize)
+	}
+	return avail, avail+meetsTolerance >= req.Reliability
+}

@@ -176,3 +176,65 @@ func TestStrayTransitionsAreNoOps(t *testing.T) {
 		t.Fatalf("stats = %+v, want zeros", st)
 	}
 }
+
+func TestMeetsPlacementSharedFootprints(t *testing.T) {
+	n := repairNetwork()
+	rf := n.Catalog[0].Reliability
+	req := core.Request{ID: 2, VNF: 0, Reliability: 0.9, Arrival: 1, Duration: 2}
+	p := core.Placement{
+		Request:     2,
+		Scheme:      core.Shared,
+		Assignments: []core.Assignment{{Cloudlet: 0, Instances: 1}},
+		Backup:      &core.SharedBackup{Group: 1, Cloudlet: 1, PoolSize: 2},
+	}
+	floor := rf * 0.95 // peers at the least reliable cloudlet
+
+	// Both primary and pooled backup alive: the full shared formula.
+	alive := []core.Assignment{{Cloudlet: 0, Instances: 1}, {Cloudlet: 1, Instances: 1}}
+	got, ok := MeetsPlacement(n, req, p, alive, nil)
+	want := core.SharedReliabilityK(rf, 0.99, 0.95, floor, 2)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("both alive: availability = %v, want %v", got, want)
+	}
+	if !ok {
+		t.Errorf("both alive: availability %v must meet %v", got, req.Reliability)
+	}
+
+	// Backup cloudlet down: only the dedicated primary path remains.
+	alive = []core.Assignment{{Cloudlet: 0, Instances: 1}}
+	got, ok = MeetsPlacement(n, req, p, alive, nil)
+	if want = rf * 0.99; math.Abs(got-want) > 1e-12 {
+		t.Errorf("primary only: availability = %v, want %v", got, want)
+	}
+	if ok {
+		t.Errorf("primary only: availability %v must miss %v", got, req.Reliability)
+	}
+
+	// Primary down: the pooled backup path with rcA = 0.
+	alive = []core.Assignment{{Cloudlet: 1, Instances: 1}}
+	got, _ = MeetsPlacement(n, req, p, alive, nil)
+	if want = core.SharedReliabilityK(rf, 0, 0.95, floor, 2); math.Abs(got-want) > 1e-12 {
+		t.Errorf("backup only: availability = %v, want %v", got, want)
+	}
+
+	// Neither member of the placement survives.
+	if got, ok = MeetsPlacement(n, req, p, nil, nil); got != 0 || ok {
+		t.Errorf("neither alive: got (%v, %v), want (0, false)", got, ok)
+	}
+}
+
+func TestMeetsPlacementDelegatesForDedicated(t *testing.T) {
+	n := repairNetwork()
+	req := core.Request{ID: 3, VNF: 0, Reliability: 0.9, Arrival: 1, Duration: 2}
+	alive := []core.Assignment{{Cloudlet: 0, Instances: 1}, {Cloudlet: 1, Instances: 1}}
+	p := core.Placement{
+		Request:     3,
+		Scheme:      core.OffSite,
+		Assignments: alive,
+	}
+	got, gotOK := MeetsPlacement(n, req, p, alive, nil)
+	want, wantOK := Meets(n, req, alive, nil)
+	if got != want || gotOK != wantOK {
+		t.Errorf("dedicated placement: got (%v, %v), want Meets result (%v, %v)", got, gotOK, want, wantOK)
+	}
+}

@@ -30,6 +30,11 @@ type AdmissionRequest struct {
 	Duration int `json:"duration"`
 	// Payment is the revenue collected on admission.
 	Payment float64 `json:"payment"`
+	// Scheme optionally pins the redundancy scheme the request demands
+	// (either spelling, resolved by core.ParseScheme). Empty accepts
+	// whatever scheme the daemon runs; a non-empty value naming a different
+	// scheme is rejected with ReasonSchemeUnavailable.
+	Scheme string `json:"scheme,omitempty"`
 }
 
 // AdmissionResult is the engine's decision for one submission.
@@ -117,6 +122,9 @@ type Stats struct {
 	InFlight int
 	// Admitted and Expired count decisions and released placements.
 	Admitted, Expired uint64
+	// AdmittedByScheme splits Admitted by placement scheme (display
+	// names); schemes with no admissions are absent.
+	AdmittedByScheme map[string]uint64
 	// Rejections counts rejected submissions by reason.
 	Rejections map[string]uint64
 	// ConflictRetries counts ledger reservation refusals under concurrent
@@ -211,16 +219,23 @@ type Engine struct {
 	// counters and the streaming batch-size distribution.
 	ingest *ingestStats
 
-	mu         sync.Mutex
-	sched      core.Scheduler
-	ledger     *timeslot.Ledger
+	mu     sync.Mutex
+	sched  core.Scheduler
+	ledger *timeslot.Ledger
+	// pool is the refcounted shared-backup layer over the ledger: group
+	// footprints are reserved when the first member joins and released when
+	// the last member expires. It carries its own lock; the engine only
+	// calls it from paths that already own the relevant footprint.
+	pool       *timeslot.Pool
 	slot       int                      // guarded by mu
 	placements map[int]*PlacementRecord // guarded by mu
 	expiry     *simulate.WindowIndex    // guarded by mu
 	admitted   uint64                   // guarded by mu
 	expired    uint64                   // guarded by mu
-	revenue    float64                  // guarded by mu
-	latency    *metrics.Histogram       // guarded by mu
+	// admittedByScheme splits the admitted counter by placement scheme.
+	admittedByScheme map[core.Scheme]uint64 // guarded by mu
+	revenue          float64                // guarded by mu
+	latency          *metrics.Histogram     // guarded by mu
 
 	// rejections maps every defined reason to its counter. The key set is
 	// fixed at New, so concurrent reads of the map are safe and every
@@ -337,9 +352,10 @@ func New(cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
 	}
-	rejections := make(map[string]*atomic.Uint64, 9)
+	rejections := make(map[string]*atomic.Uint64, 10)
 	for _, reason := range []string{ReasonInvalid, ReasonStale, ReasonHorizon, ReasonDeclined,
-		ReasonOverbooked, ReasonConflict, ReasonQueueFull, ReasonClosed, ReasonCanceled} {
+		ReasonOverbooked, ReasonConflict, ReasonQueueFull, ReasonClosed, ReasonCanceled,
+		ReasonSchemeUnavailable} {
 		rejections[reason] = new(atomic.Uint64)
 	}
 	nowFn := cfg.Now
@@ -386,9 +402,13 @@ func New(cfg Config) (*Engine, error) {
 		runtime:    runtime,
 		ingest:     ingest,
 		ledger:     ledger,
+		pool:       timeslot.NewPool(ledger),
 		slot:       1,
 		placements: make(map[int]*PlacementRecord),
 		expiry:     simulate.NewWindowIndex(),
+
+		admittedByScheme: make(map[core.Scheme]uint64),
+
 		rejections: rejections,
 		latency:    latency,
 		queueCap:   queueSize,
@@ -526,6 +546,23 @@ func (e *Engine) worker() {
 	}
 }
 
+// checkScheme gates a submission's optional scheme pin: parse failures
+// reject as invalid, a pin naming a scheme other than the scheduler's
+// rejects as scheme-unavailable.
+func (e *Engine) checkScheme(ar AdmissionRequest) (string, bool) {
+	if ar.Scheme == "" {
+		return "", true
+	}
+	s, err := core.ParseScheme(ar.Scheme)
+	if err != nil {
+		return ReasonInvalid, false
+	}
+	if s != e.sched.Scheme() {
+		return ReasonSchemeUnavailable, false
+	}
+	return "", true
+}
+
 // buildRequest materializes the core.Request under the given ID,
 // defaulting the arrival to the given slot.
 func (e *Engine) buildRequest(ar AdmissionRequest, id, slot int) core.Request {
@@ -567,6 +604,9 @@ func (e *Engine) decideLocked(ar AdmissionRequest) AdmissionResult {
 	if req.Arrival < e.slot {
 		return reject(ReasonStale)
 	}
+	if reason, ok := e.checkScheme(ar); !ok {
+		return reject(reason)
+	}
 	maxSlot := e.maxSlotLocked()
 	if req.End() > maxSlot {
 		return reject(ReasonHorizon)
@@ -600,6 +640,16 @@ func (e *Engine) decideLocked(ar AdmissionRequest) AdmissionResult {
 			return reject(ReasonOverbooked)
 		}
 		reserved = append(reserved, a)
+	}
+	if b := placement.Backup; b != nil {
+		// Shared scheme: join the pooled backup. The pool reserves the
+		// group's ledger row only for slots no other member covers yet.
+		if err := e.pool.Acquire(b.Group, b.Cloudlet, req.Arrival, req.Duration, demand); err != nil {
+			for _, r := range reserved {
+				_ = e.ledger.Release(r.Cloudlet, req.Arrival, req.Duration, r.Units(demand))
+			}
+			return reject(ReasonOverbooked)
+		}
 	}
 	e.recordAdmissionLocked(req, placement, e.slot)
 	e.recordOutcome(req, e.slot, trace.ReasonAdmitted, placement)
@@ -651,6 +701,9 @@ func (e *Engine) decideSharded(ctx context.Context, ar AdmissionRequest, id int,
 	}
 	if req.Arrival < slot {
 		return reject(ReasonStale), nil
+	}
+	if reason, ok := e.checkScheme(ar); !ok {
+		return reject(reason), nil
 	}
 	// In rolling mode the admissible window follows the base mirror; the
 	// ledger re-checks atomically at reservation time, so a stale read
@@ -706,9 +759,10 @@ func (e *Engine) decideSharded(ctx context.Context, ar AdmissionRequest, id int,
 	return reject(ReasonConflict), nil
 }
 
-// reserveAll reserves the placement's whole footprint, rolling back on the
-// first refusal. Each per-cloudlet reservation is atomic in the ledger;
-// the rollback makes the multi-cloudlet footprint all-or-nothing.
+// reserveAll reserves the placement's whole footprint — the assignments
+// plus any pooled shared backup — rolling back on the first refusal. Each
+// per-cloudlet reservation is atomic in the ledger; the rollback makes
+// the multi-cloudlet footprint all-or-nothing.
 func (e *Engine) reserveAll(req core.Request, placement core.Placement, demand int) bool {
 	reserved := placement.Assignments[:0:0]
 	for _, a := range placement.Assignments {
@@ -727,6 +781,14 @@ func (e *Engine) reserveAll(req core.Request, placement core.Placement, demand i
 		}
 		reserved = append(reserved, a)
 	}
+	if b := placement.Backup; b != nil {
+		if err := e.pool.Acquire(b.Group, b.Cloudlet, req.Arrival, req.Duration, demand); err != nil {
+			for _, r := range reserved {
+				_ = e.ledger.Release(r.Cloudlet, req.Arrival, req.Duration, r.Units(demand))
+			}
+			return false
+		}
+	}
 	return true
 }
 
@@ -742,6 +804,7 @@ func (e *Engine) recordAdmissionLocked(req core.Request, placement core.Placemen
 	}
 	e.expiry.Add(req.ID, req.Arrival, req.End())
 	e.admitted++
+	e.admittedByScheme[placement.Scheme]++
 	e.revenue += req.Payment
 	if e.runtime != nil {
 		e.watchAdmissionLocked(req, placement)
@@ -786,6 +849,13 @@ func (e *Engine) Tick() TickReport {
 				// reserved; a failure here would be an engine bug.
 				if err := e.ledger.Release(a.Cloudlet, rec.ReservedFrom, duration, a.Units(demandOf(rec.Request))); err != nil {
 					panic(fmt.Sprintf("serve: release placement %d: %v", id, err))
+				}
+			}
+			if b := rec.Placement.Backup; b != nil {
+				// Leave the backup group: the pool releases the group's
+				// ledger row on slots this was the last member covering.
+				if err := e.pool.Release(b.Group, rec.ReservedFrom, duration); err != nil {
+					panic(fmt.Sprintf("serve: release pooled backup of placement %d: %v", id, err))
 				}
 			}
 			rec.released = true
@@ -960,6 +1030,7 @@ func (e *Engine) Stats() Stats {
 		QueueCapacity:    e.queueCap,
 		Admitted:         e.admitted,
 		Expired:          e.expired,
+		AdmittedByScheme: make(map[string]uint64, len(e.admittedByScheme)),
 		Rejections:       make(map[string]uint64, len(e.rejections)),
 		ConflictRetries:  e.conflicts.Load(),
 		Revenue:          e.revenue,
@@ -982,6 +1053,9 @@ func (e *Engine) Stats() Stats {
 		}
 	} else {
 		s.QueueDepth = len(e.queue)
+	}
+	for scheme, n := range e.admittedByScheme {
+		s.AdmittedByScheme[scheme.String()] = n
 	}
 	for reason, n := range e.rejections {
 		s.Rejections[reason] = n.Load()

@@ -9,6 +9,7 @@ import (
 
 	"revnf/internal/core"
 	"revnf/internal/onsite"
+	"revnf/internal/shared"
 )
 
 // testNetwork is a two-cloudlet network where every request of the test
@@ -541,5 +542,103 @@ func TestEngineCanceledJobSkipped(t *testing.T) {
 	res := submit(t, e, AdmissionRequest{VNF: 0, Reliability: 0.9, Duration: 1, Payment: 5})
 	if !res.Admitted {
 		t.Fatalf("follow-up submission not admitted: %+v", res)
+	}
+}
+
+// withSharedScheduler swaps the default on-site scheduler for the shared
+// pd scheduler with the given pool size.
+func withSharedScheduler(t *testing.T, poolSize int) func(*Config) {
+	return func(cfg *Config) {
+		sched, err := shared.NewScheduler(cfg.Network, cfg.Horizon, shared.WithPoolSize(poolSize))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Scheduler = sched
+	}
+}
+
+func TestEngineSchemeGate(t *testing.T) {
+	e := newTestEngine(t, 20)
+	// An empty pin and a pin matching the scheduler's scheme both admit.
+	res := submit(t, e, AdmissionRequest{VNF: 0, Reliability: 0.9, Duration: 3, Payment: 10})
+	if !res.Admitted {
+		t.Fatalf("unpinned request not admitted: %+v", res)
+	}
+	res = submit(t, e, AdmissionRequest{VNF: 0, Reliability: 0.9, Duration: 3, Payment: 10, Scheme: "onsite"})
+	if !res.Admitted {
+		t.Fatalf("matching pin not admitted: %+v", res)
+	}
+	// Pinning a scheme the scheduler does not implement rejects without
+	// touching the scheduler.
+	for _, pin := range []string{"offsite", "shared"} {
+		res = submit(t, e, AdmissionRequest{VNF: 0, Reliability: 0.9, Duration: 3, Payment: 10, Scheme: pin})
+		if res.Admitted || res.Reason != ReasonSchemeUnavailable {
+			t.Errorf("pin %q: %+v, want scheme-unavailable", pin, res)
+		}
+	}
+	// An unparsable pin is a malformed request, not a capacity decision.
+	res = submit(t, e, AdmissionRequest{VNF: 0, Reliability: 0.9, Duration: 3, Payment: 10, Scheme: "raid1"})
+	if res.Admitted || res.Reason != ReasonInvalid {
+		t.Errorf("bogus pin: %+v, want invalid", res)
+	}
+	s := e.Stats()
+	if got := s.AdmittedByScheme["on-site"]; got != 2 {
+		t.Errorf("admitted_by_scheme[on-site] = %d, want 2", got)
+	}
+}
+
+// TestEnginePooledLifecycle drives shared-backup placements through the
+// full admit -> expire cycle and checks the pooled capacity drains: after
+// every member of a backup group expires, the cloudlets are back to full
+// capacity and a fresh wave of requests admits again.
+func TestEnginePooledLifecycle(t *testing.T) {
+	e := newTestEngine(t, 30, withSharedScheduler(t, 2))
+
+	admitOne := func() AdmissionResult {
+		res := submit(t, e, AdmissionRequest{VNF: 0, Reliability: 0.9, Duration: 3, Payment: 10})
+		if !res.Admitted {
+			t.Fatalf("shared request not admitted: %+v", res)
+		}
+		if res.Placement.Scheme != core.Shared || res.Placement.Backup == nil {
+			t.Fatalf("placement is not a shared-backup placement: %+v", res.Placement)
+		}
+		return res
+	}
+	first, second := admitOne(), admitOne()
+	if first.Placement.Backup.PoolSize != 2 {
+		t.Errorf("pool size = %d, want 2", first.Placement.Backup.PoolSize)
+	}
+	// Two members, pool size two, same slot: the scheduler may pool them
+	// into one group or open a second; either way each carries a group id.
+	if first.Placement.Backup.Group <= 0 || second.Placement.Backup.Group <= 0 {
+		t.Errorf("backup groups = %d, %d, want positive ids",
+			first.Placement.Backup.Group, second.Placement.Backup.Group)
+	}
+
+	// Advance past expiry: both placements release their primaries and
+	// leave their groups, so the pooled instances are freed too.
+	for e.Slot() < 5 {
+		e.Tick()
+	}
+	s := e.Stats()
+	if s.Expired != 2 || s.ActivePlacements != 0 {
+		t.Fatalf("stats expired/active = %d/%d, want 2/0", s.Expired, s.ActivePlacements)
+	}
+	for _, c := range e.Cloudlets() {
+		for off, free := range c.Residual {
+			if free != c.Capacity {
+				t.Errorf("cloudlet %d slot offset %d: residual %d, want full capacity %d",
+					c.ID, off, free, c.Capacity)
+			}
+		}
+	}
+
+	// The freed capacity is immediately reusable by a new group.
+	third := admitOne()
+	if third.Placement.Backup.PoolSize != 2 {
+		t.Errorf("post-drain pool size = %d, want 2", third.Placement.Backup.PoolSize)
+	}
+	if got := e.Stats().AdmittedByScheme["shared"]; got != 3 {
+		t.Errorf("admitted_by_scheme[shared] = %d, want 3", got)
 	}
 }

@@ -23,6 +23,18 @@ type placementDTO struct {
 	Scheme       string          `json:"scheme"`
 	Assignments  []assignmentDTO `json:"assignments"`
 	Availability float64         `json:"availability"`
+	// BackupGroup is present only for shared-scheme placements: the pooled
+	// backup instance this placement joined.
+	BackupGroup *backupGroupDTO `json:"backup_group,omitempty"`
+}
+
+// backupGroupDTO identifies a shared placement's pooled backup: the group
+// id, the cloudlet hosting the pooled instance, and the pool capacity k
+// the availability was validated against.
+type backupGroupDTO struct {
+	Group    int `json:"group"`
+	Cloudlet int `json:"cloudlet"`
+	PoolSize int `json:"pool_size"`
 }
 
 type decisionDTO struct {
@@ -56,6 +68,11 @@ type placementRecordDTO struct {
 type placementHealthDTO struct {
 	ID    int    `json:"id"`
 	State string `json:"state"`
+	// Scheme is the redundancy scheme the placement runs; BackupGroup is
+	// present for shared placements, tying the health account to the pooled
+	// backup whose failures it shares with its group peers.
+	Scheme      string          `json:"scheme,omitempty"`
+	BackupGroup *backupGroupDTO `json:"backup_group,omitempty"`
 	// Required is the request's reliability requirement R; Provisioned the
 	// availability promised at admission; Observed the delivered fraction
 	// of scored slots with live service.
@@ -190,13 +207,18 @@ func NewHandler(e *Engine) http.Handler {
 			writeError(w, http.StatusNotFound, string(trace.ReasonNotFound), fmt.Sprintf("no SLO account for placement %d", id))
 			return
 		}
-		state := ""
+		state, scheme := "", ""
+		var group *backupGroupDTO
 		if rec, ok := e.Placement(id); ok {
 			state = string(rec.State)
+			scheme = rec.Placement.Scheme.String()
+			group = toBackupGroupDTO(rec.Placement)
 		}
 		writeJSON(w, http.StatusOK, placementHealthDTO{
 			ID:                 entry.ID,
 			State:              state,
+			Scheme:             scheme,
+			BackupGroup:        group,
 			Required:           entry.Required,
 			Provisioned:        entry.Provisioned,
 			Observed:           entry.Observed(),
@@ -242,13 +264,18 @@ func NewHandler(e *Engine) http.Handler {
 			Slot int `json:"slot"`
 			// Horizon is the fixed T or the rolling window width; the live
 			// window is [window_base, window_base+horizon-1].
-			Horizon     int              `json:"horizon"`
-			HorizonMode string           `json:"horizon_mode"`
-			WindowBase  int              `json:"window_base"`
-			WindowSize  int              `json:"window_size"`
-			Cloudlets   []CloudletStatus `json:"cloudlets"`
+			Horizon     int    `json:"horizon"`
+			HorizonMode string `json:"horizon_mode"`
+			WindowBase  int    `json:"window_base"`
+			WindowSize  int    `json:"window_size"`
+			// AdmittedByScheme counts admissions per redundancy scheme over
+			// the engine's lifetime, keyed by scheme display name. Absent
+			// until the first admission.
+			AdmittedByScheme map[string]uint64 `json:"admitted_by_scheme,omitempty"`
+			Cloudlets        []CloudletStatus  `json:"cloudlets"`
 		}{Slot: e.Slot(), Horizon: e.Horizon(), HorizonMode: mode,
-			WindowBase: e.WindowBase(), WindowSize: e.Horizon(), Cloudlets: e.Cloudlets()})
+			WindowBase: e.WindowBase(), WindowSize: e.Horizon(),
+			AdmittedByScheme: e.Stats().AdmittedByScheme, Cloudlets: e.Cloudlets()})
 	})
 
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -279,7 +306,17 @@ func toPlacementDTO(n *core.Network, req core.Request, p core.Placement) *placem
 	for i, a := range p.Assignments {
 		dto.Assignments[i] = assignmentDTO{Cloudlet: a.Cloudlet, Instances: a.Instances}
 	}
+	dto.BackupGroup = toBackupGroupDTO(p)
 	return dto
+}
+
+// toBackupGroupDTO returns the pooled-backup view of a placement, nil for
+// dedicated schemes.
+func toBackupGroupDTO(p core.Placement) *backupGroupDTO {
+	if p.Backup == nil {
+		return nil
+	}
+	return &backupGroupDTO{Group: p.Backup.Group, Cloudlet: p.Backup.Cloudlet, PoolSize: p.Backup.PoolSize}
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -88,8 +88,23 @@ func (e *Engine) RepairStats() repair.Stats {
 // runtime. Caller holds e.mu.
 func (e *Engine) watchAdmissionLocked(req core.Request, placement core.Placement) {
 	rt := e.runtime
-	rt.injector.Watch(req.ID, req.VNF, req.Arrival, req.End(), placement.Assignments)
+	rt.injector.Watch(req.ID, req.VNF, req.Arrival, req.End(), watchedAssignments(placement))
 	rt.slo.Register(req.ID, req.Reliability, placement.Availability(e.network, req), req.Duration)
+}
+
+// watchedAssignments is the instance footprint the failure model tracks
+// for a placement: the assignments, plus — for shared placements — the
+// pooled backup instance, so backup-cloudlet failures surface in each
+// member's Alive set and trigger per-member re-placement (the group is
+// re-placed member by member, with the pool releasing the dead group's
+// row as the last member leaves).
+func watchedAssignments(p core.Placement) []core.Assignment {
+	if p.Backup == nil {
+		return p.Assignments
+	}
+	out := make([]core.Assignment, 0, len(p.Assignments)+1)
+	out = append(out, p.Assignments...)
+	return append(out, core.Assignment{Cloudlet: p.Backup.Cloudlet, Instances: 1})
 }
 
 // finalizeExpiredLocked closes a placement's runtime accounts when its
@@ -143,7 +158,7 @@ func (e *Engine) runtimeTickLocked() {
 		// provisioned under: repair restores the promised redundancy. (The
 		// estimator's learned rates are exported for observability and for
 		// rebuilding schedulers, not for second-guessing live footprints.)
-		_, meets := repair.Meets(e.network, rec.Request, ph.Alive, nil)
+		_, meets := repair.MeetsPlacement(e.network, rec.Request, rec.Placement, ph.Alive, nil)
 		act, opened := rt.ctrl.Observe(ph.ID, e.slot, meets)
 		if opened {
 			e.recordRuntimeEvent(ph.ID, e.slot, trace.ReasonFailed)
@@ -205,13 +220,21 @@ func (e *Engine) repairLocked(rec *PlacementRecord) bool {
 			panic("serve: repair release: " + err.Error())
 		}
 	}
+	if b := rec.Placement.Backup; b != nil {
+		// Leaving the old backup group: the pool drops the group's row on
+		// slots this member was the last to cover, so a group whose backup
+		// cloudlet died dissolves as its members are re-placed.
+		if err := e.pool.Release(b.Group, rec.ReservedFrom, oldDuration); err != nil {
+			panic("serve: repair pooled release: " + err.Error())
+		}
+	}
 	rec.Placement = placement
 	rec.ReservedFrom = e.slot
 	// Re-base the expiry index entry: the released old footprint no longer
 	// pins the rolling window open, so the base may advance past it on the
 	// next tick.
 	e.expiry.Add(rec.ID, rec.ReservedFrom, end)
-	rt.injector.Rewatch(rec.ID, placement.Assignments)
+	rt.injector.Rewatch(rec.ID, watchedAssignments(placement))
 	return true
 }
 

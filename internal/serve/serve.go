@@ -146,4 +146,8 @@ const (
 	// ReasonCanceled marks submissions abandoned because the caller's
 	// context ended (client disconnect or deadline) before a decision.
 	ReasonCanceled = string(trace.ReasonCanceled)
+	// ReasonSchemeUnavailable marks requests that pinned a redundancy
+	// scheme (the optional "scheme" payload field) different from the one
+	// the serving scheduler runs.
+	ReasonSchemeUnavailable = string(trace.ReasonSchemeUnavailable)
 )

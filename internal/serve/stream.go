@@ -250,6 +250,7 @@ func (s *StreamServer) serveConn(conn net.Conn, br *bufio.Reader, bw *bufio.Writ
 			Arrival:     wr.Arrival,
 			Duration:    wr.Duration,
 			Payment:     wr.Payment,
+			Scheme:      wr.Scheme,
 		})
 		// Close the batch at the cap, or as soon as the socket has nothing
 		// more buffered: batch size adapts to the offered load.

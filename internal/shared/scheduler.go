@@ -1,0 +1,615 @@
+// Package shared implements the shared-backup scheme: a primal-dual
+// admission algorithm in which each admitted request places one primary
+// instance in a cloudlet and joins a backup group — a single pooled backup
+// instance on a second cloudlet shared by up to k concurrently active
+// members.
+//
+// The scheme goes beyond the paper's two dedicated schemes (on-site and
+// off-site) following the backup-sharing literature cited in PAPERS.md: a
+// pooled backup is only as available as the probability it is free when
+// *this* member's active path fails, which the occupancy model of
+// core.SharedReliabilityK accounts for with a Binomial contender count.
+// Admission always prices and validates at full pool capacity k, so a
+// member admitted into a half-empty group can never be invalidated by
+// later joiners, and a singleton group is exactly a dedicated
+// two-cloudlet off-site placement.
+//
+// Pricing follows the primal-dual template of Algorithms 1–2: dual prices
+// λ_{tj} per (slot, cloudlet), a candidate (primary a, backup b) pair
+// costs the full primary demand on a plus the backup demand on b
+// amortized by 1/k — the pool's marginal footprint per expected member —
+// and the argmin pair is admitted when its cost is below the payment.
+// Commit applies the Eq. (34)-style update with the same unit counts
+// (full on the primary, 1/k on the backup), so a pooled backup inflates
+// its cloudlet's prices k times slower than a dedicated instance would:
+// the dual-price amortization argument of DESIGN.md §13.
+package shared
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"revnf/internal/core"
+	"revnf/internal/trace"
+)
+
+// Errors returned by the constructor.
+var (
+	ErrBadNetwork  = errors.New("shared: invalid network")
+	ErrBadHorizon  = errors.New("shared: invalid horizon")
+	ErrBadPoolSize = errors.New("shared: invalid pool size")
+)
+
+// groupKey identifies the pool a member may join: backup groups are
+// homogeneous in (backup cloudlet, VNF type) — same pooled instance
+// footprint and failure model — while members' primaries may sit on any
+// cloudlet, because availability is validated with peers contending at
+// the network-wide floor (core.SharedContentionFloor). Opening membership
+// to every primary is what makes pools actually fill: keying on the
+// primary too would fragment the m·|F| keys into m²·|F|.
+type groupKey struct {
+	backup, vnf int
+}
+
+// group tracks one backup group's membership for join decisions: the
+// per-slot count of concurrently active members (a member counts toward
+// every slot of its window) and the furthest slot any member covers.
+type group struct {
+	id  int
+	key groupKey
+	ref map[int]int // slot → concurrently active members; protected by Scheduler.mu
+	end int         // max covered slot; stale groups (end < arrival) are retired
+}
+
+// Scheduler is the shared-scheme primal-dual scheduler. It implements
+// core.TwoPhaseScheduler: Propose reads dual prices and group state under
+// the read lock without mutating anything; Commit applies the dual
+// updates and the group join under the write lock. ConcurrentPropose
+// reports false — a proposal carries a tentative group ID whose
+// uniqueness needs the Propose→Commit pairs serialized — so engines drive
+// it through their serial path.
+type Scheduler struct {
+	network  *core.Network
+	horizon  int
+	poolSize int
+	rel      *core.ReliabilityTable
+	// mu guards lambda, base, lstart, groups, open, and nextGroup:
+	// Propose reads, Commit and AdvanceWindow write.
+	mu sync.RWMutex
+	// lambda[j] is a ring of dual prices: λ_{tj} lives at ring index
+	// lstart + (t - base) mod horizon, exactly the off-site layout.
+	lambda [][]float64 // guarded by mu
+	base   int         // guarded by mu
+	lstart int         // guarded by mu
+	// groups holds the joinable backup groups; open indexes their IDs per
+	// key in ascending order (the join scan is deterministic).
+	groups    map[int]*group     // guarded by mu
+	open      map[groupKey][]int // guarded by mu
+	nextGroup int                // guarded by mu
+	name      string
+	rec       trace.Recorder
+}
+
+// Option configures the scheduler.
+type Option func(*Scheduler)
+
+// WithName overrides the reported algorithm name.
+func WithName(name string) Option {
+	return func(s *Scheduler) { s.name = name }
+}
+
+// WithRecorder injects the decision-trace sink Propose emits into. A nil
+// recorder keeps the no-op default. Tracing never changes decisions.
+func WithRecorder(r trace.Recorder) Option {
+	return func(s *Scheduler) {
+		if r != nil {
+			s.rec = r
+		}
+	}
+}
+
+// WithPoolSize sets the pool capacity k (default
+// core.DefaultSharedPoolSize): up to k members share one backup instance,
+// and every admission is validated at full k.
+func WithPoolSize(k int) Option {
+	return func(s *Scheduler) { s.poolSize = k }
+}
+
+// NewScheduler creates a shared-scheme scheduler.
+func NewScheduler(network *core.Network, horizon int, opts ...Option) (*Scheduler, error) {
+	if network == nil {
+		return nil, fmt.Errorf("%w: nil", ErrBadNetwork)
+	}
+	if err := network.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadNetwork, err)
+	}
+	if horizon < 1 {
+		return nil, fmt.Errorf("%w: %d", ErrBadHorizon, horizon)
+	}
+	rel, err := core.NewReliabilityTable(network)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadNetwork, err)
+	}
+	s := &Scheduler{
+		network:   network,
+		horizon:   horizon,
+		poolSize:  core.DefaultSharedPoolSize,
+		rel:       rel,
+		lambda:    make([][]float64, len(network.Cloudlets)),
+		groups:    make(map[int]*group),
+		open:      make(map[groupKey][]int),
+		nextGroup: 1,
+		name:      "pd-shared",
+		rec:       trace.Nop,
+		base:      1,
+	}
+	for j := range s.lambda {
+		s.lambda[j] = make([]float64, horizon)
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	if s.poolSize < 1 {
+		return nil, fmt.Errorf("%w: %d", ErrBadPoolSize, s.poolSize)
+	}
+	return s, nil
+}
+
+// Name implements core.Scheduler.
+func (s *Scheduler) Name() string { return s.name }
+
+// Scheme implements core.Scheduler.
+func (s *Scheduler) Scheme() core.Scheme { return core.Shared }
+
+// PoolSize returns the pool capacity k the scheduler admits against.
+func (s *Scheduler) PoolSize() int { return s.poolSize }
+
+// Lambda implements core.LambdaReader: the current dual price λ_{tj}, or
+// 0 for a slot outside the live window.
+func (s *Scheduler) Lambda(cloudlet, slot int) float64 {
+	if cloudlet < 0 || cloudlet >= len(s.lambda) {
+		return 0
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if slot < s.base || slot > s.base+s.horizon-1 {
+		return 0
+	}
+	return s.lambda[cloudlet][s.lidx(slot)]
+}
+
+// lidx maps an in-window absolute slot onto its λ ring index. Caller
+// holds mu (either side) and has range-checked slot.
+func (s *Scheduler) lidx(slot int) int {
+	i := s.lstart + (slot - s.base)
+	if i >= s.horizon {
+		i -= s.horizon
+	}
+	return i
+}
+
+// AdvanceWindow implements core.WindowAdvancer exactly as the off-site
+// scheduler does for λ, and additionally retires backup groups whose
+// coverage ended before the new base — they can never be joined by a
+// request arriving inside the window, and dropping them keeps group state
+// bounded in continuous operation.
+func (s *Scheduler) AdvanceWindow(base int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if base <= s.base {
+		return
+	}
+	retire := base - s.base
+	n := retire
+	if n > s.horizon {
+		n = s.horizon
+	}
+	for j := range s.lambda {
+		i := s.lstart
+		for k := 0; k < n; k++ {
+			s.lambda[j][i] = 0
+			if i++; i == s.horizon {
+				i = 0
+			}
+		}
+	}
+	s.lstart = (s.lstart + retire%s.horizon) % s.horizon
+	s.base = base
+	s.retireLocked(base)
+}
+
+// retireLocked drops groups whose last covered slot is before limit from
+// the join index. Caller holds the write lock.
+func (s *Scheduler) retireLocked(limit int) {
+	for id, g := range s.groups {
+		if g.end >= limit {
+			continue
+		}
+		delete(s.groups, id)
+		ids := s.open[g.key]
+		for i, oid := range ids {
+			if oid == id {
+				s.open[g.key] = append(ids[:i], ids[i+1:]...)
+				break
+			}
+		}
+		if len(s.open[g.key]) == 0 {
+			delete(s.open, g.key)
+		}
+	}
+}
+
+// joinInfo caches one backup cloudlet's join resolution within a single
+// Propose scan.
+type joinInfo struct {
+	resolved  bool
+	gid       int
+	isNew     bool
+	uncovered float64
+	ok        bool
+}
+
+// pairCandidate is one (primary, backup) pair surviving the filters.
+type pairCandidate struct {
+	primary, backup int
+	cost            float64
+	groupID         int  // group to join, or the tentative new-group ID
+	newGroup        bool // true when groupID would be freshly created
+}
+
+// better reports whether c should replace cur as the admitted pair:
+// strictly cheaper wins; on a cost tie a join beats opening a new group
+// (pooling is the scheme's whole capacity advantage, and the tie is the
+// common λ = 0 early regime), then lowest (primary, backup) for
+// determinism.
+func (c pairCandidate) better(cur pairCandidate, found bool) bool {
+	if !found || c.cost < cur.cost {
+		return true
+	}
+	if c.cost > cur.cost {
+		return false
+	}
+	if c.newGroup != cur.newGroup {
+		return !c.newGroup
+	}
+	if c.primary != cur.primary {
+		return c.primary < cur.primary
+	}
+	return c.backup < cur.backup
+}
+
+// Decide implements core.Scheduler: Propose immediately followed by
+// Commit.
+func (s *Scheduler) Decide(req core.Request, view core.CapacityView) (core.Placement, bool) {
+	p, ok := s.Propose(req, view)
+	if !ok {
+		return core.Placement{}, false
+	}
+	s.Commit(req, p)
+	return p, true
+}
+
+// Propose implements core.TwoPhaseScheduler: it scans every (primary,
+// backup) cloudlet pair that meets the requirement at full pool capacity,
+// prices each at full primary demand plus the backup's MARGINAL footprint
+// — dual prices only on the slots a joinable group does not already
+// cover, amortized by 1/k — and admits the cheapest pair whose cost is
+// under the payment. Marginal pricing is what makes the scheme pool in
+// practice: a pair with an overlapping group is almost free on the backup
+// side, so the argmin gravitates to existing groups instead of scattering
+// over untouched cloudlet pairs. Scheduler state is read under the read
+// lock and never mutated.
+func (s *Scheduler) Propose(req core.Request, view core.CapacityView) (core.Placement, bool) {
+	tracing := s.rec.Sample(req.ID)
+	vnf := s.network.Catalog[req.VNF]
+	demand := vnf.Demand
+	k := s.poolSize
+	var cands []trace.Candidate
+	if tracing {
+		cands = make([]trace.Candidate, len(s.network.Cloudlets))
+		for j := range cands {
+			cands[j] = trace.Candidate{Cloudlet: j, Skip: trace.SkipReliability}
+		}
+	}
+	s.mu.RLock()
+	if req.Arrival < s.base || req.End() > s.base+s.horizon-1 {
+		s.mu.RUnlock()
+		if tracing {
+			s.recordHorizon(req)
+		}
+		return core.Placement{}, false
+	}
+	// Per-cloudlet dual-price sums over the window, computed once and
+	// reused for every pair.
+	sums := make([]float64, len(s.network.Cloudlets))
+	for j := range s.network.Cloudlets {
+		sum := 0.0
+		i := s.lidx(req.Arrival)
+		for t := req.Arrival; t <= req.End(); t++ {
+			sum += s.lambda[j][i]
+			if i++; i == s.horizon {
+				i = 0
+			}
+		}
+		sums[j] = sum
+	}
+	best := pairCandidate{primary: -1, backup: -1}
+	found := false
+	anyFeasible := false
+	anyCapacity := false
+	// Join info depends only on the backup cloudlet; resolve each lazily
+	// and share it across every primary.
+	joins := make([]joinInfo, len(s.network.Cloudlets))
+	for a := range s.network.Cloudlets {
+		primaryOK := view.ResidualWindow(a, req.Arrival, req.Duration) >= demand
+		bestForA := -1.0
+		for b := range s.network.Cloudlets {
+			if !s.rel.SharedFeasible(req.VNF, a, b, k, req.Reliability) {
+				continue
+			}
+			anyFeasible = true
+			if tracing && cands[a].Skip == trace.SkipReliability {
+				cands[a] = trace.Candidate{Cloudlet: a, Instances: 1}
+			}
+			if !primaryOK {
+				continue
+			}
+			if !joins[b].resolved {
+				joins[b].gid, joins[b].isNew, joins[b].uncovered, joins[b].ok =
+					s.joinableLocked(groupKey{b, req.VNF}, req, view, demand)
+				joins[b].resolved = true
+			}
+			gid, isNew, uncovered, ok := joins[b].gid, joins[b].isNew, joins[b].uncovered, joins[b].ok
+			if !ok {
+				continue
+			}
+			anyCapacity = true
+			// Cost: full primary units on a, backup units only on the
+			// slots the group does not already cover, amortized over the
+			// pool capacity.
+			cost := float64(demand)*sums[a] + float64(demand)*uncovered/float64(k)
+			if tracing && (bestForA < 0 || cost < bestForA) {
+				bestForA = cost
+				cands[a].DualCost = cost
+				cands[a].Skip = ""
+				cands[a].Residual = view.ResidualWindow(a, req.Arrival, req.Duration)
+			}
+			cand := pairCandidate{primary: a, backup: b, cost: cost, groupID: gid, newGroup: isNew}
+			if cand.better(best, found) {
+				best = cand
+				found = true
+			}
+		}
+		if tracing && bestForA < 0 && cands[a].Skip == "" {
+			cands[a].Skip = trace.SkipCapacity
+		}
+	}
+	s.mu.RUnlock()
+	admit := found && req.Payment-best.cost > 0
+	if tracing {
+		s.recordPropose(req, cands, best, found, anyFeasible, anyCapacity, admit)
+	}
+	if !admit {
+		return core.Placement{}, false
+	}
+	return core.Placement{
+		Request:     req.ID,
+		Scheme:      core.Shared,
+		Assignments: []core.Assignment{{Cloudlet: best.primary, Instances: 1}},
+		Backup: &core.SharedBackup{
+			Group:    best.groupID,
+			Cloudlet: best.backup,
+			PoolSize: k,
+		},
+	}, true
+}
+
+// joinableLocked finds the group the request would join for the key, or
+// proposes a fresh group ID. A group is joinable when every slot of the
+// request's window has fewer than k concurrently active members and the
+// slots the group does not already cover have marginal backup capacity.
+// Opening a new group needs backup capacity over the whole window. The
+// returned uncovered value is the backup cloudlet's dual-price sum over
+// the slots the chosen group does not cover (the whole window for a new
+// group) — the marginal footprint the pair is priced by. Among joinable
+// groups the one with the cheapest marginal footprint wins. Caller holds
+// mu (read side).
+func (s *Scheduler) joinableLocked(key groupKey, req core.Request, view core.CapacityView, demand int) (id int, isNew bool, uncovered float64, ok bool) {
+	bestGid, bestSum, foundJoin := 0, 0.0, false
+	for _, gid := range s.open[key] {
+		g := s.groups[gid]
+		if g.end < req.Arrival {
+			// Stale group: never joinable by an in-order arrival stream;
+			// Commit retires these lazily.
+			continue
+		}
+		fits := true
+		sum := 0.0
+		i := s.lidx(req.Arrival)
+		for t := req.Arrival; t <= req.End() && fits; t++ {
+			switch {
+			case g.ref[t] >= s.poolSize:
+				fits = false
+			case g.ref[t] == 0:
+				if view.Residual(key.backup, t) < demand {
+					fits = false
+				}
+				sum += s.lambda[key.backup][i]
+			}
+			if i++; i == s.horizon {
+				i = 0
+			}
+		}
+		if fits && (!foundJoin || sum < bestSum) {
+			bestGid, bestSum, foundJoin = gid, sum, true
+		}
+	}
+	if foundJoin {
+		return bestGid, false, bestSum, true
+	}
+	if view.ResidualWindow(key.backup, req.Arrival, req.Duration) < demand {
+		return 0, false, 0, false
+	}
+	sum := 0.0
+	i := s.lidx(req.Arrival)
+	for t := req.Arrival; t <= req.End(); t++ {
+		sum += s.lambda[key.backup][i]
+		if i++; i == s.horizon {
+			i = 0
+		}
+	}
+	return s.nextGroup, true, sum, true
+}
+
+// recordHorizon emits the trace for a request rejected before the
+// candidate scan.
+func (s *Scheduler) recordHorizon(req core.Request) {
+	dt := trace.NewDecision(req, s.name, core.Shared.String())
+	dt.Attempts = []trace.ProposeTrace{{
+		Scheduler: s.name, Scheme: core.Shared.String(),
+		BestCloudlet: -1, Payment: req.Payment, Reason: trace.ReasonHorizon,
+	}}
+	s.rec.Record(dt)
+}
+
+// recordPropose emits the trace for one completed evaluation. Candidates
+// are indexed by primary cloudlet; each carries the cheapest pair cost
+// found for that primary.
+func (s *Scheduler) recordPropose(req core.Request, cands []trace.Candidate,
+	best pairCandidate, found, anyFeasible, anyCapacity, admit bool) {
+	pt := trace.ProposeTrace{
+		Scheduler:    s.name,
+		Scheme:       core.Shared.String(),
+		Candidates:   cands,
+		BestCloudlet: -1,
+		Payment:      req.Payment,
+		Admit:        admit,
+	}
+	if found {
+		pt.BestCloudlet = best.primary
+		pt.BestCost = best.cost
+	}
+	if !admit {
+		switch {
+		case !anyFeasible, !anyCapacity:
+			pt.Reason = trace.ReasonNoFeasibleCloudlet
+		default:
+			pt.Reason = trace.ReasonPricedOut
+		}
+	} else {
+		cands[best.primary].Chosen = true
+	}
+	dt := trace.NewDecision(req, s.name, core.Shared.String())
+	dt.Attempts = []trace.ProposeTrace{pt}
+	if admit {
+		dt.Assignments = []core.Assignment{{Cloudlet: best.primary, Instances: 1}}
+	}
+	s.rec.Record(dt)
+}
+
+// Commit implements core.TwoPhaseScheduler: it joins (or creates) the
+// proposal's backup group and applies the amortized dual updates under
+// the write lock. The update is the Eq. (34) form with units = c(f) on
+// the primary over the whole window, and units = c(f)/k on the backup
+// over only the slots this member newly covered — slots the group already
+// held consumed no new capacity, so their prices must not move, or joins
+// would be overpriced relative to the footprint they actually take:
+//
+//	λ := λ·(1 + units/cap) + units·pay/(d·cap)
+func (s *Scheduler) Commit(req core.Request, p core.Placement) {
+	if len(p.Assignments) != 1 || p.Backup == nil {
+		return
+	}
+	primary := p.Assignments[0].Cloudlet
+	backup := p.Backup.Cloudlet
+	demand := float64(s.network.Catalog[req.VNF].Demand)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	covered := s.joinGroupLocked(groupKey{backup, req.VNF}, p.Backup.Group, req)
+	s.retireLocked(req.Arrival)
+	lo, hi := req.Arrival, req.End()
+	if lo < s.base {
+		lo = s.base
+	}
+	if max := s.base + s.horizon - 1; hi > max {
+		hi = max
+	}
+	if lo > hi {
+		return
+	}
+	s.bumpLocked(primary, demand, req, lo, hi, nil)
+	s.bumpLocked(backup, demand/float64(s.poolSize), req, lo, hi, covered)
+}
+
+// bumpLocked applies the dual update for units on one cloudlet's window.
+// A non-nil slots set restricts the update to those slots within the
+// clamped range. Caller holds the write lock and has clamped [lo, hi] to
+// the live window.
+func (s *Scheduler) bumpLocked(cloudlet int, units float64, req core.Request, lo, hi int, slots map[int]bool) {
+	capj := float64(s.network.Cloudlets[cloudlet].Capacity)
+	growth := 1 + units/capj
+	additive := units * req.Payment / (float64(req.Duration) * capj)
+	i := s.lidx(lo)
+	for t := lo; t <= hi; t++ {
+		if slots == nil || slots[t] {
+			s.lambda[cloudlet][i] = s.lambda[cloudlet][i]*growth + additive
+		}
+		if i++; i == s.horizon {
+			i = 0
+		}
+	}
+}
+
+// joinGroupLocked records the request's membership: joining increments
+// the per-slot active counts of the existing group; a tentative new ID
+// creates the group. It returns the set of slots this member newly
+// covered (refcount 0 → 1) — the slots whose backup capacity the member
+// actually consumed, which Commit restricts the backup dual update to. A
+// tentative ID that no longer matches (a foreign group appeared under it,
+// which serialized Propose→Commit pairs never produce) falls back to a
+// fresh ID — the placement's recorded group then differs from scheduler
+// bookkeeping, which only affects future join density, never
+// availability. Caller holds the write lock.
+func (s *Scheduler) joinGroupLocked(key groupKey, gid int, req core.Request) map[int]bool {
+	g, ok := s.groups[gid]
+	if ok && g.key != key {
+		g, ok = nil, false
+		gid = s.nextGroup
+	}
+	if !ok {
+		g = &group{id: gid, key: key, ref: make(map[int]int)}
+		s.groups[gid] = g
+		ids := s.open[key]
+		pos := sort.SearchInts(ids, gid)
+		ids = append(ids, 0)
+		copy(ids[pos+1:], ids[pos:])
+		ids[pos] = gid
+		s.open[key] = ids
+		if gid >= s.nextGroup {
+			s.nextGroup = gid + 1
+		}
+	}
+	covered := make(map[int]bool, req.Duration)
+	for t := req.Arrival; t <= req.End(); t++ {
+		if g.ref[t] == 0 {
+			covered[t] = true
+		}
+		g.ref[t]++
+	}
+	if req.End() > g.end {
+		g.end = req.End()
+	}
+	return covered
+}
+
+// Abort implements core.TwoPhaseScheduler. Propose acquires nothing, so
+// aborting a proposal is a no-op.
+func (s *Scheduler) Abort(core.Request, core.Placement) {}
+
+// ConcurrentPropose implements core.TwoPhaseScheduler: false — proposals
+// carry tentative group IDs whose uniqueness requires the Propose→Commit
+// pairs to be serialized, so engines must drive this scheduler through
+// their serial path.
+func (s *Scheduler) ConcurrentPropose() bool { return false }

@@ -103,6 +103,9 @@ func Run(inst *workload.Instance, sched core.Scheduler, opts ...Option) (*Result
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadInstance, err)
 	}
+	// Shared-scheme backup groups hold pooled, refcounted capacity: the
+	// pool reserves a group's row once per slot regardless of membership.
+	pool := timeslot.NewPool(ledger)
 	result := &Result{
 		Algorithm: sched.Name(),
 		Scheme:    sched.Scheme(),
@@ -148,6 +151,16 @@ func Run(inst *workload.Instance, sched core.Scheduler, opts ...Option) (*Result
 			}
 			if err != nil {
 				return nil, fmt.Errorf("simulate: reserve for request %d: %w", req.ID, err)
+			}
+		}
+		if b := placement.Backup; b != nil {
+			units := inst.Network.Catalog[inst.Trace[placement.Request].VNF].Demand
+			if err := pool.Acquire(b.Group, b.Cloudlet, req.Arrival, req.Duration, units); err != nil {
+				if errors.Is(err, timeslot.ErrOverCapacity) && !cfg.allowViolations {
+					return nil, fmt.Errorf("%w: %q request %d backup group %d on cloudlet %d: %v",
+						ErrSchedulerOverbooked, sched.Name(), req.ID, b.Group, b.Cloudlet, err)
+				}
+				return nil, fmt.Errorf("simulate: pooled reserve for request %d: %w", req.ID, err)
 			}
 		}
 		if twoPhase != nil {

@@ -1,0 +1,175 @@
+package timeslot
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Pool errors.
+var (
+	// ErrUnknownGroup reports a Release (or query) against a group the
+	// pool is not holding capacity for.
+	ErrUnknownGroup = errors.New("timeslot: unknown backup group")
+	// ErrPoolMismatch reports an Acquire whose cloudlet or units disagree
+	// with the group's recorded footprint.
+	ErrPoolMismatch = errors.New("timeslot: acquire does not match group footprint")
+	// ErrNotCovered reports a Release over slots the group holds no
+	// member references for.
+	ErrNotCovered = errors.New("timeslot: release of uncovered slot")
+)
+
+// Pool layers reference-counted group reservations over a Ledger for the
+// shared-backup scheme: a backup group's row (units computing units on one
+// cloudlet) is reserved in the ledger exactly once per slot regardless of
+// how many members' windows cover that slot, and released only when the
+// last covering member leaves. Per (group, slot) the pool keeps a refcount
+// word; the ledger transition happens on the 0→1 edge of Acquire and the
+// 1→0 edge of Release, so the conservation invariant is
+//
+//	ledger units held for group g at slot t = units(g) · [refcount(g,t) > 0]
+//
+// (tested against a model map in pool_test.go). A failed Acquire rolls its
+// partial ledger reservations back and leaves the pool unchanged, so every
+// member either holds its whole window or nothing — the same all-or-
+// nothing contract ReserveWindow gives dedicated placements.
+//
+// The pool serializes itself with one mutex and calls into the ledger
+// (which takes per-row locks) while holding it; nothing calls back into
+// the pool from the ledger, so the order pool.mu → ledger row is acyclic.
+// In rolling mode the engine releases expired members before advancing the
+// ledger, so retired slots have always drained their pooled rows.
+type Pool struct {
+	led *Ledger
+
+	mu     sync.Mutex
+	groups map[int]*poolGroup // guarded by mu
+}
+
+// poolGroup is one backup group's footprint: the hosting cloudlet, the
+// per-slot units of its single pooled instance, and the member refcount
+// per covered slot.
+type poolGroup struct {
+	cloudlet int
+	units    int
+	ref      map[int]int // slot → covering members; protected by Pool.mu
+}
+
+// NewPool returns a pool over the ledger. The ledger must be non-nil; the
+// pool holds no capacity until the first Acquire.
+func NewPool(led *Ledger) *Pool {
+	return &Pool{led: led, groups: make(map[int]*poolGroup)}
+}
+
+// Acquire joins one member (window [start, start+duration-1], per-slot
+// units) to the group, creating the group on first use. Slots already
+// covered by other members only gain a reference; uncovered slots are
+// reserved in the ledger, and a refused reservation rolls back every slot
+// this call reserved and returns the ledger's error (ErrOverCapacity,
+// ErrBadSlot, ...) with the pool unchanged.
+func (p *Pool) Acquire(group, cloudlet, start, duration, units int) error {
+	if duration < 1 {
+		return fmt.Errorf("%w: duration %d", ErrBadSlot, duration)
+	}
+	if units < 1 {
+		return fmt.Errorf("%w: %d", ErrBadUnits, units)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	g, ok := p.groups[group]
+	if !ok {
+		g = &poolGroup{cloudlet: cloudlet, units: units, ref: make(map[int]int)}
+	} else if g.cloudlet != cloudlet || g.units != units {
+		return fmt.Errorf("%w: group %d is %d units on cloudlet %d, acquire wants %d on %d",
+			ErrPoolMismatch, group, g.units, g.cloudlet, units, cloudlet)
+	}
+	// Reserve the uncovered slots one at a time so a mid-window refusal
+	// can roll back exactly what this call took.
+	reserved := make([]int, 0, duration)
+	for t := start; t < start+duration; t++ {
+		if g.ref[t] > 0 {
+			continue
+		}
+		if err := p.led.Reserve(cloudlet, t, 1, units); err != nil {
+			for _, rt := range reserved {
+				if rerr := p.led.Release(cloudlet, rt, 1, units); rerr != nil {
+					panic(fmt.Sprintf("timeslot: pool rollback failed: %v", rerr))
+				}
+			}
+			return err
+		}
+		reserved = append(reserved, t)
+	}
+	for t := start; t < start+duration; t++ {
+		g.ref[t]++
+	}
+	p.groups[group] = g
+	return nil
+}
+
+// Release drops one member's references over [start, start+duration-1].
+// Slots whose refcount reaches zero release their ledger reservation; the
+// group itself is dropped when its last reference goes. Releasing a slot
+// the group does not cover returns ErrNotCovered with the already-
+// processed prefix undone, so a failed Release is also all-or-nothing.
+func (p *Pool) Release(group, start, duration int) error {
+	if duration < 1 {
+		return fmt.Errorf("%w: duration %d", ErrBadSlot, duration)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	g, ok := p.groups[group]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownGroup, group)
+	}
+	for t := start; t < start+duration; t++ {
+		if g.ref[t] < 1 {
+			for rt := start; rt < t; rt++ {
+				g.ref[rt]++
+			}
+			return fmt.Errorf("%w: group %d slot %d", ErrNotCovered, group, t)
+		}
+		g.ref[t]--
+	}
+	for t := start; t < start+duration; t++ {
+		if g.ref[t] > 0 {
+			continue
+		}
+		delete(g.ref, t)
+		if err := p.led.Release(g.cloudlet, t, 1, g.units); err != nil {
+			panic(fmt.Sprintf("timeslot: pool release desynced from ledger: %v", err))
+		}
+	}
+	if len(g.ref) == 0 {
+		delete(p.groups, group)
+	}
+	return nil
+}
+
+// Covered reports whether the group holds the slot for at least one
+// member (and therefore holds ledger capacity there).
+func (p *Pool) Covered(group, slot int) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	g, ok := p.groups[group]
+	return ok && g.ref[slot] > 0
+}
+
+// Refs returns the member refcount of the group at the slot (0 when the
+// group or slot is unknown). Tests use it to audit conservation.
+func (p *Pool) Refs(group, slot int) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	g, ok := p.groups[group]
+	if !ok {
+		return 0
+	}
+	return g.ref[slot]
+}
+
+// Groups returns the number of groups currently holding capacity.
+func (p *Pool) Groups() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.groups)
+}

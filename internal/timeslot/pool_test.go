@@ -1,0 +1,217 @@
+package timeslot
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// poolModel mirrors the pool's semantics with naive maps: per group a
+// multiset of member windows, from which coverage (and thus the expected
+// ledger usage) is recomputed from scratch after every operation.
+type poolModel struct {
+	units    int
+	cloudlet int
+	members  map[int][][2]int // group → member windows [start, end]
+}
+
+func (m *poolModel) refs(group, slot int) int {
+	n := 0
+	for _, w := range m.members[group] {
+		if slot >= w[0] && slot <= w[1] {
+			n++
+		}
+	}
+	return n
+}
+
+func (m *poolModel) usedAt(slot int) int {
+	used := 0
+	for g := range m.members {
+		if m.refs(g, slot) > 0 {
+			used += m.units
+		}
+	}
+	return used
+}
+
+// TestPoolRefcountConservation drives random acquire/release against the
+// model: after every operation the ledger's used units on the pool
+// cloudlet must equal units · (number of groups covering the slot), and
+// refcounts must match the model exactly.
+func TestPoolRefcountConservation(t *testing.T) {
+	const (
+		horizon  = 40
+		capacity = 50
+		units    = 2
+		groups   = 5
+	)
+	led, err := New([]int{capacity}, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := NewPool(led)
+	model := &poolModel{units: units, cloudlet: 0, members: map[int][][2]int{}}
+	rng := rand.New(rand.NewSource(99))
+	for op := 0; op < 400; op++ {
+		group := 1 + rng.Intn(groups)
+		start := 1 + rng.Intn(horizon-5)
+		duration := 1 + rng.Intn(5)
+		if rng.Intn(2) == 0 || len(model.members[group]) == 0 {
+			err := pool.Acquire(group, 0, start, duration, units)
+			if err != nil {
+				t.Fatalf("op %d: acquire group %d [%d,+%d): %v", op, group, start, duration, err)
+			}
+			model.members[group] = append(model.members[group], [2]int{start, start + duration - 1})
+		} else {
+			// Release a random existing member's exact window.
+			ws := model.members[group]
+			i := rng.Intn(len(ws))
+			w := ws[i]
+			if err := pool.Release(group, w[0], w[1]-w[0]+1); err != nil {
+				t.Fatalf("op %d: release group %d %v: %v", op, group, w, err)
+			}
+			model.members[group] = append(ws[:i], ws[i+1:]...)
+			if len(model.members[group]) == 0 {
+				delete(model.members, group)
+			}
+		}
+		for slot := 1; slot <= horizon; slot++ {
+			if got, want := led.Used(0, slot), model.usedAt(slot); got != want {
+				t.Fatalf("op %d slot %d: ledger used %d, model %d", op, slot, got, want)
+			}
+			for g := 1; g <= groups; g++ {
+				if got, want := pool.Refs(g, slot), model.refs(g, slot); got != want {
+					t.Fatalf("op %d group %d slot %d: refs %d, model %d", op, g, slot, got, want)
+				}
+			}
+		}
+	}
+	// Drain everything: the ledger must return to zero and the pool to no
+	// groups.
+	for g, ws := range model.members {
+		for _, w := range ws {
+			if err := pool.Release(g, w[0], w[1]-w[0]+1); err != nil {
+				t.Fatalf("drain group %d %v: %v", g, w, err)
+			}
+		}
+	}
+	if pool.Groups() != 0 {
+		t.Fatalf("pool still holds %d groups after drain", pool.Groups())
+	}
+	for slot := 1; slot <= horizon; slot++ {
+		if led.Used(0, slot) != 0 {
+			t.Fatalf("slot %d not drained: %d units", slot, led.Used(0, slot))
+		}
+	}
+}
+
+// TestPoolSharing pins the whole point: two members with overlapping
+// windows cost the ledger one reservation on the overlap.
+func TestPoolSharing(t *testing.T) {
+	led, err := New([]int{10}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := NewPool(led)
+	if err := pool.Acquire(1, 0, 1, 10, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.Acquire(1, 0, 5, 10, 3); err != nil {
+		t.Fatal(err)
+	}
+	for slot := 1; slot <= 14; slot++ {
+		if got := led.Used(0, slot); got != 3 {
+			t.Fatalf("slot %d: used %d, want 3 (one pooled instance)", slot, got)
+		}
+	}
+	if !pool.Covered(1, 5) || pool.Covered(1, 15) {
+		t.Fatal("coverage bounds wrong")
+	}
+	// First member leaves: [1,4] drains, overlap stays.
+	if err := pool.Release(1, 1, 10); err != nil {
+		t.Fatal(err)
+	}
+	if led.Used(0, 1) != 0 || led.Used(0, 10) != 3 || led.Used(0, 14) != 3 {
+		t.Fatalf("partial release wrong: used(1)=%d used(10)=%d used(14)=%d",
+			led.Used(0, 1), led.Used(0, 10), led.Used(0, 14))
+	}
+	if err := pool.Release(1, 5, 10); err != nil {
+		t.Fatal(err)
+	}
+	if pool.Groups() != 0 || led.Used(0, 10) != 0 {
+		t.Fatal("group not fully drained")
+	}
+}
+
+// TestPoolAcquireRollback checks a refused mid-window reservation leaves
+// both the ledger and the pool untouched.
+func TestPoolAcquireRollback(t *testing.T) {
+	led, err := New([]int{4}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill slot 6 so a [4,8] acquire fails halfway.
+	if err := led.Reserve(0, 6, 1, 3); err != nil {
+		t.Fatal(err)
+	}
+	pool := NewPool(led)
+	err = pool.Acquire(7, 0, 4, 5, 2)
+	if !errors.Is(err, ErrOverCapacity) {
+		t.Fatalf("err = %v, want ErrOverCapacity", err)
+	}
+	for slot := 1; slot <= 10; slot++ {
+		want := 0
+		if slot == 6 {
+			want = 3
+		}
+		if got := led.Used(0, slot); got != want {
+			t.Fatalf("slot %d: used %d, want %d after rollback", slot, got, want)
+		}
+	}
+	if pool.Groups() != 0 {
+		t.Fatal("failed acquire left a group behind")
+	}
+}
+
+// TestPoolErrors pins the error surface: group mismatches, unknown
+// groups, uncovered releases (with prefix restore), and bad arguments.
+func TestPoolErrors(t *testing.T) {
+	led, err := New([]int{10, 10}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := NewPool(led)
+	if err := pool.Acquire(1, 0, 1, 5, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.Acquire(1, 1, 6, 2, 2); !errors.Is(err, ErrPoolMismatch) {
+		t.Fatalf("cloudlet mismatch err = %v", err)
+	}
+	if err := pool.Acquire(1, 0, 6, 2, 3); !errors.Is(err, ErrPoolMismatch) {
+		t.Fatalf("units mismatch err = %v", err)
+	}
+	if err := pool.Release(2, 1, 5); !errors.Is(err, ErrUnknownGroup) {
+		t.Fatalf("unknown group err = %v", err)
+	}
+	// Release sliding past coverage: [3,7] covers only [3,5]; the failed
+	// call must restore refs on [3,5].
+	if err := pool.Release(1, 3, 5); !errors.Is(err, ErrNotCovered) {
+		t.Fatalf("uncovered release err = %v", err)
+	}
+	if pool.Refs(1, 3) != 1 || pool.Refs(1, 5) != 1 {
+		t.Fatal("failed release did not restore refcounts")
+	}
+	if err := pool.Release(1, 1, 5); err != nil {
+		t.Fatalf("exact release after failed attempt: %v", err)
+	}
+	if err := pool.Acquire(1, 0, 1, 0, 2); !errors.Is(err, ErrBadSlot) {
+		t.Fatalf("zero duration err = %v", err)
+	}
+	if err := pool.Acquire(1, 0, 1, 2, 0); !errors.Is(err, ErrBadUnits) {
+		t.Fatalf("zero units err = %v", err)
+	}
+	if err := pool.Release(1, 1, 0); !errors.Is(err, ErrBadSlot) {
+		t.Fatalf("zero duration release err = %v", err)
+	}
+}

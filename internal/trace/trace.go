@@ -95,6 +95,10 @@ const (
 	// ReasonCanceled marks submissions abandoned because the client's
 	// context was canceled (disconnect or deadline) before a decision.
 	ReasonCanceled Reason = "canceled"
+	// ReasonSchemeUnavailable marks requests that pinned a redundancy
+	// scheme the serving scheduler does not run (the optional "scheme"
+	// field of the ingest payloads).
+	ReasonSchemeUnavailable Reason = "scheme-unavailable"
 	// ReasonNotFound is the envelope code for lookups of unknown IDs.
 	ReasonNotFound Reason = "not-found"
 	// ReasonInternal is the envelope code for server-side failures.

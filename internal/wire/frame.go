@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"math"
+
+	"revnf/internal/core"
 )
 
 // Binary framing. A connection opens with a 5-byte preamble — the ASCII
@@ -22,11 +24,17 @@ import (
 // Frame types:
 //
 //	FrameRequest  (client→server): u32 vnf, u32 arrival, u32 duration,
-//	                               f64 reliability, f64 payment  (28 bytes)
+//	                               f64 reliability, f64 payment,
+//	                               u8 scheme (v2)     (28 or 29 bytes)
 //	FrameDecision (server→client): u64 id, u32 slot, u8 flags (bit0 =
 //	                               admitted), u8 reason code    (14 bytes)
 //	FrameError    (server→client): u16 status code, u8 reason code,
 //	                               u16 detail length, detail bytes
+//
+// Protocol v2 appended a trailing scheme byte to FrameRequest: the
+// core.Scheme value the request pins, 0 for no preference. Decoders
+// accept both payload sizes, so v1 senders keep working against v2
+// servers (their requests simply carry no scheme pin).
 //
 // A FrameError is terminal: the server sends one and closes the
 // connection.
@@ -34,7 +42,10 @@ const (
 	// Magic opens every binary-framed connection.
 	Magic = "RVNF"
 	// Version is the current protocol version carried after the magic.
-	Version = 1
+	// Version 1 preambles are still accepted: the only v2 change is the
+	// optional request scheme byte, which the request decoder detects by
+	// payload size.
+	Version = 2
 
 	// FrameRequest carries one admission request.
 	FrameRequest = 0x01
@@ -46,11 +57,12 @@ const (
 	// MaxFrameSize bounds the length prefix (type byte + payload).
 	MaxFrameSize = 1 << 16
 
-	preambleSize        = 5
-	headerSize          = 5 // u32 length + u8 type
-	requestPayloadSize  = 28
-	decisionPayloadSize = 14
-	errorHeaderSize     = 5 // u16 code + u8 reason + u16 detail length
+	preambleSize         = 5
+	headerSize           = 5 // u32 length + u8 type
+	requestPayloadSizeV1 = 28
+	requestPayloadSize   = 29 // v1 payload + u8 scheme
+	decisionPayloadSize  = 14
+	errorHeaderSize      = 5 // u16 code + u8 reason + u16 detail length
 
 )
 
@@ -89,7 +101,9 @@ func ReadPreamble(r io.Reader) error {
 	if string(p[:4]) != Magic {
 		return ErrBadMagic
 	}
-	if p[4] != Version {
+	// v1 connections are accepted unchanged: every v1 frame is also a
+	// valid v2 frame (the request scheme byte is optional).
+	if p[4] != Version && p[4] != 1 {
 		return fmt.Errorf("%w: %d", ErrBadVersion, p[4])
 	}
 	return nil
@@ -137,18 +151,28 @@ func (fr *FrameReader) Next() (frameType byte, payload []byte, err error) {
 	return frameType, payload, nil
 }
 
-// DecodeRequest decodes a FrameRequest payload into req. Zero heap
+// DecodeRequest decodes a FrameRequest payload into req, accepting both
+// the 28-byte v1 layout (no scheme pin) and the 29-byte v2 layout whose
+// trailing byte is the pinned core.Scheme value (0 for none). Zero heap
 // allocations.
 func DecodeRequest(payload []byte, req *Request) error {
-	if len(payload) != requestPayloadSize {
-		return fmt.Errorf("%w: request payload %d bytes, want %d",
-			ErrBadPayload, len(payload), requestPayloadSize)
+	if len(payload) != requestPayloadSizeV1 && len(payload) != requestPayloadSize {
+		return fmt.Errorf("%w: request payload %d bytes, want %d or %d",
+			ErrBadPayload, len(payload), requestPayloadSizeV1, requestPayloadSize)
 	}
 	req.VNF = int(binary.LittleEndian.Uint32(payload[0:4]))
 	req.Arrival = int(binary.LittleEndian.Uint32(payload[4:8]))
 	req.Duration = int(binary.LittleEndian.Uint32(payload[8:12]))
 	req.Reliability = math.Float64frombits(binary.LittleEndian.Uint64(payload[12:20]))
 	req.Payment = math.Float64frombits(binary.LittleEndian.Uint64(payload[20:28]))
+	req.Scheme = ""
+	if len(payload) == requestPayloadSize && payload[28] != 0 {
+		s := core.Scheme(payload[28])
+		if !s.Valid() {
+			return fmt.Errorf("%w: scheme byte %d", ErrBadPayload, payload[28])
+		}
+		req.Scheme = s.Flag()
+	}
 	return nil
 }
 
@@ -182,8 +206,9 @@ func DecodeError(payload []byte) (code int, reason ReasonCode, detail []byte, er
 	return code, reason, payload[errorHeaderSize:], nil
 }
 
-// AppendRequestFrame appends a complete FrameRequest (header + payload).
-// Integer fields must fit uint32 and be non-negative (ErrRange otherwise).
+// AppendRequestFrame appends a complete v2 FrameRequest (header +
+// payload). Integer fields must fit uint32 and be non-negative, and a
+// non-empty Scheme must parse (ErrRange otherwise).
 func AppendRequestFrame(buf []byte, req *Request) ([]byte, error) {
 	if req.VNF < 0 || int64(req.VNF) > maxFrameInt ||
 		req.Arrival < 0 || int64(req.Arrival) > maxFrameInt ||
@@ -191,13 +216,21 @@ func AppendRequestFrame(buf []byte, req *Request) ([]byte, error) {
 		return buf, fmt.Errorf("%w: vnf %d arrival %d duration %d",
 			ErrRange, req.VNF, req.Arrival, req.Duration)
 	}
+	var scheme byte
+	if req.Scheme != "" {
+		s, err := core.ParseScheme(req.Scheme)
+		if err != nil {
+			return buf, fmt.Errorf("%w: scheme %q", ErrRange, req.Scheme)
+		}
+		scheme = byte(s)
+	}
 	buf = appendHeader(buf, FrameRequest, requestPayloadSize)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(req.VNF))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(req.Arrival))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(req.Duration))
 	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(req.Reliability))
 	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(req.Payment))
-	return buf, nil
+	return append(buf, scheme), nil
 }
 
 // AppendDecisionFrame appends a complete FrameDecision. Slots outside

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"strconv"
+
+	"revnf/internal/core"
 )
 
 // Newline-delimited JSON. One JSON object per line; the same field names
@@ -65,6 +67,20 @@ func DecodeNDJSONRequest(line []byte, req *Request) error {
 			return fmt.Errorf("%w: expected ':' after key", ErrBadJSON)
 		}
 		p = skipWS(line, p+1)
+		if string(key) == "scheme" {
+			// The one string-valued field: a scheme name resolved by the
+			// canonical parser (either spelling), stored as its flag form.
+			val, next, err := scanKey(line, p) // a string value scans like a key
+			if err != nil {
+				return err
+			}
+			s, err := core.ParseScheme(string(val))
+			if err != nil {
+				return fmt.Errorf("%w: scheme %q", ErrBadJSON, val)
+			}
+			req.Scheme, p = s.Flag(), next
+			continue
+		}
 		val, next, err := scanNumber(line, p)
 		if err != nil {
 			return err
@@ -272,6 +288,11 @@ func AppendNDJSONRequest(buf []byte, req *Request) []byte {
 	buf = strconv.AppendInt(buf, int64(req.Duration), 10)
 	buf = append(buf, `,"payment":`...)
 	buf = strconv.AppendFloat(buf, req.Payment, 'g', -1, 64)
+	if req.Scheme != "" {
+		buf = append(buf, `,"scheme":"`...)
+		buf = append(buf, req.Scheme...)
+		buf = append(buf, '"')
+	}
 	return append(buf, '}', '\n')
 }
 

@@ -41,6 +41,11 @@ type Request struct {
 	Duration    int
 	Reliability float64
 	Payment     float64
+	// Scheme optionally pins the redundancy scheme the request demands
+	// (canonical flag spelling, e.g. "shared"); empty accepts whatever the
+	// daemon runs. On the binary framing it travels as a one-byte
+	// core.Scheme value (protocol v2); v1 frames leave it empty.
+	Scheme string
 }
 
 // Decision is one admission decision on the wire.
@@ -70,6 +75,9 @@ const (
 	ReasonCanceled   ReasonCode = 9
 	ReasonNotFound   ReasonCode = 10
 	ReasonInternal   ReasonCode = 11
+	// ReasonSchemeUnavailable marks requests pinning a scheme the daemon
+	// does not run (protocol v2; v1 receivers see it as an unknown code).
+	ReasonSchemeUnavailable ReasonCode = 12
 	// ReasonUnknown transports a reason string minted after this protocol
 	// revision; receivers should treat it as an unspecified rejection.
 	ReasonUnknown ReasonCode = 255
@@ -87,6 +95,8 @@ var codeToReason = map[ReasonCode]trace.Reason{
 	ReasonCanceled:   trace.ReasonCanceled,
 	ReasonNotFound:   trace.ReasonNotFound,
 	ReasonInternal:   trace.ReasonInternal,
+
+	ReasonSchemeUnavailable: trace.ReasonSchemeUnavailable,
 }
 
 var reasonToCode = func() map[trace.Reason]ReasonCode {

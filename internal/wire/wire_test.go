@@ -353,3 +353,83 @@ func TestFrameReaderReusesBuffer(t *testing.T) {
 		}
 	}
 }
+
+// TestFrameRequestSchemeRoundTrip pins the v2 frame layout: a trailing
+// scheme byte carries the optional scheme pin, zero meaning none.
+func TestFrameRequestSchemeRoundTrip(t *testing.T) {
+	for _, pin := range []string{"", "onsite", "offsite", "shared"} {
+		want := Request{VNF: 2, Arrival: 3, Duration: 4, Reliability: 0.9, Payment: 5, Scheme: pin}
+		buf, err := AppendRequestFrame(nil, &want)
+		if err != nil {
+			t.Fatalf("AppendRequestFrame(scheme=%q): %v", pin, err)
+		}
+		if got := len(buf); got != headerSize+requestPayloadSize {
+			t.Fatalf("scheme %q frame is %d bytes, want %d", pin, got, headerSize+requestPayloadSize)
+		}
+		typ, payload, err := NewFrameReader(bytes.NewReader(buf)).Next()
+		if err != nil || typ != FrameRequest {
+			t.Fatalf("Next() = (%#x, _, %v)", typ, err)
+		}
+		var got Request
+		if err := DecodeRequest(payload, &got); err != nil {
+			t.Fatalf("DecodeRequest(scheme=%q): %v", pin, err)
+		}
+		if got != want {
+			t.Fatalf("round trip = %+v, want %+v", got, want)
+		}
+	}
+
+	// A pin the registry does not know fails on encode, not on the peer.
+	bad := Request{Duration: 1, Scheme: "raid1"}
+	if _, err := AppendRequestFrame(nil, &bad); !errors.Is(err, ErrRange) {
+		t.Fatalf("unknown scheme encode err = %v, want ErrRange", err)
+	}
+}
+
+// TestFrameRequestV1Compat ensures a v1 peer's 28-byte request payload
+// still decodes (empty scheme), and a corrupt scheme byte is rejected.
+func TestFrameRequestV1Compat(t *testing.T) {
+	full := Request{VNF: 1, Arrival: 2, Duration: 3, Reliability: 0.5, Payment: 6, Scheme: "shared"}
+	buf, err := AppendRequestFrame(nil, &full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := buf[headerSize:]
+
+	var got Request
+	if err := DecodeRequest(payload[:requestPayloadSizeV1], &got); err != nil {
+		t.Fatalf("v1 payload: %v", err)
+	}
+	want := full
+	want.Scheme = ""
+	if got != want {
+		t.Fatalf("v1 decode = %+v, want %+v", got, want)
+	}
+
+	payload[28] = 99
+	if err := DecodeRequest(payload, &got); !errors.Is(err, ErrBadPayload) {
+		t.Fatalf("corrupt scheme byte err = %v, want ErrBadPayload", err)
+	}
+}
+
+func TestNDJSONRequestScheme(t *testing.T) {
+	for _, pin := range []string{"", "onsite", "offsite", "shared"} {
+		want := Request{VNF: 1, Duration: 2, Payment: 3, Scheme: pin}
+		buf := AppendNDJSONRequest(nil, &want)
+		if pin == "" && bytes.Contains(buf, []byte("scheme")) {
+			t.Fatalf("empty pin must be omitted from %q", buf)
+		}
+		var got Request
+		if err := DecodeNDJSONRequest(buf, &got); err != nil {
+			t.Fatalf("DecodeNDJSONRequest(%q): %v", buf, err)
+		}
+		if got != want {
+			t.Fatalf("round trip(%q) = %+v, want %+v", buf, got, want)
+		}
+	}
+	var got Request
+	err := DecodeNDJSONRequest([]byte(`{"duration":1,"scheme":"raid1"}`), &got)
+	if !errors.Is(err, ErrBadJSON) {
+		t.Fatalf("unknown scheme decode err = %v, want ErrBadJSON", err)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"revnf/internal/baseline"
 	"revnf/internal/offsite"
 	"revnf/internal/onsite"
+	"revnf/internal/shared"
 	"revnf/internal/trace"
 )
 
@@ -80,6 +81,7 @@ func NewSamplingRecorder(inner Recorder, every int) Recorder {
 type schedulerConfig struct {
 	algorithm Algorithm
 	horizon   int
+	poolSize  int
 	rec       trace.Recorder
 	rng       *rand.Rand
 }
@@ -112,6 +114,15 @@ func WithRNG(rng *rand.Rand) SchedulerOption {
 	return func(c *schedulerConfig) { c.rng = rng }
 }
 
+// WithSharedPoolSize sets the backup pool capacity k for the Shared
+// scheme: up to k concurrently active requests share one pooled backup
+// instance, and every admission is validated against the correlated-
+// failure availability at full pool capacity. Other schemes ignore it.
+// The default is core's DefaultSharedPoolSize.
+func WithSharedPoolSize(k int) SchedulerOption {
+	return func(c *schedulerConfig) { c.poolSize = k }
+}
+
 // NewScheduler builds an admission scheduler for the scheme from
 // functional options:
 //
@@ -119,9 +130,7 @@ func WithRNG(rng *rand.Rand) SchedulerOption {
 //		revnf.WithHorizon(inst.Horizon),
 //		revnf.WithRecorder(store))
 //
-// The default algorithm is PrimalDual (the paper's evaluated form). It
-// replaces the positional New*Scheduler constructors, which remain as
-// deprecated wrappers.
+// The default algorithm is PrimalDual (the paper's evaluated form).
 func NewScheduler(n *Network, scheme Scheme, opts ...SchedulerOption) (Scheduler, error) {
 	cfg := schedulerConfig{algorithm: PrimalDual}
 	for _, opt := range opts {
@@ -132,6 +141,8 @@ func NewScheduler(n *Network, scheme Scheme, opts ...SchedulerOption) (Scheduler
 		return newOnsiteScheduler(n, cfg)
 	case OffSite:
 		return newOffsiteScheduler(n, cfg)
+	case Shared:
+		return newSharedScheduler(n, cfg)
 	default:
 		return nil, fmt.Errorf("%w: unknown scheme %d", ErrBadScheduler, int(scheme))
 	}
@@ -175,6 +186,28 @@ func newOffsiteScheduler(n *Network, cfg schedulerConfig) (Scheduler, error) {
 		return baseline.NewGreedyOffsite(n, baseline.WithRecorder(cfg.rec))
 	case RawPrimalDual, FirstFit, Random:
 		return nil, fmt.Errorf("%w: algorithm %q not available under the off-site scheme", ErrBadScheduler, cfg.algorithm)
+	default:
+		return nil, fmt.Errorf("%w: unknown algorithm %q", ErrBadScheduler, cfg.algorithm)
+	}
+}
+
+func newSharedScheduler(n *Network, cfg schedulerConfig) (Scheduler, error) {
+	switch cfg.algorithm {
+	case PrimalDual:
+		if cfg.horizon < 1 {
+			return nil, fmt.Errorf("%w: algorithm %q needs WithHorizon", ErrBadScheduler, cfg.algorithm)
+		}
+		opts := []shared.Option{shared.WithRecorder(cfg.rec)}
+		if cfg.poolSize != 0 {
+			opts = append(opts, shared.WithPoolSize(cfg.poolSize))
+		}
+		s, err := shared.NewScheduler(n, cfg.horizon, opts...)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadScheduler, err)
+		}
+		return s, nil
+	case RawPrimalDual, Greedy, FirstFit, Random:
+		return nil, fmt.Errorf("%w: algorithm %q not available under the shared scheme", ErrBadScheduler, cfg.algorithm)
 	default:
 		return nil, fmt.Errorf("%w: unknown algorithm %q", ErrBadScheduler, cfg.algorithm)
 	}

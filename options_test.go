@@ -28,6 +28,8 @@ func TestNewSchedulerHappyPaths(t *testing.T) {
 		{OnSite, []SchedulerOption{WithAlgorithm(Random), WithRNG(rand.New(rand.NewSource(1)))}, "random-onsite"},
 		{OffSite, []SchedulerOption{WithHorizon(inst.Horizon)}, "pd-offsite"},
 		{OffSite, []SchedulerOption{WithAlgorithm(Greedy)}, "greedy-offsite"},
+		{Shared, []SchedulerOption{WithHorizon(inst.Horizon)}, "pd-shared"},
+		{Shared, []SchedulerOption{WithHorizon(inst.Horizon), WithSharedPoolSize(8)}, "pd-shared"},
 	}
 	for _, tc := range cases {
 		sched, err := NewScheduler(inst.Network, tc.scheme, tc.opts...)
@@ -64,67 +66,14 @@ func TestNewSchedulerErrors(t *testing.T) {
 		{"random under offsite", OffSite, []SchedulerOption{WithAlgorithm(Random), WithRNG(rand.New(rand.NewSource(1)))}},
 		{"unknown algorithm", OnSite, []SchedulerOption{WithAlgorithm("simplex")}},
 		{"unknown scheme", Scheme(99), []SchedulerOption{WithHorizon(10)}},
+		{"pd-shared without horizon", Shared, nil},
+		{"greedy under shared", Shared, []SchedulerOption{WithAlgorithm(Greedy)}},
+		{"raw under shared", Shared, []SchedulerOption{WithAlgorithm(RawPrimalDual), WithHorizon(10)}},
+		{"shared with bad pool size", Shared, []SchedulerOption{WithHorizon(10), WithSharedPoolSize(-1)}},
 	}
 	for _, tc := range cases {
 		if _, err := NewScheduler(inst.Network, tc.scheme, tc.opts...); !errors.Is(err, ErrBadScheduler) {
 			t.Errorf("%s: err = %v, want ErrBadScheduler", tc.desc, err)
-		}
-	}
-}
-
-// TestDeprecatedConstructorsDelegate keeps the positional constructors
-// working and identical to their functional-options replacements.
-func TestDeprecatedConstructorsDelegate(t *testing.T) {
-	inst, err := NewInstance(DefaultInstanceConfig(40), 3)
-	if err != nil {
-		t.Fatal(err)
-	}
-	pairs := []struct {
-		desc string
-		old  func() (Scheduler, error)
-		new  func() (Scheduler, error)
-	}{
-		{"onsite", func() (Scheduler, error) { return NewOnsiteScheduler(inst.Network, inst.Horizon) },
-			func() (Scheduler, error) {
-				return NewScheduler(inst.Network, OnSite, WithHorizon(inst.Horizon))
-			}},
-		{"raw onsite", func() (Scheduler, error) { return NewRawOnsiteScheduler(inst.Network, inst.Horizon) },
-			func() (Scheduler, error) {
-				return NewScheduler(inst.Network, OnSite, WithAlgorithm(RawPrimalDual), WithHorizon(inst.Horizon))
-			}},
-		{"offsite", func() (Scheduler, error) { return NewOffsiteScheduler(inst.Network, inst.Horizon) },
-			func() (Scheduler, error) {
-				return NewScheduler(inst.Network, OffSite, WithHorizon(inst.Horizon))
-			}},
-		{"greedy onsite", func() (Scheduler, error) { return NewGreedyOnsite(inst.Network) },
-			func() (Scheduler, error) {
-				return NewScheduler(inst.Network, OnSite, WithAlgorithm(Greedy))
-			}},
-		{"greedy offsite", func() (Scheduler, error) { return NewGreedyOffsite(inst.Network) },
-			func() (Scheduler, error) {
-				return NewScheduler(inst.Network, OffSite, WithAlgorithm(Greedy))
-			}},
-	}
-	for _, p := range pairs {
-		oldSched, err := p.old()
-		if err != nil {
-			t.Fatalf("%s old: %v", p.desc, err)
-		}
-		newSched, err := p.new()
-		if err != nil {
-			t.Fatalf("%s new: %v", p.desc, err)
-		}
-		oldRes, err := Run(inst, oldSched)
-		if err != nil {
-			t.Fatalf("%s old run: %v", p.desc, err)
-		}
-		newRes, err := Run(inst, newSched)
-		if err != nil {
-			t.Fatalf("%s new run: %v", p.desc, err)
-		}
-		if oldRes.Admitted != newRes.Admitted || oldRes.Revenue != newRes.Revenue {
-			t.Errorf("%s: deprecated wrapper diverged: (%d, %v) vs (%d, %v)",
-				p.desc, oldRes.Admitted, oldRes.Revenue, newRes.Admitted, newRes.Revenue)
 		}
 	}
 }

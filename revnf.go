@@ -59,7 +59,10 @@ type (
 	Placement = core.Placement
 	// Assignment places instances of one request in one cloudlet.
 	Assignment = core.Assignment
-	// Scheme selects on-site or off-site redundancy.
+	// SharedBackup records a shared-scheme placement's membership in a
+	// pooled backup group.
+	SharedBackup = core.SharedBackup
+	// Scheme selects on-site, off-site, or shared-backup redundancy.
 	Scheme = core.Scheme
 	// Scheduler is an online admission algorithm.
 	Scheduler = core.Scheduler
@@ -67,13 +70,27 @@ type (
 	CapacityView = core.CapacityView
 )
 
-// Redundancy schemes.
+// Redundancy schemes. ParseScheme, Scheme.String, Scheme.Flag and
+// AllSchemes round-trip these through their canonical spellings.
 const (
 	// OnSite places all instances of a request in one cloudlet.
 	OnSite = core.OnSite
 	// OffSite spreads instances across cloudlets, one per cloudlet.
 	OffSite = core.OffSite
+	// Shared places one primary instance and joins a pooled backup
+	// instance shared by up to k requests, with correlated-failure
+	// accounting; see WithSharedPoolSize.
+	Shared = core.Shared
 )
+
+// ParseScheme resolves a scheme name in either its display ("on-site") or
+// flag ("onsite") spelling. It is the one scheme-string parser in the
+// tree: the revnfd -scheme flag, HTTP payloads and the wire protocol all
+// route through it.
+func ParseScheme(name string) (Scheme, error) { return core.ParseScheme(name) }
+
+// AllSchemes lists the registered schemes in declaration order.
+func AllSchemes() []Scheme { return core.AllSchemes() }
 
 // Workload types.
 type (
@@ -146,47 +163,6 @@ func NewInstance(cfg InstanceConfig, seed int64) (*Instance, error) {
 	return workload.NewInstance(cfg, seed)
 }
 
-// NewOnsiteScheduler returns Algorithm 1 in its evaluated form: dual-price
-// admission with capacity enforcement, so no violations occur.
-//
-// Deprecated: use NewScheduler(n, OnSite, WithHorizon(horizon)).
-func NewOnsiteScheduler(n *Network, horizon int) (Scheduler, error) {
-	return NewScheduler(n, OnSite, WithHorizon(horizon))
-}
-
-// NewRawOnsiteScheduler returns the theory-faithful Algorithm 1: it
-// achieves the (1+a_max) competitive ratio but may overcommit cloudlets
-// within the bound of Lemma 8. Run it with AllowViolations.
-//
-// Deprecated: use NewScheduler(n, OnSite, WithAlgorithm(RawPrimalDual),
-// WithHorizon(horizon)).
-func NewRawOnsiteScheduler(n *Network, horizon int) (Scheduler, error) {
-	return NewScheduler(n, OnSite, WithAlgorithm(RawPrimalDual), WithHorizon(horizon))
-}
-
-// NewOffsiteScheduler returns Algorithm 2: the off-site primal-dual
-// heuristic. It never violates capacity.
-//
-// Deprecated: use NewScheduler(n, OffSite, WithHorizon(horizon)).
-func NewOffsiteScheduler(n *Network, horizon int) (Scheduler, error) {
-	return NewScheduler(n, OffSite, WithHorizon(horizon))
-}
-
-// NewGreedyOnsite returns the paper's greedy on-site baseline (most
-// reliable cloudlet first).
-//
-// Deprecated: use NewScheduler(n, OnSite, WithAlgorithm(Greedy)).
-func NewGreedyOnsite(n *Network) (Scheduler, error) {
-	return NewScheduler(n, OnSite, WithAlgorithm(Greedy))
-}
-
-// NewGreedyOffsite returns the paper's greedy off-site baseline.
-//
-// Deprecated: use NewScheduler(n, OffSite, WithAlgorithm(Greedy)).
-func NewGreedyOffsite(n *Network) (Scheduler, error) {
-	return NewScheduler(n, OffSite, WithAlgorithm(Greedy))
-}
-
 // Run simulates the scheduler over the instance's trace with full
 // capacity and reliability auditing.
 func Run(inst *Instance, sched Scheduler) (*SimResult, error) {
@@ -201,20 +177,29 @@ func RunAllowingViolations(inst *Instance, sched Scheduler) (*SimResult, error) 
 }
 
 // SolveOffline computes the offline comparator schedule for the scheme.
+// Under Shared, backup columns are amortized over the default pool size.
 func SolveOffline(inst *Instance, scheme Scheme, cfg MIPConfig) (*OfflineSolution, error) {
-	if scheme == OnSite {
+	switch scheme {
+	case OnSite:
 		return offline.SolveOnsite(inst, cfg)
+	case Shared:
+		return offline.SolveShared(inst, core.DefaultSharedPoolSize, cfg)
+	default:
+		return offline.SolveOffsite(inst, cfg)
 	}
-	return offline.SolveOffsite(inst, cfg)
 }
 
 // OfflineLPBound returns the LP-relaxation upper bound on offline revenue
 // for the scheme.
 func OfflineLPBound(inst *Instance, scheme Scheme) (float64, error) {
-	if scheme == OnSite {
+	switch scheme {
+	case OnSite:
 		return offline.LPBoundOnsite(inst)
+	case Shared:
+		return offline.LPBoundShared(inst, core.DefaultSharedPoolSize)
+	default:
+		return offline.LPBoundOffsite(inst)
 	}
-	return offline.LPBoundOffsite(inst)
 }
 
 // EstimateAvailability Monte-Carlo-samples cloudlet and instance failures

@@ -19,9 +19,9 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 		t.Fatalf("NewInstance: %v", err)
 	}
 
-	onsiteSched, err := NewOnsiteScheduler(inst.Network, inst.Horizon)
+	onsiteSched, err := NewScheduler(inst.Network, OnSite, WithHorizon(inst.Horizon))
 	if err != nil {
-		t.Fatalf("NewOnsiteScheduler: %v", err)
+		t.Fatalf("NewScheduler: %v", err)
 	}
 	onsiteRes, err := Run(inst, onsiteSched)
 	if err != nil {
@@ -34,9 +34,9 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 		t.Errorf("enforced on-site produced violations")
 	}
 
-	offsiteSched, err := NewOffsiteScheduler(inst.Network, inst.Horizon)
+	offsiteSched, err := NewScheduler(inst.Network, OffSite, WithHorizon(inst.Horizon))
 	if err != nil {
-		t.Fatalf("NewOffsiteScheduler: %v", err)
+		t.Fatalf("NewScheduler: %v", err)
 	}
 	offsiteRes, err := Run(inst, offsiteSched)
 	if err != nil {
@@ -46,16 +46,16 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 		t.Fatalf("off-site revenue %v", offsiteRes.Revenue)
 	}
 
-	greedyOn, err := NewGreedyOnsite(inst.Network)
+	greedyOn, err := NewScheduler(inst.Network, OnSite, WithAlgorithm(Greedy))
 	if err != nil {
-		t.Fatalf("NewGreedyOnsite: %v", err)
+		t.Fatalf("NewScheduler: %v", err)
 	}
 	if _, err := Run(inst, greedyOn); err != nil {
 		t.Fatalf("Run greedy on-site: %v", err)
 	}
-	greedyOff, err := NewGreedyOffsite(inst.Network)
+	greedyOff, err := NewScheduler(inst.Network, OffSite, WithAlgorithm(Greedy))
 	if err != nil {
-		t.Fatalf("NewGreedyOffsite: %v", err)
+		t.Fatalf("NewScheduler: %v", err)
 	}
 	if _, err := Run(inst, greedyOff); err != nil {
 		t.Fatalf("Run greedy off-site: %v", err)
@@ -78,9 +78,9 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 
 	// Raw Algorithm 1 with the violation licence: revenue must be within
 	// the competitive ratio of the offline bound.
-	raw, err := NewRawOnsiteScheduler(inst.Network, inst.Horizon)
+	raw, err := NewScheduler(inst.Network, OnSite, WithAlgorithm(RawPrimalDual), WithHorizon(inst.Horizon))
 	if err != nil {
-		t.Fatalf("NewRawOnsiteScheduler: %v", err)
+		t.Fatalf("NewScheduler: %v", err)
 	}
 	rawRes, err := RunAllowingViolations(inst, raw)
 	if err != nil {

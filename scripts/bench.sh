@@ -1,10 +1,14 @@
 #!/usr/bin/env sh
-# Admission-throughput benchmark harness. Two sections:
+# Admission-throughput benchmark harness. Three sections:
 #
 #  1. BenchmarkParallelAdmission (serial vs sharded engine at 1, 2 and 4
 #     workers, fixed vs rolling horizon) -> BENCH_admission.json.
 #     BENCHTIME overrides the per-benchmark budget.
-#  2. Wire throughput: a real revnfd is started with -stream-listen and
+#  2. Scheme revenue: cmd/experiments -fig shared compares the on-site,
+#     off-site and shared-backup schedulers on the high-requirement
+#     instances; one row per scheme is appended to BENCH_admission.json.
+#     SCHEME_SEEDS overrides the seed list.
+#  3. Wire throughput: a real revnfd is started with -stream-listen and
 #     driven by revnfload over every ingress protocol (json, ndjson,
 #     frame) -> BENCH_wire.json. WIRE_REQUESTS sets the request count
 #     per protocol; WIRE_SMOKE=1 shrinks it for CI smoke runs.
@@ -40,6 +44,20 @@ BEGIN { printf "[\n" }
 }
 END { printf "\n]\n" }
 ' "$tmp" > "$out"
+
+# ---- Scheme revenue: onsite vs offsite vs shared on equal capacity ----
+
+echo "==> cmd/experiments -fig shared (scheme revenue rows)"
+go run ./cmd/experiments -fig shared -json -seedlist "${SCHEME_SEEDS:-1,2,3}" > "$tmp"
+
+# Splice the scheme rows into the benchmark array: drop the closing
+# bracket, append one row per line, close again.
+sed '$d' "$out" > "$out.tmp"
+while IFS= read -r line; do
+    printf ',\n  %s' "$line" >> "$out.tmp"
+done < "$tmp"
+printf '\n]\n' >> "$out.tmp"
+mv "$out.tmp" "$out"
 
 echo "==> wrote $out"
 cat "$out"
